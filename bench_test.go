@@ -1,0 +1,453 @@
+package ust_test
+
+// One benchmark per table/figure of the paper's evaluation (Section
+// VIII), plus ablation benchmarks for the design decisions called out in
+// DESIGN.md. The figures' full parameter sweeps live in cmd/ustbench
+// (and internal/exp); the benchmarks here measure one representative
+// point per curve so `go test -bench=.` stays tractable while still
+// exposing every shape (who wins, by roughly what factor).
+//
+// Mapping:
+//
+//	BenchmarkFig8a*  — Fig 8(a): MC vs OB vs QB, small DB
+//	BenchmarkFig8b*  — Fig 8(b): OB vs QB, larger DB and state space
+//	BenchmarkFig9a*  — Fig 9(a): query start time sweep, synthetic
+//	BenchmarkFig9b*  — Fig 9(b): Munich-like road network
+//	BenchmarkFig9c*  — Fig 9(c): North-America-like road network
+//	BenchmarkFig9d   — Fig 9(d): accuracy experiment (exact vs indep)
+//	BenchmarkFig10a* — Fig 10(a): ∃/∀/k predicates, object-based
+//	BenchmarkFig10b* — Fig 10(b): ∃/∀/k predicates, query-based
+//	BenchmarkFig11a* — Fig 11(a): max_step sweep
+//	BenchmarkFig11b* — Fig 11(b): state_spread sweep
+//	BenchmarkTableI  — Table I: synthetic generator at defaults
+//	BenchmarkAblation* — augmented-matrix materialization vs implicit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ust"
+	"ust/internal/core"
+	"ust/internal/gen"
+	"ust/internal/markov"
+	"ust/internal/network"
+)
+
+// benchDB builds a synthetic database of Table I shape.
+func benchDB(b *testing.B, numObjects, numStates int) *ust.Database {
+	b.Helper()
+	p := gen.Defaults(42)
+	p.NumObjects = numObjects
+	p.NumStates = numStates
+	ds, err := gen.Generate(p)
+	if err != nil {
+		b.Fatalf("generate: %v", err)
+	}
+	db := ust.NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		if err := db.AddSimple(i, o); err != nil {
+			b.Fatalf("add: %v", err)
+		}
+	}
+	return db
+}
+
+func benchQuery(numStates int) ust.Query {
+	w := gen.DefaultWindow()
+	return ust.NewQuery(w.States(numStates), w.Times())
+}
+
+func runExists(b *testing.B, db *ust.Database, q ust.Query, s ust.Strategy, mcSamples int) {
+	b.Helper()
+	e := ust.NewEngine(db, ust.Options{Strategy: s, MonteCarloSamples: mcSamples})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exists(q); err != nil {
+			b.Fatalf("Exists: %v", err)
+		}
+	}
+}
+
+// --- Figure 8(a): small database, all three algorithms. -----------------
+
+func BenchmarkFig8aSmallStateSpace(b *testing.B) {
+	for _, nStates := range []int{2000, 10000} {
+		db := benchDB(b, 100, nStates)
+		q := benchQuery(nStates)
+		b.Run(fmt.Sprintf("states=%d/MC", nStates), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyMonteCarlo, 100)
+		})
+		b.Run(fmt.Sprintf("states=%d/OB", nStates), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyObjectBased, 0)
+		})
+		b.Run(fmt.Sprintf("states=%d/QB", nStates), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyQueryBased, 0)
+		})
+	}
+}
+
+// --- Figure 8(b): larger database and state space, OB vs QB. ------------
+
+func BenchmarkFig8bLargeStateSpace(b *testing.B) {
+	for _, nStates := range []int{10000, 50000} {
+		db := benchDB(b, 1000, nStates)
+		q := benchQuery(nStates)
+		b.Run(fmt.Sprintf("states=%d/OB", nStates), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyObjectBased, 0)
+		})
+		b.Run(fmt.Sprintf("states=%d/QB", nStates), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyQueryBased, 0)
+		})
+	}
+}
+
+// --- Figure 9(a): query start time, synthetic. ---------------------------
+
+func BenchmarkFig9aQueryStartSynthetic(b *testing.B) {
+	db := benchDB(b, 200, 10000)
+	w := gen.DefaultWindow()
+	for _, h := range []int{10, 30, 50} {
+		q := ust.NewQuery(w.States(10000), ust.Interval(h, h+5))
+		b.Run(fmt.Sprintf("start=%d/OB", h), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyObjectBased, 0)
+		})
+		b.Run(fmt.Sprintf("start=%d/QB", h), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyQueryBased, 0)
+		})
+	}
+}
+
+// --- Figures 9(b)/9(c): road networks. -----------------------------------
+
+func benchNetworkDB(b *testing.B, spec network.RoadNetworkSpec, numObjects int) (*ust.Database, []int) {
+	b.Helper()
+	g, err := network.Generate(spec)
+	if err != nil {
+		b.Fatalf("network: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	chain, err := markov.NewChain(g.TransitionMatrix(rng))
+	if err != nil {
+		b.Fatalf("chain: %v", err)
+	}
+	db := ust.NewDatabase(chain)
+	for id := 0; id < numObjects; id++ {
+		anchor := rng.Intn(g.NumNodes())
+		if err := db.AddSimple(id, ust.PointDistribution(g.NumNodes(), anchor)); err != nil {
+			b.Fatalf("add: %v", err)
+		}
+	}
+	// Query region: BFS neighborhood of a node.
+	region := []int{0}
+	seen := map[int]bool{0: true}
+	frontier := []int{0}
+	for len(region) < 21 && len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			g.Successors(u, func(v int) {
+				if !seen[v] && len(region) < 21 {
+					seen[v] = true
+					region = append(region, v)
+					next = append(next, v)
+				}
+			})
+		}
+		frontier = next
+	}
+	return db, region
+}
+
+func benchNetworkFigure(b *testing.B, spec network.RoadNetworkSpec) {
+	db, region := benchNetworkDB(b, spec, 200)
+	for _, h := range []int{10, 30} {
+		q := ust.NewQuery(region, ust.Interval(h, h+5))
+		b.Run(fmt.Sprintf("start=%d/OB", h), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyObjectBased, 0)
+		})
+		b.Run(fmt.Sprintf("start=%d/QB", h), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyQueryBased, 0)
+		})
+	}
+}
+
+func BenchmarkFig9bQueryStartMunich(b *testing.B) {
+	benchNetworkFigure(b, network.MunichSpec(3).Scaled(10))
+}
+
+func BenchmarkFig9cQueryStartNA(b *testing.B) {
+	benchNetworkFigure(b, network.NorthAmericaSpec(3).Scaled(10))
+}
+
+// --- Figure 9(d): accuracy (not a runtime plot; measures both models). ---
+
+func BenchmarkFig9dAccuracy(b *testing.B) {
+	db := benchDB(b, 100, 10000)
+	e := core.NewEngine(db, core.Options{})
+	w := gen.DefaultWindow()
+	q := ust.NewQuery(w.States(10000), ust.Interval(20, 29))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range db.Objects() {
+			if _, err := e.ExistsOB(o, q); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.ExistsIndependent(o, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 10: predicates under OB and QB. -------------------------------
+
+func benchPredicates(b *testing.B, strategy ust.Strategy) {
+	db := benchDB(b, 100, 10000)
+	w := gen.DefaultWindow()
+	for _, winLen := range []int{2, 6, 10} {
+		q := ust.NewQuery(w.States(10000), ust.Interval(20, 20+winLen-1))
+		e := ust.NewEngine(db, ust.Options{Strategy: strategy})
+		b.Run(fmt.Sprintf("win=%d/exists", winLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exists(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("win=%d/forall", winLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ForAll(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("win=%d/ktimes", winLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.KTimes(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig10aPredicatesOB(b *testing.B) {
+	benchPredicates(b, ust.StrategyObjectBased)
+}
+
+func BenchmarkFig10bPredicatesQB(b *testing.B) {
+	benchPredicates(b, ust.StrategyQueryBased)
+}
+
+// --- Figure 11: locality parameter sweeps. --------------------------------
+
+func BenchmarkFig11aMaxStep(b *testing.B) {
+	for _, maxStep := range []int{10, 40, 100} {
+		p := gen.Defaults(42)
+		p.NumObjects, p.NumStates, p.MaxStep = 100, 10000, maxStep
+		ds, err := gen.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := ust.NewDatabase(ds.Chain)
+		for i, o := range ds.Objects {
+			db.AddSimple(i, o)
+		}
+		q := benchQuery(p.NumStates)
+		b.Run(fmt.Sprintf("max_step=%d/OB", maxStep), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyObjectBased, 0)
+		})
+		b.Run(fmt.Sprintf("max_step=%d/QB", maxStep), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyQueryBased, 0)
+		})
+	}
+}
+
+func BenchmarkFig11bStateSpread(b *testing.B) {
+	for _, spread := range []int{2, 10, 20} {
+		p := gen.Defaults(42)
+		p.NumObjects, p.NumStates, p.StateSpread = 100, 10000, spread
+		ds, err := gen.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := ust.NewDatabase(ds.Chain)
+		for i, o := range ds.Objects {
+			db.AddSimple(i, o)
+		}
+		q := benchQuery(p.NumStates)
+		b.Run(fmt.Sprintf("spread=%d/OB", spread), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyObjectBased, 0)
+		})
+		b.Run(fmt.Sprintf("spread=%d/QB", spread), func(b *testing.B) {
+			runExists(b, db, q, ust.StrategyQueryBased, 0)
+		})
+	}
+}
+
+// --- Table I: the synthetic generator itself. ------------------------------
+
+func BenchmarkTableIGenerator(b *testing.B) {
+	p := gen.Defaults(42)
+	p.NumObjects, p.NumStates = 1000, 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i)
+		if _, err := gen.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations. ------------------------------------------------------------
+
+// BenchmarkAblationAugmented quantifies DESIGN.md decision #2: applying
+// the absorbing-state operator implicitly vs materializing the paper's
+// M−/M+ matrices per query.
+func BenchmarkAblationAugmented(b *testing.B) {
+	p := gen.Defaults(42)
+	p.NumObjects, p.NumStates = 1, 5000
+	ds, err := gen.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := ust.NewDatabase(ds.Chain)
+	db.AddSimple(0, ds.Objects[0])
+	o := db.Objects()[0]
+	e := core.NewEngine(db, core.Options{})
+	q := benchQuery(p.NumStates)
+	init := ds.Objects[0].Clone()
+	init.Vec().Normalize()
+
+	b.Run("implicit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.ExistsOB(o, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ExistsOBAugmented(ds.Chain, q.States, q.Times, init.Vec(), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationKTimesAugmented measures the paper's blown-up
+// (|T□|+1)·|S| matrices for PSTkQ against the memory-efficient C(t)
+// algorithm of Section VII.
+func BenchmarkAblationKTimesAugmented(b *testing.B) {
+	p := gen.Defaults(42)
+	p.NumObjects, p.NumStates = 1, 2000
+	ds, err := gen.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := ust.NewDatabase(ds.Chain)
+	db.AddSimple(0, ds.Objects[0])
+	o := db.Objects()[0]
+	e := core.NewEngine(db, core.Options{})
+	q := benchQuery(p.NumStates)
+	init := ds.Objects[0].Clone()
+	init.Vec().Normalize()
+
+	b.Run("efficient", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.KTimesOB(o, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.KTimesOBAugmented(ds.Chain, q.States, q.Times, init.Vec(), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAliasSampler compares the O(out-degree) linear-scan
+// transition sampler against the O(1) alias-table sampler across row
+// weights. The crossover matters: Table I rows are light (spread 5-20)
+// and favor the cache-friendly linear scan; heavy rows favor the alias
+// table.
+func BenchmarkAblationAliasSampler(b *testing.B) {
+	const steps = 50
+	for _, cfg := range []struct{ spread, maxStep int }{
+		{20, 40},
+		{200, 400},
+	} {
+		p := gen.Defaults(42)
+		p.NumObjects, p.NumStates = 1, 5000
+		p.StateSpread, p.MaxStep = cfg.spread, cfg.maxStep
+		ds, err := gen.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		init := ds.Objects[0]
+		b.Run(fmt.Sprintf("spread=%d/linear", cfg.spread), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				ds.Chain.SamplePath(init.Vec(), steps, rng)
+			}
+		})
+		b.Run(fmt.Sprintf("spread=%d/alias", cfg.spread), func(b *testing.B) {
+			s := markov.NewSampler(ds.Chain)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SamplePath(init, steps, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelOB measures the goroutine fan-out of the
+// object-based strategy.
+func BenchmarkAblationParallelOB(b *testing.B) {
+	db := benchDB(b, 500, 10000)
+	e := core.NewEngine(db, core.Options{})
+	q := benchQuery(10000)
+	for _, workers := range []int{1, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExistsOBParallel(q, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThresholdPruning measures the early-termination
+// forward pass (Section V-C pruning) against the exact pass.
+func BenchmarkAblationThresholdPruning(b *testing.B) {
+	db := benchDB(b, 100, 10000)
+	e := core.NewEngine(db, core.Options{})
+	q := benchQuery(10000)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, o := range db.Objects() {
+				if _, err := e.ExistsOB(o, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("threshold=0.1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, o := range db.Objects() {
+				if _, _, err := e.ExistsOBBounds(o, q, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Command ustbench regenerates the tables behind every figure of the
+// paper's evaluation (Section VIII).
+//
+// Usage:
+//
+//	ustbench [-fig all|fig8a|fig8b|fig9a|fig9b|fig9c|fig9d|fig10a|fig10b|fig11a|fig11b]
+//	         [-scale tiny|small|paper] [-seed N] [-csv DIR]
+//
+// -scale small (the default) runs each experiment at a size that
+// preserves the paper's qualitative shapes in minutes; -scale paper uses
+// the paper's dataset sizes and can run for hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ust/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id or 'all'")
+	scaleStr := flag.String("scale", "small", "tiny | small | paper")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	scale, err := exp.ParseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := exp.Config{Scale: scale, Seed: *seed}
+
+	var experiments []exp.Experiment
+	if strings.EqualFold(*fig, "all") {
+		experiments = exp.All()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			e, ok := exp.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("running %d experiment(s) at scale %s, seed %d\n\n", len(experiments), scale, *seed)
+	for _, e := range experiments {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, rep.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.CSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %s\n\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ustbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+// Command ustquery evaluates a probabilistic spatio-temporal query
+// against a stored dataset (see ustgen).
+//
+// Usage:
+//
+//	ustquery -db data.ustd -states 100-120 -times 20-25
+//	         [-predicate exists|forall|ktimes] [-strategy qb|ob|mc]
+//	         [-threshold P] [-top N] [-json]
+//
+// State and time ranges accept "lo-hi" intervals or comma-separated
+// lists ("100-120" or "5,9,13" or a mix: "1-3,7").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ust/internal/core"
+	"ust/internal/store"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "dataset file written by ustgen (required)")
+	statesArg := flag.String("states", "", "query region, e.g. 100-120 (required)")
+	timesArg := flag.String("times", "", "query times, e.g. 20-25 (required)")
+	predicate := flag.String("predicate", "exists", "exists | forall | ktimes")
+	strategyArg := flag.String("strategy", "qb", "qb | ob | mc")
+	threshold := flag.Float64("threshold", 0, "only report objects with P ≥ threshold")
+	top := flag.Int("top", 20, "print at most N objects (0 = all)")
+	mcSamples := flag.Int("mc-samples", 100, "samples per object for -strategy mc")
+	asJSON := flag.Bool("json", false, "emit JSON instead of a table")
+	flag.Parse()
+
+	if *dbPath == "" || *statesArg == "" || *timesArg == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	states, err := parseIntSet(*statesArg)
+	if err != nil {
+		fatal(fmt.Errorf("-states: %w", err))
+	}
+	times, err := parseIntSet(*timesArg)
+	if err != nil {
+		fatal(fmt.Errorf("-times: %w", err))
+	}
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := store.LoadDatabase(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var strategy core.Strategy
+	switch *strategyArg {
+	case "qb":
+		strategy = core.StrategyQueryBased
+	case "ob":
+		strategy = core.StrategyObjectBased
+	case "mc":
+		strategy = core.StrategyMonteCarlo
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategyArg))
+	}
+	engine := core.NewEngine(db, core.Options{Strategy: strategy, MonteCarloSamples: *mcSamples})
+	q := core.NewQuery(states, times)
+
+	switch *predicate {
+	case "exists", "forall":
+		var res []core.Result
+		if *predicate == "exists" {
+			res, err = engine.Exists(q)
+		} else {
+			res, err = engine.ForAll(q)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		res = filterSort(res, *threshold)
+		if *top > 0 && len(res) > *top {
+			res = res[:*top]
+		}
+		if *asJSON {
+			emitJSON(res)
+			return
+		}
+		fmt.Printf("%-10s  %s\n", "object", "probability")
+		for _, r := range res {
+			fmt.Printf("%-10d  %.6f\n", r.ObjectID, r.Prob)
+		}
+	case "ktimes":
+		res, err := engine.KTimes(q)
+		if err != nil {
+			fatal(err)
+		}
+		if *top > 0 && len(res) > *top {
+			res = res[:*top]
+		}
+		if *asJSON {
+			emitJSON(res)
+			return
+		}
+		for _, r := range res {
+			fmt.Printf("object %d:\n", r.ObjectID)
+			for k, p := range r.Dist {
+				if p > 1e-9 {
+					fmt.Printf("  P(%d visits) = %.6f\n", k, p)
+				}
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown predicate %q", *predicate))
+	}
+}
+
+func filterSort(res []core.Result, threshold float64) []core.Result {
+	out := res[:0]
+	for _, r := range res {
+		if r.Prob >= threshold {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Prob != out[b].Prob {
+			return out[a].Prob > out[b].Prob
+		}
+		return out[a].ObjectID < out[b].ObjectID
+	})
+	return out
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+// parseIntSet parses "1-3,7,10-12" into a sorted id list.
+func parseIntSet(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return nil, fmt.Errorf("bad interval %q", part)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("bad interval %q", part)
+			}
+			if b < a {
+				return nil, fmt.Errorf("inverted interval %q", part)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty set")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ustquery:", err)
+	os.Exit(1)
+}

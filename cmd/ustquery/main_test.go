@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+
+	"ust/internal/core"
+)
+
+func TestParseIntSet(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"5", []int{5}, true},
+		{"1-3", []int{1, 2, 3}, true},
+		{"1-3,7", []int{1, 2, 3, 7}, true},
+		{"10-12, 2", []int{10, 11, 12, 2}, true},
+		{" 4 ", []int{4}, true},
+		{"3-1", nil, false},
+		{"a", nil, false},
+		{"1-b", nil, false},
+		{"a-2", nil, false},
+		{"", nil, false},
+		{",,,", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseIntSet(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseIntSet(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseIntSet(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseIntSet(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestFilterSort(t *testing.T) {
+	in := []core.Result{
+		{ObjectID: 1, Prob: 0.2},
+		{ObjectID: 2, Prob: 0.9},
+		{ObjectID: 3, Prob: 0.5},
+		{ObjectID: 4, Prob: 0.9},
+	}
+	out := filterSort(in, 0.5)
+	if len(out) != 3 {
+		t.Fatalf("filtered to %d, want 3", len(out))
+	}
+	if out[0].ObjectID != 2 || out[1].ObjectID != 4 || out[2].ObjectID != 3 {
+		t.Errorf("order = %v", out)
+	}
+}

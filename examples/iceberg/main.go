@@ -1,0 +1,195 @@
+// Iceberg monitoring — the paper's motivating application.
+//
+// The International Ice Patrol sights icebergs near the Grand Banks and
+// must warn ships whose routes the bergs may drift into. We model the
+// North Atlantic as a grid whose prevailing current pushes ice south-
+// east, seed the database with sighted icebergs (some sighted twice:
+// the second sighting *conditions* the trajectory, Section VI of the
+// paper), and ask:
+//
+//  1. PST∃Q: which bergs could enter the shipping lane within the next
+//     48 hours? (one timestamp = one hour)
+//  2. PST∀Q: which bergs will *stay* inside the observation box long
+//     enough for an aerial survey?
+//  3. Posterior: where is a twice-sighted berg most likely right now?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"ust"
+)
+
+const (
+	gridW, gridH = 40, 30
+	hours        = 48
+)
+
+func main() {
+	ocean := ust.NewGrid(gridW, gridH)
+	chain, err := driftChain(ocean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := ust.NewDatabase(chain)
+
+	// Sighted icebergs. Sightings have different precision: a radar fix
+	// is a point; a visual report from a ship spreads over a few cells.
+	sightings := []struct {
+		id     int
+		x, y   int
+		spread bool
+	}{
+		{id: 1, x: 5, y: 20},
+		{id: 2, x: 10, y: 25, spread: true},
+		{id: 3, x: 18, y: 8},
+		{id: 4, x: 3, y: 4, spread: true},
+	}
+	for _, s := range sightings {
+		pdf := sightingPDF(ocean, s.x, s.y, s.spread)
+		if err := db.AddSimple(s.id, pdf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Berg 5 was sighted twice: at t=0 and again at t=12. The engine
+	// interpolates between the sightings and discards impossible worlds.
+	berg5, err := ust.NewObject(5, nil,
+		ust.Observation{Time: 0, PDF: sightingPDF(ocean, 8, 18, true)},
+		ust.Observation{Time: 12, PDF: sightingPDF(ocean, 12, 15, true)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Add(berg5); err != nil {
+		log.Fatal(err)
+	}
+
+	engine := ust.NewEngine(db, ust.Options{})
+
+	// --- Query 1: shipping-lane intrusion (PST∃Q). ---
+	// The lane is a diagonal corridor; resolve it to states with the
+	// R-tree index.
+	index := ust.IndexSpace(ocean, 0)
+	lane := ust.RegionUnion{
+		ust.NewRect(12, 10, 30, 14),
+		ust.NewRect(24, 6, 36, 11),
+	}
+	laneStates := index.Search(lane)
+	window := ust.NewQuery(laneStates, ust.Interval(1, hours))
+
+	fmt.Println("== Icebergs that may enter the shipping lane within 48h ==")
+	res, err := engine.Exists(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(res, func(a, b int) bool { return res[a].Prob > res[b].Prob })
+	for _, r := range res {
+		warn := ""
+		switch {
+		case r.Prob >= 0.5:
+			warn = "  << ALERT"
+		case r.Prob >= 0.1:
+			warn = "  << watch"
+		}
+		fmt.Printf("  berg %d: P = %.4f%s\n", r.ObjectID, r.Prob, warn)
+	}
+
+	// --- Query 2: survey stability (PST∀Q). ---
+	// An aircraft needs the berg inside the survey box for six
+	// consecutive hours starting at t=6.
+	surveyBox := index.Search(ust.NewRect(2, 14, 16, 26))
+	survey := ust.NewQuery(surveyBox, ust.Interval(6, 11))
+	fmt.Println("\n== Icebergs stably inside the survey box during t=6..11 ==")
+	stay, err := engine.ForAll(survey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(stay, func(a, b int) bool { return stay[a].Prob > stay[b].Prob })
+	for _, r := range stay {
+		if r.Prob > 0.01 {
+			fmt.Printf("  berg %d: P(stays) = %.4f\n", r.ObjectID, r.Prob)
+		}
+	}
+
+	// --- Query 3: posterior position of the twice-sighted berg. ---
+	post, err := ust.PosteriorAt(chain, berg5.Observations, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	state, p := post.Mode()
+	x, y := ocean.Cell(state)
+	fmt.Printf("\n== Berg 5 most likely position at t=12: cell (%d,%d), P = %.3f ==\n", x, y, p)
+	fmt.Printf("   posterior entropy: %.2f nats (lower = more certain)\n", post.Entropy())
+}
+
+// driftChain builds the ocean-current motion model: ice drifts east and
+// slightly south with inertia; at each hour it stays or moves to a
+// neighboring cell with current-weighted probabilities.
+func driftChain(g *ust.Grid) (*ust.Chain, error) {
+	rng := rand.New(rand.NewSource(1912)) // the Titanic year
+	n := g.NumStates()
+	rows := make([][]float64, n)
+	for id := 0; id < n; id++ {
+		rows[id] = make([]float64, n)
+		x, y := g.Cell(id)
+		add := func(nx, ny int, w float64) {
+			if nx >= 0 && nx < g.W && ny >= 0 && ny < g.H && w > 0 {
+				rows[id][g.ID(nx, ny)] += w
+			}
+		}
+		jitter := 0.1 * rng.Float64()
+		add(x, y, 0.35)         // inertia: ice is slow
+		add(x+1, y, 0.3+jitter) // prevailing eastward current
+		add(x+1, y-1, 0.15)     // south-east component
+		add(x, y-1, 0.1)        // southward leak
+		add(x-1, y, 0.05)       // occasional back-eddy
+		add(x, y+1, 0.05)
+		// Normalize (border cells lose some options).
+		sum := 0.0
+		for _, v := range rows[id] {
+			sum += v
+		}
+		if sum == 0 {
+			rows[id][id] = 1
+			continue
+		}
+		for j, v := range rows[id] {
+			rows[id][j] = v / sum
+		}
+	}
+	return ust.ChainFromDense(rows)
+}
+
+// sightingPDF converts a sighting into an observation pdf: a radar fix
+// is a point distribution; a visual report spreads over the 3×3
+// neighborhood with the centre weighted highest.
+func sightingPDF(g *ust.Grid, x, y int, spread bool) *ust.Distribution {
+	if !spread {
+		return ust.PointDistribution(g.NumStates(), g.ID(x, y))
+	}
+	var states []int
+	var weights []float64
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := x+dx, y+dy
+			if nx < 0 || nx >= g.W || ny < 0 || ny >= g.H {
+				continue
+			}
+			states = append(states, g.ID(nx, ny))
+			if dx == 0 && dy == 0 {
+				weights = append(weights, 4)
+			} else {
+				weights = append(weights, 1)
+			}
+		}
+	}
+	pdf, err := ust.WeightedOver(g.NumStates(), states, weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pdf
+}

@@ -1,0 +1,176 @@
+package ust_test
+
+// End-to-end integration: generate a workload, persist it, reload it,
+// and answer every query type through the public API — the full
+// lifecycle a downstream user runs.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ust"
+	"ust/internal/store"
+)
+
+func TestEndToEndLifecycle(t *testing.T) {
+	// 1. Generate a synthetic Table I dataset.
+	p := ust.DefaultSyntheticParams(99)
+	p.NumObjects, p.NumStates = 50, 3000
+	db, err := ust.GenerateSyntheticDatabase(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+
+	// 2. Persist and reload.
+	var buf bytes.Buffer
+	if err := store.SaveDatabase(&buf, db); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	reloaded, err := store.LoadDatabase(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	// 3. Answer all three predicates on the reloaded data with both
+	// exact strategies; they must agree with the pre-persistence engine.
+	q := ust.NewQuery(ust.Interval(100, 140), ust.Interval(12, 17))
+	fresh := ust.NewEngine(db, ust.Options{})
+	loaded := ust.NewEngine(reloaded, ust.Options{})
+
+	wantExists, err := fresh.Exists(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []ust.Strategy{ust.StrategyQueryBased, ust.StrategyObjectBased} {
+		e := ust.NewEngine(reloaded, ust.Options{Strategy: strategy})
+		got, err := e.Exists(q)
+		if err != nil {
+			t.Fatalf("%v over reloaded db: %v", strategy, err)
+		}
+		for i := range wantExists {
+			if math.Abs(got[i].Prob-wantExists[i].Prob) > 1e-9 {
+				t.Fatalf("%v: object %d drifted across persistence: %g vs %g",
+					strategy, got[i].ObjectID, got[i].Prob, wantExists[i].Prob)
+			}
+		}
+	}
+
+	// 4. Aggregates and rankings line up.
+	count, err := loaded.ExpectedCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range wantExists {
+		sum += r.Prob
+	}
+	if math.Abs(count-sum) > 1e-9 {
+		t.Errorf("ExpectedCount %g != Σ P %g", count, sum)
+	}
+	top, err := loaded.TopKExists(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Prob > top[i-1].Prob {
+			t.Error("TopK not sorted")
+		}
+	}
+
+	// 5. A monitor over the reloaded database refreshes incrementally
+	// as a new sighting arrives.
+	mon := loaded.NewMonitor(q)
+	before, err := mon.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := before[0].ObjectID
+	// Observe the object where its own forecast says it most likely is,
+	// so the new sighting is guaranteed consistent with the model.
+	marginal, err := loaded.Marginal(reloaded.Get(target), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	likely, _ := marginal.Mode()
+	obs := ust.PointDistribution(p.NumStates, likely)
+	if err := mon.Observe(target, ust.Observation{Time: 20, PDF: obs}); err != nil {
+		t.Fatalf("observe: %v", err)
+	}
+	after, err := mon.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("result set size changed: %d vs %d", len(after), len(before))
+	}
+	// The updated object must now match a fresh multi-observation
+	// evaluation.
+	freshP, err := loaded.ExistsOB(reloaded.Get(target), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range after {
+		if r.ObjectID == target && math.Abs(r.Prob-freshP) > 1e-9 {
+			t.Errorf("monitor cache stale for object %d: %g vs %g", target, r.Prob, freshP)
+		}
+	}
+
+	// 6. JSON export of the mutated database round-trips.
+	var jbuf bytes.Buffer
+	if err := store.ExportJSON(&jbuf, reloaded); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	back, err := store.ImportJSON(&jbuf)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if back.Len() != reloaded.Len() {
+		t.Errorf("JSON round trip lost objects: %d vs %d", back.Len(), reloaded.Len())
+	}
+}
+
+func TestEndToEndHeterogeneousFleet(t *testing.T) {
+	// Mixed chains + cluster pruning through the public facade.
+	base, err := ust.ChainFromDense([][]float64{
+		{0.4, 0.6, 0, 0},
+		{0.3, 0.3, 0.4, 0},
+		{0, 0.5, 0.2, 0.3},
+		{0, 0, 0.7, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ust.NewDatabase(base)
+	var labels []int
+	for id := 0; id < 12; id++ {
+		o, err := ust.NewObject(id, nil, ust.Observation{Time: 0, PDF: ust.PointDistribution(4, id%4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(o); err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, 0)
+	}
+	engine := ust.NewEngine(db, ust.Options{})
+	q := ust.NewQuery([]int{3}, ust.Interval(1, 3))
+	idx, err := engine.BuildClusterIndex(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, decided, err := engine.ExistsThresholdClustered(q, 0.4, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decided != 12 {
+		t.Errorf("identical chains should decide all 12 by bounds, got %d", decided)
+	}
+	exact, err := engine.ExistsThreshold(q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != len(exact) {
+		t.Errorf("pruned found %d, exact %d", len(pruned), len(exact))
+	}
+}

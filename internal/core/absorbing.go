@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// AugmentedChain materializes the paper's absorbing-state matrices for a
+// query region (Section V-A):
+//
+//	M− = | M    0 |        M+ = | M′  sum(S□) |
+//	     | 0ᵀ   1 |             | 0ᵀ      1   |
+//
+// over the extended state space S ∪ {◆}, where ◆ (index |S|) is the
+// absorbing "true hit" state, M′ zeroes the columns of S□, and sum(S□)
+// carries the per-row mass removed that way.
+//
+// The production engine applies the same operator implicitly; this type
+// exists to (a) stay faithful to the paper's formulation, (b) cross-
+// validate the implicit path, and (c) measure the cost of materializing
+// (BenchmarkAblationAugmented).
+type AugmentedChain struct {
+	base   *markov.Chain
+	minus  *sparse.CSR // (|S|+1)², used stepping into non-query times
+	plus   *sparse.CSR // (|S|+1)², used stepping into query times
+	minusT *sparse.CSR
+	plusT  *sparse.CSR
+}
+
+// HitState returns the index of the absorbing ◆ state.
+func (a *AugmentedChain) HitState() int { return a.base.NumStates() }
+
+// Minus returns the materialized M− matrix.
+func (a *AugmentedChain) Minus() *sparse.CSR { return a.minus }
+
+// Plus returns the materialized M+ matrix.
+func (a *AugmentedChain) Plus() *sparse.CSR { return a.plus }
+
+// NewAugmentedChain builds M− and M+ for the spatial predicate of the
+// compiled window. Transposes are built lazily.
+func NewAugmentedChain(chain *markov.Chain, regionStates []int) *AugmentedChain {
+	n := chain.NumStates()
+	mask := make([]bool, n)
+	for _, s := range regionStates {
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("core: region state %d outside space of %d", s, n))
+		}
+		mask[s] = true
+	}
+	m := chain.Matrix()
+
+	minus := sparse.FromRows(n+1, n+1, func(i int) ([]int, []float64) {
+		if i == n {
+			return []int{n}, []float64{1}
+		}
+		cols, vals := m.RowSlices(i)
+		return cols, vals
+	})
+
+	plus := sparse.FromRows(n+1, n+1, func(i int) ([]int, []float64) {
+		if i == n {
+			return []int{n}, []float64{1}
+		}
+		cols, vals := m.RowSlices(i)
+		var idx []int
+		var out []float64
+		redirected := 0.0
+		for k, j := range cols {
+			if mask[j] {
+				redirected += vals[k]
+			} else {
+				idx = append(idx, j)
+				out = append(out, vals[k])
+			}
+		}
+		if redirected > 0 {
+			idx = append(idx, n)
+			out = append(out, redirected)
+		}
+		return idx, out
+	})
+
+	return &AugmentedChain{base: chain, minus: minus, plus: plus}
+}
+
+// ExtendVec embeds a |S|-dimensional distribution into the extended
+// space with zero initial hit mass.
+func (a *AugmentedChain) ExtendVec(v *sparse.Vec) *sparse.Vec {
+	out := sparse.NewVec(a.base.NumStates() + 1)
+	v.Range(func(i int, x float64) { out.Set(i, x) })
+	return out
+}
+
+// ExistsOBAugmented evaluates P∃ exactly as Section V-A writes it: the
+// extended distribution vector is multiplied with the materialized M−
+// or M+ at every step, and the answer is the final mass of ◆.
+func ExistsOBAugmented(chain *markov.Chain, regionStates []int, times []int, init *sparse.Vec, t0 int) (float64, error) {
+	q := NewQuery(regionStates, times)
+	w, err := compile(q, chain.NumStates())
+	if err != nil {
+		return 0, err
+	}
+	if w.k == 0 {
+		return 0, nil
+	}
+	if t0 > w.horizon {
+		return 0, fmt.Errorf("core: start time %d after query horizon %d", t0, w.horizon)
+	}
+	aug := NewAugmentedChain(chain, q.States)
+	cur := aug.ExtendVec(init)
+	// Footnote 2: if t0 itself is a query time, mass inside S□ moves to
+	// ◆ before any transition.
+	if w.atTime(t0) {
+		hit := sweepHits(cur, w) // mask is n states; ◆ (index n) unaffected
+		cur.Add(aug.HitState(), hit)
+	}
+	next := sparse.NewVec(cur.Len())
+	for t := t0; t < w.horizon; t++ {
+		if w.atTime(t + 1) {
+			sparse.VecMat(next, cur, aug.plus)
+		} else {
+			sparse.VecMat(next, cur, aug.minus)
+		}
+		cur, next = next, cur
+	}
+	return cur.At(aug.HitState()), nil
+}
+
+// ExistsQBAugmented evaluates P∃ with the transposed materialized
+// matrices, exactly as Section V-B writes it: backward from the hit
+// vector (0,…,0,1) at the horizon, then one dot product with the
+// extended initial distribution.
+func ExistsQBAugmented(chain *markov.Chain, regionStates []int, times []int, init *sparse.Vec, t0 int) (float64, error) {
+	q := NewQuery(regionStates, times)
+	w, err := compile(q, chain.NumStates())
+	if err != nil {
+		return 0, err
+	}
+	if w.k == 0 {
+		return 0, nil
+	}
+	if t0 > w.horizon {
+		return 0, fmt.Errorf("core: start time %d after query horizon %d", t0, w.horizon)
+	}
+	aug := NewAugmentedChain(chain, q.States)
+	if aug.minusT == nil {
+		aug.minusT = aug.minus.Transpose()
+		aug.plusT = aug.plus.Transpose()
+	}
+	score := sparse.NewVec(chain.NumStates() + 1)
+	score.Set(aug.HitState(), 1)
+	next := sparse.NewVec(score.Len())
+	for t := w.horizon; t > t0; t-- {
+		if w.atTime(t) {
+			sparse.VecMat(next, score, aug.plusT)
+		} else {
+			sparse.VecMat(next, score, aug.minusT)
+		}
+		score, next = next, score
+	}
+	ext := aug.ExtendVec(init)
+	if w.atTime(t0) {
+		// Footnote 2 again: worlds starting inside the window at t0 are
+		// immediate hits regardless of the backward scores.
+		w.eachRegionState(func(s int) { score.Set(s, 1) })
+	}
+	return ext.Dot(score), nil
+}

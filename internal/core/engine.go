@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy selects the evaluation plan for database-wide queries.
+type Strategy int
+
+const (
+	// StrategyQueryBased runs one backward sweep per chain group and a
+	// dot product per object (Section V-B). The default: typically
+	// orders of magnitude faster on large databases.
+	StrategyQueryBased Strategy = iota
+	// StrategyObjectBased runs a forward pass per object (Section V-A).
+	StrategyObjectBased
+	// StrategyMonteCarlo samples trajectories per object — the paper's
+	// baseline competitor. Approximate.
+	StrategyMonteCarlo
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyQueryBased:
+		return "query-based"
+	case StrategyObjectBased:
+		return "object-based"
+	case StrategyMonteCarlo:
+		return "monte-carlo"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options tune an Engine.
+type Options struct {
+	// Strategy picks the plan for Exists/ForAll/KTimes. Default:
+	// query-based.
+	Strategy Strategy
+	// MonteCarloSamples is the per-object path budget for the
+	// Monte-Carlo strategy. Default 100 (the paper's setting).
+	MonteCarloSamples int
+	// MonteCarloSeed seeds the sampler. The default (0) is a fixed seed:
+	// results are reproducible unless the caller randomizes.
+	MonteCarloSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MonteCarloSamples <= 0 {
+		o.MonteCarloSamples = 100
+	}
+	return o
+}
+
+// Engine evaluates probabilistic spatio-temporal queries over a
+// database.
+type Engine struct {
+	db   *Database
+	opts Options
+}
+
+// NewEngine builds an engine over db with the given options.
+func NewEngine(db *Database, opts Options) *Engine {
+	if db == nil {
+		panic("core: nil database")
+	}
+	return &Engine{db: db, opts: opts.withDefaults()}
+}
+
+// Database returns the engine's database.
+func (e *Engine) Database() *Database { return e.db }
+
+// Result is a per-object query probability.
+type Result struct {
+	ObjectID int
+	Prob     float64
+}
+
+// KResult is a per-object PSTkQ distribution: Dist[k] is the probability
+// of being inside the window at exactly k query timestamps.
+type KResult struct {
+	ObjectID int
+	Dist     []float64
+}
+
+// Exists answers the PST∃Q (Definition 2) for every object, using the
+// configured strategy.
+func (e *Engine) Exists(q Query) ([]Result, error) {
+	switch e.opts.Strategy {
+	case StrategyObjectBased:
+		return e.existsAllOB(q)
+	case StrategyMonteCarlo:
+		return e.monteCarloAll(q, predicateExists)
+	default:
+		return e.ExistsQB(q)
+	}
+}
+
+// ForAll answers the PST∀Q (Definition 3) for every object.
+func (e *Engine) ForAll(q Query) ([]Result, error) {
+	switch e.opts.Strategy {
+	case StrategyObjectBased:
+		return e.forAllAllOB(q)
+	case StrategyMonteCarlo:
+		return e.monteCarloAll(q, predicateForAll)
+	default:
+		return e.ForAllQB(q)
+	}
+}
+
+// KTimes answers the PSTkQ (Definition 4) for every object.
+func (e *Engine) KTimes(q Query) ([]KResult, error) {
+	switch e.opts.Strategy {
+	case StrategyObjectBased:
+		return e.kTimesAllOB(q)
+	case StrategyMonteCarlo:
+		return e.monteCarloKTimes(q)
+	default:
+		return e.KTimesQB(q)
+	}
+}
+
+func (e *Engine) existsAllOB(q Query) ([]Result, error) {
+	results := make([]Result, 0, e.db.Len())
+	for _, grp := range e.db.groupByChain() {
+		w, err := compile(q, grp.chain.NumStates())
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range grp.objects {
+			p, oerr := e.existsOB(o, grp.chain, w)
+			if oerr != nil {
+				return nil, oerr
+			}
+			results = append(results, Result{ObjectID: o.ID, Prob: p})
+		}
+	}
+	return results, nil
+}
+
+func (e *Engine) forAllAllOB(q Query) ([]Result, error) {
+	results := make([]Result, 0, e.db.Len())
+	for _, grp := range e.db.groupByChain() {
+		w, err := compile(q, grp.chain.NumStates())
+		if err != nil {
+			return nil, err
+		}
+		if w.k == 0 {
+			for _, o := range grp.objects {
+				results = append(results, Result{ObjectID: o.ID, Prob: 1})
+			}
+			continue
+		}
+		comp := w.complemented()
+		for _, o := range grp.objects {
+			p, oerr := e.existsOB(o, grp.chain, comp)
+			if oerr != nil {
+				return nil, oerr
+			}
+			results = append(results, Result{ObjectID: o.ID, Prob: 1 - p})
+		}
+	}
+	return results, nil
+}
+
+func (e *Engine) kTimesAllOB(q Query) ([]KResult, error) {
+	results := make([]KResult, 0, e.db.Len())
+	for _, o := range e.db.Objects() {
+		dist, err := e.KTimesOB(o, q)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, KResult{ObjectID: o.ID, Dist: dist})
+	}
+	return results, nil
+}
+
+// ExistsThreshold returns the objects whose PST∃Q probability is at
+// least tau, sorted by descending probability. It uses the query-based
+// scores and is the natural "retrieve qualifying icebergs" entry point.
+func (e *Engine) ExistsThreshold(q Query, tau float64) ([]Result, error) {
+	all, err := e.Exists(q)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, r := range all {
+		if r.Prob >= tau {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Prob != out[b].Prob {
+			return out[a].Prob > out[b].Prob
+		}
+		return out[a].ObjectID < out[b].ObjectID
+	})
+	return out, nil
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ust/internal/markov"
+)
+
+func TestEngineStrategies(t *testing.T) {
+	db, _ := paperDB(t)
+	q := paperQueryV()
+	for _, s := range []Strategy{StrategyQueryBased, StrategyObjectBased} {
+		e := NewEngine(db, Options{Strategy: s})
+		res, err := e.Exists(q)
+		if err != nil {
+			t.Fatalf("%v Exists: %v", s, err)
+		}
+		if math.Abs(res[0].Prob-0.864) > tol {
+			t.Errorf("%v P∃ = %g, want 0.864", s, res[0].Prob)
+		}
+	}
+	// Monte-Carlo: approximate but in the ballpark with enough samples.
+	e := NewEngine(db, Options{Strategy: StrategyMonteCarlo, MonteCarloSamples: 100000})
+	res, err := e.Exists(q)
+	if err != nil {
+		t.Fatalf("MC Exists: %v", err)
+	}
+	if math.Abs(res[0].Prob-0.864) > 0.01 {
+		t.Errorf("MC P∃ = %g, want ≈ 0.864", res[0].Prob)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyQueryBased.String() != "query-based" ||
+		StrategyObjectBased.String() != "object-based" ||
+		StrategyMonteCarlo.String() != "monte-carlo" {
+		t.Error("Strategy.String labels wrong")
+	}
+	if Strategy(42).String() != "Strategy(42)" {
+		t.Error("unknown strategy label wrong")
+	}
+}
+
+func TestEngineForAllStrategiesAgree(t *testing.T) {
+	db, _ := paperDB(t)
+	q := paperQueryV()
+	qb, err := NewEngine(db, Options{Strategy: StrategyQueryBased}).ForAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := NewEngine(db, Options{Strategy: StrategyObjectBased}).ForAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qb[0].Prob-ob[0].Prob) > tol {
+		t.Errorf("QB ForAll %g != OB ForAll %g", qb[0].Prob, ob[0].Prob)
+	}
+}
+
+func TestEngineKTimesStrategiesAgree(t *testing.T) {
+	db, _ := paperDB(t)
+	q := paperQueryV()
+	qb, err := NewEngine(db, Options{Strategy: StrategyQueryBased}).KTimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := NewEngine(db, Options{Strategy: StrategyObjectBased}).KTimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range qb[0].Dist {
+		if math.Abs(qb[0].Dist[k]-ob[0].Dist[k]) > tol {
+			t.Errorf("k=%d: QB %g != OB %g", k, qb[0].Dist[k], ob[0].Dist[k])
+		}
+	}
+	mc, err := NewEngine(db, Options{Strategy: StrategyMonteCarlo, MonteCarloSamples: 100000}).KTimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range qb[0].Dist {
+		if math.Abs(mc[0].Dist[k]-qb[0].Dist[k]) > 0.01 {
+			t.Errorf("k=%d: MC %g too far from exact %g", k, mc[0].Dist[k], qb[0].Dist[k])
+		}
+	}
+}
+
+func TestEmptyQuerySides(t *testing.T) {
+	db, o := paperDB(t)
+	e := NewEngine(db, Options{})
+
+	// Empty time set.
+	qNoTimes := NewQuery([]int{0, 1}, nil)
+	if p, err := e.ExistsOB(o, qNoTimes); err != nil || p != 0 {
+		t.Errorf("P∃ with empty T = (%g, %v), want (0, nil)", p, err)
+	}
+	if p, err := e.ForAllOB(o, qNoTimes); err != nil || p != 1 {
+		t.Errorf("P∀ with empty T = (%g, %v), want (1, nil)", p, err)
+	}
+	if dist, err := e.KTimesOB(o, qNoTimes); err != nil || len(dist) != 1 || dist[0] != 1 {
+		t.Errorf("k-dist with empty T = (%v, %v), want ([1], nil)", dist, err)
+	}
+	res, err := e.Exists(qNoTimes)
+	if err != nil || res[0].Prob != 0 {
+		t.Errorf("engine Exists with empty T = %v, %v", res, err)
+	}
+	resFA, err := e.ForAll(qNoTimes)
+	if err != nil || resFA[0].Prob != 1 {
+		t.Errorf("engine ForAll with empty T = %v, %v", resFA, err)
+	}
+
+	// Empty state set: can never be inside.
+	qNoStates := NewQuery(nil, []int{1, 2})
+	if p, err := e.ExistsOB(o, qNoStates); err != nil || p != 0 {
+		t.Errorf("P∃ with empty S = (%g, %v), want (0, nil)", p, err)
+	}
+	if p, err := e.ForAllOB(o, qNoStates); err != nil || p != 0 {
+		t.Errorf("P∀ with empty S = (%g, %v), want (0, nil)", p, err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	db, o := paperDB(t)
+	e := NewEngine(db, Options{})
+	if _, err := e.ExistsOB(o, NewQuery([]int{99}, []int{1})); err == nil {
+		t.Error("out-of-range query state accepted")
+	}
+	if _, err := e.ExistsOB(o, Query{States: []int{0}, Times: []int{-1}}); err == nil {
+		t.Error("negative query time accepted")
+	}
+	if _, err := e.ExistsQB(NewQuery([]int{99}, []int{1})); err == nil {
+		t.Error("QB accepted out-of-range state")
+	}
+}
+
+func TestObservedAfterHorizonErrors(t *testing.T) {
+	db := NewDatabase(paperChainV(t))
+	late := MustObject(7, nil, Observation{Time: 10, PDF: markov.PointDistribution(3, 0)})
+	db.MustAdd(late)
+	e := NewEngine(db, Options{})
+	q := NewQuery([]int{0}, []int{2, 3})
+	if _, err := e.ExistsOB(late, q); err == nil {
+		t.Error("OB accepted observation after horizon")
+	}
+	if _, err := e.ExistsQB(q); err == nil {
+		t.Error("QB accepted observation after horizon")
+	}
+	if _, err := e.KTimesOB(late, q); err == nil {
+		t.Error("KTimes accepted observation after horizon")
+	}
+}
+
+func TestNewQuerySortsAndDedupes(t *testing.T) {
+	q := NewQuery([]int{5, 1, 5, 3}, []int{9, 2, 2})
+	if len(q.States) != 3 || q.States[0] != 1 || q.States[2] != 5 {
+		t.Errorf("States = %v", q.States)
+	}
+	if len(q.Times) != 2 || q.Times[0] != 2 || q.Times[1] != 9 {
+		t.Errorf("Times = %v", q.Times)
+	}
+	if q.Horizon() != 9 {
+		t.Errorf("Horizon = %d", q.Horizon())
+	}
+	if (Query{}).Horizon() != -1 {
+		t.Error("empty query Horizon should be -1")
+	}
+}
+
+func TestInterval(t *testing.T) {
+	got := Interval(3, 6)
+	if len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Errorf("Interval = %v", got)
+	}
+	if Interval(5, 4) != nil {
+		t.Error("inverted Interval should be nil")
+	}
+}
+
+func TestMixedChainGroups(t *testing.T) {
+	// Two objects on the default chain, one on its own chain: QB must
+	// evaluate both groups correctly (Section V-C heterogeneous case).
+	defaultChain := paperChainV(t)
+	otherChain := paperChainVI(t)
+	db := NewDatabase(defaultChain)
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)}))
+	db.MustAdd(MustObject(2, otherChain, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)}))
+	db.MustAdd(MustObject(3, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 2)}))
+	e := NewEngine(db, Options{})
+	q := paperQueryV()
+
+	qbRes, err := e.ExistsQB(q)
+	if err != nil {
+		t.Fatalf("ExistsQB: %v", err)
+	}
+	if len(qbRes) != 3 {
+		t.Fatalf("got %d results, want 3", len(qbRes))
+	}
+	byID := map[int]float64{}
+	for _, r := range qbRes {
+		byID[r.ObjectID] = r.Prob
+	}
+	// Cross-check each against OB.
+	for _, o := range db.Objects() {
+		ob, err := e.ExistsOB(o, q)
+		if err != nil {
+			t.Fatalf("ExistsOB(%d): %v", o.ID, err)
+		}
+		if math.Abs(ob-byID[o.ID]) > tol {
+			t.Errorf("object %d: QB %g != OB %g", o.ID, byID[o.ID], ob)
+		}
+	}
+	// Objects 1 and 2 start identically but follow different chains:
+	// their probabilities must differ.
+	if math.Abs(byID[1]-byID[2]) < 1e-9 {
+		t.Error("different chains produced identical probabilities")
+	}
+}
+
+func TestObserveAtDifferentTimes(t *testing.T) {
+	// Objects observed at different timestamps share the QB machinery
+	// via per-time scoring vectors.
+	db := NewDatabase(paperChainV(t))
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)}))
+	db.MustAdd(MustObject(2, nil, Observation{Time: 1, PDF: markov.PointDistribution(3, 1)}))
+	db.MustAdd(MustObject(3, nil, Observation{Time: 2, PDF: markov.PointDistribution(3, 1)}))
+	e := NewEngine(db, Options{})
+	q := paperQueryV()
+	res, err := e.ExistsQB(q)
+	if err != nil {
+		t.Fatalf("ExistsQB: %v", err)
+	}
+	for _, r := range res {
+		o := db.Get(r.ObjectID)
+		ob, err := e.ExistsOB(o, q)
+		if err != nil {
+			t.Fatalf("ExistsOB(%d): %v", o.ID, err)
+		}
+		if math.Abs(ob-r.Prob) > tol {
+			t.Errorf("object %d: QB %g != OB %g", o.ID, r.Prob, ob)
+		}
+	}
+	// An object observed at t=2 standing at s2 ∈ S□: immediate hit.
+	if byID := res[2]; byID.ObjectID == 3 && byID.Prob != 1 {
+		t.Errorf("object observed inside window at query time: P = %g, want 1", byID.Prob)
+	}
+}
+
+func TestExistsThreshold(t *testing.T) {
+	db := NewDatabase(paperChainV(t))
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)})) // 0.864
+	db.MustAdd(MustObject(2, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 0)}))
+	db.MustAdd(MustObject(3, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 2)}))
+	e := NewEngine(db, Options{})
+	res, err := e.ExistsThreshold(paperQueryV(), 0.5)
+	if err != nil {
+		t.Fatalf("ExistsThreshold: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no objects above threshold")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Prob > res[i-1].Prob {
+			t.Error("results not sorted descending")
+		}
+	}
+	for _, r := range res {
+		if r.Prob < 0.5 {
+			t.Errorf("object %d below threshold: %g", r.ObjectID, r.Prob)
+		}
+	}
+}
+
+func TestExistsOBBoundsBracket(t *testing.T) {
+	db, o := paperDB(t)
+	e := NewEngine(db, Options{})
+	q := paperQueryV()
+	exact := 0.864
+
+	// τ well below the true value: must terminate early with lo ≥ τ and
+	// a valid bracket.
+	lo, hi, err := e.ExistsOBBounds(o, q, 0.2)
+	if err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+	if lo < 0.2 && hi >= 0.2 {
+		t.Errorf("τ=0.2 not decided: [%g, %g]", lo, hi)
+	}
+	if exact < lo-tol || exact > hi+tol {
+		t.Errorf("bracket [%g, %g] excludes exact %g", lo, hi, exact)
+	}
+
+	// τ above the max possible: must terminate (possibly early) with
+	// hi < τ.
+	lo, hi, err = e.ExistsOBBounds(o, q, 0.99)
+	if err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+	if hi >= 0.99 {
+		t.Errorf("τ=0.99 should be refuted, bracket [%g, %g]", lo, hi)
+	}
+	if exact < lo-tol || exact > hi+tol {
+		t.Errorf("bracket [%g, %g] excludes exact %g", lo, hi, exact)
+	}
+
+	// τ between: full evaluation, lo == hi == exact.
+	lo, hi, err = e.ExistsOBBounds(o, q, 0.87)
+	if err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+	if math.Abs(lo-exact) > tol || math.Abs(hi-exact) > tol {
+		t.Errorf("exact bracket = [%g, %g], want [%g, %g]", lo, hi, exact, exact)
+	}
+}
+
+func TestDatabaseValidation(t *testing.T) {
+	db := NewDatabase(paperChainV(t))
+	if err := db.AddSimple(1, markov.PointDistribution(3, 0)); err != nil {
+		t.Fatalf("AddSimple: %v", err)
+	}
+	if err := db.AddSimple(1, markov.PointDistribution(3, 1)); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := db.AddSimple(2, markov.PointDistribution(5, 0)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1", db.Len())
+	}
+	if db.Get(1) == nil || db.Get(42) != nil {
+		t.Error("Get wrong")
+	}
+}
+
+func TestObjectValidation(t *testing.T) {
+	if _, err := NewObject(1, nil); err == nil {
+		t.Error("object without observations accepted")
+	}
+	pdf := markov.PointDistribution(3, 0)
+	if _, err := NewObject(1, nil, Observation{Time: -1, PDF: pdf}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := NewObject(1, nil, Observation{Time: 0, PDF: nil}); err == nil {
+		t.Error("nil pdf accepted")
+	}
+	if _, err := NewObject(1, nil,
+		Observation{Time: 0, PDF: pdf},
+		Observation{Time: 0, PDF: pdf},
+	); err == nil {
+		t.Error("duplicate observation times accepted")
+	}
+	// Observations arrive unsorted; constructor must sort them.
+	o, err := NewObject(1, nil,
+		Observation{Time: 5, PDF: pdf},
+		Observation{Time: 2, PDF: pdf},
+	)
+	if err != nil {
+		t.Fatalf("NewObject: %v", err)
+	}
+	if o.First().Time != 2 || o.Last().Time != 5 {
+		t.Error("observations not sorted")
+	}
+}
+
+func TestIndependenceModelOverestimates(t *testing.T) {
+	// Figure 9(d): on a chain with temporal correlation, the
+	// independence model is biased and the bias grows with the window
+	// length.
+	//
+	// The paper's Figure 1 argument needs a *lingering* object: a world
+	// inside the region at time t tends to still be inside at t+1
+	// (positive correlation). The independence model then multiplies
+	// miss probabilities that are not independent, driving its P∃
+	// estimate toward 1 while the true value stays bounded.
+	n := 40
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		switch {
+		case i+2 < n:
+			rows[i][i] = 0.5 // uncertain speed, may stand still
+			rows[i][i+1] = 0.3
+			rows[i][i+2] = 0.2
+		case i+1 < n:
+			rows[i][i] = 0.5
+			rows[i][i+1] = 0.5
+		default:
+			rows[i][i] = 1
+		}
+	}
+	chain, err := markov.FromDense(rows)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	db := NewDatabase(chain)
+	o := MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(n, 0)})
+	db.MustAdd(o)
+	e := NewEngine(db, Options{})
+
+	region := Interval(8, 12)
+	firstBias, lastBias := math.NaN(), 0.0
+	for _, winLen := range []int{2, 4, 6, 8} {
+		q := NewQuery(region, Interval(6, 6+winLen-1))
+		exact, err := e.ExistsOB(o, q)
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		indep, err := e.ExistsIndependent(o, q)
+		if err != nil {
+			t.Fatalf("indep: %v", err)
+		}
+		bias := indep - exact
+		if bias < -1e-12 {
+			t.Errorf("window %d: independence model underestimated (bias %g)", winLen, bias)
+		}
+		if math.IsNaN(firstBias) {
+			firstBias = bias
+		}
+		lastBias = bias
+	}
+	if lastBias <= firstBias {
+		t.Errorf("bias did not grow with the window: first %g, last %g", firstBias, lastBias)
+	}
+}
+
+func TestForAllIndependent(t *testing.T) {
+	// For a single-timestamp window both models coincide.
+	db, o := paperDB(t)
+	e := NewEngine(db, Options{})
+	q := NewQuery([]int{0, 1}, []int{2})
+	exact, err := e.ForAllOB(o, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := e.ForAllIndependent(o, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-indep) > tol {
+		t.Errorf("single-timestamp: exact %g != indep %g", exact, indep)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// Temporal-independence baseline. Prior models (Section II, Figure 1b)
+// treat the object's location at each timestamp as an independent random
+// variable. Under that assumption
+//
+//	P∃_indep = 1 − Π_{t ∈ T□} (1 − P(o(t) ∈ S□))
+//
+// with the per-timestamp marginals taken from the (exact) Markov
+// forward evolution. This is the comparison model of Figure 9(d): it
+// systematically overestimates P∃ because it counts worlds that would
+// have to "leap" between timestamps, and the bias grows with |T□|.
+
+// ExistsIndependent computes the independence-model estimate of P∃ for a
+// single-observation object.
+func (e *Engine) ExistsIndependent(o *Object, q Query) (float64, error) {
+	ch := e.db.ChainOf(o)
+	w, err := compile(q, ch.NumStates())
+	if err != nil {
+		return 0, err
+	}
+	if w.k == 0 {
+		return 0, nil
+	}
+	first := o.First()
+	if first.Time > w.horizon {
+		return 0, errObservedAfterHorizon(o.ID, first.Time, w.horizon)
+	}
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return 0, errZeroMass(o.ID)
+	}
+	return existsIndependent(ch, init.Vec(), first.Time, w), nil
+}
+
+func existsIndependent(chain *markov.Chain, init *sparse.Vec, t0 int, w *window) float64 {
+	cur := init.Clone()
+	pMissAll := 1.0
+	if w.atTime(t0) {
+		pMissAll *= 1 - regionMass(cur, w)
+	}
+	next := sparse.NewVec(init.Len())
+	for t := t0; t < w.horizon; t++ {
+		chain.Step(next, cur)
+		cur, next = next, cur
+		if w.atTime(t + 1) {
+			pMissAll *= 1 - regionMass(cur, w)
+		}
+	}
+	return 1 - pMissAll
+}
+
+// ForAllIndependent computes the independence-model estimate of P∀:
+// Π_{t ∈ T□} P(o(t) ∈ S□).
+func (e *Engine) ForAllIndependent(o *Object, q Query) (float64, error) {
+	ch := e.db.ChainOf(o)
+	w, err := compile(q, ch.NumStates())
+	if err != nil {
+		return 0, err
+	}
+	if w.k == 0 {
+		return 1, nil
+	}
+	first := o.First()
+	if first.Time > w.horizon {
+		return 0, errObservedAfterHorizon(o.ID, first.Time, w.horizon)
+	}
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return 0, errZeroMass(o.ID)
+	}
+
+	cur := init.Vec().Clone()
+	pInAll := 1.0
+	if w.atTime(first.Time) {
+		pInAll *= regionMass(cur, w)
+	}
+	next := sparse.NewVec(cur.Len())
+	for t := first.Time; t < w.horizon; t++ {
+		ch.Step(next, cur)
+		cur, next = next, cur
+		if w.atTime(t + 1) {
+			pInAll *= regionMass(cur, w)
+		}
+	}
+	return pInAll, nil
+}
+
+// regionMass returns the probability mass of v inside the (possibly
+// inverted) spatial predicate, without modifying v.
+func regionMass(v *sparse.Vec, w *window) float64 {
+	s := 0.0
+	v.Range(func(i int, x float64) {
+		if w.inRegion(i) {
+			s += x
+		}
+	})
+	return s
+}
+
+// Marginal returns the exact marginal distribution P(o, t) of a single-
+// observation object at time t ≥ its observation time — the
+// per-timestamp view that both models share.
+func (e *Engine) Marginal(o *Object, t int) (*markov.Distribution, error) {
+	ch := e.db.ChainOf(o)
+	if len(o.Observations) > 1 {
+		return PosteriorAt(ch, o.Observations, t)
+	}
+	first := o.First()
+	if t < first.Time {
+		return nil, errObservedAfterHorizon(o.ID, first.Time, t)
+	}
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return nil, errZeroMass(o.ID)
+	}
+	return markov.FromVec(ch.Evolve(init.Vec(), t-first.Time)), nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// PSTkQ (Definition 4, algorithm of Section VII): the probability
+// distribution over the number of query timestamps at which the object
+// lies inside S□.
+//
+// The memory-efficient algorithm maintains the (|T□|+1) × |S| matrix
+// C(t): entry c[k][s] is the probability that the object is at state s
+// at time t having been inside the window at exactly k processed query
+// timestamps. Each transition multiplies every row by M; arriving at a
+// query timestamp shifts the in-window columns down one row (the visit
+// count increments).
+
+// KTimesOB computes the full k-distribution for one object with the
+// object-based forward algorithm. The returned slice has |T□|+1 entries;
+// entry k is P(object inside S□ at exactly k query timestamps).
+func (e *Engine) KTimesOB(o *Object, q Query) ([]float64, error) {
+	ch := e.db.ChainOf(o)
+	w, err := compile(q, ch.NumStates())
+	if err != nil {
+		return nil, err
+	}
+	if w.k == 0 {
+		return []float64{1}, nil
+	}
+	if len(o.Observations) > 1 {
+		return nil, fmt.Errorf("core: PSTkQ with multiple observations is not supported; object %d has %d", o.ID, len(o.Observations))
+	}
+	first := o.First()
+	if first.Time > w.horizon {
+		return nil, errObservedAfterHorizon(o.ID, first.Time, w.horizon)
+	}
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return nil, errZeroMass(o.ID)
+	}
+	return kTimesForward(ch, init.Vec(), first.Time, w), nil
+}
+
+func kTimesForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window) []float64 {
+	n := chain.NumStates()
+	rows := make([]*sparse.Vec, w.k+1)
+	for i := range rows {
+		rows[i] = sparse.NewVec(n)
+	}
+	rows[0].CopyFrom(init)
+	if w.atTime(t0) {
+		shiftDown(rows, w)
+	}
+	buf := sparse.NewVec(n)
+	for t := t0; t < w.horizon; t++ {
+		// Rows above the number of processed query times are all zero;
+		// stepping them would be wasted work but correct. Step every
+		// non-empty row.
+		for i := range rows {
+			if rows[i].NNZ() == 0 {
+				continue
+			}
+			chain.Step(buf, rows[i])
+			rows[i], buf = buf, rows[i]
+		}
+		if w.atTime(t + 1) {
+			shiftDown(rows, w)
+		}
+	}
+	out := make([]float64, w.k+1)
+	for i, r := range rows {
+		out[i] = r.Sum()
+	}
+	return out
+}
+
+// shiftDown moves the in-window mass of row k into row k+1 (same
+// states), from the top down so each world shifts exactly once. Mass in
+// the last row stays: it has already visited at every query timestamp
+// processed so far and the final shift would exceed |T□| (impossible —
+// the last shift happens at the last query time, so the top row can only
+// receive).
+func shiftDown(rows []*sparse.Vec, w *window) {
+	for i := len(rows) - 2; i >= 0; i-- {
+		src, dst := rows[i], rows[i+1]
+		src.Range(func(s int, x float64) {
+			if w.inRegion(s) {
+				dst.Add(s, x)
+				src.Set(s, 0)
+			}
+		})
+		src.Compact()
+	}
+}
+
+// KTimesQB computes the k-distribution for every object in the database
+// with a query-based backward sweep. For each chain group it maintains
+// |T□|+1 backward vectors B_k, where B_k(t)[s] is the probability that a
+// world at state s at time t visits the window at exactly k of the query
+// timestamps in (t, horizon]; stepping back INTO a query timestamp
+// first re-indexes in-window states to consume one visit. Each object is
+// then answered with |T□|+1 dot products.
+func (e *Engine) KTimesQB(q Query) ([]KResult, error) {
+	results := make([]KResult, 0, e.db.Len())
+	for _, grp := range e.db.groupByChain() {
+		w, err := compile(q, grp.chain.NumStates())
+		if err != nil {
+			return nil, err
+		}
+		cache := map[int][]*sparse.Vec{}
+		for _, o := range grp.objects {
+			if w.k == 0 {
+				results = append(results, KResult{ObjectID: o.ID, Dist: []float64{1}})
+				continue
+			}
+			if len(o.Observations) > 1 {
+				return nil, fmt.Errorf("core: PSTkQ with multiple observations is not supported; object %d has %d", o.ID, len(o.Observations))
+			}
+			first := o.First()
+			if first.Time > w.horizon {
+				return nil, errObservedAfterHorizon(o.ID, first.Time, w.horizon)
+			}
+			backs, ok := cache[first.Time]
+			if !ok {
+				backs = kTimesBackward(grp.chain, w, first.Time)
+				cache[first.Time] = backs
+			}
+			init := first.PDF.Clone()
+			if init.Vec().Normalize() == 0 {
+				return nil, errZeroMass(o.ID)
+			}
+			dist := make([]float64, w.k+1)
+			for k := range dist {
+				dist[k] = init.Vec().Dot(backs[k])
+			}
+			results = append(results, KResult{ObjectID: o.ID, Dist: dist})
+		}
+	}
+	return results, nil
+}
+
+// kTimesBackward produces the scoring vectors B_0 … B_K at time t0.
+func kTimesBackward(chain *markov.Chain, w *window, t0 int) []*sparse.Vec {
+	n := chain.NumStates()
+	backs := make([]*sparse.Vec, w.k+1)
+	for k := range backs {
+		backs[k] = sparse.NewVec(n)
+	}
+	// At the horizon, no future query times remain: every state has
+	// exactly 0 future visits with probability 1.
+	for s := 0; s < n; s++ {
+		backs[0].Set(s, 1)
+	}
+	buf := sparse.NewVec(n)
+	for t := w.horizon; t > t0; t-- {
+		if w.atTime(t) {
+			consumeVisit(backs, w)
+		}
+		// B_k(t-1) = M · B_k(t) for every k.
+		for k := range backs {
+			sparse.MatVec(buf, chain.Matrix(), backs[k])
+			backs[k], buf = buf, backs[k]
+		}
+	}
+	if w.atTime(t0) {
+		consumeVisit(backs, w)
+	}
+	return backs
+}
+
+// consumeVisit re-indexes the backward vectors at a query timestamp: a
+// world standing inside the window consumes one visit, so B_k[s ∈ S□]
+// becomes B_{k-1}[s ∈ S□], and B_0[s ∈ S□] becomes 0 (a world inside the
+// window cannot have zero visits from here on). Processed top-down so
+// each level moves once.
+func consumeVisit(backs []*sparse.Vec, w *window) {
+	for k := len(backs) - 1; k >= 1; k-- {
+		dst, src := backs[k], backs[k-1]
+		w.eachRegionState(func(s int) { dst.Set(s, src.At(s)) })
+	}
+	b0 := backs[0]
+	w.eachRegionState(func(s int) { b0.Set(s, 0) })
+	b0.Compact()
+}

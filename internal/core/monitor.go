@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"ust/internal/markov"
+)
+
+// Monitor is a continuous (standing) PST∃Q: register a window once,
+// then feed new observations as they arrive and read fresh results
+// incrementally. Only objects whose observation set changed since the
+// last read are re-evaluated — the backbone of the paper's monitoring
+// applications (the Ice Patrol keeps one standing query per shipping
+// lane and updates bergs as sightings come in).
+//
+// A Monitor is not safe for concurrent use.
+type Monitor struct {
+	engine *Engine
+	query  Query
+	// cached per-object probabilities and the dirty set.
+	probs map[int]float64
+	dirty map[int]bool
+	// qb evaluators per chain, shared across refreshes; observation
+	// changes do not invalidate backward scores (those depend only on
+	// chain + query + observation time).
+	evals map[*markov.Chain]*qbGroupEval
+}
+
+// NewMonitor registers a standing PST∃Q over the engine's database.
+// All current objects are marked for evaluation on the first Results
+// call.
+func (e *Engine) NewMonitor(q Query) *Monitor {
+	m := &Monitor{
+		engine: e,
+		query:  q,
+		probs:  map[int]float64{},
+		dirty:  map[int]bool{},
+		evals:  map[*markov.Chain]*qbGroupEval{},
+	}
+	for _, o := range e.db.Objects() {
+		m.dirty[o.ID] = true
+	}
+	return m
+}
+
+// Query returns the standing query window.
+func (m *Monitor) Query() Query { return m.query }
+
+// Observe attaches a new observation to an existing object and marks it
+// dirty. The observation time must not duplicate an existing one.
+func (m *Monitor) Observe(objectID int, obs Observation) error {
+	db := m.engine.db
+	o := db.Get(objectID)
+	if o == nil {
+		return fmt.Errorf("core: unknown object %d", objectID)
+	}
+	ch := db.ChainOf(o)
+	if obs.PDF == nil || obs.PDF.NumStates() != ch.NumStates() {
+		return fmt.Errorf("core: observation pdf dimension mismatch for object %d", objectID)
+	}
+	updated, err := NewObject(o.ID, o.Chain, append(append([]Observation(nil), o.Observations...), obs)...)
+	if err != nil {
+		return err
+	}
+	// Swap in place: preserve database order.
+	for i, cur := range db.objects {
+		if cur.ID == objectID {
+			db.objects[i] = updated
+			break
+		}
+	}
+	db.byID[objectID] = updated
+	m.dirty[objectID] = true
+	return nil
+}
+
+// Track adds a brand-new object to the database and marks it dirty.
+func (m *Monitor) Track(o *Object) error {
+	if err := m.engine.db.Add(o); err != nil {
+		return err
+	}
+	m.dirty[o.ID] = true
+	return nil
+}
+
+// Dirty returns how many objects await re-evaluation.
+func (m *Monitor) Dirty() int { return len(m.dirty) }
+
+// Results refreshes every dirty object and returns the complete result
+// set in database order. Clean objects are served from cache.
+func (m *Monitor) Results() ([]Result, error) {
+	db := m.engine.db
+	if len(m.dirty) > 0 {
+		for _, grp := range db.groupByChain() {
+			var eval *qbGroupEval
+			for _, o := range grp.objects {
+				if !m.dirty[o.ID] {
+					continue
+				}
+				if eval == nil {
+					var err error
+					eval, err = m.evalFor(grp.chain)
+					if err != nil {
+						return nil, err
+					}
+				}
+				var p float64
+				var err error
+				switch {
+				case eval.w.k == 0:
+					p = 0
+				case len(o.Observations) > 1:
+					p, err = existsMultiObs(grp.chain, o.Observations, eval.w)
+				default:
+					p, err = eval.exists(o)
+				}
+				if err != nil {
+					return nil, err
+				}
+				m.probs[o.ID] = p
+				delete(m.dirty, o.ID)
+			}
+		}
+	}
+	out := make([]Result, 0, db.Len())
+	for _, o := range db.Objects() {
+		out = append(out, Result{ObjectID: o.ID, Prob: m.probs[o.ID]})
+	}
+	return out, nil
+}
+
+// evalFor returns (building if needed) the cached QB evaluator for a
+// chain.
+func (m *Monitor) evalFor(chain *markov.Chain) (*qbGroupEval, error) {
+	if ev, ok := m.evals[chain]; ok {
+		return ev, nil
+	}
+	w, err := compile(m.query, chain.NumStates())
+	if err != nil {
+		return nil, err
+	}
+	ev := newQBGroupEval(chain, w)
+	m.evals[chain] = ev
+	return ev, nil
+}

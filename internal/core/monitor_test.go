@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ust/internal/markov"
+)
+
+func TestMonitorInitialResultsMatchEngine(t *testing.T) {
+	db, _ := paperDB(t)
+	db.MustAdd(MustObject(2, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 0)}))
+	e := NewEngine(db, Options{})
+	q := paperQueryV()
+	m := e.NewMonitor(q)
+	if m.Dirty() != 2 {
+		t.Fatalf("Dirty = %d, want 2", m.Dirty())
+	}
+	got, err := m.Results()
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	want, err := e.Exists(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ObjectID != want[i].ObjectID || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+			t.Errorf("result %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if m.Dirty() != 0 {
+		t.Errorf("Dirty after refresh = %d", m.Dirty())
+	}
+	if m.Query().Horizon() != q.Horizon() {
+		t.Error("Query accessor wrong")
+	}
+}
+
+func TestMonitorObserveUpdatesOnlyThatObject(t *testing.T) {
+	// Chain VI scenario: a second observation at t=3 collapses object
+	// 1's probability from 0.8 to 0.
+	chain := paperChainVI(t)
+	db := NewDatabase(chain)
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 0)}))
+	db.MustAdd(MustObject(2, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 0)}))
+	e := NewEngine(db, Options{})
+	q := NewQuery([]int{0, 1}, []int{1, 2})
+	m := e.NewMonitor(q)
+	before, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before[0].Prob-0.8) > 1e-12 {
+		t.Fatalf("initial P = %g, want 0.8", before[0].Prob)
+	}
+
+	if err := m.Observe(1, Observation{Time: 3, PDF: markov.PointDistribution(3, 1)}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if m.Dirty() != 1 {
+		t.Fatalf("Dirty = %d, want 1", m.Dirty())
+	}
+	after, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Prob != 0 {
+		t.Errorf("object 1 after second observation: P = %g, want 0", after[0].Prob)
+	}
+	if math.Abs(after[1].Prob-0.8) > 1e-12 {
+		t.Errorf("object 2 unchanged expected: P = %g, want 0.8", after[1].Prob)
+	}
+	// The database object itself now carries two observations.
+	if got := len(db.Get(1).Observations); got != 2 {
+		t.Errorf("object 1 has %d observations, want 2", got)
+	}
+}
+
+func TestMonitorObserveErrors(t *testing.T) {
+	db, _ := paperDB(t)
+	e := NewEngine(db, Options{})
+	m := e.NewMonitor(paperQueryV())
+	if err := m.Observe(99, Observation{Time: 1, PDF: markov.PointDistribution(3, 0)}); err == nil {
+		t.Error("unknown object accepted")
+	}
+	if err := m.Observe(1, Observation{Time: 1, PDF: nil}); err == nil {
+		t.Error("nil pdf accepted")
+	}
+	if err := m.Observe(1, Observation{Time: 1, PDF: markov.PointDistribution(5, 0)}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := m.Observe(1, Observation{Time: 0, PDF: markov.PointDistribution(3, 0)}); err == nil {
+		t.Error("duplicate observation time accepted")
+	}
+}
+
+func TestMonitorTrack(t *testing.T) {
+	db, _ := paperDB(t)
+	e := NewEngine(db, Options{})
+	m := e.NewMonitor(paperQueryV())
+	if _, err := m.Results(); err != nil {
+		t.Fatal(err)
+	}
+	newObj := MustObject(42, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)})
+	if err := m.Track(newObj); err != nil {
+		t.Fatalf("Track: %v", err)
+	}
+	res, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d results after Track, want 2", len(res))
+	}
+	if math.Abs(res[1].Prob-0.864) > 1e-12 {
+		t.Errorf("tracked object P = %g, want 0.864", res[1].Prob)
+	}
+	// Duplicate ids refused.
+	if err := m.Track(newObj); err == nil {
+		t.Error("duplicate Track accepted")
+	}
+}
+
+func TestMonitorCacheConsistencyUnderManyUpdates(t *testing.T) {
+	// Interleave observations and reads; the monitor's incremental
+	// answers must always equal a fresh engine evaluation.
+	chain := paperChainVI(t)
+	db := NewDatabase(chain)
+	for id := 0; id < 6; id++ {
+		db.MustAdd(MustObject(id, nil, Observation{Time: 0, PDF: markov.UniformOver(3, []int{0, 2})}))
+	}
+	e := NewEngine(db, Options{})
+	q := NewQuery([]int{0, 1}, []int{1, 2})
+	m := e.NewMonitor(q)
+	for round := 0; round < 4; round++ {
+		id := round % 6
+		if err := m.Observe(id, Observation{Time: 3 + round, PDF: markov.UniformOver(3, []int{1, 2})}); err != nil {
+			t.Fatalf("round %d Observe: %v", round, err)
+		}
+		got, err := m.Results()
+		if err != nil {
+			t.Fatalf("round %d Results: %v", round, err)
+		}
+		want, err := e.Exists(q)
+		if err != nil {
+			t.Fatalf("round %d fresh eval: %v", round, err)
+		}
+		for i := range want {
+			if math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+				t.Fatalf("round %d object %d: monitor %g != fresh %g",
+					round, want[i].ObjectID, got[i].Prob, want[i].Prob)
+			}
+		}
+	}
+}

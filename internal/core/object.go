@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ust/internal/markov"
+)
+
+// Observation is a (possibly uncertain) sighting of an object: a pdf
+// over the state space at an absolute timestamp. A precise observation is
+// a point distribution.
+type Observation struct {
+	Time int
+	PDF  *markov.Distribution
+}
+
+// Object is an uncertain spatio-temporal object: its motion model (a
+// Markov chain, possibly shared across the database) plus one or more
+// observations. With a single observation the trajectory is extrapolated
+// forward; with several it is interpolated between them (Section VI).
+type Object struct {
+	ID           int
+	Chain        *markov.Chain // nil means "use the database default"
+	Observations []Observation // sorted by Time, unique times
+}
+
+// NewObject builds an object with the given id and observations, sorting
+// them by time. chain may be nil when the object follows the database
+// default chain.
+func NewObject(id int, chain *markov.Chain, obs ...Observation) (*Object, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("core: object %d needs at least one observation", id)
+	}
+	sorted := append([]Observation(nil), obs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Time < sorted[b].Time })
+	for i, o := range sorted {
+		if o.Time < 0 {
+			return nil, fmt.Errorf("core: object %d has negative observation time %d", id, o.Time)
+		}
+		if o.PDF == nil {
+			return nil, fmt.Errorf("core: object %d observation %d has nil pdf", id, i)
+		}
+		if o.PDF.Mass() <= 0 {
+			return nil, fmt.Errorf("core: object %d observation at t=%d carries no mass", id, o.Time)
+		}
+		if i > 0 && sorted[i-1].Time == o.Time {
+			return nil, fmt.Errorf("core: object %d has duplicate observation time %d", id, o.Time)
+		}
+	}
+	return &Object{ID: id, Chain: chain, Observations: sorted}, nil
+}
+
+// MustObject is NewObject that panics on error.
+func MustObject(id int, chain *markov.Chain, obs ...Observation) *Object {
+	o, err := NewObject(id, chain, obs...)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// First returns the earliest observation.
+func (o *Object) First() Observation { return o.Observations[0] }
+
+// Last returns the latest observation.
+func (o *Object) Last() Observation { return o.Observations[len(o.Observations)-1] }
+
+// Database is a collection of uncertain objects sharing a default motion
+// model. Objects may override the default with their own chain (buses vs
+// cars vs trucks); the query-based strategy automatically groups objects
+// by chain.
+type Database struct {
+	chain   *markov.Chain
+	objects []*Object
+	byID    map[int]*Object
+}
+
+// NewDatabase creates a database with the given default chain.
+func NewDatabase(defaultChain *markov.Chain) *Database {
+	if defaultChain == nil {
+		panic("core: nil default chain")
+	}
+	return &Database{chain: defaultChain, byID: map[int]*Object{}}
+}
+
+// DefaultChain returns the database's default motion model.
+func (db *Database) DefaultChain() *markov.Chain { return db.chain }
+
+// Add inserts an object. The object's observations must be dimensioned
+// for its effective chain.
+func (db *Database) Add(o *Object) error {
+	ch := db.ChainOf(o)
+	for _, obs := range o.Observations {
+		if obs.PDF.NumStates() != ch.NumStates() {
+			return fmt.Errorf("core: object %d observation over %d states, chain has %d",
+				o.ID, obs.PDF.NumStates(), ch.NumStates())
+		}
+	}
+	if _, dup := db.byID[o.ID]; dup {
+		return fmt.Errorf("core: duplicate object id %d", o.ID)
+	}
+	db.objects = append(db.objects, o)
+	db.byID[o.ID] = o
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (db *Database) MustAdd(o *Object) {
+	if err := db.Add(o); err != nil {
+		panic(err)
+	}
+}
+
+// AddSimple inserts an object with a single observation at time 0 under
+// the default chain — the common case in the paper's experiments.
+func (db *Database) AddSimple(id int, initial *markov.Distribution) error {
+	o, err := NewObject(id, nil, Observation{Time: 0, PDF: initial})
+	if err != nil {
+		return err
+	}
+	return db.Add(o)
+}
+
+// Len returns the number of objects.
+func (db *Database) Len() int { return len(db.objects) }
+
+// Objects returns the backing object slice; callers must not mutate it.
+func (db *Database) Objects() []*Object { return db.objects }
+
+// Get returns the object with the given id, or nil.
+func (db *Database) Get(id int) *Object { return db.byID[id] }
+
+// ChainOf returns the effective chain of an object (its own or the
+// database default).
+func (db *Database) ChainOf(o *Object) *markov.Chain {
+	if o.Chain != nil {
+		return o.Chain
+	}
+	return db.chain
+}
+
+// groupByChain partitions the database's objects by effective chain,
+// preserving insertion order within groups. The query-based strategy
+// runs one backward sweep per group (Section V-C).
+func (db *Database) groupByChain() []chainGroup {
+	var groups []chainGroup
+	index := map[*markov.Chain]int{}
+	for _, o := range db.objects {
+		ch := db.ChainOf(o)
+		gi, ok := index[ch]
+		if !ok {
+			gi = len(groups)
+			index[ch] = gi
+			groups = append(groups, chainGroup{chain: ch})
+		}
+		groups[gi].objects = append(groups[gi].objects, o)
+	}
+	return groups
+}
+
+type chainGroup struct {
+	chain   *markov.Chain
+	objects []*Object
+}

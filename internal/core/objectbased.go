@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// The object-based (OB) strategy of Section V-A evaluates a query for one
+// object by propagating its distribution forward through time. Instead of
+// materializing the paper's augmented matrices M− and M+, the default
+// implementation applies the identical linear operator implicitly:
+//
+//   - a step into a non-query timestamp is a plain transition (M−),
+//   - a step into a query timestamp additionally sweeps the mass that
+//     landed inside S□ into the absorbing ◆ accumulator (M+).
+//
+// The materialized variant lives in absorbing.go and is used to validate
+// this one (and in the ablation benchmark).
+
+// sweepHits moves the probability mass of v that lies inside the spatial
+// predicate into the return value, zeroing those entries. This is the
+// action of M+'s extra column, applied in place.
+func sweepHits(v *sparse.Vec, w *window) float64 {
+	moved := 0.0
+	v.Range(func(i int, x float64) {
+		if w.inRegion(i) {
+			moved += x
+			v.Set(i, 0)
+		}
+	})
+	v.Compact()
+	return moved
+}
+
+// existsForward computes P∃(o, S□, T□) for an initial distribution
+// observed at time t0, stepping forward to the query horizon. It is the
+// shared kernel of the OB strategy. stopAt, when in (0, 1], allows early
+// termination as soon as the accumulated hit probability reaches it; the
+// returned value is then a lower bound (Section V-C's "sufficiently
+// large ◆" pruning). Use stopAt > 1 (or 0, normalized to >1) for the
+// exact result.
+func existsForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window, stopAt float64) float64 {
+	if stopAt <= 0 {
+		stopAt = 2 // never reached: exact evaluation
+	}
+	cur := init.Clone()
+	hit := 0.0
+	if w.atTime(t0) {
+		hit += sweepHits(cur, w)
+	}
+	next := sparse.NewVec(init.Len())
+	for t := t0; t < w.horizon; t++ {
+		if hit >= stopAt {
+			break
+		}
+		if cur.NNZ() == 0 {
+			break // every world already absorbed
+		}
+		chain.Step(next, cur)
+		cur, next = next, cur
+		if w.atTime(t + 1) {
+			hit += sweepHits(cur, w)
+		}
+	}
+	return hit
+}
+
+// ExistsOB answers the PST∃Q for a single-observation object by the
+// object-based strategy. Objects with multiple observations are routed
+// through the multi-observation kernel (Section VI) automatically.
+func (e *Engine) ExistsOB(o *Object, q Query) (float64, error) {
+	ch := e.db.ChainOf(o)
+	w, err := compile(q, ch.NumStates())
+	if err != nil {
+		return 0, err
+	}
+	return e.existsOB(o, ch, w)
+}
+
+func (e *Engine) existsOB(o *Object, ch *markov.Chain, w *window) (float64, error) {
+	if w.k == 0 {
+		return 0, nil
+	}
+	if len(o.Observations) > 1 {
+		return existsMultiObs(ch, o.Observations, w)
+	}
+	first := o.First()
+	if first.Time > w.horizon {
+		return 0, fmt.Errorf("core: object %d observed at t=%d, after query horizon %d", o.ID, first.Time, w.horizon)
+	}
+	init := first.PDF.Clone()
+	mass := init.Vec().Normalize()
+	if mass == 0 {
+		return 0, fmt.Errorf("core: object %d has zero-mass observation", o.ID)
+	}
+	return existsForward(ch, init.Vec(), first.Time, w, 0), nil
+}
+
+// ExistsOBBounds runs the object-based forward pass with early
+// termination against a probability threshold τ: it stops as soon as the
+// query probability is provably ≥ τ (lower bound reached) or provably
+// < τ (upper bound fell below). It returns the bracket [lo, hi] around
+// the true probability at the moment of termination; lo == hi means the
+// evaluation ran to completion. Only single-observation objects are
+// eligible.
+func (e *Engine) ExistsOBBounds(o *Object, q Query, tau float64) (lo, hi float64, err error) {
+	ch := e.db.ChainOf(o)
+	w, cerr := compile(q, ch.NumStates())
+	if cerr != nil {
+		return 0, 0, cerr
+	}
+	if w.k == 0 {
+		return 0, 0, nil
+	}
+	if len(o.Observations) > 1 {
+		p, merr := existsMultiObs(ch, o.Observations, w)
+		return p, p, merr
+	}
+	first := o.First()
+	if first.Time > w.horizon {
+		return 0, 0, fmt.Errorf("core: object %d observed at t=%d, after query horizon %d", o.ID, first.Time, w.horizon)
+	}
+	init := first.PDF.Clone()
+	init.Vec().Normalize()
+
+	cur := init.Vec()
+	hit := 0.0
+	// remainingQueryTimes counts query timestamps not yet processed;
+	// once zero, the remaining free mass can never be absorbed.
+	remaining := w.k
+	if w.atTime(first.Time) {
+		hit += sweepHits(cur, w)
+		remaining--
+	}
+	next := sparse.NewVec(cur.Len())
+	for t := first.Time; t < w.horizon; t++ {
+		free := cur.Sum()
+		if hit >= tau {
+			return hit, hit + free, nil // provably ≥ τ
+		}
+		if hit+free < tau {
+			return hit, hit + free, nil // provably < τ
+		}
+		if cur.NNZ() == 0 || remaining == 0 {
+			break
+		}
+		ch.Step(next, cur)
+		cur, next = next, cur
+		if w.atTime(t + 1) {
+			hit += sweepHits(cur, w)
+			remaining--
+		}
+	}
+	return hit, hit, nil
+}
+
+// ForAllOB answers the PST∀Q by the complement identity of Section VII:
+// P∀(o, S□, T□) = 1 − P∃(o, S \ S□, T□).
+func (e *Engine) ForAllOB(o *Object, q Query) (float64, error) {
+	ch := e.db.ChainOf(o)
+	w, err := compile(q, ch.NumStates())
+	if err != nil {
+		return 0, err
+	}
+	if w.k == 0 {
+		return 1, nil // vacuously inside for all of zero timestamps
+	}
+	pEscape, err := e.existsOB(o, ch, w.complemented())
+	if err != nil {
+		return 0, err
+	}
+	return 1 - pEscape, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel object-based evaluation. The OB strategy is embarrassingly
+// parallel across objects (each forward pass touches only per-object
+// state); chains are immutable after construction, so workers share
+// them freely. The QB strategy needs no such treatment: its per-object
+// work is already a dot product.
+
+// ExistsOBParallel evaluates the PST∃Q for every object with the
+// object-based strategy fanned out over workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS). Results are in database order, as
+// with ExistsQB.
+func (e *Engine) ExistsOBParallel(q Query, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	objs := e.db.Objects()
+	results := make([]Result, len(objs))
+	// Pre-compile one window per chain group and warm the transposes so
+	// concurrent lazy initialization cannot race.
+	windows := map[int]*window{} // object index -> compiled window
+	for _, grp := range e.db.groupByChain() {
+		w, err := compile(q, grp.chain.NumStates())
+		if err != nil {
+			return nil, err
+		}
+		grp.chain.Transposed()
+		for _, o := range grp.objects {
+			windows[o.ID] = w
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				o := objs[idx]
+				p, err := e.existsOB(o, e.db.ChainOf(o), windows[o.ID])
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("object %d: %w", o.ID, err):
+					default:
+					}
+					continue
+				}
+				results[idx] = Result{ObjectID: o.ID, Prob: p}
+			}
+		}()
+	}
+	for idx := range objs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return results, nil
+}

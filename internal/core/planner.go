@@ -1,0 +1,152 @@
+package core
+
+import (
+	"ust/internal/markov"
+)
+
+// Cost-based strategy selection. Section V-C derives the asymptotic
+// costs of the two exact strategies:
+//
+//	object-based:  O(|D| · |S_reach|² · δt)   — forward pass per object
+//	query-based:   O(|D| + |S_reach|² · δt)   — one backward sweep, then
+//	                                            a dot product per object
+//
+// In practice the per-step cost is the touched non-zeros, not
+// |S_reach|²; CostEstimate models exactly that and Plan picks the
+// cheaper strategy. The query-based strategy is almost always the
+// winner on multi-object databases — the estimator's job is mostly to
+// spot the single-object / tiny-horizon cases where the forward pass's
+// smaller constant wins, and to quantify the gap for EXPLAIN-style
+// introspection.
+
+// CostEstimate is the predicted work of one strategy for one query, in
+// abstract "touched matrix entries" units.
+type CostEstimate struct {
+	Strategy Strategy
+	// Sweeps is the number of full vector-matrix passes (backward
+	// sweeps for QB, forward object passes for OB).
+	Sweeps int
+	// Ops approximates the touched non-zero count.
+	Ops float64
+}
+
+// estimateAvgRowNNZ samples rows to approximate nnz per row.
+func estimateAvgRowNNZ(c *markov.Chain) float64 {
+	n := c.NumStates()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / float64(n)
+}
+
+// PlanExists returns cost estimates for evaluating the given PST∃Q over
+// the database with each exact strategy, ordered best-first.
+func (e *Engine) PlanExists(q Query) ([]CostEstimate, error) {
+	horizon := q.Horizon()
+	var obOps, qbOps float64
+	obSweeps, qbSweeps := 0, 0
+	for _, grp := range e.db.groupByChain() {
+		if err := q.Validate(grp.chain.NumStates()); err != nil {
+			return nil, err
+		}
+		rowNNZ := estimateAvgRowNNZ(grp.chain)
+		n := float64(grp.chain.NumStates())
+
+		// Distinct observation times drive the QB sweep count.
+		times := map[int]bool{}
+		for _, o := range grp.objects {
+			first := o.First()
+			if first.Time > horizon {
+				continue
+			}
+			steps := float64(horizon - first.Time)
+			// Forward support growth: starts at the observation spread
+			// and roughly doubles-by-locality each step until it
+			// saturates at n. Model as min(n, spread + steps·rowNNZ·2),
+			// averaged over the pass (half the final support).
+			spread := float64(o.First().PDF.Vec().NNZ())
+			finalSupp := spread + steps*rowNNZ*2
+			if finalSupp > n {
+				finalSupp = n
+			}
+			avgSupp := (spread + finalSupp) / 2
+			obOps += steps * avgSupp * rowNNZ
+			obSweeps++
+			times[first.Time] = true
+		}
+		for t0 := range times {
+			steps := float64(horizon - t0)
+			// Backward sweeps densify almost immediately (the region
+			// pins |S□| ones each query step): model as full matrix
+			// cost per step.
+			qbOps += steps * float64(grp.chain.NNZ())
+			qbSweeps++
+		}
+		// Plus a dot product per object.
+		qbOps += float64(len(grp.objects)) * 4
+	}
+	plans := []CostEstimate{
+		{Strategy: StrategyQueryBased, Sweeps: qbSweeps, Ops: qbOps},
+		{Strategy: StrategyObjectBased, Sweeps: obSweeps, Ops: obOps},
+	}
+	if plans[1].Ops < plans[0].Ops {
+		plans[0], plans[1] = plans[1], plans[0]
+	}
+	return plans, nil
+}
+
+// ExistsAuto evaluates the PST∃Q with the strategy the planner
+// predicts to be cheaper. It returns the results and the chosen
+// strategy.
+func (e *Engine) ExistsAuto(q Query) ([]Result, Strategy, error) {
+	plans, err := e.PlanExists(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	chosen := plans[0].Strategy
+	var res []Result
+	switch chosen {
+	case StrategyObjectBased:
+		res, err = e.existsAllOB(q)
+	default:
+		res, err = e.ExistsQB(q)
+	}
+	return res, chosen, err
+}
+
+// ExpectedCount returns the expected number of database objects
+// satisfying the PST∃Q — Σ_o P∃(o). This is the paper's "predict the
+// number of cars that will be in a congested road segment after 10-15
+// minutes" aggregate.
+func (e *Engine) ExpectedCount(q Query) (float64, error) {
+	res, err := e.Exists(q)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, r := range res {
+		sum += r.Prob
+	}
+	return sum, nil
+}
+
+// AtLeastKTimes returns, for one object, the probability of being
+// inside the window at k or more query timestamps: the tail of the
+// PSTkQ distribution. k = 1 coincides with PST∃Q; k = |T□| with PST∀Q.
+func (e *Engine) AtLeastKTimes(o *Object, q Query, k int) (float64, error) {
+	if k <= 0 {
+		return 1, nil
+	}
+	dist, err := e.KTimesOB(o, q)
+	if err != nil {
+		return 0, err
+	}
+	if k >= len(dist) {
+		return 0, nil
+	}
+	tail := 0.0
+	for _, p := range dist[k:] {
+		tail += p
+	}
+	return tail, nil
+}

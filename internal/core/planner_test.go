@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"ust/internal/gen"
+	"ust/internal/markov"
+)
+
+func TestPlanExistsPrefersQBOnLargeDB(t *testing.T) {
+	p := gen.Params{NumObjects: 500, NumStates: 2000, ObjectSpread: 5, StateSpread: 5, MaxStep: 40, Seed: 1}
+	ds := gen.MustGenerate(p)
+	db := NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		db.MustAdd(MustObject(i, nil, Observation{Time: 0, PDF: o}))
+	}
+	e := NewEngine(db, Options{})
+	q := NewQuery(Interval(100, 120), Interval(20, 25))
+	plans, err := e.PlanExists(q)
+	if err != nil {
+		t.Fatalf("PlanExists: %v", err)
+	}
+	if plans[0].Strategy != StrategyQueryBased {
+		t.Errorf("large DB plan = %v, want query-based", plans[0].Strategy)
+	}
+	if plans[0].Ops >= plans[1].Ops {
+		t.Error("plans not ordered best-first")
+	}
+	if plans[0].Sweeps <= 0 {
+		t.Error("QB plan should have at least one sweep")
+	}
+}
+
+func TestPlanExistsPrefersOBOnSingleObjectShortHorizon(t *testing.T) {
+	p := gen.Params{NumObjects: 1, NumStates: 5000, ObjectSpread: 1, StateSpread: 5, MaxStep: 40, Seed: 1}
+	ds := gen.MustGenerate(p)
+	db := NewDatabase(ds.Chain)
+	db.MustAdd(MustObject(0, nil, Observation{Time: 0, PDF: ds.Objects[0]}))
+	e := NewEngine(db, Options{})
+	// One object, two-step horizon: the forward pass touches a handful
+	// of entries while the backward sweep touches the whole matrix.
+	q := NewQuery(Interval(100, 120), []int{2})
+	plans, err := e.PlanExists(q)
+	if err != nil {
+		t.Fatalf("PlanExists: %v", err)
+	}
+	if plans[0].Strategy != StrategyObjectBased {
+		t.Errorf("single-object plan = %v, want object-based", plans[0].Strategy)
+	}
+}
+
+func TestExistsAutoMatchesExact(t *testing.T) {
+	db, o := paperDB(t)
+	e := NewEngine(db, Options{})
+	q := paperQueryV()
+	res, chosen, err := e.ExistsAuto(q)
+	if err != nil {
+		t.Fatalf("ExistsAuto: %v", err)
+	}
+	if chosen != StrategyQueryBased && chosen != StrategyObjectBased {
+		t.Errorf("auto chose %v", chosen)
+	}
+	exact, err := e.ExistsOB(o, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Prob-exact) > tol {
+		t.Errorf("auto result %g != exact %g", res[0].Prob, exact)
+	}
+}
+
+func TestExpectedCount(t *testing.T) {
+	db := NewDatabase(paperChainV(t))
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)})) // 0.864
+	db.MustAdd(MustObject(2, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)})) // 0.864
+	e := NewEngine(db, Options{})
+	got, err := e.ExpectedCount(paperQueryV())
+	if err != nil {
+		t.Fatalf("ExpectedCount: %v", err)
+	}
+	if math.Abs(got-2*0.864) > tol {
+		t.Errorf("ExpectedCount = %g, want %g", got, 2*0.864)
+	}
+}
+
+func TestAtLeastKTimes(t *testing.T) {
+	db, o := paperDB(t)
+	e := NewEngine(db, Options{})
+	q := paperQueryV()
+	// k = 0: certain.
+	if p, err := e.AtLeastKTimes(o, q, 0); err != nil || p != 1 {
+		t.Errorf("AtLeastKTimes(0) = (%g, %v)", p, err)
+	}
+	// k = 1 == PST∃Q.
+	p1, err := e.AtLeastKTimes(o, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-0.864) > tol {
+		t.Errorf("AtLeastKTimes(1) = %g, want 0.864", p1)
+	}
+	// k = |T□| == PST∀Q (via k-dist tail).
+	p2, err := e.AtLeastKTimes(o, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-0.192) > tol {
+		t.Errorf("AtLeastKTimes(2) = %g, want 0.192", p2)
+	}
+	// k beyond the window: impossible.
+	if p, err := e.AtLeastKTimes(o, q, 3); err != nil || p != 0 {
+		t.Errorf("AtLeastKTimes(3) = (%g, %v), want 0", p, err)
+	}
+}
+
+func TestExistsOBParallelMatchesSequential(t *testing.T) {
+	p := gen.Params{NumObjects: 200, NumStates: 1500, ObjectSpread: 5, StateSpread: 4, MaxStep: 30, Seed: 5}
+	ds := gen.MustGenerate(p)
+	db := NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		db.MustAdd(MustObject(i, nil, Observation{Time: 0, PDF: o}))
+	}
+	e := NewEngine(db, Options{})
+	q := NewQuery(Interval(100, 140), Interval(10, 15))
+
+	seq, err := e.existsAllOB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		par, err := e.ExistsOBParallel(q, workers)
+		if err != nil {
+			t.Fatalf("parallel(%d): %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("parallel(%d): %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].ObjectID != seq[i].ObjectID {
+				t.Fatalf("parallel(%d): order differs at %d", workers, i)
+			}
+			if math.Abs(par[i].Prob-seq[i].Prob) > 1e-12 {
+				t.Fatalf("parallel(%d): object %d: %g != %g", workers, par[i].ObjectID, par[i].Prob, seq[i].Prob)
+			}
+		}
+	}
+}
+
+func TestExistsOBParallelPropagatesError(t *testing.T) {
+	db := NewDatabase(paperChainV(t))
+	db.MustAdd(MustObject(1, nil, Observation{Time: 10, PDF: markov.PointDistribution(3, 0)}))
+	e := NewEngine(db, Options{})
+	if _, err := e.ExistsOBParallel(NewQuery([]int{0}, []int{2}), 4); err == nil {
+		t.Error("late observation not reported by parallel evaluation")
+	}
+}
+
+func TestExistsOBParallelMixedChains(t *testing.T) {
+	db := NewDatabase(paperChainV(t))
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)}))
+	db.MustAdd(MustObject(2, paperChainVI(t), Observation{Time: 0, PDF: markov.PointDistribution(3, 1)}))
+	e := NewEngine(db, Options{})
+	q := paperQueryV()
+	par, err := e.ExistsOBParallel(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range par {
+		want, err := e.ExistsOB(db.Get(r.ObjectID), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Prob-want) > tol {
+			t.Errorf("object %d: parallel %g != exact %g", r.ObjectID, r.Prob, want)
+		}
+	}
+}
+
+func TestConcurrentReadOnlyQueries(t *testing.T) {
+	// Engines over a shared database must support concurrent read-only
+	// querying once the transposes are warmed (ExistsOBParallel warms
+	// them; plain QB readers arriving concurrently afterwards are
+	// safe). Run under -race in CI.
+	p := gen.Params{NumObjects: 60, NumStates: 800, ObjectSpread: 3, StateSpread: 4, MaxStep: 20, Seed: 13}
+	ds := gen.MustGenerate(p)
+	db := NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		db.MustAdd(MustObject(i, nil, Observation{Time: 0, PDF: o}))
+	}
+	e := NewEngine(db, Options{})
+	ds.Chain.Transposed() // warm before sharing
+
+	q := NewQuery(Interval(100, 140), Interval(5, 9))
+	want, err := e.ExistsQB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := e.ExistsQB(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range want {
+				if math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+					errs <- fmt.Errorf("object %d: %g != %g", want[i].ObjectID, got[i].Prob, want[i].Prob)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// The query-based (QB) strategy of Section V-B computes, in a single
+// backward sweep from the query horizon to t = 0, a scoring vector
+// score(t0) whose entry s is the probability that an object located at
+// state s at time t0 satisfies the query predicate. Every object is then
+// answered with one sparse dot product — the batch evaluation that makes
+// QB orders of magnitude faster than OB on large databases.
+//
+// The sweep works on the transposed chain. Where the paper transposes
+// the augmented matrices (M±)ᵀ, we fold the absorbing state in
+// implicitly: stepping backward INTO a query timestamp first replaces
+// the scores of states inside S□ by 1 (any world standing there is a
+// certain hit — the redirected column of M+), then applies Mᵀ.
+
+// hitScores runs the backward sweep down to time t0 and returns the
+// scoring vector. The result additionally accounts for t0 itself being a
+// query timestamp (footnote 2 of the paper): scores of states in S□ are
+// pinned to 1.
+func hitScores(chain *markov.Chain, w *window, t0 int) *sparse.Vec {
+	n := chain.NumStates()
+	score := sparse.NewVec(n)
+	if w.k == 0 || w.horizon < t0 {
+		return score
+	}
+	next := sparse.NewVec(n)
+	for t := w.horizon; t > t0; t-- {
+		if w.atTime(t) {
+			pinRegion(score, w)
+		}
+		chain.StepBack(next, score)
+		score, next = next, score
+	}
+	if w.atTime(t0) {
+		pinRegion(score, w)
+	}
+	return score
+}
+
+// pinRegion sets score[s] = 1 for every state inside the (possibly
+// inverted) spatial predicate — the redirected M+ column, viewed
+// backward.
+func pinRegion(score *sparse.Vec, w *window) {
+	w.eachRegionState(func(s int) { score.Set(s, 1) })
+}
+
+// qbGroupEval evaluates scores for one chain group at the given start
+// time. Objects whose single observation is at a different time than t0
+// need their own sweep depth; the cache keyed by observation time keeps
+// one scoring vector per distinct time.
+type qbGroupEval struct {
+	chain  *markov.Chain
+	w      *window
+	scores map[int]*sparse.Vec // observation time -> scoring vector
+}
+
+func newQBGroupEval(chain *markov.Chain, w *window) *qbGroupEval {
+	return &qbGroupEval{chain: chain, w: w, scores: map[int]*sparse.Vec{}}
+}
+
+// scoreAt returns (building if needed) the scoring vector for objects
+// observed at time t0.
+func (g *qbGroupEval) scoreAt(t0 int) *sparse.Vec {
+	if v, ok := g.scores[t0]; ok {
+		return v
+	}
+	v := hitScores(g.chain, g.w, t0)
+	g.scores[t0] = v
+	return v
+}
+
+// exists answers one single-observation object via dot product.
+func (g *qbGroupEval) exists(o *Object) (float64, error) {
+	first := o.First()
+	if first.Time > g.w.horizon {
+		return 0, errObservedAfterHorizon(o.ID, first.Time, g.w.horizon)
+	}
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return 0, errZeroMass(o.ID)
+	}
+	return init.Vec().Dot(g.scoreAt(first.Time)), nil
+}
+
+// ExistsQB answers the PST∃Q for every object in the database using the
+// query-based strategy: one backward sweep per (chain, observation time)
+// pair, then one dot product per object. Multi-observation objects fall
+// back to the forward multi-observation kernel, preserving exactness.
+func (e *Engine) ExistsQB(q Query) ([]Result, error) {
+	return e.qbAll(q, false)
+}
+
+// ForAllQB answers the PST∀Q for every object via the complement
+// identity, sharing the query-based machinery.
+func (e *Engine) ForAllQB(q Query) ([]Result, error) {
+	return e.qbAll(q, true)
+}
+
+func (e *Engine) qbAll(q Query, forAll bool) ([]Result, error) {
+	results := make([]Result, 0, e.db.Len())
+	for _, grp := range e.db.groupByChain() {
+		w, err := compile(q, grp.chain.NumStates())
+		if err != nil {
+			return nil, err
+		}
+		if forAll {
+			w = w.complemented()
+		}
+		eval := newQBGroupEval(grp.chain, w)
+		for _, o := range grp.objects {
+			var p float64
+			var oerr error
+			switch {
+			case w.k == 0:
+				p = 0
+			case len(o.Observations) > 1:
+				p, oerr = existsMultiObs(grp.chain, o.Observations, w)
+			default:
+				p, oerr = eval.exists(o)
+			}
+			if oerr != nil {
+				return nil, oerr
+			}
+			if forAll {
+				p = 1 - p
+			}
+			results = append(results, Result{ObjectID: o.ID, Prob: p})
+		}
+	}
+	return results, nil
+}
+
+// ExistsQBScores exposes the raw scoring vector for a chain at a given
+// observation time: entry s is the probability that an object starting
+// at s at time t0 satisfies the query. Useful for visualization and for
+// answering "which starting positions are dangerous" questions directly.
+func (e *Engine) ExistsQBScores(chain *markov.Chain, q Query, t0 int) (*sparse.Vec, error) {
+	w, err := compile(q, chain.NumStates())
+	if err != nil {
+		return nil, err
+	}
+	return hitScores(chain, w, t0), nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// TopKExists returns the k objects with the highest PST∃Q probability,
+// sorted descending (ties break toward smaller object id). It evaluates
+// with the configured strategy and keeps only a k-sized min-heap, so
+// memory stays O(k) regardless of database size.
+func (e *Engine) TopKExists(q Query, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: top-k needs k ≥ 1, got %d", k)
+	}
+	all, err := e.Exists(q)
+	if err != nil {
+		return nil, err
+	}
+	h := &resultMinHeap{}
+	heap.Init(h)
+	for _, r := range all {
+		if h.Len() < k {
+			heap.Push(h, r)
+			continue
+		}
+		if better(r, (*h)[0]) {
+			(*h)[0] = r
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out, nil
+}
+
+// better reports whether a ranks above b: higher probability first,
+// then smaller id.
+func better(a, b Result) bool {
+	if a.Prob != b.Prob {
+		return a.Prob > b.Prob
+	}
+	return a.ObjectID < b.ObjectID
+}
+
+// resultMinHeap keeps the current top-k with the weakest entry on top.
+type resultMinHeap []Result
+
+func (h resultMinHeap) Len() int            { return len(h) }
+func (h resultMinHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
+func (h resultMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultMinHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RankedExists returns every object sorted by descending PST∃Q
+// probability: TopKExists with k = |D|, provided for reporting flows.
+func (e *Engine) RankedExists(q Query) ([]Result, error) {
+	all, err := e.Exists(q)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(a, b int) bool { return better(all[a], all[b]) })
+	return all, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ust/internal/gen"
+	"ust/internal/markov"
+)
+
+func topkDB(t testing.TB, n int) *Database {
+	t.Helper()
+	p := gen.Params{NumObjects: n, NumStates: 800, ObjectSpread: 3, StateSpread: 4, MaxStep: 30, Seed: 11}
+	ds := gen.MustGenerate(p)
+	db := NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		db.MustAdd(MustObject(i, nil, Observation{Time: 0, PDF: o}))
+	}
+	return db
+}
+
+func TestTopKExistsMatchesFullSort(t *testing.T) {
+	db := topkDB(t, 120)
+	e := NewEngine(db, Options{})
+	q := NewQuery(Interval(100, 160), Interval(8, 12))
+
+	ranked, err := e.RankedExists(q)
+	if err != nil {
+		t.Fatalf("RankedExists: %v", err)
+	}
+	for _, k := range []int{1, 5, 37, 120, 500} {
+		top, err := e.TopKExists(q, k)
+		if err != nil {
+			t.Fatalf("TopKExists(%d): %v", k, err)
+		}
+		want := k
+		if want > len(ranked) {
+			want = len(ranked)
+		}
+		if len(top) != want {
+			t.Fatalf("TopKExists(%d) returned %d results", k, len(top))
+		}
+		for i := range top {
+			if top[i].ObjectID != ranked[i].ObjectID || math.Abs(top[i].Prob-ranked[i].Prob) > 1e-12 {
+				t.Fatalf("k=%d: rank %d: %+v vs %+v", k, i, top[i], ranked[i])
+			}
+		}
+	}
+}
+
+func TestTopKExistsInvalidK(t *testing.T) {
+	db, _ := paperDB(t)
+	e := NewEngine(db, Options{})
+	if _, err := e.TopKExists(paperQueryV(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestTopKOrderingTieBreak(t *testing.T) {
+	// Several objects with identical probability: order by id.
+	db := NewDatabase(paperChainV(t))
+	for id := 5; id >= 1; id-- {
+		db.MustAdd(MustObject(id, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 1)}))
+	}
+	e := NewEngine(db, Options{})
+	top, err := e.TopKExists(paperQueryV(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].ObjectID != 1 || top[1].ObjectID != 2 || top[2].ObjectID != 3 {
+		t.Errorf("tie-break order wrong: %v", top)
+	}
+}
+
+// Property: P∃ is monotone in both query dimensions — growing the
+// region or the time window can only increase the probability.
+func TestExistsMonotoneInWindowQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, o, q := randomInstance(rng)
+		if len(q.States) == 0 || len(q.Times) == 0 {
+			return true
+		}
+		base, err := e.ExistsOB(o, q)
+		if err != nil {
+			return false
+		}
+		n := e.db.ChainOf(o).NumStates()
+		// Grow the region by one state (if possible).
+		inQ := map[int]bool{}
+		for _, s := range q.States {
+			inQ[s] = true
+		}
+		for s := 0; s < n; s++ {
+			if !inQ[s] {
+				bigger, err := e.ExistsOB(o, NewQuery(append(append([]int(nil), q.States...), s), q.Times))
+				if err != nil || bigger < base-1e-12 {
+					return false
+				}
+				break
+			}
+		}
+		// Grow the time window by one timestamp.
+		extended := append(append([]int(nil), q.Times...), q.Horizon()+1)
+		bigger, err := e.ExistsOB(o, NewQuery(q.States, extended))
+		if err != nil {
+			return false
+		}
+		return bigger >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: P∀ is antitone in the time window — demanding more
+// timestamps inside can only decrease the probability — and monotone in
+// the region.
+func TestForAllMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, o, q := randomInstance(rng)
+		base, err := e.ForAllOB(o, q)
+		if err != nil {
+			return false
+		}
+		extended := append(append([]int(nil), q.Times...), q.Horizon()+1)
+		smaller, err := e.ForAllOB(o, NewQuery(q.States, extended))
+		if err != nil {
+			return false
+		}
+		if smaller > base+1e-12 {
+			return false
+		}
+		n := e.db.ChainOf(o).NumStates()
+		inQ := map[int]bool{}
+		for _, s := range q.States {
+			inQ[s] = true
+		}
+		for s := 0; s < n; s++ {
+			if !inQ[s] {
+				bigger, err := e.ForAllOB(o, NewQuery(append(append([]int(nil), q.States...), s), q.Times))
+				if err != nil || bigger < base-1e-12 {
+					return false
+				}
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"ust/internal/markov"
+)
+
+// Brute-force possible-worlds reference (Section IV notes the space is
+// O(|S|^T) — this is intentionally exponential and exists purely to
+// validate the matrix algorithms on tiny instances).
+
+// WorldStats holds the exact aggregate over all possible worlds of one
+// object for a query window.
+type WorldStats struct {
+	// PExists is the total probability of worlds intersecting the window.
+	PExists float64
+	// PForAll is the total probability of worlds inside the window at
+	// every query timestamp.
+	PForAll float64
+	// KDist[k] is the total probability of worlds inside the window at
+	// exactly k query timestamps.
+	KDist []float64
+	// Worlds is the number of enumerated trajectories with positive
+	// probability.
+	Worlds int
+}
+
+// maxBruteForceWorlds caps enumeration so a mistaken call cannot hang a
+// test run.
+const maxBruteForceWorlds = 5_000_000
+
+// BruteForce enumerates every trajectory of positive probability from
+// the object's first observation to the query horizon (or last
+// observation if later), weights each by its path probability times the
+// likelihood of the remaining observations (possible-worlds semantics of
+// Section VI), and aggregates the three query predicates exactly.
+func BruteForce(chain *markov.Chain, o *Object, q Query) (*WorldStats, error) {
+	w, err := compile(q, chain.NumStates())
+	if err != nil {
+		return nil, err
+	}
+	first := o.First()
+	if w.k > 0 && first.Time > w.horizon {
+		return nil, errObservedAfterHorizon(o.ID, first.Time, w.horizon)
+	}
+	end := w.horizon
+	if last := o.Last().Time; last > end {
+		end = last
+	}
+	if end < first.Time {
+		end = first.Time
+	}
+
+	obsAt := map[int]*markov.Distribution{}
+	for _, ob := range o.Observations[1:] {
+		obsAt[ob.Time] = ob.PDF
+	}
+
+	stats := &WorldStats{KDist: make([]float64, w.k+1)}
+	var totalMass float64
+
+	var walk func(t, state int, prob float64, visits int)
+	walk = func(t, state int, prob float64, visits int) {
+		if w.atTime(t) && w.inRegion(state) {
+			visits++
+		}
+		if pdf, ok := obsAt[t]; ok {
+			prob *= pdf.P(state)
+			if prob == 0 {
+				return
+			}
+		}
+		if t == end {
+			stats.Worlds++
+			if stats.Worlds > maxBruteForceWorlds {
+				panic(fmt.Sprintf("core: brute force exceeded %d worlds", maxBruteForceWorlds))
+			}
+			totalMass += prob
+			if visits > 0 {
+				stats.PExists += prob
+			}
+			if visits == w.k {
+				stats.PForAll += prob
+			}
+			if visits < len(stats.KDist) {
+				stats.KDist[visits] += prob
+			}
+			return
+		}
+		chain.Successors(state, func(next int, p float64) {
+			walk(t+1, next, prob*p, visits)
+		})
+	}
+
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return nil, errZeroMass(o.ID)
+	}
+	init.Vec().Range(func(s int, p float64) {
+		walk(first.Time, s, p, 0)
+	})
+
+	if totalMass == 0 {
+		return nil, fmt.Errorf("core: observations are mutually impossible under the motion model")
+	}
+	// Renormalize to the possible worlds (Equation 1): conditioning on
+	// the observations.
+	stats.PExists /= totalMass
+	stats.PForAll /= totalMass
+	for k := range stats.KDist {
+		stats.KDist[k] /= totalMass
+	}
+	return stats, nil
+}

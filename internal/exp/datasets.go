@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ust/internal/core"
+	"ust/internal/gen"
+	"ust/internal/markov"
+	"ust/internal/network"
+)
+
+// buildSyntheticDB generates a Table I dataset and loads it into a
+// database (one observation per object at t = 0).
+func buildSyntheticDB(p gen.Params) (*core.Database, error) {
+	ds, err := gen.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	db := core.NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		if err := db.AddSimple(i, o); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// buildNetworkDB generates a road network, derives its randomized
+// transition matrix, and scatters objects uniformly over the nodes. The
+// graph is returned alongside for query-window construction.
+func buildNetworkDB(spec network.RoadNetworkSpec, numObjects, objectSpread int) (*core.Database, *network.Graph, error) {
+	g, err := network.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	chain, err := markov.NewChain(g.TransitionMatrix(rng))
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: network transition matrix: %w", err)
+	}
+	db := core.NewDatabase(chain)
+	n := g.NumNodes()
+	for id := 0; id < numObjects; id++ {
+		// Anchor each object at a node; the spread covers the anchor's
+		// graph neighborhood (an uncertain GPS fix snaps to nearby
+		// intersections).
+		anchor := rng.Intn(n)
+		states := []int{anchor}
+		g.Successors(anchor, func(v int) {
+			if len(states) < objectSpread {
+				states = append(states, v)
+			}
+		})
+		pdf := markov.UniformOver(n, states)
+		if err := db.AddSimple(id, pdf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return db, g, nil
+}
+
+// networkWindow picks a deterministic query region on a road network: a
+// node and its breadth-first neighborhood of the requested size.
+func networkWindow(g *network.Graph, size int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	start := rng.Intn(g.NumNodes())
+	seen := map[int]bool{start: true}
+	frontier := []int{start}
+	states := []int{start}
+	for len(states) < size && len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			g.Successors(u, func(v int) {
+				if !seen[v] && len(states) < size {
+					seen[v] = true
+					states = append(states, v)
+					next = append(next, v)
+				}
+			})
+		}
+		frontier = next
+	}
+	return states
+}

@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ust/internal/network"
+)
+
+func tinyConfig() Config { return Config{Scale: ScaleTiny, Seed: 42} }
+
+func TestParseScale(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Scale
+		ok   bool
+	}{
+		{"tiny", ScaleTiny, true},
+		{"small", ScaleSmall, true},
+		{"", ScaleSmall, true},
+		{"default", ScaleSmall, true},
+		{"paper", ScalePaper, true},
+		{"FULL", ScalePaper, true},
+		{"huge", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseScale(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseScale(%q) = (%v, %v), want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseScale(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if ScaleTiny.String() != "tiny" || ScaleSmall.String() != "small" || ScalePaper.String() != "paper" {
+		t.Error("Scale labels wrong")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ext-cluster", "ext-parallel",
+		"fig10a", "fig10b", "fig11a", "fig11b",
+		"fig8a", "fig8b", "fig9a", "fig9b", "fig9c", "fig9d",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("FIG8A"); !ok {
+		t.Error("Lookup should be case-insensitive")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup invented an experiment")
+	}
+}
+
+// TestAllExperimentsRunTiny executes every registered experiment at tiny
+// scale: smoke coverage for the whole harness.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(tinyConfig())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != experiment id %q", rep.ID, e.ID)
+			}
+			if len(rep.Rows) == 0 {
+				t.Error("no measurement rows")
+			}
+			for _, row := range rep.Rows {
+				if len(row.Values) != len(rep.Series) {
+					t.Fatalf("row has %d values for %d series", len(row.Values), len(rep.Series))
+				}
+			}
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				t.Fatalf("Render: %v", err)
+			}
+			if !strings.Contains(buf.String(), rep.ID) {
+				t.Error("rendered table missing id")
+			}
+			buf.Reset()
+			if err := rep.CSV(&buf); err != nil {
+				t.Fatalf("CSV: %v", err)
+			}
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			if len(lines) != len(rep.Rows)+1 {
+				t.Errorf("CSV has %d lines, want %d", len(lines), len(rep.Rows)+1)
+			}
+		})
+	}
+}
+
+func TestFig9dBiasGrowsWithWindow(t *testing.T) {
+	// The deterministic shape assertion for the accuracy experiment: at
+	// every window length the independence model is at or above the
+	// exact model, and its excess widens from the first to last window.
+	rep, err := runFig9d(Config{Scale: ScaleTiny, Seed: 7})
+	if err != nil {
+		t.Fatalf("fig9d: %v", err)
+	}
+	first := rep.Rows[0]
+	last := rep.Rows[len(rep.Rows)-1]
+	for _, row := range rep.Rows {
+		exact, indep := row.Values[0], row.Values[1]
+		if indep < exact-1e-9 {
+			t.Errorf("window %g: independence %g below exact %g", row.X, indep, exact)
+		}
+	}
+	firstBias := first.Values[1] - first.Values[0]
+	lastBias := last.Values[1] - last.Values[0]
+	if lastBias < firstBias {
+		t.Errorf("bias shrank with window: first %g, last %g", firstBias, lastBias)
+	}
+}
+
+func TestReportAddRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched AddRow did not panic")
+		}
+	}()
+	r := &Report{Series: []string{"a", "b"}}
+	r.AddRow(1, 1.0)
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{0, "0"},
+		{0.25, "0.25"},
+		{1e-7, "1.000e-07"},
+		{2.5e7, "25000000"}, // integral values render as integers
+		{2.5e7 + 0.5, "2.500e+07"},
+	}
+	for _, c := range cases {
+		if got := formatNum(c.in); got != c.want {
+			t.Errorf("formatNum(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNetworkWindowConnected(t *testing.T) {
+	_, g, err := buildNetworkDB(
+		// Tiny network for speed.
+		networkSpecForTest(),
+		10, 3,
+	)
+	if err != nil {
+		t.Fatalf("buildNetworkDB: %v", err)
+	}
+	states := networkWindow(g, 15, 1)
+	if len(states) != 15 {
+		t.Fatalf("window has %d states, want 15", len(states))
+	}
+	seen := map[int]bool{}
+	for _, s := range states {
+		if seen[s] {
+			t.Fatal("duplicate state in window")
+		}
+		seen[s] = true
+		if s < 0 || s >= g.NumNodes() {
+			t.Fatalf("state %d out of range", s)
+		}
+	}
+}
+
+func networkSpecForTest() network.RoadNetworkSpec {
+	return network.RoadNetworkSpec{Name: "test", Nodes: 300, UndirectedEdges: 400, Seed: 3}
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"time"
+
+	"ust/internal/gen"
+)
+
+// Figure 11: runtime sensitivity to the two locality parameters of the
+// synthetic generator — max_step (a) and state_spread (b). Both OB and
+// QB should scale at most linearly.
+
+func init() {
+	register(Experiment{
+		ID:          "fig11a",
+		Description: "Fig 11(a): runtime vs max_step (OB and QB)",
+		Run:         runFig11a,
+	})
+	register(Experiment{
+		ID:          "fig11b",
+		Description: "Fig 11(b): runtime vs state_spread (OB and QB)",
+		Run:         runFig11b,
+	})
+}
+
+func fig11Params(cfg Config) gen.Params {
+	p := gen.Defaults(cfg.Seed)
+	switch cfg.Scale {
+	case ScaleTiny:
+		p.NumObjects, p.NumStates = 20, 2000
+	case ScalePaper:
+		// paper defaults
+	default:
+		p.NumObjects, p.NumStates = 300, 20000
+	}
+	return p
+}
+
+func runFig11a(cfg Config) (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		ID:     "fig11a",
+		Title:  "PST∃Q runtime vs max_step",
+		XLabel: "max_step",
+		Series: []string{"OB(s)", "QB(s)"},
+	}
+	steps := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if cfg.Scale == ScaleTiny {
+		steps = []int{10, 40}
+	}
+	for _, ms := range steps {
+		p := fig11Params(cfg)
+		p.MaxStep = ms
+		db, err := buildSyntheticDB(p)
+		if err != nil {
+			return nil, err
+		}
+		q := defaultWindowQuery(p.NumStates)
+		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(float64(ms), tOB, tQB)
+	}
+	rep.Notes = append(rep.Notes, "expected shape: at most linear growth for both strategies")
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+func runFig11b(cfg Config) (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		ID:     "fig11b",
+		Title:  "PST∃Q runtime vs state_spread",
+		XLabel: "state_spread",
+		Series: []string{"OB(s)", "QB(s)"},
+	}
+	spreads := []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	if cfg.Scale == ScaleTiny {
+		spreads = []int{2, 6}
+	}
+	for _, sp := range spreads {
+		p := fig11Params(cfg)
+		p.StateSpread = sp
+		db, err := buildSyntheticDB(p)
+		if err != nil {
+			return nil, err
+		}
+		q := defaultWindowQuery(p.NumStates)
+		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(float64(sp), tOB, tQB)
+	}
+	rep.Notes = append(rep.Notes, "expected shape: at most linear growth for both strategies")
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,255 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallParams(seed int64) Params {
+	return Params{
+		NumObjects:   50,
+		NumStates:    500,
+		ObjectSpread: 5,
+		StateSpread:  5,
+		MaxStep:      40,
+		Seed:         seed,
+	}
+}
+
+func TestTableIDefaults(t *testing.T) {
+	// The generator must honour every row of Table I at the defaults.
+	p := Defaults(1)
+	if p.NumObjects != 10000 {
+		t.Errorf("|D| default = %d, want 10,000", p.NumObjects)
+	}
+	if p.NumStates != 100000 {
+		t.Errorf("|S| default = %d, want 100,000", p.NumStates)
+	}
+	if p.ObjectSpread != 5 {
+		t.Errorf("object spread default = %d, want 5", p.ObjectSpread)
+	}
+	if p.StateSpread != 5 {
+		t.Errorf("state spread default = %d, want 5", p.StateSpread)
+	}
+	if p.MaxStep != 40 {
+		t.Errorf("max step default = %d, want 40", p.MaxStep)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"no objects", func(p *Params) { p.NumObjects = 0 }},
+		{"one state", func(p *Params) { p.NumStates = 1 }},
+		{"zero spread", func(p *Params) { p.ObjectSpread = 0 }},
+		{"spread exceeds space", func(p *Params) { p.ObjectSpread = p.NumStates + 1 }},
+		{"zero state spread", func(p *Params) { p.StateSpread = 0 }},
+		{"zero max step", func(p *Params) { p.MaxStep = 0 }},
+		{"spread exceeds window", func(p *Params) { p.StateSpread = 50; p.MaxStep = 10 }},
+	}
+	for _, c := range cases {
+		p := smallParams(1)
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGenerateChainContract(t *testing.T) {
+	p := smallParams(3)
+	d := MustGenerate(p)
+	chain := d.Chain
+	if chain.NumStates() != p.NumStates {
+		t.Fatalf("chain has %d states, want %d", chain.NumStates(), p.NumStates)
+	}
+	if err := chain.Matrix().CheckStochastic(1e-9); err != nil {
+		t.Fatalf("chain not stochastic: %v", err)
+	}
+	half := p.MaxStep / 2
+	for i := 0; i < p.NumStates; i++ {
+		if got := chain.OutDegree(i); got != p.StateSpread {
+			t.Fatalf("state %d has %d successors, want %d", i, got, p.StateSpread)
+		}
+		chain.Successors(i, func(j int, prob float64) {
+			if j < i-half || j > i+half {
+				t.Fatalf("transition %d->%d violates max_step %d", i, j, p.MaxStep)
+			}
+			if prob <= 0 {
+				t.Fatalf("non-positive transition probability %g", prob)
+			}
+		})
+	}
+}
+
+func TestGenerateChainBorderClamping(t *testing.T) {
+	// Tiny space: windows at the borders shrink below state_spread.
+	p := Params{NumObjects: 1, NumStates: 6, ObjectSpread: 1, StateSpread: 5, MaxStep: 4, Seed: 1}
+	d := MustGenerate(p)
+	// State 0's window is [0, 2] — only 3 candidates.
+	if got := d.Chain.OutDegree(0); got != 3 {
+		t.Errorf("border state out-degree = %d, want clamped 3", got)
+	}
+	if err := d.Chain.Matrix().CheckStochastic(1e-9); err != nil {
+		t.Errorf("clamped chain not stochastic: %v", err)
+	}
+}
+
+func TestGenerateObjectsContract(t *testing.T) {
+	p := smallParams(4)
+	d := MustGenerate(p)
+	if len(d.Objects) != p.NumObjects {
+		t.Fatalf("generated %d objects, want %d", len(d.Objects), p.NumObjects)
+	}
+	for i, o := range d.Objects {
+		if err := o.Validate(1e-9); err != nil {
+			t.Fatalf("object %d invalid: %v", i, err)
+		}
+		sup := o.Support()
+		if len(sup) != p.ObjectSpread {
+			t.Fatalf("object %d spread = %d, want %d", i, len(sup), p.ObjectSpread)
+		}
+		// Support must be consecutive states (anchored run).
+		for k := 1; k < len(sup); k++ {
+			if sup[k] != sup[k-1]+1 {
+				t.Fatalf("object %d support not consecutive: %v", i, sup)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(smallParams(9))
+	b := MustGenerate(smallParams(9))
+	if !a.Chain.Matrix().Equal(b.Chain.Matrix(), 0) {
+		t.Error("same seed produced different chains")
+	}
+	for i := range a.Objects {
+		if !a.Objects[i].Vec().Equal(b.Objects[i].Vec(), 0) {
+			t.Fatalf("same seed produced different object %d", i)
+		}
+	}
+	c := MustGenerate(smallParams(10))
+	if a.Chain.Matrix().Equal(c.Chain.Matrix(), 0) {
+		t.Error("different seeds produced identical chains")
+	}
+}
+
+func TestGenerateChainContractQuick(t *testing.T) {
+	f := func(seed int64, spreadRaw, stepRaw uint8) bool {
+		spread := 1 + int(spreadRaw)%10
+		step := 10 + int(stepRaw)%30
+		p := Params{
+			NumObjects:   5,
+			NumStates:    200,
+			ObjectSpread: 3,
+			StateSpread:  spread,
+			MaxStep:      step,
+			Seed:         seed,
+		}
+		d, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		if d.Chain.Matrix().CheckStochastic(1e-9) != nil {
+			return false
+		}
+		half := step / 2
+		for i := 0; i < p.NumStates; i++ {
+			ok := true
+			d.Chain.Successors(i, func(j int, _ float64) {
+				if j < i-half || j > i+half {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := DefaultWindow()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("default window invalid: %v", err)
+	}
+	states := w.States(100000)
+	if len(states) != 21 || states[0] != 100 || states[20] != 120 {
+		t.Errorf("States = %d items [%d..%d]", len(states), states[0], states[len(states)-1])
+	}
+	times := w.Times()
+	if len(times) != 6 || times[0] != 20 || times[5] != 25 {
+		t.Errorf("Times = %v", times)
+	}
+	if w.Horizon() != 25 {
+		t.Errorf("Horizon = %d", w.Horizon())
+	}
+	if w.String() != "S=[100,120] T=[20,25]" {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestWindowClamping(t *testing.T) {
+	w := Window{StateLo: 90, StateHi: 200, TimeLo: 0, TimeHi: 2}
+	states := w.States(100)
+	if len(states) != 10 || states[0] != 90 || states[9] != 99 {
+		t.Errorf("clamped States = %v", states)
+	}
+	w2 := Window{StateLo: 200, StateHi: 300, TimeLo: 0, TimeHi: 0}
+	if got := w2.States(100); got != nil {
+		t.Errorf("fully out-of-space window returned %v", got)
+	}
+}
+
+func TestWindowValidate(t *testing.T) {
+	bad := []Window{
+		{StateLo: -1, StateHi: 5, TimeLo: 0, TimeHi: 1},
+		{StateLo: 5, StateHi: 4, TimeLo: 0, TimeHi: 1},
+		{StateLo: 0, StateHi: 5, TimeLo: -1, TimeHi: 1},
+		{StateLo: 0, StateHi: 5, TimeLo: 2, TimeHi: 1},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("window %v accepted", w)
+		}
+	}
+}
+
+func TestWindowWorkloadDraw(t *testing.T) {
+	wl := WindowWorkload{NumStates: 1000, StateExtent: 21, TimeStart: 20, TimeExtent: 6}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		w := wl.Draw(rng)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("drawn window invalid: %v", err)
+		}
+		if w.StateHi-w.StateLo+1 != 21 {
+			t.Fatalf("state extent = %d", w.StateHi-w.StateLo+1)
+		}
+		if w.TimeLo != 20 || w.TimeHi != 25 {
+			t.Fatalf("time interval = [%d,%d]", w.TimeLo, w.TimeHi)
+		}
+		if w.StateHi >= 1000 {
+			t.Fatalf("window exceeds space: %v", w)
+		}
+	}
+}
+
+func TestWindowWorkloadTinySpace(t *testing.T) {
+	wl := WindowWorkload{NumStates: 5, StateExtent: 10, TimeStart: 0, TimeExtent: 1}
+	w := wl.Draw(rand.New(rand.NewSource(1)))
+	if w.StateLo != 0 {
+		t.Errorf("tiny-space window should anchor at 0, got %d", w.StateLo)
+	}
+}

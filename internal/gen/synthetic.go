@@ -1,0 +1,177 @@
+// Package gen generates the synthetic datasets and query workloads of
+// the paper's evaluation (Section VIII-A, Table I). All generation is
+// deterministic for a given seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// Params are the synthetic dataset parameters of Table I.
+//
+//	parameter     value range      default
+//	|D|           1,000-100,000    10,000
+//	|S|           2,000-100,000    100,000
+//	object spread 5                5
+//	state spread  1-20             5
+//	max step      10-100           40
+type Params struct {
+	NumObjects   int // |D|
+	NumStates    int // |S|
+	ObjectSpread int // states per object's initial pdf
+	StateSpread  int // successors per state
+	MaxStep      int // locality window: successors within [i-max/2, i+max/2]
+	Seed         int64
+}
+
+// Defaults returns the paper's default parameter set with the given
+// seed. Note the paper's default state space is 100,000; tests and
+// benchmarks override NumStates downward where runtime budgets demand.
+func Defaults(seed int64) Params {
+	return Params{
+		NumObjects:   10000,
+		NumStates:    100000,
+		ObjectSpread: 5,
+		StateSpread:  5,
+		MaxStep:      40,
+		Seed:         seed,
+	}
+}
+
+// Validate checks the parameters against Table I's ranges, relaxed at
+// the low end so that tests can use tiny instances.
+func (p Params) Validate() error {
+	if p.NumObjects < 1 {
+		return fmt.Errorf("gen: NumObjects %d < 1", p.NumObjects)
+	}
+	if p.NumStates < 2 {
+		return fmt.Errorf("gen: NumStates %d < 2", p.NumStates)
+	}
+	if p.ObjectSpread < 1 || p.ObjectSpread > p.NumStates {
+		return fmt.Errorf("gen: ObjectSpread %d outside [1, %d]", p.ObjectSpread, p.NumStates)
+	}
+	if p.StateSpread < 1 {
+		return fmt.Errorf("gen: StateSpread %d < 1", p.StateSpread)
+	}
+	if p.MaxStep < 1 {
+		return fmt.Errorf("gen: MaxStep %d < 1", p.MaxStep)
+	}
+	// The locality window must be able to host state_spread successors.
+	if p.StateSpread > p.MaxStep+1 {
+		return fmt.Errorf("gen: StateSpread %d exceeds locality window of %d states", p.StateSpread, p.MaxStep+1)
+	}
+	return nil
+}
+
+// Dataset is a generated synthetic dataset: a shared chain plus the
+// initial distributions of |D| objects.
+type Dataset struct {
+	Params  Params
+	Chain   *markov.Chain
+	Objects []*markov.Distribution
+}
+
+// Generate builds the synthetic dataset per Section VIII-A:
+//
+//   - Transition matrix: from each state si it is possible to transition
+//     into state_spread states, all within
+//     [si − max_step/2, si + max_step/2] (clamped at the space borders);
+//     weights are random and row-normalized.
+//   - Objects: the location of each object at t0 is a pdf over
+//     object_spread states around a random anchor.
+func Generate(p Params) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	chain, err := GenerateChain(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	objects := GenerateObjects(p, rng)
+	return &Dataset{Params: p, Chain: chain, Objects: objects}, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(p Params) *Dataset {
+	d, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// GenerateChain builds only the transition matrix part of the dataset.
+func GenerateChain(p Params, rng *rand.Rand) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	half := p.MaxStep / 2
+	scratch := make([]int, 0, p.MaxStep+1)
+	m := sparse.FromRows(p.NumStates, p.NumStates, func(i int) ([]int, []float64) {
+		lo := i - half
+		hi := i + half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > p.NumStates-1 {
+			hi = p.NumStates - 1
+		}
+		window := hi - lo + 1
+		k := p.StateSpread
+		if k > window {
+			k = window
+		}
+		// Partial Fisher-Yates over the window to pick k distinct states.
+		scratch = scratch[:0]
+		for s := lo; s <= hi; s++ {
+			scratch = append(scratch, s)
+		}
+		idx := make([]int, k)
+		for c := 0; c < k; c++ {
+			pick := c + rng.Intn(window-c)
+			scratch[c], scratch[pick] = scratch[pick], scratch[c]
+			idx[c] = scratch[c]
+		}
+		vals := make([]float64, k)
+		sum := 0.0
+		for c := range vals {
+			vals[c] = rng.Float64() + 1e-3
+			sum += vals[c]
+		}
+		for c := range vals {
+			vals[c] /= sum
+		}
+		return idx, vals
+	})
+	return markov.NewChain(m)
+}
+
+// GenerateObjects builds the |D| initial distributions: each object gets
+// a random anchor state and a random pdf over object_spread consecutive
+// states starting at the anchor (clamped to the space).
+func GenerateObjects(p Params, rng *rand.Rand) []*markov.Distribution {
+	objects := make([]*markov.Distribution, p.NumObjects)
+	for o := range objects {
+		anchor := rng.Intn(p.NumStates)
+		if anchor > p.NumStates-p.ObjectSpread {
+			anchor = p.NumStates - p.ObjectSpread
+		}
+		states := make([]int, p.ObjectSpread)
+		weights := make([]float64, p.ObjectSpread)
+		for k := 0; k < p.ObjectSpread; k++ {
+			states[k] = anchor + k
+			weights[k] = rng.Float64() + 1e-3
+		}
+		d, err := markov.WeightedOver(p.NumStates, states, weights)
+		if err != nil {
+			panic(fmt.Sprintf("gen: internal error building object %d: %v", o, err))
+		}
+		objects[o] = d
+	}
+	return objects
+}

@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ust/internal/markov"
+)
+
+func trajectoryChain(t testing.TB) *markov.Chain {
+	t.Helper()
+	p := Params{NumObjects: 1, NumStates: 120, ObjectSpread: 1, StateSpread: 4, MaxStep: 12, Seed: 2}
+	rng := rand.New(rand.NewSource(2))
+	c, err := GenerateChain(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTrajectoryParamsValidate(t *testing.T) {
+	good := TrajectoryParams{Horizon: 10, ObservationTimes: []int{0, 5, 10}, Noise: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []TrajectoryParams{
+		{Horizon: -1, ObservationTimes: []int{0}},
+		{Horizon: 5, ObservationTimes: nil},
+		{Horizon: 5, ObservationTimes: []int{0, 7}},
+		{Horizon: 5, ObservationTimes: []int{0, 0}},
+		{Horizon: 5, ObservationTimes: []int{2}},
+		{Horizon: 5, ObservationTimes: []int{0}, Noise: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateTrajectoryPathValid(t *testing.T) {
+	chain := trajectoryChain(t)
+	rng := rand.New(rand.NewSource(7))
+	p := TrajectoryParams{Horizon: 15, ObservationTimes: []int{0, 8, 15}, Noise: 1}
+	tr, err := GenerateTrajectory(chain, p, rng)
+	if err != nil {
+		t.Fatalf("GenerateTrajectory: %v", err)
+	}
+	if len(tr.Path) != 16 {
+		t.Fatalf("path length %d, want 16", len(tr.Path))
+	}
+	for k := 0; k+1 < len(tr.Path); k++ {
+		if chain.TransitionProb(tr.Path[k], tr.Path[k+1]) == 0 {
+			t.Fatalf("impossible step %d->%d at t=%d", tr.Path[k], tr.Path[k+1], k)
+		}
+	}
+	if len(tr.Sightings) != 3 {
+		t.Fatalf("%d sightings, want 3", len(tr.Sightings))
+	}
+	// Every sighting must put positive mass on the true state.
+	for _, ob := range tr.Sightings {
+		if ob.PDF.P(tr.Path[ob.Time]) <= 0 {
+			t.Errorf("sighting at t=%d excludes the truth", ob.Time)
+		}
+		if err := ob.PDF.Validate(1e-9); err != nil {
+			t.Errorf("sighting pdf invalid: %v", err)
+		}
+	}
+}
+
+func TestGenerateTrajectoryPointObservations(t *testing.T) {
+	chain := trajectoryChain(t)
+	rng := rand.New(rand.NewSource(3))
+	p := TrajectoryParams{Horizon: 6, ObservationTimes: []int{0, 6}, Noise: 0}
+	tr, err := GenerateTrajectory(chain, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ob := range tr.Sightings {
+		if ob.PDF.P(tr.Path[ob.Time]) != 1 {
+			t.Errorf("noise=0 sighting at t=%d is not a point mass on the truth", ob.Time)
+		}
+	}
+}
+
+func TestSightingsIncludeTruthQuick(t *testing.T) {
+	chain := trajectoryChain(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := TrajectoryParams{Horizon: 10, ObservationTimes: []int{0, 5, 10}, Noise: 1 + int(seed%2&1)}
+		tr, err := GenerateTrajectory(chain, p, rng)
+		if err != nil {
+			return false
+		}
+		for _, ob := range tr.Sightings {
+			if ob.PDF.P(tr.Path[ob.Time]) <= 0 {
+				return false
+			}
+			// With noise ≥ 1, the truth keeps at least half the mass.
+			if ob.PDF.P(tr.Path[ob.Time]) < 0.25 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateTrajectories(t *testing.T) {
+	chain := trajectoryChain(t)
+	p := TrajectoryParams{Horizon: 8, ObservationTimes: []int{0, 8}, Noise: 1}
+	trs, err := GenerateTrajectories(chain, 25, p, 11)
+	if err != nil {
+		t.Fatalf("GenerateTrajectories: %v", err)
+	}
+	if len(trs) != 25 {
+		t.Fatalf("%d trajectories", len(trs))
+	}
+	// Determinism.
+	trs2, err := GenerateTrajectories(chain, 25, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trs {
+		for k := range trs[i].Path {
+			if trs[i].Path[k] != trs2[i].Path[k] {
+				t.Fatalf("trajectory %d differs at t=%d", i, k)
+			}
+		}
+	}
+	if _, err := GenerateTrajectories(chain, 0, p, 1); err == nil {
+		t.Error("zero objects accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Window is a spatio-temporal query window over the synthetic 1-D state
+// space: the state interval [StateLo, StateHi] crossed with the time
+// interval [TimeLo, TimeHi], matching the paper's default window
+// "states [100, 120], time interval [20, 25]".
+type Window struct {
+	StateLo, StateHi int
+	TimeLo, TimeHi   int
+}
+
+// DefaultWindow is the query window used throughout the paper's
+// experiments.
+func DefaultWindow() Window {
+	return Window{StateLo: 100, StateHi: 120, TimeLo: 20, TimeHi: 25}
+}
+
+// Validate rejects inverted or negative windows.
+func (w Window) Validate() error {
+	if w.StateLo < 0 || w.StateHi < w.StateLo {
+		return fmt.Errorf("gen: invalid state interval [%d, %d]", w.StateLo, w.StateHi)
+	}
+	if w.TimeLo < 0 || w.TimeHi < w.TimeLo {
+		return fmt.Errorf("gen: invalid time interval [%d, %d]", w.TimeLo, w.TimeHi)
+	}
+	return nil
+}
+
+// States expands the spatial side of the window into a state-id slice,
+// clamped to a space of n states.
+func (w Window) States(n int) []int {
+	lo, hi := w.StateLo, w.StateHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for s := lo; s <= hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Times expands the temporal side of the window into a timestamp slice.
+func (w Window) Times() []int {
+	out := make([]int, 0, w.TimeHi-w.TimeLo+1)
+	for t := w.TimeLo; t <= w.TimeHi; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Horizon returns the last timestamp the window touches.
+func (w Window) Horizon() int { return w.TimeHi }
+
+func (w Window) String() string {
+	return fmt.Sprintf("S=[%d,%d] T=[%d,%d]", w.StateLo, w.StateHi, w.TimeLo, w.TimeHi)
+}
+
+// WindowWorkload draws random query windows with the given spatial and
+// temporal extents, for averaging benchmark measurements over query
+// placements.
+type WindowWorkload struct {
+	NumStates   int // size of the state space
+	StateExtent int // number of states per window
+	TimeStart   int // first timestamp of every window
+	TimeExtent  int // number of timestamps per window
+}
+
+// Draw produces one random window.
+func (wl WindowWorkload) Draw(rng *rand.Rand) Window {
+	maxLo := wl.NumStates - wl.StateExtent
+	if maxLo < 0 {
+		maxLo = 0
+	}
+	lo := 0
+	if maxLo > 0 {
+		lo = rng.Intn(maxLo)
+	}
+	return Window{
+		StateLo: lo,
+		StateHi: lo + wl.StateExtent - 1,
+		TimeLo:  wl.TimeStart,
+		TimeHi:  wl.TimeStart + wl.TimeExtent - 1,
+	}
+}

@@ -1,0 +1,150 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ust/internal/sparse"
+)
+
+// Distribution is a probability distribution over the state space: the
+// paper's P(o, t) vector. It wraps sparse.Vec with probability-specific
+// construction and validation.
+type Distribution struct {
+	vec *sparse.Vec
+}
+
+// NewDistribution returns the zero distribution over n states (no mass;
+// callers fill it in).
+func NewDistribution(n int) *Distribution {
+	return &Distribution{vec: sparse.NewVec(n)}
+}
+
+// PointDistribution puts all mass on a single state: a precise
+// observation.
+func PointDistribution(n, state int) *Distribution {
+	if state < 0 || state >= n {
+		panic(fmt.Sprintf("markov: state %d out of range [0,%d)", state, n))
+	}
+	d := NewDistribution(n)
+	d.vec.Set(state, 1)
+	return d
+}
+
+// UniformOver spreads mass uniformly over the given states: an imprecise
+// observation with no interior preference (the shape used by the paper's
+// object spread parameter).
+func UniformOver(n int, states []int) *Distribution {
+	if len(states) == 0 {
+		panic("markov: UniformOver with no states")
+	}
+	d := NewDistribution(n)
+	p := 1 / float64(len(states))
+	for _, s := range states {
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("markov: state %d out of range [0,%d)", s, n))
+		}
+		d.vec.Set(s, p)
+	}
+	return d
+}
+
+// WeightedOver builds a distribution from parallel state/weight slices,
+// normalizing the weights to sum to one.
+func WeightedOver(n int, states []int, weights []float64) (*Distribution, error) {
+	if len(states) != len(weights) {
+		return nil, fmt.Errorf("markov: %d states but %d weights", len(states), len(weights))
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("markov: empty distribution")
+	}
+	d := NewDistribution(n)
+	for k, s := range states {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("markov: state %d out of range [0,%d)", s, n)
+		}
+		if weights[k] < 0 {
+			return nil, fmt.Errorf("markov: negative weight %g for state %d", weights[k], s)
+		}
+		d.vec.Add(s, weights[k])
+	}
+	if d.vec.Normalize() == 0 {
+		return nil, fmt.Errorf("markov: all weights zero")
+	}
+	return d, nil
+}
+
+// FromVec wraps an existing vector as a distribution without copying.
+func FromVec(v *sparse.Vec) *Distribution { return &Distribution{vec: v} }
+
+// Vec exposes the underlying vector. Callers must preserve
+// non-negativity.
+func (d *Distribution) Vec() *sparse.Vec { return d.vec }
+
+// NumStates returns the dimension of the state space.
+func (d *Distribution) NumStates() int { return d.vec.Len() }
+
+// P returns the probability mass on state i.
+func (d *Distribution) P(i int) float64 { return d.vec.At(i) }
+
+// Mass returns the total probability mass (1 for a proper distribution,
+// less after conditioning on impossible observations).
+func (d *Distribution) Mass() float64 { return d.vec.Sum() }
+
+// Support returns the states carrying mass, ascending.
+func (d *Distribution) Support() []int { return d.vec.Support() }
+
+// Validate checks that the distribution is a proper pdf: non-negative
+// (by construction) with total mass 1 within tol.
+func (d *Distribution) Validate(tol float64) error {
+	m := d.Mass()
+	if m < 1-tol || m > 1+tol {
+		return fmt.Errorf("markov: distribution mass %g is not 1", m)
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (d *Distribution) Clone() *Distribution {
+	return &Distribution{vec: d.vec.Clone()}
+}
+
+// Fuse combines d with an independent observation of the same epoch by
+// elementwise product followed by normalization (Lemma 1 of the paper).
+// It returns the pre-normalization mass, which is the probability that
+// the observation is consistent with d — zero means the observation
+// contradicts every possible world and the fused distribution is invalid.
+func (d *Distribution) Fuse(obs *Distribution) float64 {
+	d.vec.Hadamard(obs.vec)
+	return d.vec.Normalize()
+}
+
+// Entropy returns the Shannon entropy in nats; a convenience for
+// diagnostics and examples (0 for a point observation).
+func (d *Distribution) Entropy() float64 {
+	h := 0.0
+	d.vec.Range(func(_ int, p float64) {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	})
+	return h
+}
+
+// Mode returns the state with the largest mass and that mass. Ties break
+// toward the smallest state index for determinism.
+func (d *Distribution) Mode() (state int, p float64) {
+	state = -1
+	idx := d.Support()
+	sort.Ints(idx)
+	for _, i := range idx {
+		if x := d.vec.At(i); x > p {
+			state, p = i, x
+		}
+	}
+	return state, p
+}
+
+// String renders the distribution compactly.
+func (d *Distribution) String() string { return d.vec.String() }

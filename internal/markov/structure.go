@@ -1,0 +1,149 @@
+package markov
+
+// Structural analysis of a chain's transition graph: strongly connected
+// components, irreducibility and aperiodicity. Generated models should
+// usually be irreducible and aperiodic (otherwise Stationary diverges
+// and long-horizon queries degenerate); these helpers let callers
+// validate inputs up front.
+
+// SCCs returns the strongly connected components of the transition
+// graph (positive-probability edges), each as a sorted slice of state
+// ids, in reverse topological order (Tarjan's algorithm, iterative).
+func SCCs(c *Chain) [][]int {
+	n := c.NumStates()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int
+		stack   []int32
+		out     [][]int
+	)
+
+	type frame struct {
+		v    int32
+		edge int // cursor into v's successor list
+	}
+	// Collect adjacency once; row iteration is closure-based.
+	succ := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		c.Successors(i, func(j int, p float64) {
+			succ[i] = append(succ[i], int32(j))
+		})
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{v: int32(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := int(f.v)
+			if f.edge < len(succ[v]) {
+				w := int(succ[v][f.edge])
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, int32(w))
+					onStack[w] = true
+					work = append(work, frame{v: int32(w)})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := int(work[len(work)-1].v)
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, int(w))
+					if int(w) == v {
+						break
+					}
+				}
+				sortInts(comp)
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}
+
+// Irreducible reports whether every state reaches every other state:
+// exactly one strongly connected component.
+func Irreducible(c *Chain) bool {
+	return len(SCCs(c)) == 1
+}
+
+// Aperiodic reports whether the chain's period is 1, assuming it is
+// irreducible (callers should check Irreducible first; for reducible
+// chains the result refers to the component of state 0).
+//
+// The period is the gcd of all cycle lengths; it is computed by BFS
+// level labeling: for every edge (u, v), gcd accumulates
+// |level(u) + 1 − level(v)|.
+func Aperiodic(c *Chain) bool {
+	n := c.NumStates()
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	queue := []int{0}
+	g := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		c.Successors(u, func(v int, p float64) {
+			if level[v] == -1 {
+				level[v] = level[u] + 1
+				queue = append(queue, v)
+				return
+			}
+			d := level[u] + 1 - level[v]
+			if d < 0 {
+				d = -d
+			}
+			g = gcd(g, d)
+		})
+	}
+	return g == 1
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func sortInts(a []int) {
+	// Insertion sort: components are usually small; avoids an import.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ust/internal/sparse"
+)
+
+func TestSCCsPaperChain(t *testing.T) {
+	// The paper chain is irreducible: one SCC covering all states.
+	c := paperChain(t)
+	comps := SCCs(c)
+	if len(comps) != 1 {
+		t.Fatalf("SCCs = %v, want one component", comps)
+	}
+	if len(comps[0]) != 3 {
+		t.Errorf("component = %v, want all 3 states", comps[0])
+	}
+	if !Irreducible(c) {
+		t.Error("paper chain should be irreducible")
+	}
+}
+
+func TestSCCsReducibleChain(t *testing.T) {
+	// s0 -> s1 -> s2 (absorbing): three singleton components.
+	c := MustChain(mustFromDense([][]float64{
+		{0, 1, 0},
+		{0, 0, 1},
+		{0, 0, 1},
+	}))
+	comps := SCCs(c)
+	if len(comps) != 3 {
+		t.Fatalf("SCCs = %v, want 3 components", comps)
+	}
+	if Irreducible(c) {
+		t.Error("absorbing-path chain reported irreducible")
+	}
+	// Reverse topological order: the absorbing component first.
+	if comps[0][0] != 2 {
+		t.Errorf("first (sink) component = %v, want [2]", comps[0])
+	}
+}
+
+func TestSCCsTwoCycles(t *testing.T) {
+	// Two disjoint 2-cycles.
+	c := MustChain(mustFromDense([][]float64{
+		{0, 1, 0, 0},
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	}))
+	comps := SCCs(c)
+	if len(comps) != 2 {
+		t.Fatalf("SCCs = %v, want 2 components", comps)
+	}
+	for _, comp := range comps {
+		if len(comp) != 2 {
+			t.Errorf("component %v should have 2 states", comp)
+		}
+	}
+}
+
+func TestAperiodic(t *testing.T) {
+	// Self-loop → aperiodic.
+	if !Aperiodic(paperChain(t)) {
+		t.Error("paper chain (has self-loop) should be aperiodic")
+	}
+	// Pure 2-cycle → period 2.
+	cycle := MustChain(mustFromDense([][]float64{
+		{0, 1},
+		{1, 0},
+	}))
+	if Aperiodic(cycle) {
+		t.Error("2-cycle reported aperiodic")
+	}
+	// 2-cycle plus a 3-cycle shortcut → gcd(2,3)=1 → aperiodic.
+	mixed := MustChain(mustFromDense([][]float64{
+		{0, 0.5, 0.5},
+		{1, 0, 0},
+		{0, 1, 0},
+	}))
+	if !Aperiodic(mixed) {
+		t.Error("mixed cycle lengths should be aperiodic")
+	}
+}
+
+func TestIrreducibleAperiodicImpliesStationaryConvergesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomChain(rng, 4+rng.Intn(10), 3)
+		if !Irreducible(c) || !Aperiodic(c) {
+			return true // nothing to assert
+		}
+		pi, _, err := Stationary(c, 100000, 1e-10)
+		if err != nil {
+			return false
+		}
+		// Fixed point within tolerance.
+		next := c.Evolve(pi.Vec(), 1)
+		return next.Equal(pi.Vec(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustFromDense(rows [][]float64) *sparse.CSR {
+	return sparse.FromDense(rows)
+}

@@ -1,0 +1,225 @@
+// Package network provides the road-network substrate used by the
+// paper's real-data experiments: a directed graph type embedded in the
+// plane, randomized transition matrices derived from adjacency, and
+// deterministic synthetic generators that mimic the Munich and North
+// America road networks used in Section VIII ("the transition matrix is
+// equivalent to the adjacency matrix of the corresponding graph" with
+// random row-normalized weights).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ust/internal/sparse"
+	"ust/internal/spatial"
+)
+
+// Graph is a directed graph whose nodes are embedded in the plane. Nodes
+// are identified by dense integer ids 0…NumNodes−1, which double as
+// Markov-chain state identifiers.
+type Graph struct {
+	coords []spatial.Point
+	adj    [][]int32 // adjacency lists, sorted ascending
+	edges  int
+}
+
+// NewGraph returns an empty graph with n isolated nodes at the origin.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("network: negative node count %d", n))
+	}
+	return &Graph{
+		coords: make([]spatial.Point, n),
+		adj:    make([][]int32, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.coords) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// SetCoord places node id at point p.
+func (g *Graph) SetCoord(id int, p spatial.Point) { g.coords[id] = p }
+
+// Coord returns the embedding of node id.
+func (g *Graph) Coord(id int) spatial.Point { return g.coords[id] }
+
+// AddEdge inserts the directed edge u→v. Duplicate and self-loop edges
+// are ignored; the return reports whether the edge was inserted.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("network: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+	}
+	lst := g.adj[u]
+	pos := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(v) })
+	if pos < len(lst) && lst[pos] == int32(v) {
+		return false
+	}
+	lst = append(lst, 0)
+	copy(lst[pos+1:], lst[pos:])
+	lst[pos] = int32(v)
+	g.adj[u] = lst
+	g.edges++
+	return true
+}
+
+// AddUndirected inserts both u→v and v→u, returning how many directed
+// edges were actually new (0, 1 or 2).
+func (g *Graph) AddUndirected(u, v int) int {
+	n := 0
+	if g.AddEdge(u, v) {
+		n++
+	}
+	if g.AddEdge(v, u) {
+		n++
+	}
+	return n
+}
+
+// HasEdge reports whether the directed edge u→v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	lst := g.adj[u]
+	pos := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(v) })
+	return pos < len(lst) && lst[pos] == int32(v)
+}
+
+// OutDegree returns the number of outgoing edges of node id.
+func (g *Graph) OutDegree(id int) int { return len(g.adj[id]) }
+
+// Successors calls fn for every outgoing neighbor of node id in
+// ascending order.
+func (g *Graph) Successors(id int, fn func(v int)) {
+	for _, v := range g.adj[id] {
+		fn(int(v))
+	}
+}
+
+// DegreeHistogram returns a map from out-degree to node count; used by
+// tests to compare generated networks against the paper's shape.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := map[int]int{}
+	for _, lst := range g.adj {
+		h[len(lst)]++
+	}
+	return h
+}
+
+// ConnectedComponents returns the number of weakly connected components.
+func (g *Graph) ConnectedComponents() int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	// Build an undirected view once.
+	und := make([][]int32, n)
+	for u, lst := range g.adj {
+		for _, v := range lst {
+			und[u] = append(und[u], v)
+			und[v] = append(und[v], int32(u))
+		}
+	}
+	seen := make([]bool, n)
+	comps := 0
+	stack := make([]int32, 0, 64)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		comps++
+		seen[s] = true
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range und[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// TransitionMatrix derives a row-stochastic matrix from the adjacency
+// structure exactly as the paper does: "The value of the non-zero entries
+// of one line in the matrix are set randomly and sum up to one." Nodes
+// without outgoing edges receive a self-loop so the chain stays valid.
+func (g *Graph) TransitionMatrix(rng *rand.Rand) *sparse.CSR {
+	n := g.NumNodes()
+	return sparse.FromRows(n, n, func(i int) ([]int, []float64) {
+		lst := g.adj[i]
+		if len(lst) == 0 {
+			return []int{i}, []float64{1}
+		}
+		idx := make([]int, len(lst))
+		vals := make([]float64, len(lst))
+		s := 0.0
+		for k, v := range lst {
+			idx[k] = int(v)
+			vals[k] = rng.Float64() + 1e-3
+			s += vals[k]
+		}
+		for k := range vals {
+			vals[k] /= s
+		}
+		return idx, vals
+	})
+}
+
+// SelfLoopTransitionMatrix is TransitionMatrix with an additional stay
+// probability on every node, modelling vehicles that wait at a crossing.
+// stay must lie in [0, 1).
+func (g *Graph) SelfLoopTransitionMatrix(rng *rand.Rand, stay float64) *sparse.CSR {
+	if stay < 0 || stay >= 1 {
+		panic(fmt.Sprintf("network: stay probability %g outside [0,1)", stay))
+	}
+	n := g.NumNodes()
+	return sparse.FromRows(n, n, func(i int) ([]int, []float64) {
+		lst := g.adj[i]
+		if len(lst) == 0 {
+			return []int{i}, []float64{1}
+		}
+		idx := make([]int, 0, len(lst)+1)
+		vals := make([]float64, 0, len(lst)+1)
+		s := 0.0
+		w := make([]float64, len(lst))
+		for k := range lst {
+			w[k] = rng.Float64() + 1e-3
+			s += w[k]
+		}
+		selfAt := -1
+		for k, v := range lst {
+			if int(v) > i && selfAt < 0 {
+				selfAt = len(idx)
+				idx = append(idx, i)
+				vals = append(vals, stay)
+			}
+			idx = append(idx, int(v))
+			vals = append(vals, (1-stay)*w[k]/s)
+		}
+		if selfAt < 0 {
+			idx = append(idx, i)
+			vals = append(vals, stay)
+		}
+		return idx, vals
+	})
+}
+
+// RTree builds a spatial index over the node embeddings, mapping query
+// regions to node-id sets.
+func (g *Graph) RTree(degree int) *spatial.RTree {
+	entries := make([]spatial.Entry, g.NumNodes())
+	for id := range entries {
+		entries[id] = spatial.Entry{P: g.coords[id], ID: id}
+	}
+	return spatial.BulkLoad(entries, degree)
+}

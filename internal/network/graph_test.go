@@ -1,0 +1,177 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ust/internal/spatial"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := NewGraph(4)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("first AddEdge returned false")
+	}
+	if g.AddEdge(0, 1) {
+		t.Error("duplicate AddEdge returned true")
+	}
+	if g.AddEdge(2, 2) {
+		t.Error("self-loop accepted")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if g.OutDegree(0) != 1 || g.OutDegree(1) != 0 {
+		t.Error("OutDegree wrong")
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	NewGraph(2).AddEdge(0, 5)
+}
+
+func TestAddUndirected(t *testing.T) {
+	g := NewGraph(3)
+	if n := g.AddUndirected(0, 1); n != 2 {
+		t.Errorf("AddUndirected new pair = %d, want 2", n)
+	}
+	if n := g.AddUndirected(1, 0); n != 0 {
+		t.Errorf("AddUndirected existing pair = %d, want 0", n)
+	}
+	g.AddEdge(1, 2)
+	if n := g.AddUndirected(1, 2); n != 1 {
+		t.Errorf("AddUndirected half-existing pair = %d, want 1", n)
+	}
+}
+
+func TestSuccessorsSorted(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	var got []int
+	g.Successors(0, func(v int) { got = append(got, v) })
+	want := []int{1, 3, 4}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Successors = %v, want %v", got, want)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGraph(6)
+	g.AddUndirected(0, 1)
+	g.AddUndirected(1, 2)
+	g.AddUndirected(3, 4)
+	// node 5 isolated
+	if got := g.ConnectedComponents(); got != 3 {
+		t.Errorf("ConnectedComponents = %d, want 3", got)
+	}
+	// Directed edges still connect weakly.
+	g2 := NewGraph(2)
+	g2.AddEdge(0, 1)
+	if got := g2.ConnectedComponents(); got != 1 {
+		t.Errorf("weak connectivity: %d components, want 1", got)
+	}
+	if NewGraph(0).ConnectedComponents() != 0 {
+		t.Error("empty graph should have 0 components")
+	}
+}
+
+func TestTransitionMatrixStochasticQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g := NewGraph(n)
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		m := g.TransitionMatrix(rng)
+		return m.CheckStochastic(1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitionMatrixSupportsAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	m := g.TransitionMatrix(rng)
+	if m.At(0, 1) <= 0 || m.At(0, 2) <= 0 {
+		t.Error("adjacent transitions must be positive")
+	}
+	if m.At(0, 3) != 0 {
+		t.Error("non-adjacent transition must be zero")
+	}
+	// Dangling nodes self-loop.
+	if m.At(3, 3) != 1 {
+		t.Errorf("dangling node self-loop = %g, want 1", m.At(3, 3))
+	}
+}
+
+func TestSelfLoopTransitionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 0)
+	m := g.SelfLoopTransitionMatrix(rng, 0.3)
+	if err := m.CheckStochastic(1e-9); err != nil {
+		t.Fatalf("not stochastic: %v", err)
+	}
+	if got := m.At(0, 0); got != 0.3 {
+		t.Errorf("stay probability = %g, want 0.3", got)
+	}
+	// Node 2's successors are all smaller than 2: self-loop appended at end.
+	if got := m.At(2, 2); got != 0.3 {
+		t.Errorf("stay probability (append path) = %g, want 0.3", got)
+	}
+	if m.At(1, 1) != 1 {
+		t.Error("dangling node should self-loop with probability 1")
+	}
+}
+
+func TestSelfLoopStayOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stay=1 did not panic")
+		}
+	}()
+	NewGraph(2).SelfLoopTransitionMatrix(rand.New(rand.NewSource(1)), 1)
+}
+
+func TestGraphRTree(t *testing.T) {
+	g := NewGraph(9)
+	for i := 0; i < 9; i++ {
+		g.SetCoord(i, spatial.Point{X: float64(i % 3), Y: float64(i / 3)})
+	}
+	tr := g.RTree(4)
+	got := tr.Search(spatial.NewRect(-0.5, -0.5, 1.5, 0.5))
+	// Points with x in [-.5,1.5], y in [-.5,.5]: nodes 0,1 (y=0, x=0,1).
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("RTree search = %v, want [0 1]", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	h := g.DegreeHistogram()
+	if h[2] != 1 || h[1] != 1 || h[0] != 2 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+}

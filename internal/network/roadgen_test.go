@@ -1,0 +1,134 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateSmallNetwork(t *testing.T) {
+	spec := RoadNetworkSpec{Name: "test", Nodes: 500, UndirectedEdges: 650, Seed: 42}
+	g, err := Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.NumNodes() != 500 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 2*650 {
+		t.Errorf("NumEdges = %d, want %d (two-way roads)", g.NumEdges(), 2*650)
+	}
+	if got := g.ConnectedComponents(); got != 1 {
+		t.Errorf("generated network has %d components, want 1", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := RoadNetworkSpec{Name: "det", Nodes: 300, UndirectedEdges: 400, Seed: 7}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Coord(i) != b.Coord(i) {
+			t.Fatalf("coords differ at node %d", i)
+		}
+		var sa, sb []int
+		a.Successors(i, func(v int) { sa = append(sa, v) })
+		b.Successors(i, func(v int) { sb = append(sb, v) })
+		if len(sa) != len(sb) {
+			t.Fatalf("adjacency differs at node %d", i)
+		}
+		for k := range sa {
+			if sa[k] != sb[k] {
+				t.Fatalf("adjacency differs at node %d", i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(RoadNetworkSpec{Nodes: 300, UndirectedEdges: 400, Seed: 1})
+	b := MustGenerate(RoadNetworkSpec{Nodes: 300, UndirectedEdges: 400, Seed: 2})
+	same := true
+	for i := 0; i < a.NumNodes() && same; i++ {
+		if a.Coord(i) != b.Coord(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical layouts")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(RoadNetworkSpec{Nodes: 1, UndirectedEdges: 5}); err == nil {
+		t.Error("single-node spec accepted")
+	}
+	if _, err := Generate(RoadNetworkSpec{Nodes: 10, UndirectedEdges: 3}); err == nil {
+		t.Error("under-connected spec accepted")
+	}
+}
+
+func TestGenerateEdgesAreLocal(t *testing.T) {
+	// Roads connect spatial neighbors: verify the mean edge length is
+	// far below the diameter of the area.
+	g := MustGenerate(RoadNetworkSpec{Nodes: 1000, UndirectedEdges: 1300, Seed: 3})
+	side := math.Sqrt(1000.0)
+	total, n := 0.0, 0
+	for u := 0; u < g.NumNodes(); u++ {
+		g.Successors(u, func(v int) {
+			total += dist(g.Coord(u), g.Coord(v))
+			n++
+		})
+	}
+	mean := total / float64(n)
+	if mean > side/4 {
+		t.Errorf("mean edge length %g too large for side %g: network is not local", mean, side)
+	}
+}
+
+func TestMunichAndNASpecsScaled(t *testing.T) {
+	// Full-size specs are exercised by the harness at -scale full; tests
+	// verify the scaled variants keep the density ratios.
+	m := MunichSpec(1).Scaled(100)
+	if m.Nodes != 731 || m.UndirectedEdges != 939 {
+		t.Errorf("Munich/100 = %d nodes %d edges", m.Nodes, m.UndirectedEdges)
+	}
+	na := NorthAmericaSpec(1).Scaled(100)
+	if na.Nodes != 1758 || na.UndirectedEdges != 1791 {
+		t.Errorf("NA/100 = %d nodes %d edges", na.Nodes, na.UndirectedEdges)
+	}
+	// Scaled(1) and below is the identity.
+	if s := MunichSpec(1).Scaled(1); s.Nodes != 73120 {
+		t.Errorf("Scaled(1) changed the spec: %+v", s)
+	}
+
+	gm := MustGenerate(m)
+	if gm.ConnectedComponents() != 1 {
+		t.Error("scaled Munich not connected")
+	}
+	gna := MustGenerate(na)
+	if gna.ConnectedComponents() != 1 {
+		t.Error("scaled NA not connected")
+	}
+	// NA must be sparser than Munich (average degree 2.04 vs 2.57).
+	degM := float64(gm.NumEdges()) / float64(gm.NumNodes())
+	degNA := float64(gna.NumEdges()) / float64(gna.NumNodes())
+	if degNA >= degM {
+		t.Errorf("NA degree %g should be below Munich degree %g", degNA, degM)
+	}
+}
+
+func TestGeneratedTransitionMatrixValid(t *testing.T) {
+	g := MustGenerate(RoadNetworkSpec{Nodes: 400, UndirectedEdges: 520, Seed: 9})
+	m := g.TransitionMatrix(rand.New(rand.NewSource(9)))
+	if err := m.CheckStochastic(1e-9); err != nil {
+		t.Fatalf("road-network transition matrix invalid: %v", err)
+	}
+	// Each undirected road contributes two non-zeros per the paper.
+	if m.NNZ() < g.NumEdges() {
+		t.Errorf("NNZ = %d below directed edge count %d", m.NNZ(), g.NumEdges())
+	}
+}

@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the kernels every query reduces to. The
+// dimensions mirror the query engine's hot path: a few thousand states,
+// short rows (Table I spreads), and forward vectors of varying density.
+
+func benchMatrix(b *testing.B, n, rowNNZ int) *CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randomStochastic(rng, n, rowNNZ)
+}
+
+func BenchmarkVecMatSparseVector(b *testing.B) {
+	for _, supp := range []int{5, 100, 2000} {
+		m := benchMatrix(b, 10000, 5)
+		x := NewVec(10000)
+		rng := rand.New(rand.NewSource(2))
+		for x.NNZ() < supp {
+			x.Set(rng.Intn(10000), rng.Float64())
+		}
+		dst := NewVec(10000)
+		b.Run(fmt.Sprintf("support=%d", supp), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				VecMat(dst, x, m)
+			}
+		})
+	}
+}
+
+func BenchmarkMatVecDense(b *testing.B) {
+	m := benchMatrix(b, 10000, 5)
+	x := NewVec(10000)
+	for i := 0; i < 10000; i++ {
+		x.Set(i, 1.0/10000)
+	}
+	dst := NewVec(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(dst, m, x)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchMatrix(b, 10000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transpose()
+	}
+}
+
+func BenchmarkMatMulSmall(b *testing.B) {
+	m := benchMatrix(b, 500, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(m, m)
+	}
+}
+
+func BenchmarkVecDotSparseDense(b *testing.B) {
+	dense := NewVec(10000)
+	for i := 0; i < 10000; i++ {
+		dense.Set(i, 0.5)
+	}
+	sp := NewVec(10000)
+	rng := rand.New(rand.NewSource(3))
+	for sp.NNZ() < 5 {
+		sp.Set(rng.Intn(10000), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Dot(dense)
+	}
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	bl := NewBuilder(5000, 5000)
+	for i := 0; i < 25000; i++ {
+		bl.Add(rng.Intn(5000), rng.Intn(5000), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Build()
+	}
+}

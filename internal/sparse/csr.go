@@ -1,0 +1,249 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is an immutable compressed-sparse-row matrix.
+//
+// Rows point into the Cols/Vals arrays via RowPtr: the non-zeros of row i
+// live at positions RowPtr[i]..RowPtr[i+1]. Column indices within a row
+// are sorted ascending and unique. CSR values are float64 and may be any
+// finite number; the query engine only ever stores probabilities.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Dims returns the number of rows and columns.
+func (m *CSR) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// At returns the entry at (i, j), zero when not stored. Lookup is a binary
+// search within the row.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: At(%d,%d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.vals[k]
+	}
+	return 0
+}
+
+// Row calls fn for every stored entry (j, value) of row i in ascending
+// column order.
+func (m *CSR) Row(i int, fn func(j int, x float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.vals[k])
+	}
+}
+
+// RowSlices returns the column-index and value slices backing row i.
+// Callers must not mutate them.
+func (m *CSR) RowSlices(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
+// RowSum returns Σ_j m[i,j].
+func (m *CSR) RowSum(i int) float64 {
+	s := 0.0
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		s += m.vals[k]
+	}
+	return s
+}
+
+// Transpose returns a new CSR holding mᵀ. The construction is the classic
+// two-pass counting transpose and runs in O(nnz + rows + cols).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		rows:   m.cols,
+		cols:   m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, m.NNZ()),
+		vals:   make([]float64, m.NNZ()),
+	}
+	// Count entries per column of m (= per row of t).
+	for _, j := range m.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		t.rowPtr[j+1] += t.rowPtr[j]
+	}
+	// Scatter. next[j] tracks the insertion cursor for t's row j.
+	next := append([]int(nil), t.rowPtr[:m.cols]...)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			p := next[j]
+			t.colIdx[p] = i
+			t.vals[p] = m.vals[k]
+			next[j]++
+		}
+	}
+	// Rows of t are filled in ascending i order, so columns are sorted.
+	return t
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		rows:   m.rows,
+		cols:   m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		vals:   append([]float64(nil), m.vals...),
+	}
+}
+
+// Dense expands m into a freshly allocated row-major dense matrix,
+// intended for tests and tiny examples only.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.rows)
+	flat := make([]float64, m.rows*m.cols)
+	for i := range out {
+		out[i] = flat[i*m.cols : (i+1)*m.cols]
+		m.Row(i, func(j int, x float64) { out[i][j] = x })
+	}
+	return out
+}
+
+// Equal reports whether m and o describe the same matrix within tol.
+func (m *CSR) Equal(o *CSR, tol float64) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		mc, mv := m.RowSlices(i)
+		oc, ov := o.RowSlices(i)
+		// Merge-compare the two sorted rows, treating missing as zero.
+		a, b := 0, 0
+		for a < len(mc) || b < len(oc) {
+			switch {
+			case b >= len(oc) || (a < len(mc) && mc[a] < oc[b]):
+				if math.Abs(mv[a]) > tol {
+					return false
+				}
+				a++
+			case a >= len(mc) || oc[b] < mc[a]:
+				if math.Abs(ov[b]) > tol {
+					return false
+				}
+				b++
+			default:
+				if math.Abs(mv[a]-ov[b]) > tol {
+					return false
+				}
+				a++
+				b++
+			}
+		}
+	}
+	return true
+}
+
+// ScaleRows returns a copy of m with row i multiplied by f(i).
+func (m *CSR) ScaleRows(f func(i int) float64) *CSR {
+	out := m.Clone()
+	for i := 0; i < out.rows; i++ {
+		c := f(i)
+		for k := out.rowPtr[i]; k < out.rowPtr[i+1]; k++ {
+			out.vals[k] *= c
+		}
+	}
+	return out
+}
+
+// MaskColumns returns a copy of m with every stored entry whose column j
+// has keep(j) == false removed. Used to build the paper's M′ matrix
+// (columns of the query region zeroed).
+func (m *CSR) MaskColumns(keep func(j int) bool) *CSR {
+	out := &CSR{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if keep(m.colIdx[k]) {
+				out.colIdx = append(out.colIdx, m.colIdx[k])
+				out.vals = append(out.vals, m.vals[k])
+			}
+		}
+		out.rowPtr[i+1] = len(out.vals)
+	}
+	return out
+}
+
+// ErrNotStochastic is returned by CheckStochastic for matrices whose rows
+// do not form probability distributions.
+var ErrNotStochastic = errors.New("sparse: matrix is not row-stochastic")
+
+// CheckStochastic verifies that every entry is non-negative and every row
+// sums to 1 within tol. It returns a descriptive error wrapping
+// ErrNotStochastic on the first violation.
+func (m *CSR) CheckStochastic(tol float64) error {
+	if m.rows != m.cols {
+		return fmt.Errorf("%w: %dx%d is not square", ErrNotStochastic, m.rows, m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if m.vals[k] < 0 {
+				return fmt.Errorf("%w: negative entry %g at (%d,%d)", ErrNotStochastic, m.vals[k], i, m.colIdx[k])
+			}
+			s += m.vals[k]
+		}
+		if math.Abs(s-1) > tol {
+			return fmt.Errorf("%w: row %d sums to %g", ErrNotStochastic, i, s)
+		}
+	}
+	return nil
+}
+
+// NormalizeRows returns a copy of m with every non-empty row rescaled to
+// sum to one. Empty rows are left empty (callers decide how to handle
+// absorbing/dangling states).
+func (m *CSR) NormalizeRows() *CSR {
+	out := m.Clone()
+	for i := 0; i < out.rows; i++ {
+		s := out.RowSum(i)
+		if s == 0 {
+			continue
+		}
+		for k := out.rowPtr[i]; k < out.rowPtr[i+1]; k++ {
+			out.vals[k] /= s
+		}
+	}
+	return out
+}
+
+// String renders small matrices densely for debugging; larger matrices
+// render as a summary line.
+func (m *CSR) String() string {
+	if m.rows*m.cols > 10000 {
+		return fmt.Sprintf("CSR{%dx%d, nnz=%d}", m.rows, m.cols, m.NNZ())
+	}
+	out := ""
+	d := m.Dense()
+	for _, row := range d {
+		out += fmt.Sprintf("%v\n", row)
+	}
+	return out
+}

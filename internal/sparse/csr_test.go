@@ -1,0 +1,312 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperChain is the running-example Markov chain from Section V of the
+// paper.
+func paperChain() *CSR {
+	return FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+}
+
+func TestFromDenseAndAt(t *testing.T) {
+	m := paperChain()
+	if r, c := m.Dims(); r != 3 || c != 3 {
+		t.Fatalf("Dims = %dx%d, want 3x3", r, c)
+	}
+	if m.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5", m.NNZ())
+	}
+	cases := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 0}, {0, 2, 1}, {1, 0, 0.6}, {1, 2, 0.4}, {2, 1, 0.8}, {2, 2, 0.2},
+	}
+	for _, c := range cases {
+		if got := m.At(c.i, c.j); got != c.want {
+			t.Errorf("At(%d,%d) = %g, want %g", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of bounds did not panic")
+		}
+	}()
+	paperChain().At(3, 0)
+}
+
+func TestRowIterationSorted(t *testing.T) {
+	m := paperChain()
+	var cols []int
+	m.Row(1, func(j int, _ float64) { cols = append(cols, j) })
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Errorf("Row(1) columns = %v, want [0 2]", cols)
+	}
+	if m.RowNNZ(1) != 2 {
+		t.Errorf("RowNNZ(1) = %d, want 2", m.RowNNZ(1))
+	}
+}
+
+func TestRowSum(t *testing.T) {
+	m := paperChain()
+	for i := 0; i < 3; i++ {
+		if s := m.RowSum(i); math.Abs(s-1) > 1e-15 {
+			t.Errorf("RowSum(%d) = %g, want 1", i, s)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := paperChain()
+	mt := m.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Errorf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeRectangular(t *testing.T) {
+	m := FromDense([][]float64{
+		{1, 0, 2, 0},
+		{0, 3, 0, 0},
+	})
+	mt := m.Transpose()
+	if r, c := mt.Dims(); r != 4 || c != 2 {
+		t.Fatalf("transpose dims = %dx%d, want 4x2", r, c)
+	}
+	if mt.At(2, 0) != 2 || mt.At(1, 1) != 3 {
+		t.Error("transpose values wrong")
+	}
+}
+
+func TestTransposeInvolutionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomCSR(rand.New(rand.NewSource(seed)), 13, 7, 0.3)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := paperChain()
+	c := m.Clone()
+	c.vals[0] = 99
+	if m.vals[0] == 99 {
+		t.Error("Clone shares value storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	m := paperChain()
+	if !m.Equal(m.Clone(), 0) {
+		t.Error("matrix not Equal to its clone")
+	}
+	other := FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.3},
+	})
+	if m.Equal(other, 1e-9) {
+		t.Error("different matrices reported Equal")
+	}
+	if !m.Equal(other, 0.2) {
+		t.Error("Equal ignores tolerance")
+	}
+	if m.Equal(Identity(4), 1) {
+		t.Error("Equal ignores dimensions")
+	}
+}
+
+func TestEqualExplicitZeroVsMissing(t *testing.T) {
+	// A stored zero must compare equal to a structurally missing zero.
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 1e-30)
+	m1 := b.Build()
+	m2 := FromDense([][]float64{{1, 0}, {0, 0}})
+	if !m1.Equal(m2, 1e-20) {
+		t.Error("near-zero stored entry should compare equal to missing entry")
+	}
+}
+
+func TestMaskColumns(t *testing.T) {
+	m := paperChain()
+	// Zero columns {1, 2}: M' for query region S = {s2, s3}.
+	masked := m.MaskColumns(func(j int) bool { return j != 1 && j != 2 })
+	want := FromDense([][]float64{
+		{0, 0, 0},
+		{0.6, 0, 0},
+		{0, 0, 0},
+	})
+	if !masked.Equal(want, 0) {
+		t.Errorf("MaskColumns result:\n%v\nwant:\n%v", masked, want)
+	}
+	// Removed mass per row equals RowSum(original) - RowSum(masked).
+	if got := m.RowSum(0) - masked.RowSum(0); got != 1 {
+		t.Errorf("removed mass row 0 = %g, want 1", got)
+	}
+}
+
+func TestCheckStochastic(t *testing.T) {
+	if err := paperChain().CheckStochastic(1e-12); err != nil {
+		t.Errorf("paper chain should be stochastic: %v", err)
+	}
+	bad := FromDense([][]float64{{0.5, 0.4}, {1, 0}})
+	err := bad.CheckStochastic(1e-12)
+	if !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("expected ErrNotStochastic, got %v", err)
+	}
+	neg := FromDense([][]float64{{1.5, -0.5}, {0, 1}})
+	if err := neg.CheckStochastic(1e-12); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("negative entry not rejected: %v", err)
+	}
+	rect := FromDense([][]float64{{1, 0}})
+	if err := rect.CheckStochastic(1e-12); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("non-square not rejected: %v", err)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := FromDense([][]float64{
+		{2, 2},
+		{0, 0},
+	})
+	n := m.NormalizeRows()
+	if n.At(0, 0) != 0.5 || n.At(0, 1) != 0.5 {
+		t.Error("NormalizeRows wrong on non-empty row")
+	}
+	if n.RowNNZ(1) != 0 {
+		t.Error("NormalizeRows should leave empty rows empty")
+	}
+}
+
+func TestScaleRows(t *testing.T) {
+	m := paperChain().ScaleRows(func(i int) float64 { return float64(i + 1) })
+	if m.At(1, 0) != 1.2 {
+		t.Errorf("ScaleRows: At(1,0) = %g, want 1.2", m.At(1, 0))
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	if err := id.CheckStochastic(0); err != nil {
+		t.Errorf("identity not stochastic: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("Identity At(%d,%d) = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	m := paperChain()
+	back := FromDense(m.Dense())
+	if !m.Equal(back, 0) {
+		t.Error("Dense -> FromDense round trip mismatch")
+	}
+}
+
+// randomCSR produces a random matrix with the given fill probability.
+// Values are strictly positive to respect the non-negativity contract of
+// the vector kernels.
+func randomCSR(rng *rand.Rand, rows, cols int, fill float64) *CSR {
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < fill {
+				b.Add(i, j, rng.Float64()+0.01)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// randomStochastic produces a random row-stochastic matrix where each row
+// has between 1 and maxOut entries.
+func randomStochastic(rng *rand.Rand, n, maxOut int) *CSR {
+	return FromRows(n, n, func(i int) ([]int, []float64) {
+		k := 1 + rng.Intn(maxOut)
+		seen := map[int]bool{}
+		var idx []int
+		for len(idx) < k {
+			j := rng.Intn(n)
+			if !seen[j] {
+				seen[j] = true
+				idx = append(idx, j)
+			}
+		}
+		vals := make([]float64, len(idx))
+		s := 0.0
+		for p := range vals {
+			vals[p] = rng.Float64() + 1e-3
+			s += vals[p]
+		}
+		for p := range vals {
+			vals[p] /= s
+		}
+		return idx, vals
+	})
+}
+
+func TestCSRString(t *testing.T) {
+	small := paperChain()
+	if s := small.String(); len(s) == 0 {
+		t.Error("small String empty")
+	}
+	big := Identity(200)
+	s := big.String()
+	if s != "CSR{200x200, nnz=200}" {
+		t.Errorf("large String = %q", s)
+	}
+}
+
+func TestBuilderNNZAndReuse(t *testing.T) {
+	b := NewBuilder(2, 2)
+	if b.NNZ() != 0 {
+		t.Error("fresh builder NNZ != 0")
+	}
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 1)
+	if b.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2 (pre-dedupe)", b.NNZ())
+	}
+	first := b.Build()
+	second := b.Build()
+	if !first.Equal(second, 0) {
+		t.Error("Build is not repeatable")
+	}
+}
+
+func TestNewBuilderNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative builder dims did not panic")
+		}
+	}()
+	NewBuilder(-1, 2)
+}

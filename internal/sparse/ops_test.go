@@ -1,0 +1,269 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecMatPaperExample(t *testing.T) {
+	// P(o,0) = (0,1,0); after one step (0.6, 0, 0.4); after two
+	// (0, 0.32, 0.68) — the numbers worked in Section V-A of the paper.
+	m := paperChain()
+	x := NewVec(3)
+	x.Set(1, 1)
+	y := NewVec(3)
+	VecMat(y, x, m)
+	if math.Abs(y.At(0)-0.6) > 1e-15 || y.At(1) != 0 || math.Abs(y.At(2)-0.4) > 1e-15 {
+		t.Fatalf("step 1 = %v, want [0:0.6 2:0.4]", y)
+	}
+	x2 := NewVec(3)
+	VecMat(x2, y, m)
+	if x2.At(0) != 0 || math.Abs(x2.At(1)-0.32) > 1e-12 || math.Abs(x2.At(2)-0.68) > 1e-12 {
+		t.Fatalf("step 2 = %v, want [1:0.32 2:0.68]", x2)
+	}
+}
+
+func TestVecMatAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased VecMat did not panic")
+		}
+	}()
+	v := NewVec(3)
+	VecMat(v, v, paperChain())
+}
+
+func TestVecMatDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched VecMat did not panic")
+		}
+	}()
+	VecMat(NewVec(3), NewVec(4), paperChain())
+}
+
+func TestMatVecAgainstTransposedVecMat(t *testing.T) {
+	// M·x == xᵀ·Mᵀ: the query-based backward step can be computed either
+	// way; both paths must agree.
+	rng := rand.New(rand.NewSource(7))
+	m := randomStochastic(rng, 20, 4)
+	mt := m.Transpose()
+	x := NewVec(20)
+	for i := 0; i < 20; i += 3 {
+		x.Set(i, rng.Float64())
+	}
+	viaMatVec := NewVec(20)
+	MatVec(viaMatVec, m, x)
+	viaVecMat := NewVec(20)
+	VecMat(viaVecMat, x, mt)
+	if !viaMatVec.Equal(viaVecMat, 1e-12) {
+		t.Errorf("MatVec disagrees with VecMat on transpose:\n%v\n%v", viaMatVec, viaVecMat)
+	}
+}
+
+func TestVecMatMatchesDenseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 11, 17
+		m := randomCSR(rng, rows, cols, 0.25)
+		x := NewVec(rows)
+		for i := 0; i < rows; i++ {
+			if rng.Float64() < 0.4 {
+				x.Set(i, rng.Float64())
+			}
+		}
+		y := NewVec(cols)
+		VecMat(y, x, m)
+		// Dense reference.
+		d := m.Dense()
+		for j := 0; j < cols; j++ {
+			want := 0.0
+			for i := 0; i < rows; i++ {
+				want += x.At(i) * d[i][j]
+			}
+			if math.Abs(y.At(j)-want) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecMatPreservesMassQuick(t *testing.T) {
+	// Probability mass is conserved by a stochastic transition:
+	// Σ (x·M) == Σ x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(30)
+		m := randomStochastic(rng, n, 5)
+		x := NewVec(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				x.Set(i, rng.Float64())
+			}
+		}
+		y := NewVec(n)
+		VecMat(y, x, m)
+		return math.Abs(y.Sum()-x.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulPaperExample(t *testing.T) {
+	m := paperChain()
+	m2 := MatMul(m, m)
+	// Row 1 of M² must equal P(o,2) for a start at s2: (0, 0.32, 0.68).
+	if math.Abs(m2.At(1, 0)) > 1e-12 ||
+		math.Abs(m2.At(1, 1)-0.32) > 1e-12 ||
+		math.Abs(m2.At(1, 2)-0.68) > 1e-12 {
+		t.Errorf("M² row 1 = [%g %g %g], want [0 0.32 0.68]",
+			m2.At(1, 0), m2.At(1, 1), m2.At(1, 2))
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	m := paperChain()
+	if !MatMul(m, Identity(3)).Equal(m, 0) {
+		t.Error("M·I != M")
+	}
+	if !MatMul(Identity(3), m).Equal(m, 0) {
+		t.Error("I·M != M")
+	}
+}
+
+func TestMatMulAssociativeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCSR(rng, 6, 8, 0.3)
+		b := randomCSR(rng, 8, 5, 0.3)
+		c := randomCSR(rng, 5, 7, 0.3)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulStochasticClosedQuick(t *testing.T) {
+	// The product of stochastic matrices is stochastic (Chapman-
+	// Kolmogorov foundation).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		a := randomStochastic(rng, n, 4)
+		b := randomStochastic(rng, n, 4)
+		return MatMul(a, b).CheckStochastic(1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatPow(t *testing.T) {
+	m := paperChain()
+	if !MatPow(m, 0).Equal(Identity(3), 0) {
+		t.Error("M⁰ != I")
+	}
+	if !MatPow(m, 1).Equal(m, 0) {
+		t.Error("M¹ != M")
+	}
+	if !MatPow(m, 3).Equal(MatMul(m, MatMul(m, m)), 1e-12) {
+		t.Error("M³ mismatch with repeated multiplication")
+	}
+	// Chapman-Kolmogorov: M^(a+b) = M^a · M^b.
+	if !MatPow(m, 5).Equal(MatMul(MatPow(m, 2), MatPow(m, 3)), 1e-12) {
+		t.Error("Chapman-Kolmogorov violated")
+	}
+}
+
+func TestMatPowNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatPow(-1) did not panic")
+		}
+	}()
+	MatPow(paperChain(), -1)
+}
+
+func TestBuilderDuplicatesSum(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 1, 0.25)
+	b.Add(0, 1, 0.25)
+	b.Add(1, 0, 1)
+	b.Add(0, 0, 0) // dropped
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	if m.At(0, 1) != 0.5 {
+		t.Errorf("duplicate coordinates not summed: %g", m.At(0, 1))
+	}
+}
+
+func TestBuilderOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds Add did not panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestFromRowsDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column did not panic")
+		}
+	}()
+	FromRows(1, 3, func(i int) ([]int, []float64) {
+		return []int{1, 1}, []float64{0.5, 0.5}
+	})
+}
+
+func TestFromRowsUnsortedInput(t *testing.T) {
+	m := FromRows(1, 4, func(i int) ([]int, []float64) {
+		return []int{3, 0}, []float64{0.7, 0.3}
+	})
+	if m.At(0, 0) != 0.3 || m.At(0, 3) != 0.7 {
+		t.Error("FromRows mishandles unsorted columns")
+	}
+	cols, _ := m.RowSlices(0)
+	if cols[0] != 0 || cols[1] != 3 {
+		t.Error("FromRows did not sort columns")
+	}
+}
+
+func TestBuilderEqualsFromRowsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+			for j := range dense[i] {
+				if rng.Float64() < 0.3 {
+					dense[i][j] = rng.Float64()
+				}
+			}
+		}
+		b := NewBuilder(n, n)
+		for i := range dense {
+			for j, x := range dense[i] {
+				b.Add(i, j, x)
+			}
+		}
+		return b.Build().Equal(FromDense(dense), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package spatial provides the discrete spatial domain S of the paper:
+// finite sets of locations ("states") embedded in R^d, regions used as
+// query windows, and an R-tree index that resolves a region to the set of
+// state identifiers it covers.
+package spatial
+
+import "fmt"
+
+// Point is a location in R².
+type Point struct {
+	X, Y float64
+}
+
+// Grid is a regular 2-D raster state space: W×H cells of size CellSize,
+// anchored at Origin. State identifiers are assigned row-major:
+// id = y*W + x. The paper's Figure 2 raster is exactly this space.
+type Grid struct {
+	W, H     int
+	CellSize float64
+	Origin   Point
+}
+
+// NewGrid returns a grid with unit cells anchored at the origin.
+func NewGrid(w, h int) *Grid {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("spatial: invalid grid dimensions %dx%d", w, h))
+	}
+	return &Grid{W: w, H: h, CellSize: 1}
+}
+
+// NumStates returns |S| = W·H.
+func (g *Grid) NumStates() int { return g.W * g.H }
+
+// ID returns the state identifier of cell (x, y).
+func (g *Grid) ID(x, y int) int {
+	if x < 0 || x >= g.W || y < 0 || y >= g.H {
+		panic(fmt.Sprintf("spatial: cell (%d,%d) outside %dx%d grid", x, y, g.W, g.H))
+	}
+	return y*g.W + x
+}
+
+// Cell returns the (x, y) cell coordinates of a state identifier.
+func (g *Grid) Cell(id int) (x, y int) {
+	if id < 0 || id >= g.NumStates() {
+		panic(fmt.Sprintf("spatial: state %d outside grid with %d states", id, g.NumStates()))
+	}
+	return id % g.W, id / g.W
+}
+
+// Center returns the centre point of the state's cell in world
+// coordinates.
+func (g *Grid) Center(id int) Point {
+	x, y := g.Cell(id)
+	return Point{
+		X: g.Origin.X + (float64(x)+0.5)*g.CellSize,
+		Y: g.Origin.Y + (float64(y)+0.5)*g.CellSize,
+	}
+}
+
+// Locate returns the state identifier containing the world point p and
+// whether p falls inside the grid at all.
+func (g *Grid) Locate(p Point) (int, bool) {
+	cx := int((p.X - g.Origin.X) / g.CellSize)
+	cy := int((p.Y - g.Origin.Y) / g.CellSize)
+	if p.X < g.Origin.X || p.Y < g.Origin.Y || cx >= g.W || cy >= g.H {
+		return 0, false
+	}
+	return g.ID(cx, cy), true
+}
+
+// Neighbors4 returns the 4-connected neighbor state ids of a state.
+func (g *Grid) Neighbors4(id int) []int {
+	x, y := g.Cell(id)
+	out := make([]int, 0, 4)
+	if x > 0 {
+		out = append(out, g.ID(x-1, y))
+	}
+	if x < g.W-1 {
+		out = append(out, g.ID(x+1, y))
+	}
+	if y > 0 {
+		out = append(out, g.ID(x, y-1))
+	}
+	if y < g.H-1 {
+		out = append(out, g.ID(x, y+1))
+	}
+	return out
+}
+
+// Neighbors8 returns the 8-connected neighbor state ids of a state.
+func (g *Grid) Neighbors8(id int) []int {
+	x, y := g.Cell(id)
+	out := make([]int, 0, 8)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			nx, ny := x+dx, y+dy
+			if nx >= 0 && nx < g.W && ny >= 0 && ny < g.H {
+				out = append(out, g.ID(nx, ny))
+			}
+		}
+	}
+	return out
+}
+
+// Bounds returns the world-coordinate bounding rectangle of the grid.
+func (g *Grid) Bounds() Rect {
+	return Rect{
+		MinX: g.Origin.X,
+		MinY: g.Origin.Y,
+		MaxX: g.Origin.X + float64(g.W)*g.CellSize,
+		MaxY: g.Origin.Y + float64(g.H)*g.CellSize,
+	}
+}
+
+// StatesIn returns, in ascending order, the identifiers of all states
+// whose cell centre lies inside region r. For Rect regions it exploits
+// the raster structure directly; other regions fall back to a bounding-
+// box scan.
+func (g *Grid) StatesIn(r Region) []int {
+	bb := r.BBox()
+	gb := g.Bounds()
+	if !bb.Intersects(gb) {
+		return nil
+	}
+	// Clip the candidate cell range to the region's bounding box.
+	minX := int((bb.MinX - g.Origin.X) / g.CellSize)
+	maxX := int((bb.MaxX - g.Origin.X) / g.CellSize)
+	minY := int((bb.MinY - g.Origin.Y) / g.CellSize)
+	maxY := int((bb.MaxY - g.Origin.Y) / g.CellSize)
+	minX = clamp(minX, 0, g.W-1)
+	maxX = clamp(maxX, 0, g.W-1)
+	minY = clamp(minY, 0, g.H-1)
+	maxY = clamp(maxY, 0, g.H-1)
+	var out []int
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			id := g.ID(x, y)
+			if r.Contains(g.Center(id)) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// LineSpace is a 1-D state space: states 0…n−1 arranged on a line with
+// unit spacing. The synthetic datasets of Table I live in this space
+// (locality via max_step is interval-shaped).
+type LineSpace struct {
+	N int
+}
+
+// NewLineSpace returns a 1-D space with n states.
+func NewLineSpace(n int) *LineSpace {
+	if n <= 0 {
+		panic(fmt.Sprintf("spatial: invalid line space size %d", n))
+	}
+	return &LineSpace{N: n}
+}
+
+// NumStates returns |S|.
+func (l *LineSpace) NumStates() int { return l.N }
+
+// Center returns the embedding of state id on the x-axis.
+func (l *LineSpace) Center(id int) Point {
+	if id < 0 || id >= l.N {
+		panic(fmt.Sprintf("spatial: state %d outside line space of %d", id, l.N))
+	}
+	return Point{X: float64(id) + 0.5}
+}
+
+// StatesIn returns the states whose centre lies in region r.
+func (l *LineSpace) StatesIn(r Region) []int {
+	bb := r.BBox()
+	lo := clamp(int(bb.MinX), 0, l.N-1)
+	hi := clamp(int(bb.MaxX), 0, l.N-1)
+	var out []int
+	for id := lo; id <= hi; id++ {
+		if r.Contains(l.Center(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Interval returns states [lo, hi] clipped to the space, ascending. This
+// is the "states [100,120]" form used throughout the paper's evaluation.
+func (l *LineSpace) Interval(lo, hi int) []int {
+	lo = clamp(lo, 0, l.N-1)
+	hi = clamp(hi, 0, l.N-1)
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for id := lo; id <= hi; id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
+// StateSpace is the interface shared by the concrete spaces: a finite
+// state set embedded in the plane, resolvable against query regions.
+type StateSpace interface {
+	NumStates() int
+	Center(id int) Point
+	StatesIn(r Region) []int
+}
+
+var (
+	_ StateSpace = (*Grid)(nil)
+	_ StateSpace = (*LineSpace)(nil)
+)

@@ -1,0 +1,187 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridIDCellRoundTrip(t *testing.T) {
+	g := NewGrid(7, 5)
+	if g.NumStates() != 35 {
+		t.Fatalf("NumStates = %d, want 35", g.NumStates())
+	}
+	for id := 0; id < g.NumStates(); id++ {
+		x, y := g.Cell(id)
+		if g.ID(x, y) != id {
+			t.Fatalf("round trip failed for id %d", id)
+		}
+	}
+}
+
+func TestGridIDOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds ID did not panic")
+		}
+	}()
+	NewGrid(3, 3).ID(3, 0)
+}
+
+func TestGridCellOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds Cell did not panic")
+		}
+	}()
+	NewGrid(3, 3).Cell(9)
+}
+
+func TestNewGridInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid grid did not panic")
+		}
+	}()
+	NewGrid(0, 5)
+}
+
+func TestGridCenterAndLocate(t *testing.T) {
+	g := NewGrid(4, 4)
+	g.CellSize = 2
+	g.Origin = Point{X: 10, Y: 20}
+	id := g.ID(1, 2)
+	c := g.Center(id)
+	if c.X != 13 || c.Y != 25 {
+		t.Errorf("Center = %+v, want (13, 25)", c)
+	}
+	got, ok := g.Locate(c)
+	if !ok || got != id {
+		t.Errorf("Locate(center) = (%d, %v), want (%d, true)", got, ok, id)
+	}
+	if _, ok := g.Locate(Point{X: 9, Y: 20}); ok {
+		t.Error("Locate outside grid should fail")
+	}
+	if _, ok := g.Locate(Point{X: 100, Y: 25}); ok {
+		t.Error("Locate beyond max should fail")
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := NewGrid(3, 3)
+	center := g.ID(1, 1)
+	if got := len(g.Neighbors4(center)); got != 4 {
+		t.Errorf("center Neighbors4 = %d, want 4", got)
+	}
+	if got := len(g.Neighbors8(center)); got != 8 {
+		t.Errorf("center Neighbors8 = %d, want 8", got)
+	}
+	corner := g.ID(0, 0)
+	if got := len(g.Neighbors4(corner)); got != 2 {
+		t.Errorf("corner Neighbors4 = %d, want 2", got)
+	}
+	if got := len(g.Neighbors8(corner)); got != 3 {
+		t.Errorf("corner Neighbors8 = %d, want 3", got)
+	}
+}
+
+func TestGridStatesInRect(t *testing.T) {
+	g := NewGrid(10, 10)
+	// Cells (2..4, 3..5): 9 states.
+	got := g.StatesIn(NewRect(2, 3, 5, 6))
+	if len(got) != 9 {
+		t.Fatalf("StatesIn returned %d states, want 9: %v", len(got), got)
+	}
+	for _, id := range got {
+		x, y := g.Cell(id)
+		if x < 2 || x > 4 || y < 3 || y > 5 {
+			t.Errorf("state (%d,%d) outside query", x, y)
+		}
+	}
+}
+
+func TestGridStatesInDisjointRect(t *testing.T) {
+	g := NewGrid(5, 5)
+	if got := g.StatesIn(NewRect(100, 100, 200, 200)); got != nil {
+		t.Errorf("disjoint query returned %v", got)
+	}
+}
+
+func TestGridStatesInCircle(t *testing.T) {
+	g := NewGrid(10, 10)
+	got := g.StatesIn(Circle{Center: Point{X: 5, Y: 5}, Radius: 1.2})
+	// Centres within 1.2 of (5,5): (4.5,4.5) d=.707, (4.5,5.5), (5.5,4.5),
+	// (5.5,5.5) — all .707. Next ring is ≥1.58. So exactly 4.
+	if len(got) != 4 {
+		t.Errorf("circle query returned %d states, want 4: %v", len(got), got)
+	}
+}
+
+func TestGridStatesInMatchesBruteForceQuick(t *testing.T) {
+	g := NewGrid(13, 11)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRect(rng.Float64()*15-1, rng.Float64()*13-1, rng.Float64()*15-1, rng.Float64()*13-1)
+		got := g.StatesIn(r)
+		want := map[int]bool{}
+		for id := 0; id < g.NumStates(); id++ {
+			if r.Contains(g.Center(id)) {
+				want[id] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineSpace(t *testing.T) {
+	l := NewLineSpace(100)
+	if l.NumStates() != 100 {
+		t.Fatalf("NumStates = %d", l.NumStates())
+	}
+	if c := l.Center(7); c.X != 7.5 || c.Y != 0 {
+		t.Errorf("Center(7) = %+v", c)
+	}
+	got := l.Interval(10, 12)
+	if len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Errorf("Interval = %v", got)
+	}
+	// Clipping.
+	if got := l.Interval(-5, 1); len(got) != 2 {
+		t.Errorf("clipped Interval = %v", got)
+	}
+	if got := l.Interval(98, 200); len(got) != 2 {
+		t.Errorf("clipped Interval = %v", got)
+	}
+	if got := l.Interval(5, 2); got != nil {
+		t.Errorf("inverted Interval = %v, want nil", got)
+	}
+}
+
+func TestLineSpaceStatesIn(t *testing.T) {
+	l := NewLineSpace(50)
+	got := l.StatesIn(NewRect(10, -1, 20, 1))
+	// Centres 10.5 … 19.5 → states 10..19.
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("StatesIn = %v", got)
+	}
+}
+
+func TestLineSpaceCenterOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Center did not panic")
+		}
+	}()
+	NewLineSpace(5).Center(5)
+}

@@ -1,0 +1,108 @@
+package spatial
+
+import "fmt"
+
+// Polygon is a simple (non-self-intersecting) polygon region given by
+// its vertices in order (either winding). The boundary counts as
+// inside. Real query windows — a shipping lane, a council district —
+// are polygons more often than rectangles.
+type Polygon struct {
+	Vertices []Point
+}
+
+// NewPolygon validates and wraps a vertex list (≥ 3 vertices).
+func NewPolygon(vertices []Point) (Polygon, error) {
+	if len(vertices) < 3 {
+		return Polygon{}, fmt.Errorf("spatial: polygon needs ≥ 3 vertices, got %d", len(vertices))
+	}
+	return Polygon{Vertices: append([]Point(nil), vertices...)}, nil
+}
+
+// Contains reports whether p lies inside the polygon (boundary
+// inclusive), by the even-odd ray-casting rule with an explicit
+// boundary check for robustness on edges and vertices.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return false
+	}
+	// Boundary check first: point on any edge counts as inside.
+	for i := 0; i < n; i++ {
+		a := pg.Vertices[i]
+		b := pg.Vertices[(i+1)%n]
+		if onSegment(a, b, p) {
+			return true
+		}
+	}
+	// Even-odd rule: cast a ray in +x and count crossings.
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg.Vertices[i], pg.Vertices[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xCross := (b.X-a.X)*(p.Y-a.Y)/(b.Y-a.Y) + a.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// BBox returns the polygon's bounding rectangle.
+func (pg Polygon) BBox() Rect {
+	if len(pg.Vertices) == 0 {
+		return Rect{}
+	}
+	bb := Rect{
+		MinX: pg.Vertices[0].X, MinY: pg.Vertices[0].Y,
+		MaxX: pg.Vertices[0].X, MaxY: pg.Vertices[0].Y,
+	}
+	for _, v := range pg.Vertices[1:] {
+		if v.X < bb.MinX {
+			bb.MinX = v.X
+		}
+		if v.X > bb.MaxX {
+			bb.MaxX = v.X
+		}
+		if v.Y < bb.MinY {
+			bb.MinY = v.Y
+		}
+		if v.Y > bb.MaxY {
+			bb.MaxY = v.Y
+		}
+	}
+	return bb
+}
+
+// Area returns the polygon's unsigned area (shoelace formula).
+func (pg Polygon) Area() float64 {
+	n := len(pg.Vertices)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		a := pg.Vertices[i]
+		b := pg.Vertices[(i+1)%n]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+// onSegment reports whether p lies on the closed segment ab, within a
+// small tolerance for collinearity.
+func onSegment(a, b, p Point) bool {
+	const eps = 1e-12
+	cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+	if cross > eps || cross < -eps {
+		return false
+	}
+	dot := (p.X-a.X)*(b.X-a.X) + (p.Y-a.Y)*(b.Y-a.Y)
+	if dot < -eps {
+		return false
+	}
+	sq := (b.X-a.X)*(b.X-a.X) + (b.Y-a.Y)*(b.Y-a.Y)
+	return dot <= sq+eps
+}
+
+var _ Region = Polygon{}

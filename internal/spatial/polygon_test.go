@@ -1,0 +1,151 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare(t *testing.T) Polygon {
+	t.Helper()
+	pg, err := NewPolygon([]Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestNewPolygonValidation(t *testing.T) {
+	if _, err := NewPolygon([]Point{{0, 0}, {1, 1}}); err == nil {
+		t.Error("2-vertex polygon accepted")
+	}
+	verts := []Point{{0, 0}, {1, 0}, {0, 1}}
+	pg, err := NewPolygon(verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constructor must copy its input.
+	verts[0].X = 99
+	if pg.Vertices[0].X == 99 {
+		t.Error("NewPolygon aliases caller's slice")
+	}
+}
+
+func TestPolygonContainsSquare(t *testing.T) {
+	pg := unitSquare(t)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // corner
+		{Point{5, 0}, true},   // edge
+		{Point{10, 10}, true}, // far corner
+		{Point{10.5, 5}, false},
+		{Point{-0.5, 5}, false},
+		{Point{5, 11}, false},
+	}
+	for _, c := range cases {
+		if got := pg.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPolygonConcave(t *testing.T) {
+	// L-shape: the notch is outside.
+	pg, err := NewPolygon([]Point{
+		{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pg.Contains(Point{2, 8}) {
+		t.Error("upper arm of L rejected")
+	}
+	if !pg.Contains(Point{8, 2}) {
+		t.Error("lower arm of L rejected")
+	}
+	if pg.Contains(Point{8, 8}) {
+		t.Error("notch accepted")
+	}
+}
+
+func TestPolygonMatchesRectQuick(t *testing.T) {
+	// A rectangle polygon must agree with Rect everywhere.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRect(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10, rng.Float64()*10)
+		pg, err := NewPolygon([]Point{
+			{r.MinX, r.MinY}, {r.MaxX, r.MinY}, {r.MaxX, r.MaxY}, {r.MinX, r.MaxY},
+		})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 60; trial++ {
+			p := Point{rng.Float64()*12 - 1, rng.Float64()*12 - 1}
+			if pg.Contains(p) != r.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonBBoxAndArea(t *testing.T) {
+	pg := unitSquare(t)
+	bb := pg.BBox()
+	if bb != NewRect(0, 0, 10, 10) {
+		t.Errorf("BBox = %+v", bb)
+	}
+	if math.Abs(pg.Area()-100) > 1e-12 {
+		t.Errorf("Area = %g, want 100", pg.Area())
+	}
+	// Winding direction must not affect area.
+	rev, err := NewPolygon([]Point{{0, 10}, {10, 10}, {10, 0}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rev.Area()-100) > 1e-12 {
+		t.Errorf("reversed Area = %g, want 100", rev.Area())
+	}
+	if (Polygon{}).BBox() != (Rect{}) {
+		t.Error("empty polygon BBox should be zero rect")
+	}
+	if (Polygon{}).Contains(Point{0, 0}) {
+		t.Error("empty polygon contains a point")
+	}
+}
+
+func TestPolygonWithGridStatesIn(t *testing.T) {
+	// End-to-end: resolve a triangular region against a grid.
+	g := NewGrid(10, 10)
+	tri, err := NewPolygon([]Point{{0, 0}, {10, 0}, {0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := g.StatesIn(tri)
+	// The triangle covers cells whose centre (x+.5, y+.5) satisfies
+	// x + y + 1 < 10 → 45 cells... boundary-inclusive: x+y+1 ≤ 10.
+	want := 0
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			if float64(x)+0.5+float64(y)+0.5 <= 10 {
+				want++
+			}
+		}
+	}
+	if len(states) != want {
+		t.Errorf("triangle covers %d cells, want %d", len(states), want)
+	}
+	// And via the R-tree the same set.
+	tr := IndexSpace(g, 8)
+	fromTree := tr.Search(tri)
+	if len(fromTree) != len(states) {
+		t.Errorf("R-tree found %d, grid %d", len(fromTree), len(states))
+	}
+}

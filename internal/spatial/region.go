@@ -1,0 +1,140 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+)
+
+// Region is a (not necessarily connected) subset of the plane used as the
+// spatial part S□ of a query window. Regions resolve against a state
+// space via StatesIn.
+type Region interface {
+	// Contains reports whether the point lies inside the region.
+	Contains(p Point) bool
+	// BBox returns an axis-aligned rectangle enclosing the region.
+	BBox() Rect
+}
+
+// Rect is an axis-aligned rectangle, closed on all sides.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle spanning the two corner points in any
+// order.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	return Rect{
+		MinX: math.Min(x1, x2),
+		MinY: math.Min(y1, y2),
+		MaxX: math.Max(x1, x2),
+		MaxY: math.Max(y1, y2),
+	}
+}
+
+// Contains reports whether p lies inside the rectangle (borders
+// inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// BBox returns the rectangle itself.
+func (r Rect) BBox() Rect { return r }
+
+// Intersects reports whether two rectangles overlap (borders count).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX),
+		MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX),
+		MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 {
+	return math.Max(0, r.MaxX-r.MinX) * math.Max(0, r.MaxY-r.MinY)
+}
+
+// Enlargement returns how much r's area grows when extended to cover o.
+func (r Rect) Enlargement(o Rect) float64 {
+	return r.Union(o).Area() - r.Area()
+}
+
+// Center returns the rectangle's centre point.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Circle is a disk region.
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+// Contains reports whether p lies inside the disk (border inclusive).
+func (c Circle) Contains(p Point) bool {
+	dx, dy := p.X-c.Center.X, p.Y-c.Center.Y
+	return dx*dx+dy*dy <= c.Radius*c.Radius
+}
+
+// BBox returns the disk's bounding square.
+func (c Circle) BBox() Rect {
+	return Rect{
+		MinX: c.Center.X - c.Radius,
+		MinY: c.Center.Y - c.Radius,
+		MaxX: c.Center.X + c.Radius,
+		MaxY: c.Center.Y + c.Radius,
+	}
+}
+
+// Union is a region composed of several member regions; the paper allows
+// query regions to be arbitrary, not necessarily connected, subsets of
+// space.
+type Union []Region
+
+// Contains reports whether any member contains p.
+func (u Union) Contains(p Point) bool {
+	for _, r := range u {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// BBox returns the union of member bounding boxes.
+func (u Union) BBox() Rect {
+	if len(u) == 0 {
+		return Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	}
+	bb := u[0].BBox()
+	for _, r := range u[1:] {
+		bb = bb.Union(r.BBox())
+	}
+	return bb
+}
+
+// Difference is base minus subtracted: points inside Base but outside
+// Sub. Used to express "inside the monitoring area but outside the
+// shipping lane" style windows.
+type Difference struct {
+	Base Region
+	Sub  Region
+}
+
+// Contains reports membership in the difference.
+func (d Difference) Contains(p Point) bool {
+	return d.Base.Contains(p) && !d.Sub.Contains(p)
+}
+
+// BBox returns the base's bounding box (a superset of the difference).
+func (d Difference) BBox() Rect { return d.Base.BBox() }

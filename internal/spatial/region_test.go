@@ -1,0 +1,123 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(5, 6, 1, 2)
+	if r.MinX != 1 || r.MinY != 2 || r.MaxX != 5 || r.MaxY != 6 {
+		t.Errorf("NewRect = %+v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // border inclusive
+		{Point{10, 10}, true}, // border inclusive
+		{Point{10.01, 5}, false},
+		{Point{-0.01, 5}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	if !a.Intersects(NewRect(5, 5, 15, 15)) {
+		t.Error("overlapping rects do not intersect")
+	}
+	if !a.Intersects(NewRect(10, 0, 20, 10)) {
+		t.Error("edge-touching rects should intersect")
+	}
+	if a.Intersects(NewRect(11, 0, 20, 10)) {
+		t.Error("disjoint rects intersect")
+	}
+}
+
+func TestRectUnionAreaEnlargement(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(3, 3, 4, 4)
+	u := a.Union(b)
+	if u.MinX != 0 || u.MaxX != 4 || u.MinY != 0 || u.MaxY != 4 {
+		t.Errorf("Union = %+v", u)
+	}
+	if a.Area() != 4 {
+		t.Errorf("Area = %g", a.Area())
+	}
+	if got := a.Enlargement(b); got != 12 {
+		t.Errorf("Enlargement = %g, want 12", got)
+	}
+	if c := u.Center(); c.X != 2 || c.Y != 2 {
+		t.Errorf("Center = %+v", c)
+	}
+}
+
+func TestCircle(t *testing.T) {
+	c := Circle{Center: Point{3, 4}, Radius: 5}
+	if !c.Contains(Point{0, 0}) {
+		t.Error("border point rejected")
+	}
+	if !c.Contains(Point{3, 4}) {
+		t.Error("centre rejected")
+	}
+	if c.Contains(Point{9, 4}) {
+		t.Error("outside point accepted")
+	}
+	bb := c.BBox()
+	if bb.MinX != -2 || bb.MaxX != 8 || bb.MinY != -1 || bb.MaxY != 9 {
+		t.Errorf("BBox = %+v", bb)
+	}
+}
+
+func TestUnionRegion(t *testing.T) {
+	u := Union{NewRect(0, 0, 1, 1), NewRect(5, 5, 6, 6)}
+	if !u.Contains(Point{0.5, 0.5}) || !u.Contains(Point{5.5, 5.5}) {
+		t.Error("union rejects member points")
+	}
+	if u.Contains(Point{3, 3}) {
+		t.Error("union accepts gap point")
+	}
+	bb := u.BBox()
+	if bb.MinX != 0 || bb.MaxX != 6 {
+		t.Errorf("union BBox = %+v", bb)
+	}
+}
+
+func TestEmptyUnionBBox(t *testing.T) {
+	bb := Union{}.BBox()
+	if !math.IsInf(bb.MinX, 1) || !math.IsInf(bb.MaxX, -1) {
+		t.Errorf("empty union BBox = %+v, want inverted infinite box", bb)
+	}
+	if (Union{}).Contains(Point{0, 0}) {
+		t.Error("empty union contains a point")
+	}
+}
+
+func TestDifferenceRegion(t *testing.T) {
+	d := Difference{Base: NewRect(0, 0, 10, 10), Sub: Circle{Center: Point{5, 5}, Radius: 2}}
+	if !d.Contains(Point{1, 1}) {
+		t.Error("difference rejects base-only point")
+	}
+	if d.Contains(Point{5, 5}) {
+		t.Error("difference accepts subtracted point")
+	}
+	if d.BBox() != NewRect(0, 0, 10, 10) {
+		t.Errorf("difference BBox = %+v", d.BBox())
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if s := NewRect(0, 1, 2, 3).String(); s != "[0,2]x[1,3]" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,314 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RTree is a static R-tree over point data (state centres), bulk-loaded
+// with the Sort-Tile-Recursive (STR) algorithm. It answers rectangle and
+// generic region queries with the usual branch-and-bound descent.
+//
+// The tree indexes (point, state-id) pairs. It exists because resolving a
+// query region against an irregular state space — a road network — cannot
+// exploit raster arithmetic the way Grid.StatesIn does.
+type RTree struct {
+	root   *rnode
+	size   int
+	degree int
+}
+
+type rnode struct {
+	bbox     Rect
+	children []*rnode // nil for leaves
+	entries  []Entry  // nil for internal nodes
+}
+
+// Entry is an indexed point with its state identifier.
+type Entry struct {
+	P  Point
+	ID int
+}
+
+// DefaultDegree is the default R-tree fan-out.
+const DefaultDegree = 16
+
+// BulkLoad builds an STR-packed R-tree over the entries with the given
+// node degree (fan-out). degree ≤ 0 selects DefaultDegree. The input
+// slice is reordered in place.
+func BulkLoad(entries []Entry, degree int) *RTree {
+	if degree <= 0 {
+		degree = DefaultDegree
+	}
+	if degree < 2 {
+		panic(fmt.Sprintf("spatial: R-tree degree %d < 2", degree))
+	}
+	t := &RTree{size: len(entries), degree: degree}
+	if len(entries) == 0 {
+		return t
+	}
+	t.root = strPackLeaves(entries, degree)
+	return t
+}
+
+// IndexSpace builds an R-tree over all states of a state space.
+func IndexSpace(s StateSpace, degree int) *RTree {
+	entries := make([]Entry, s.NumStates())
+	for id := range entries {
+		entries[id] = Entry{P: s.Center(id), ID: id}
+	}
+	return BulkLoad(entries, degree)
+}
+
+// strPackLeaves builds the leaf level with STR tiling, then packs upward.
+func strPackLeaves(entries []Entry, degree int) *rnode {
+	// Number of leaves and vertical slices: S = ceil(sqrt(P)) where
+	// P = ceil(n/degree) — the classic STR recipe.
+	n := len(entries)
+	leafCount := (n + degree - 1) / degree
+	slices := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlice := slices * degree
+
+	sort.Slice(entries, func(a, b int) bool { return entries[a].P.X < entries[b].P.X })
+	var leaves []*rnode
+	for lo := 0; lo < n; lo += perSlice {
+		hi := lo + perSlice
+		if hi > n {
+			hi = n
+		}
+		slice := entries[lo:hi]
+		sort.Slice(slice, func(a, b int) bool { return slice[a].P.Y < slice[b].P.Y })
+		for s := 0; s < len(slice); s += degree {
+			e := s + degree
+			if e > len(slice) {
+				e = len(slice)
+			}
+			leaf := &rnode{entries: append([]Entry(nil), slice[s:e]...)}
+			leaf.bbox = pointsBBox(leaf.entries)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return packUp(leaves, degree)
+}
+
+// packUp groups nodes into parents of the given degree until one root
+// remains. Input nodes are already spatially clustered by STR, so simple
+// sequential grouping preserves locality.
+func packUp(nodes []*rnode, degree int) *rnode {
+	for len(nodes) > 1 {
+		var parents []*rnode
+		for lo := 0; lo < len(nodes); lo += degree {
+			hi := lo + degree
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			p := &rnode{children: append([]*rnode(nil), nodes[lo:hi]...)}
+			p.bbox = p.children[0].bbox
+			for _, c := range p.children[1:] {
+				p.bbox = p.bbox.Union(c.bbox)
+			}
+			parents = append(parents, p)
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+func pointsBBox(es []Entry) Rect {
+	bb := Rect{MinX: es[0].P.X, MinY: es[0].P.Y, MaxX: es[0].P.X, MaxY: es[0].P.Y}
+	for _, e := range es[1:] {
+		bb.MinX = math.Min(bb.MinX, e.P.X)
+		bb.MinY = math.Min(bb.MinY, e.P.Y)
+		bb.MaxX = math.Max(bb.MaxX, e.P.X)
+		bb.MaxY = math.Max(bb.MaxY, e.P.Y)
+	}
+	return bb
+}
+
+// Len returns the number of indexed entries.
+func (t *RTree) Len() int { return t.size }
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *RTree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.children == nil {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Search returns the ids of all entries inside region r, ascending.
+func (t *RTree) Search(r Region) []int {
+	if t.root == nil {
+		return nil
+	}
+	var out []int
+	bb := r.BBox()
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if !n.bbox.Intersects(bb) {
+			return
+		}
+		if n.children == nil {
+			for _, e := range n.entries {
+				if r.Contains(e.P) {
+					out = append(out, e.ID)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Ints(out)
+	return out
+}
+
+// SearchRect returns the ids of entries inside the rectangle, ascending.
+func (t *RTree) SearchRect(r Rect) []int { return t.Search(r) }
+
+// Nearest returns the id of the indexed entry closest to p in Euclidean
+// distance and that distance. The second return is math.Inf(1) when the
+// tree is empty (id −1). Ties break toward the smaller id.
+func (t *RTree) Nearest(p Point) (id int, dist float64) {
+	id, dist = -1, math.Inf(1)
+	if t.root == nil {
+		return id, dist
+	}
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if minDist(n.bbox, p) >= dist {
+			return
+		}
+		if n.children == nil {
+			for _, e := range n.entries {
+				d := math.Hypot(e.P.X-p.X, e.P.Y-p.Y)
+				if d < dist || (d == dist && e.ID < id) {
+					id, dist = e.ID, d
+				}
+			}
+			return
+		}
+		// Visit children closest-first for tighter pruning.
+		order := make([]int, len(n.children))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return minDist(n.children[order[a]].bbox, p) < minDist(n.children[order[b]].bbox, p)
+		})
+		for _, i := range order {
+			walk(n.children[i])
+		}
+	}
+	walk(t.root)
+	return id, dist
+}
+
+// minDist returns the minimum distance from p to the rectangle (0 when p
+// is inside).
+func minDist(r Rect, p Point) float64 {
+	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// KNearest returns the ids of the k entries closest to p, ordered by
+// ascending distance (ties toward smaller id). Fewer than k are
+// returned when the tree is smaller. The traversal is best-first with
+// a bounded result heap, pruning nodes whose bounding box lies beyond
+// the current k-th distance.
+func (t *RTree) KNearest(p Point, k int) []int {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	type cand struct {
+		id   int
+		dist float64
+	}
+	// Max-heap by distance, capped at k: best[0] is the current worst.
+	var best []cand
+	worse := func(a, b cand) bool {
+		if a.dist != b.dist {
+			return a.dist > b.dist
+		}
+		return a.id > b.id
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(best) && worse(best[l], best[m]) {
+				m = l
+			}
+			if r < len(best) && worse(best[r], best[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			best[i], best[m] = best[m], best[i]
+			i = m
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(best[i], best[parent]) {
+				return
+			}
+			best[i], best[parent] = best[parent], best[i]
+			i = parent
+		}
+	}
+	bound := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[0].dist
+	}
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if minDist(n.bbox, p) > bound() {
+			return
+		}
+		if n.children == nil {
+			for _, e := range n.entries {
+				d := math.Hypot(e.P.X-p.X, e.P.Y-p.Y)
+				c := cand{id: e.ID, dist: d}
+				if len(best) < k {
+					best = append(best, c)
+					siftUp(len(best) - 1)
+				} else if worse(best[0], c) {
+					best[0] = c
+					siftDown(0)
+				}
+			}
+			return
+		}
+		order := make([]int, len(n.children))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return minDist(n.children[order[a]].bbox, p) < minDist(n.children[order[b]].bbox, p)
+		})
+		for _, i := range order {
+			walk(n.children[i])
+		}
+	}
+	walk(t.root)
+	sort.Slice(best, func(a, b int) bool { return worse(best[b], best[a]) })
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.id
+	}
+	return out
+}

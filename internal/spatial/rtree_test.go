@@ -1,0 +1,214 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, 0)
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Errorf("empty tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Search(NewRect(0, 0, 1, 1)); got != nil {
+		t.Errorf("empty tree Search = %v", got)
+	}
+	if id, d := tr.Nearest(Point{}); id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty tree Nearest = (%d, %g)", id, d)
+	}
+}
+
+func TestBulkLoadSingle(t *testing.T) {
+	tr := BulkLoad([]Entry{{P: Point{1, 2}, ID: 7}}, 0)
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Errorf("single tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	got := tr.Search(NewRect(0, 0, 3, 3))
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("Search = %v, want [7]", got)
+	}
+}
+
+func TestBulkLoadDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree 1 did not panic")
+		}
+	}()
+	BulkLoad([]Entry{{ID: 0}}, 1)
+}
+
+func TestIndexSpaceSearchMatchesGrid(t *testing.T) {
+	g := NewGrid(20, 20)
+	tr := IndexSpace(g, 8)
+	if tr.Len() != g.NumStates() {
+		t.Fatalf("tree Len = %d, want %d", tr.Len(), g.NumStates())
+	}
+	regions := []Region{
+		NewRect(3, 3, 9, 7),
+		Circle{Center: Point{10, 10}, Radius: 4.5},
+		Union{NewRect(0, 0, 2, 2), NewRect(15, 15, 19, 19)},
+	}
+	for _, r := range regions {
+		got := tr.Search(r)
+		want := g.StatesIn(r)
+		if len(got) != len(want) {
+			t.Errorf("region %v: tree found %d, grid %d", r.BBox(), len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("region %v: mismatch at %d: %d vs %d", r.BBox(), i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+func TestSearchMatchesLinearScanQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{P: Point{rng.Float64() * 100, rng.Float64() * 100}, ID: i}
+		}
+		// Keep a copy: BulkLoad reorders.
+		copies := append([]Entry(nil), entries...)
+		tr := BulkLoad(entries, 2+rng.Intn(14))
+		r := NewRect(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		got := tr.Search(r)
+		want := map[int]bool{}
+		for _, e := range copies {
+			if r.Contains(e.P) {
+				want[e.ID] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestMatchesLinearScanQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{P: Point{rng.Float64() * 50, rng.Float64() * 50}, ID: i}
+		}
+		copies := append([]Entry(nil), entries...)
+		tr := BulkLoad(entries, 2+rng.Intn(10))
+		q := Point{rng.Float64() * 60, rng.Float64() * 60}
+		gotID, gotD := tr.Nearest(q)
+		wantD := math.Inf(1)
+		for _, e := range copies {
+			d := math.Hypot(e.P.X-q.X, e.P.Y-q.Y)
+			if d < wantD {
+				wantD = d
+			}
+		}
+		return math.Abs(gotD-wantD) < 1e-12 && gotID >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTreeHeightLogarithmic(t *testing.T) {
+	g := NewGrid(100, 100) // 10,000 points
+	tr := IndexSpace(g, 16)
+	// With degree 16: leaves ≈ 625, level2 ≈ 40, level3 ≈ 3, root. So
+	// height 4 (leaves + 3 internal levels).
+	if h := tr.Height(); h < 3 || h > 5 {
+		t.Errorf("Height = %d, want 3-5 for 10k points at degree 16", h)
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	if d := minDist(r, Point{1, 1}); d != 0 {
+		t.Errorf("inside minDist = %g", d)
+	}
+	if d := minDist(r, Point{5, 1}); d != 3 {
+		t.Errorf("side minDist = %g, want 3", d)
+	}
+	if d := minDist(r, Point{5, 6}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("corner minDist = %g, want 5", d)
+	}
+}
+
+func TestKNearestMatchesLinearScanQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{P: Point{rng.Float64() * 40, rng.Float64() * 40}, ID: i}
+		}
+		copies := append([]Entry(nil), entries...)
+		tr := BulkLoad(entries, 2+rng.Intn(10))
+		q := Point{rng.Float64() * 50, rng.Float64() * 50}
+		k := 1 + rng.Intn(12)
+
+		got := tr.KNearest(q, k)
+		// Linear-scan reference sorted by (distance, id).
+		type cand struct {
+			id   int
+			dist float64
+		}
+		ref := make([]cand, len(copies))
+		for i, e := range copies {
+			ref[i] = cand{e.ID, math.Hypot(e.P.X-q.X, e.P.Y-q.Y)}
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].dist != ref[b].dist {
+				return ref[a].dist < ref[b].dist
+			}
+			return ref[a].id < ref[b].id
+		})
+		want := k
+		if want > len(ref) {
+			want = len(ref)
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if got[i] != ref[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	if got := BulkLoad(nil, 0).KNearest(Point{}, 3); got != nil {
+		t.Errorf("empty tree KNearest = %v", got)
+	}
+	tr := BulkLoad([]Entry{{P: Point{1, 1}, ID: 9}}, 0)
+	if got := tr.KNearest(Point{}, 0); got != nil {
+		t.Errorf("k=0 KNearest = %v", got)
+	}
+	got := tr.KNearest(Point{}, 5)
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("oversized k KNearest = %v", got)
+	}
+}

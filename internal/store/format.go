@@ -1,0 +1,196 @@
+// Package store persists chains and object databases in a compact,
+// checksummed binary format, plus a JSON export for interoperability.
+//
+// Binary layout (all integers little-endian):
+//
+//	magic    [4]byte  "USTD"
+//	version  uint32   currently 1
+//	sections          repeated until EOF-8:
+//	  tag    [4]byte  "CHN0" | "OBJ0"
+//	  length uint64   payload byte length
+//	  payload
+//	footer   uint32   0xC5C5C5C5 guard
+//	crc      uint32   CRC-32 (IEEE) over everything before the footer
+//
+// The CHN0 payload is a CSR transition matrix; OBJ0 holds the object set
+// (ids, observation times, sparse pdfs). Sparse vectors are stored as
+// (count, idx..., val...).
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Format constants.
+var (
+	magic      = [4]byte{'U', 'S', 'T', 'D'}
+	tagChain   = [4]byte{'C', 'H', 'N', '0'}
+	tagObjects = [4]byte{'O', 'B', 'J', '0'}
+)
+
+const (
+	formatVersion = 1
+	footerGuard   = 0xC5C5C5C5
+)
+
+// ErrCorrupt is wrapped by all integrity failures.
+var ErrCorrupt = errors.New("store: corrupt file")
+
+// writer tracks CRC over everything written.
+type writer struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+	n   int64
+	err error
+}
+
+func newWriter(w io.Writer) *writer {
+	return &writer{w: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+}
+
+func (w *writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+	if w.err == nil {
+		w.crc.Write(p)
+		w.n += int64(len(p))
+	}
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.write(b[:])
+}
+
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.write(b[:])
+}
+
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) ints(vs []int) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		if v < 0 {
+			w.err = fmt.Errorf("store: negative index %d", v)
+			return
+		}
+		w.u64(uint64(v))
+	}
+}
+
+func (w *writer) floats(vs []float64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+// finish writes the footer guard and CRC and flushes.
+func (w *writer) finish() error {
+	if w.err != nil {
+		return w.err
+	}
+	sum := w.crc.Sum32()
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], footerGuard)
+	binary.LittleEndian.PutUint32(b[4:], sum)
+	if _, err := w.w.Write(b[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// reader tracks CRC over everything read before the footer.
+type reader struct {
+	r   io.Reader
+	crc hash.Hash32
+	err error
+}
+
+func newReader(r io.Reader) *reader {
+	return &reader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+}
+
+func (r *reader) read(p []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	_, r.err = io.ReadFull(r.r, p)
+	if r.err != nil {
+		return false
+	}
+	r.crc.Write(p)
+	return true
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	if !r.read(b[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	if !r.read(b[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// maxSliceLen guards length prefixes against corrupt files asking for
+// absurd allocations.
+const maxSliceLen = 1 << 31
+
+func (r *reader) ints() []int {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxSliceLen {
+		r.err = fmt.Errorf("%w: slice length %d", ErrCorrupt, n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		v := r.u64()
+		if v > math.MaxInt64 {
+			r.err = fmt.Errorf("%w: index overflow", ErrCorrupt)
+			return nil
+		}
+		out[i] = int(v)
+	}
+	return out
+}
+
+func (r *reader) floats() []float64 {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxSliceLen {
+		r.err = fmt.Errorf("%w: slice length %d", ErrCorrupt, n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}

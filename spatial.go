@@ -1,0 +1,79 @@
+package ust
+
+import (
+	"math/rand"
+
+	"ust/internal/network"
+	"ust/internal/spatial"
+)
+
+// Spatial domain helpers: grids, regions and spatial indexing, used to
+// define state spaces over real geometry and resolve query regions into
+// state-id sets.
+
+type (
+	// Point is a location in the plane.
+	Point = spatial.Point
+	// Rect is an axis-aligned rectangle region.
+	Rect = spatial.Rect
+	// Circle is a disk region.
+	Circle = spatial.Circle
+	// Region is a subset of the plane usable as the spatial side of a
+	// query window.
+	Region = spatial.Region
+	// RegionUnion composes regions; query regions need not be
+	// connected.
+	RegionUnion = spatial.Union
+	// RegionDifference subtracts one region from another.
+	RegionDifference = spatial.Difference
+	// Polygon is a simple polygon region (boundary inclusive).
+	Polygon = spatial.Polygon
+	// Grid is a W×H raster state space.
+	Grid = spatial.Grid
+	// LineSpace is a 1-D state space (the synthetic benchmark domain).
+	LineSpace = spatial.LineSpace
+	// RTree is a static spatial index over state centres.
+	RTree = spatial.RTree
+	// Graph is a road network whose nodes double as chain states.
+	Graph = network.Graph
+	// RoadNetworkSpec describes a synthetic road network to generate.
+	RoadNetworkSpec = network.RoadNetworkSpec
+)
+
+// NewGrid returns a W×H grid with unit cells anchored at the origin.
+func NewGrid(w, h int) *Grid { return spatial.NewGrid(w, h) }
+
+// NewLineSpace returns a 1-D space with n states.
+func NewLineSpace(n int) *LineSpace { return spatial.NewLineSpace(n) }
+
+// NewRect returns the rectangle spanning two corners given in any order.
+func NewRect(x1, y1, x2, y2 float64) Rect { return spatial.NewRect(x1, y1, x2, y2) }
+
+// NewPolygon validates and wraps a vertex list (≥ 3 vertices) as a
+// region.
+func NewPolygon(vertices []Point) (Polygon, error) { return spatial.NewPolygon(vertices) }
+
+// IndexSpace bulk-loads an R-tree over all states of a state space.
+// degree ≤ 0 selects the default fan-out.
+func IndexSpace(s spatial.StateSpace, degree int) *RTree {
+	return spatial.IndexSpace(s, degree)
+}
+
+// NewRoadNetwork generates a synthetic road network with the given
+// shape.
+func NewRoadNetwork(spec RoadNetworkSpec) (*Graph, error) { return network.Generate(spec) }
+
+// MunichSpec is a road network shaped like the paper's Munich dataset
+// (73,120 nodes / 93,925 edges).
+func MunichSpec(seed int64) RoadNetworkSpec { return network.MunichSpec(seed) }
+
+// NorthAmericaSpec is a road network shaped like the paper's North
+// America dataset (175,813 nodes / 179,102 edges).
+func NorthAmericaSpec(seed int64) RoadNetworkSpec { return network.NorthAmericaSpec(seed) }
+
+// ChainFromGraph derives a motion model from a road network: transition
+// probabilities are random over each node's outgoing edges and sum to
+// one, as in the paper's road-network experiments.
+func ChainFromGraph(g *Graph, rng *rand.Rand) (*Chain, error) {
+	return NewChain(g.TransitionMatrix(rng))
+}

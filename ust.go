@@ -1,0 +1,181 @@
+// Package ust is a library for querying uncertain spatio-temporal data,
+// reproducing Emrich, Kriegel, Mamoulis, Renz & Züfle, "Querying
+// Uncertain Spatio-Temporal Data", ICDE 2012.
+//
+// Uncertain moving objects — icebergs drifting with the current,
+// vehicles on a road network, customers in a mall — are modeled as
+// discrete-time Markov chains over a finite state space. The library
+// answers three probabilistic spatio-temporal queries under possible-
+// worlds semantics, exactly:
+//
+//   - Exists (PST∃Q): probability the object is inside a spatial region
+//     at *some* timestamp of a time window.
+//   - ForAll (PST∀Q): probability the object stays inside the region at
+//     *every* timestamp of the window.
+//   - KTimes (PSTkQ): the full distribution over *how many* window
+//     timestamps the object spends inside the region.
+//
+// Quick start:
+//
+//	chain, _ := ust.ChainFromDense([][]float64{
+//		{0, 0, 1},
+//		{0.6, 0, 0.4},
+//		{0, 0.8, 0.2},
+//	})
+//	db := ust.NewDatabase(chain)
+//	db.AddSimple(1, ust.PointDistribution(3, 1)) // observed at state s2
+//	engine := ust.NewEngine(db, ust.Options{})
+//	res, _ := engine.Exists(ust.NewQuery([]int{0, 1}, []int{2, 3}))
+//	// res[0].Prob == 0.864 — the paper's running example
+//
+// Objects may carry multiple observations; queries between (or after)
+// observations are answered by conditioning on all of them (Bayesian
+// interpolation, Section VI of the paper). Databases may mix objects
+// with different motion models.
+//
+// The implementation reduces every query to sparse vector-matrix
+// products over the chain with an absorbing "hit" state folded in
+// implicitly; see DESIGN.md for the architecture and EXPERIMENTS.md for
+// the reproduction of the paper's evaluation.
+package ust
+
+import (
+	"ust/internal/core"
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Chain is a homogeneous first-order Markov chain: the motion model
+	// of an uncertain object.
+	Chain = markov.Chain
+	// Distribution is a probability distribution over the state space.
+	Distribution = markov.Distribution
+	// Database holds uncertain objects sharing a default motion model.
+	Database = core.Database
+	// Object is an uncertain spatio-temporal object: a motion model
+	// plus one or more observations.
+	Object = core.Object
+	// Observation is a (possibly uncertain) sighting: a pdf over states
+	// at a timestamp.
+	Observation = core.Observation
+	// Engine evaluates probabilistic spatio-temporal queries.
+	Engine = core.Engine
+	// Options tune an Engine.
+	Options = core.Options
+	// Query is a spatio-temporal window: states × timestamps.
+	Query = core.Query
+	// Result is a per-object probability.
+	Result = core.Result
+	// KResult is a per-object k-times distribution.
+	KResult = core.KResult
+	// Strategy selects the evaluation plan.
+	Strategy = core.Strategy
+	// WorldStats is the exact brute-force aggregate over possible
+	// worlds (validation tool; exponential).
+	WorldStats = core.WorldStats
+	// IntervalChain is an envelope over a set of similar chains, used
+	// for cluster-level pruning.
+	IntervalChain = core.IntervalChain
+	// Vec is the sparse/dense hybrid vector backing distributions.
+	Vec = sparse.Vec
+	// Matrix is a compressed-sparse-row matrix.
+	Matrix = sparse.CSR
+	// Sampler draws chain transitions in O(1) via alias tables; use it
+	// for heavy Monte-Carlo budgets.
+	Sampler = markov.Sampler
+	// CostEstimate is a planner prediction for one strategy.
+	CostEstimate = core.CostEstimate
+)
+
+// Evaluation strategies.
+const (
+	// StrategyQueryBased: one backward sweep per chain, one dot product
+	// per object. The default.
+	StrategyQueryBased = core.StrategyQueryBased
+	// StrategyObjectBased: one forward pass per object.
+	StrategyObjectBased = core.StrategyObjectBased
+	// StrategyMonteCarlo: the sampling baseline. Approximate.
+	StrategyMonteCarlo = core.StrategyMonteCarlo
+)
+
+// NewChain validates m as row-stochastic and wraps it as a motion model.
+func NewChain(m *Matrix) (*Chain, error) { return markov.NewChain(m) }
+
+// ChainFromDense builds a chain from a dense transition matrix.
+func ChainFromDense(rows [][]float64) (*Chain, error) { return markov.FromDense(rows) }
+
+// NewDatabase creates a database with the given default motion model.
+func NewDatabase(defaultChain *Chain) *Database { return core.NewDatabase(defaultChain) }
+
+// NewObject builds an object from observations (sorted by time). chain
+// may be nil to use the database default.
+func NewObject(id int, chain *Chain, obs ...Observation) (*Object, error) {
+	return core.NewObject(id, chain, obs...)
+}
+
+// NewEngine builds a query engine over db.
+func NewEngine(db *Database, opts Options) *Engine { return core.NewEngine(db, opts) }
+
+// NewQuery builds a query window from state ids and timestamps (each
+// copied, sorted, deduped).
+func NewQuery(states, times []int) Query { return core.NewQuery(states, times) }
+
+// Interval returns the contiguous id range {lo..hi}; a convenience for
+// interval-shaped query regions and time windows.
+func Interval(lo, hi int) []int { return core.Interval(lo, hi) }
+
+// PointDistribution is a precise observation: all mass on one state.
+func PointDistribution(numStates, state int) *Distribution {
+	return markov.PointDistribution(numStates, state)
+}
+
+// UniformOver is an imprecise observation: uniform mass over the states.
+func UniformOver(numStates int, states []int) *Distribution {
+	return markov.UniformOver(numStates, states)
+}
+
+// WeightedOver builds a normalized distribution from state/weight pairs.
+func WeightedOver(numStates int, states []int, weights []float64) (*Distribution, error) {
+	return markov.WeightedOver(numStates, states, weights)
+}
+
+// NewMatrixFromDense builds a sparse matrix from dense rows (zeros are
+// dropped).
+func NewMatrixFromDense(rows [][]float64) *Matrix { return sparse.FromDense(rows) }
+
+// NewIntervalChain builds the envelope of a set of similar chains for
+// cluster-level pruning.
+func NewIntervalChain(chains []*Chain) (*IntervalChain, error) {
+	return core.NewIntervalChain(chains)
+}
+
+// BruteForce enumerates all possible worlds of an object (exponential;
+// validation and tiny instances only).
+func BruteForce(chain *Chain, o *Object, q Query) (*WorldStats, error) {
+	return core.BruteForce(chain, o, q)
+}
+
+// PosteriorAt returns the state distribution of an object at time t
+// conditioned on all its observations (interpolation/smoothing).
+func PosteriorAt(chain *Chain, obs []Observation, t int) (*Distribution, error) {
+	return core.PosteriorAt(chain, obs, t)
+}
+
+// NewSampler precomputes alias tables over the chain for O(1)
+// transition sampling.
+func NewSampler(c *Chain) *Sampler { return markov.NewSampler(c) }
+
+// Stationary approximates the chain's stationary distribution by power
+// iteration. Pass maxIter/tol ≤ 0 for defaults.
+func Stationary(c *Chain, maxIter int, tol float64) (*Distribution, int, error) {
+	return markov.Stationary(c, maxIter, tol)
+}
+
+// MixingTime estimates the steps needed for a point mass at start to
+// come within tol (L1) of the stationary distribution pi.
+func MixingTime(c *Chain, start int, pi *Distribution, maxSteps int, tol float64) (int, error) {
+	return markov.MixingTime(c, start, pi, maxSteps, tol)
+}

@@ -1,0 +1,79 @@
+package ust
+
+import (
+	"math/rand"
+
+	"ust/internal/core"
+	"ust/internal/gen"
+	"ust/internal/markov"
+)
+
+// Workload generation: the paper's Table I synthetic datasets and
+// ground-truth trajectory workloads, exposed for benchmarking and
+// testing of downstream systems.
+
+type (
+	// SyntheticParams are the Table I dataset parameters.
+	SyntheticParams = gen.Params
+	// TrajectoryParams describe a hidden-path observation workload.
+	TrajectoryParams = gen.TrajectoryParams
+	// Trajectory is a hidden true path plus its emitted sightings.
+	Trajectory = gen.Trajectory
+	// Sighting is one emitted observation of a hidden path.
+	Sighting = gen.Sighting
+)
+
+// DefaultSyntheticParams returns the paper's Table I defaults
+// (|D| = 10,000, |S| = 100,000, spreads 5, max step 40).
+func DefaultSyntheticParams(seed int64) SyntheticParams { return gen.Defaults(seed) }
+
+// GenerateSyntheticDatabase builds a Table I dataset and loads it into a
+// database (one observation per object at t = 0).
+func GenerateSyntheticDatabase(p SyntheticParams) (*Database, error) {
+	ds, err := gen.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	db := core.NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		if err := db.AddSimple(i, o); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// GenerateSyntheticChain builds only the transition matrix of a Table I
+// dataset.
+func GenerateSyntheticChain(p SyntheticParams, rng *rand.Rand) (*Chain, error) {
+	return gen.GenerateChain(p, rng)
+}
+
+// GenerateTrajectories draws hidden true paths over the chain and emits
+// noisy, guaranteed-consistent observation sequences from them.
+func GenerateTrajectories(chain *Chain, numObjects int, p TrajectoryParams, seed int64) ([]*Trajectory, error) {
+	return gen.GenerateTrajectories(chain, numObjects, p, seed)
+}
+
+// ObjectFromTrajectory converts a generated trajectory's sightings into
+// an Object ready for database insertion.
+func ObjectFromTrajectory(id int, chain *Chain, tr *Trajectory) (*Object, error) {
+	obs := make([]Observation, len(tr.Sightings))
+	for k, s := range tr.Sightings {
+		obs[k] = Observation{Time: s.Time, PDF: s.PDF}
+	}
+	return core.NewObject(id, chain, obs...)
+}
+
+// Structural analysis helpers.
+
+// SCCs returns the strongly connected components of the chain's
+// transition graph in reverse topological order.
+func SCCs(c *Chain) [][]int { return markov.SCCs(c) }
+
+// Irreducible reports whether every state reaches every other state.
+func Irreducible(c *Chain) bool { return markov.Irreducible(c) }
+
+// Aperiodic reports whether the chain's period is 1 (see
+// markov.Aperiodic for the reducible-chain caveat).
+func Aperiodic(c *Chain) bool { return markov.Aperiodic(c) }
