@@ -1,0 +1,38 @@
+# CI entry points. `make ci` is what the pipeline runs; the individual
+# targets are for local iteration.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race examples bench clean
+
+ci: fmt-check vet build test race examples
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile-check every example binary without running it.
+examples:
+	@for d in examples/*/; do \
+		echo "build $$d"; \
+		$(GO) build -o /dev/null "./$$d" || exit 1; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"ust/internal/exp"
 )
@@ -61,9 +64,14 @@ func main() {
 		}
 	}
 
+	// Ctrl-C / SIGTERM aborts the current experiment cleanly — useful at
+	// -scale paper, where single figures run for hours.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("running %d experiment(s) at scale %s, seed %d\n\n", len(experiments), scale, *seed)
 	for _, e := range experiments {
-		rep, err := e.Run(cfg)
+		rep, err := e.Run(ctx, cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}

@@ -1,24 +1,35 @@
 // Command ustquery evaluates a probabilistic spatio-temporal query
-// against a stored dataset (see ustgen).
+// against a stored dataset (see ustgen), through the unified
+// Request/Evaluate API.
 //
 // Usage:
 //
 //	ustquery -db data.ustd -states 100-120 -times 20-25
-//	         [-predicate exists|forall|ktimes] [-strategy qb|ob|mc]
-//	         [-threshold P] [-top N] [-json]
+//	         [-predicate exists|forall|ktimes|eventually]
+//	         [-strategy auto|qb|ob|mc] [-workers N]
+//	         [-threshold P] [-top N] [-stream] [-json]
 //
 // State and time ranges accept "lo-hi" intervals or comma-separated
-// lists ("100-120" or "5,9,13" or a mix: "1-3,7").
+// lists ("100-120" or "5,9,13" or a mix: "1-3,7"). -times is optional
+// for -predicate eventually (the unbounded-horizon query ignores it).
+// Ctrl-C cancels the evaluation cleanly mid-scan.
+//
+// -stream emits results one object at a time as they are produced
+// (NDJSON with -json), without materializing the full result set —
+// use it for scans over very large databases.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ust/internal/core"
 	"ust/internal/store"
@@ -27,16 +38,18 @@ import (
 func main() {
 	dbPath := flag.String("db", "", "dataset file written by ustgen (required)")
 	statesArg := flag.String("states", "", "query region, e.g. 100-120 (required)")
-	timesArg := flag.String("times", "", "query times, e.g. 20-25 (required)")
-	predicate := flag.String("predicate", "exists", "exists | forall | ktimes")
-	strategyArg := flag.String("strategy", "qb", "qb | ob | mc")
+	timesArg := flag.String("times", "", "query times, e.g. 20-25 (required unless -predicate eventually)")
+	predicate := flag.String("predicate", "exists", "exists | forall | ktimes | eventually")
+	strategyArg := flag.String("strategy", "qb", "auto | qb | ob | mc")
+	workers := flag.Int("workers", 1, "parallel workers for ob/mc strategies (0 = GOMAXPROCS)")
 	threshold := flag.Float64("threshold", 0, "only report objects with P ≥ threshold")
-	top := flag.Int("top", 20, "print at most N objects (0 = all)")
+	top := flag.Int("top", 20, "report at most N objects: ranked in batch mode, first N in -stream mode (0 = all)")
 	mcSamples := flag.Int("mc-samples", 100, "samples per object for -strategy mc")
-	asJSON := flag.Bool("json", false, "emit JSON instead of a table")
+	stream := flag.Bool("stream", false, "stream results as they are produced (unranked)")
+	asJSON := flag.Bool("json", false, "emit JSON (NDJSON with -stream) instead of a table")
 	flag.Parse()
 
-	if *dbPath == "" || *statesArg == "" || *timesArg == "" {
+	if *dbPath == "" || *statesArg == "" || (*timesArg == "" && *predicate != "eventually") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -44,9 +57,12 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-states: %w", err))
 	}
-	times, err := parseIntSet(*timesArg)
-	if err != nil {
-		fatal(fmt.Errorf("-times: %w", err))
+	var times []int
+	if *timesArg != "" {
+		times, err = parseIntSet(*timesArg)
+		if err != nil {
+			fatal(fmt.Errorf("-times: %w", err))
+		}
 	}
 
 	f, err := os.Open(*dbPath)
@@ -59,56 +75,81 @@ func main() {
 		fatal(err)
 	}
 
-	var strategy core.Strategy
+	// Ctrl-C / SIGTERM cancels the evaluation within one work item.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []core.RequestOption{core.WithStates(states), core.WithTimes(times)}
 	switch *strategyArg {
+	case "auto":
+		opts = append(opts, core.WithAutoPlan())
 	case "qb":
-		strategy = core.StrategyQueryBased
+		opts = append(opts, core.WithStrategy(core.StrategyQueryBased))
 	case "ob":
-		strategy = core.StrategyObjectBased
+		opts = append(opts, core.WithStrategy(core.StrategyObjectBased))
 	case "mc":
-		strategy = core.StrategyMonteCarlo
+		opts = append(opts, core.WithStrategy(core.StrategyMonteCarlo), core.WithMonteCarloBudget(*mcSamples, 0))
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategyArg))
 	}
-	engine := core.NewEngine(db, core.Options{Strategy: strategy, MonteCarloSamples: *mcSamples})
-	q := core.NewQuery(states, times)
+	if *workers != 1 {
+		opts = append(opts, core.WithParallelism(*workers))
+	}
+	if *threshold > 0 {
+		opts = append(opts, core.WithThreshold(*threshold))
+	}
 
+	var pred core.Predicate
 	switch *predicate {
-	case "exists", "forall":
-		var res []core.Result
-		if *predicate == "exists" {
-			res, err = engine.Exists(q)
-		} else {
-			res, err = engine.ForAll(q)
-		}
-		if err != nil {
-			fatal(err)
-		}
-		res = filterSort(res, *threshold)
-		if *top > 0 && len(res) > *top {
-			res = res[:*top]
-		}
-		if *asJSON {
-			emitJSON(res)
-			return
-		}
-		fmt.Printf("%-10s  %s\n", "object", "probability")
-		for _, r := range res {
-			fmt.Printf("%-10d  %.6f\n", r.ObjectID, r.Prob)
-		}
+	case "exists":
+		pred = core.PredicateExists
+	case "forall":
+		pred = core.PredicateForAll
 	case "ktimes":
-		res, err := engine.KTimes(q)
-		if err != nil {
-			fatal(err)
-		}
-		if *top > 0 && len(res) > *top {
-			res = res[:*top]
-		}
-		if *asJSON {
-			emitJSON(res)
-			return
-		}
-		for _, r := range res {
+		pred = core.PredicateKTimes
+	case "eventually":
+		pred = core.PredicateEventually
+	default:
+		fatal(fmt.Errorf("unknown predicate %q", *predicate))
+	}
+	ranked := *top > 0 && pred != core.PredicateKTimes && !*stream
+	if ranked {
+		opts = append(opts, core.WithTopK(*top))
+	}
+
+	engine := core.NewEngine(db, core.Options{})
+	req := core.NewRequest(pred, opts...)
+
+	if *stream {
+		streamResults(ctx, engine, req, pred, *top, *asJSON)
+		return
+	}
+
+	resp, err := engine.Evaluate(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ustquery: strategy %s, %d result(s)\n", resp.Strategy, len(resp.Results))
+	results := resp.Results
+	if !ranked && pred != core.PredicateKTimes {
+		// -top 0 means "all", still reported best-first like every other
+		// batch table (WithTopK already ranked the ranked case).
+		sort.Slice(results, func(a, b int) bool {
+			if results[a].Prob != results[b].Prob {
+				return results[a].Prob > results[b].Prob
+			}
+			return results[a].ObjectID < results[b].ObjectID
+		})
+	}
+	if !ranked && *top > 0 && len(results) > *top {
+		results = results[:*top]
+	}
+	if *asJSON {
+		emitJSON(results)
+		return
+	}
+	if pred == core.PredicateKTimes {
+		for _, r := range results {
 			fmt.Printf("object %d:\n", r.ObjectID)
 			for k, p := range r.Dist {
 				if p > 1e-9 {
@@ -116,25 +157,50 @@ func main() {
 				}
 			}
 		}
-	default:
-		fatal(fmt.Errorf("unknown predicate %q", *predicate))
+		return
+	}
+	fmt.Printf("%-10s  %s\n", "object", "probability")
+	for _, r := range results {
+		fmt.Printf("%-10d  %.6f\n", r.ObjectID, r.Prob)
 	}
 }
 
-func filterSort(res []core.Result, threshold float64) []core.Result {
-	out := res[:0]
-	for _, r := range res {
-		if r.Prob >= threshold {
-			out = append(out, r)
+// streamResults drains EvaluateSeq, printing each result as it is
+// produced: NDJSON with -json, the plain table otherwise. top > 0 caps
+// the output at the first N results in evaluation order (streaming
+// cannot rank).
+func streamResults(ctx context.Context, engine *core.Engine, req core.Request, pred core.Predicate, top int, asJSON bool) {
+	enc := json.NewEncoder(os.Stdout)
+	if !asJSON && pred != core.PredicateKTimes {
+		fmt.Printf("%-10s  %s\n", "object", "probability")
+	}
+	n := 0
+	for r, err := range engine.EvaluateSeq(ctx, req) {
+		if err != nil {
+			fatal(err)
+		}
+		if top > 0 && n == top {
+			fmt.Fprintf(os.Stderr, "ustquery: stopped after %d result(s); -top 0 streams all\n", top)
+			break
+		}
+		n++
+		switch {
+		case asJSON:
+			if err := enc.Encode(r); err != nil {
+				fatal(err)
+			}
+		case pred == core.PredicateKTimes:
+			fmt.Printf("object %d:\n", r.ObjectID)
+			for k, p := range r.Dist {
+				if p > 1e-9 {
+					fmt.Printf("  P(%d visits) = %.6f\n", k, p)
+				}
+			}
+		default:
+			fmt.Printf("%-10d  %.6f\n", r.ObjectID, r.Prob)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Prob != out[b].Prob {
-			return out[a].Prob > out[b].Prob
-		}
-		return out[a].ObjectID < out[b].ObjectID
-	})
-	return out
+	fmt.Fprintf(os.Stderr, "ustquery: streamed %d result(s)\n", n)
 }
 
 func emitJSON(v any) {
@@ -145,7 +211,7 @@ func emitJSON(v any) {
 	}
 }
 
-// parseIntSet parses "1-3,7,10-12" into a sorted id list.
+// parseIntSet parses "1-3,7,10-12" into an id list.
 func parseIntSet(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {

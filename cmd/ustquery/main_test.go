@@ -2,8 +2,6 @@ package main
 
 import (
 	"testing"
-
-	"ust/internal/core"
 )
 
 func TestParseIntSet(t *testing.T) {
@@ -43,21 +41,5 @@ func TestParseIntSet(t *testing.T) {
 				break
 			}
 		}
-	}
-}
-
-func TestFilterSort(t *testing.T) {
-	in := []core.Result{
-		{ObjectID: 1, Prob: 0.2},
-		{ObjectID: 2, Prob: 0.9},
-		{ObjectID: 3, Prob: 0.5},
-		{ObjectID: 4, Prob: 0.9},
-	}
-	out := filterSort(in, 0.5)
-	if len(out) != 3 {
-		t.Fatalf("filtered to %d, want 3", len(out))
-	}
-	if out[0].ObjectID != 2 || out[1].ObjectID != 4 || out[2].ObjectID != 3 {
-		t.Errorf("order = %v", out)
 	}
 }

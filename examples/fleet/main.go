@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -81,11 +82,13 @@ func main() {
 		db.Len(), len(classes), db.Len())
 
 	// The query: which vehicles reach the city-centre pickup zone in
-	// minutes 4..8 with probability ≥ 30%?
+	// minutes 4..8 with probability ≥ 30%? The region goes into the
+	// request as geometry; the R-tree resolves it at evaluation time.
 	index := ust.IndexSpace(grid, 0)
 	zone := index.Search(ust.NewRect(10, 10, 14, 14))
 	query := ust.NewQuery(zone, ust.Interval(4, 8))
 	engine := ust.NewEngine(db, ust.Options{})
+	ctx := context.Background()
 	const tau = 0.3
 
 	// 1. Cluster-pruned evaluation. The envelope index is built once
@@ -107,12 +110,19 @@ func main() {
 	fmt.Printf("cluster-pruned: %d qualifying, %d/%d vehicles decided by cluster bounds alone (%.0f%%), %s\n",
 		len(pruned), decided, db.Len(), 100*float64(decided)/float64(db.Len()), tPruned.Round(time.Microsecond))
 
-	// 2. Exact per-object evaluation for comparison.
+	// 2. Exact per-object evaluation for comparison, through the
+	// unified entry point: region + window + threshold + ranking in one
+	// request.
 	t0 = time.Now()
-	exact, err := engine.ExistsThreshold(query, tau)
+	exactResp, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateExists,
+		ust.WithRegion(ust.NewRect(10, 10, 14, 14), index),
+		ust.WithTimeRange(4, 8),
+		ust.WithThreshold(tau),
+		ust.WithTopK(db.Len())))
 	if err != nil {
 		log.Fatal(err)
 	}
+	exact := exactResp.Results
 	tExact := time.Since(t0)
 	fmt.Printf("exact:          %d qualifying, %s\n", len(exact), tExact.Round(time.Microsecond))
 	if len(exact) != len(pruned) {
@@ -122,20 +132,18 @@ func main() {
 		fmt.Printf("  vehicle %3d (%s): P = %.3f\n", r.ObjectID, classes[clusterOf[r.ObjectID]].name, r.Prob)
 	}
 
-	// 3. The cost planner's view of this query.
-	plans, err := engine.PlanExists(query)
+	// 3. The cost planner's view of this query: WithAutoPlan picks the
+	// cheaper strategy per request and reports the estimates.
+	autoResp, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateExists,
+		ust.WithWindow(query), ust.WithAutoPlan()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nplanner estimates:")
-	for _, p := range plans {
+	for _, p := range autoResp.Plans {
 		fmt.Printf("  %-13s sweeps=%3d  ops≈%.2g\n", p.Strategy, p.Sweeps, p.Ops)
 	}
-	res, chosen, err := engine.ExistsAuto(query)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("auto-selected strategy: %s (%d results)\n", chosen, len(res))
+	fmt.Printf("auto-selected strategy: %s (%d results)\n", autoResp.Strategy, len(autoResp.Results))
 }
 
 // walkChain builds a lazy random walk with the given stay probability;

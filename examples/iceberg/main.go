@@ -15,10 +15,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
 
 	"ust"
 )
@@ -69,25 +69,27 @@ func main() {
 	}
 
 	engine := ust.NewEngine(db, ust.Options{})
+	ctx := context.Background()
 
 	// --- Query 1: shipping-lane intrusion (PST∃Q). ---
-	// The lane is a diagonal corridor; resolve it to states with the
-	// R-tree index.
+	// The lane is a diagonal corridor, passed to the request as raw
+	// geometry: the engine resolves it to states through the R-tree
+	// index at evaluation time. WithTopK ranks the bergs by risk.
 	index := ust.IndexSpace(ocean, 0)
 	lane := ust.RegionUnion{
 		ust.NewRect(12, 10, 30, 14),
 		ust.NewRect(24, 6, 36, 11),
 	}
-	laneStates := index.Search(lane)
-	window := ust.NewQuery(laneStates, ust.Interval(1, hours))
 
 	fmt.Println("== Icebergs that may enter the shipping lane within 48h ==")
-	res, err := engine.Exists(window)
+	res, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateExists,
+		ust.WithRegion(lane, index),
+		ust.WithTimeRange(1, hours),
+		ust.WithTopK(db.Len())))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sort.Slice(res, func(a, b int) bool { return res[a].Prob > res[b].Prob })
-	for _, r := range res {
+	for _, r := range res.Results {
 		warn := ""
 		switch {
 		case r.Prob >= 0.5:
@@ -100,19 +102,19 @@ func main() {
 
 	// --- Query 2: survey stability (PST∀Q). ---
 	// An aircraft needs the berg inside the survey box for six
-	// consecutive hours starting at t=6.
-	surveyBox := index.Search(ust.NewRect(2, 14, 16, 26))
-	survey := ust.NewQuery(surveyBox, ust.Interval(6, 11))
+	// consecutive hours starting at t=6. Same entry point, different
+	// predicate; the threshold drops the hopeless bergs server-side.
 	fmt.Println("\n== Icebergs stably inside the survey box during t=6..11 ==")
-	stay, err := engine.ForAll(survey)
+	stay, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateForAll,
+		ust.WithRegion(ust.NewRect(2, 14, 16, 26), index),
+		ust.WithTimeRange(6, 11),
+		ust.WithThreshold(0.01),
+		ust.WithTopK(db.Len())))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sort.Slice(stay, func(a, b int) bool { return stay[a].Prob > stay[b].Prob })
-	for _, r := range stay {
-		if r.Prob > 0.01 {
-			fmt.Printf("  berg %d: P(stays) = %.4f\n", r.ObjectID, r.Prob)
-		}
+	for _, r := range stay.Results {
+		fmt.Printf("  berg %d: P(stays) = %.4f\n", r.ObjectID, r.Prob)
 	}
 
 	// --- Query 3: posterior position of the twice-sighted berg. ---

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -44,22 +45,23 @@ func main() {
 	fmt.Printf("customers tracked: %d\n", db.Len())
 
 	// The food court occupies the mall's north-east quadrant corner.
-	foodCourt := index.Search(ust.NewRect(13, 13, 18, 18))
-	pushWindow := ust.Interval(3, 7) // minutes 3..7 from now
-	query := ust.NewQuery(foodCourt, pushWindow)
+	// The request carries the geometry; minutes 3..7 from now.
+	foodCourt := ust.NewRect(13, 13, 18, 18)
+	window := []ust.RequestOption{
+		ust.WithRegion(foodCourt, index),
+		ust.WithTimeRange(3, 7),
+	}
+	query := ust.NewQuery(index.Search(foodCourt), ust.Interval(3, 7))
 	engine := ust.NewEngine(db, ust.Options{})
+	ctx := context.Background()
 
 	// --- Campaign targeting: PST∀Q with threshold. ---
-	stay, err := engine.ForAll(query)
+	stay, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateForAll,
+		append(window, ust.WithThreshold(0.6))...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	var targets []ust.Result
-	for _, r := range stay {
-		if r.Prob >= 0.6 {
-			targets = append(targets, r)
-		}
-	}
+	targets := stay.Results
 	fmt.Printf("coupon targets (P(stay all 5 min) ≥ 0.6): %d customers\n", len(targets))
 	for i, r := range targets {
 		if i == 5 {
@@ -70,11 +72,18 @@ func main() {
 	}
 
 	// --- Reach estimate: anyone touching the food court (PST∃Q ≥ 0.2). ---
-	reach, err := engine.ExistsThreshold(query, 0.2)
-	if err != nil {
-		log.Fatal(err)
+	// The streaming path counts qualifying customers without
+	// materializing a result slice — the shape of a million-user scan.
+	reach := 0
+	for r, err := range engine.EvaluateSeq(ctx, ust.NewRequest(ust.PredicateExists,
+		append(window, ust.WithThreshold(0.2))...)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = r
+		reach++
 	}
-	fmt.Printf("\nfootfall reach (P(visit) ≥ 0.2): %d customers\n", len(reach))
+	fmt.Printf("\nfootfall reach (P(visit) ≥ 0.2): %d customers\n", reach)
 
 	// --- Dwell profile of the best target (PSTkQ). ---
 	if len(targets) > 0 {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The motion model: a homogeneous Markov chain over 3 states.
 	chain, err := ust.ChainFromDense([][]float64{
 		{0, 0, 1},     // s1 -> s3
@@ -32,27 +34,32 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The query window: region {s1, s2} at times {2, 3}.
-	query := ust.NewQuery([]int{0, 1}, []int{2, 3})
+	// The query window: region {s1, s2} at times {2, 3}. Every
+	// predicate is one Request evaluated through the same entry point;
+	// only the predicate kind changes.
+	window := []ust.RequestOption{
+		ust.WithStates([]int{0, 1}),
+		ust.WithTimes([]int{2, 3}),
+	}
 	engine := ust.NewEngine(db, ust.Options{})
 
-	exists, err := engine.Exists(query)
+	exists, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateExists, window...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("P(object enters the window)   = %.3f\n", exists[0].Prob)
+	fmt.Printf("P(object enters the window)   = %.3f\n", exists.Results[0].Prob)
 
-	kTimes, err := engine.KTimes(query)
+	kTimes, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateKTimes, window...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for k, p := range kTimes[0].Dist {
+	for k, p := range kTimes.Results[0].Dist {
 		fmt.Printf("P(inside at exactly %d times) = %.3f\n", k, p)
 	}
 
-	forAll, err := engine.ForAll(query)
+	forAll, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateForAll, window...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("P(inside at all query times)  = %.3f\n", forAll[0].Prob)
+	fmt.Printf("P(inside at all query times)  = %.3f\n", forAll.Results[0].Prob)
 }

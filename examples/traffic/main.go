@@ -11,10 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
 
 	"ust"
 )
@@ -64,32 +64,43 @@ func main() {
 
 	// One timestamp = one minute. The window of interest: 10-15 minutes
 	// from now.
-	query := ust.NewQuery(zone, ust.Interval(10, 15))
-	engine := ust.NewEngine(db, ust.Options{}) // query-based by default
-
-	res, err := engine.Exists(query)
-	if err != nil {
-		log.Fatal(err)
+	window := []ust.RequestOption{
+		ust.WithStates(zone),
+		ust.WithTimeRange(10, 15),
 	}
+	engine := ust.NewEngine(db, ust.Options{}) // query-based by default
+	ctx := context.Background()
 
+	// The aggregate runs over the streaming path: per-vehicle results
+	// are folded into the sum as they are produced, so a city-scale
+	// fleet never materializes a result slice.
 	expected := 0.0
-	for _, r := range res {
+	for r, err := range engine.EvaluateSeq(ctx, ust.NewRequest(ust.PredicateExists, window...)) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		expected += r.Prob
 	}
 	fmt.Printf("\nexpected vehicles touching the zone in minutes 10-15: %.1f of %d\n",
 		expected, numVehicles)
 
-	sort.Slice(res, func(a, b int) bool { return res[a].Prob > res[b].Prob })
+	// Ranked retrieval: the five most likely arrivals, directly from the
+	// request (a k-sized heap, not a full sort).
+	topResp, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateExists,
+		append(window, ust.WithTopK(5))...))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("most likely arrivals:")
-	for _, r := range res[:5] {
+	for _, r := range topResp.Results {
 		fmt.Printf("  vehicle %4d: P = %.4f\n", r.ObjectID, r.Prob)
 	}
 
 	// 4. Dwell analysis (PSTkQ): of the top vehicle, how many of the six
-	// window minutes will it spend inside the zone?
-	top := db.Get(res[0].ObjectID)
-	eOB := ust.NewEngine(db, ust.Options{Strategy: ust.StrategyObjectBased})
-	dist, err := eOB.KTimesOB(top, query)
+	// window minutes will it spend inside the zone? A single-object
+	// question uses the per-object API.
+	top := db.Get(topResp.Results[0].ObjectID)
+	dist, err := engine.KTimesOB(top, ust.NewQuery(zone, ust.Interval(10, 15)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module ust
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -370,7 +371,7 @@ func existsMultiObsForTest(e *Engine, o *Object, q Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return existsMultiObs(ch, o.Observations, w)
+	return existsMultiObs(context.Background(), ch, o.Observations, w)
 }
 
 func TestMonteCarloConvergesToExact(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -33,9 +34,10 @@ func (s Strategy) String() string {
 	}
 }
 
-// Options tune an Engine.
+// Options tune an Engine. Every option can be overridden per request
+// (WithStrategy, WithMonteCarloBudget, …).
 type Options struct {
-	// Strategy picks the plan for Exists/ForAll/KTimes. Default:
+	// Strategy picks the default plan for Evaluate. Default:
 	// query-based.
 	Strategy Strategy
 	// MonteCarloSamples is the per-object path budget for the
@@ -54,7 +56,9 @@ func (o Options) withDefaults() Options {
 }
 
 // Engine evaluates probabilistic spatio-temporal queries over a
-// database.
+// database. Evaluate and EvaluateSeq are the primary entry points; the
+// per-variant methods (Exists, ForAll, KTimes, …) are compatibility
+// wrappers over them.
 type Engine struct {
 	db   *Database
 	opts Options
@@ -71,10 +75,14 @@ func NewEngine(db *Database, opts Options) *Engine {
 // Database returns the engine's database.
 func (e *Engine) Database() *Database { return e.db }
 
-// Result is a per-object query probability.
+// Result is a per-object query answer. Prob is the predicate
+// probability; for ktimes-requests Dist additionally carries the full
+// visit-count distribution (Dist[k] = P(inside at exactly k query
+// timestamps)) and Prob is the probability of at least one visit.
 type Result struct {
 	ObjectID int
 	Prob     float64
+	Dist     []float64 `json:",omitempty"`
 }
 
 // KResult is a per-object PSTkQ distribution: Dist[k] is the probability
@@ -85,116 +93,46 @@ type KResult struct {
 }
 
 // Exists answers the PST∃Q (Definition 2) for every object, using the
-// configured strategy.
+// engine's default strategy. Thin wrapper over Evaluate.
 func (e *Engine) Exists(q Query) ([]Result, error) {
-	switch e.opts.Strategy {
-	case StrategyObjectBased:
-		return e.existsAllOB(q)
-	case StrategyMonteCarlo:
-		return e.monteCarloAll(q, predicateExists)
-	default:
-		return e.ExistsQB(q)
-	}
-}
-
-// ForAll answers the PST∀Q (Definition 3) for every object.
-func (e *Engine) ForAll(q Query) ([]Result, error) {
-	switch e.opts.Strategy {
-	case StrategyObjectBased:
-		return e.forAllAllOB(q)
-	case StrategyMonteCarlo:
-		return e.monteCarloAll(q, predicateForAll)
-	default:
-		return e.ForAllQB(q)
-	}
-}
-
-// KTimes answers the PSTkQ (Definition 4) for every object.
-func (e *Engine) KTimes(q Query) ([]KResult, error) {
-	switch e.opts.Strategy {
-	case StrategyObjectBased:
-		return e.kTimesAllOB(q)
-	case StrategyMonteCarlo:
-		return e.monteCarloKTimes(q)
-	default:
-		return e.KTimesQB(q)
-	}
-}
-
-func (e *Engine) existsAllOB(q Query) ([]Result, error) {
-	results := make([]Result, 0, e.db.Len())
-	for _, grp := range e.db.groupByChain() {
-		w, err := compile(q, grp.chain.NumStates())
-		if err != nil {
-			return nil, err
-		}
-		for _, o := range grp.objects {
-			p, oerr := e.existsOB(o, grp.chain, w)
-			if oerr != nil {
-				return nil, oerr
-			}
-			results = append(results, Result{ObjectID: o.ID, Prob: p})
-		}
-	}
-	return results, nil
-}
-
-func (e *Engine) forAllAllOB(q Query) ([]Result, error) {
-	results := make([]Result, 0, e.db.Len())
-	for _, grp := range e.db.groupByChain() {
-		w, err := compile(q, grp.chain.NumStates())
-		if err != nil {
-			return nil, err
-		}
-		if w.k == 0 {
-			for _, o := range grp.objects {
-				results = append(results, Result{ObjectID: o.ID, Prob: 1})
-			}
-			continue
-		}
-		comp := w.complemented()
-		for _, o := range grp.objects {
-			p, oerr := e.existsOB(o, grp.chain, comp)
-			if oerr != nil {
-				return nil, oerr
-			}
-			results = append(results, Result{ObjectID: o.ID, Prob: 1 - p})
-		}
-	}
-	return results, nil
-}
-
-func (e *Engine) kTimesAllOB(q Query) ([]KResult, error) {
-	results := make([]KResult, 0, e.db.Len())
-	for _, o := range e.db.Objects() {
-		dist, err := e.KTimesOB(o, q)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, KResult{ObjectID: o.ID, Dist: dist})
-	}
-	return results, nil
-}
-
-// ExistsThreshold returns the objects whose PST∃Q probability is at
-// least tau, sorted by descending probability. It uses the query-based
-// scores and is the natural "retrieve qualifying icebergs" entry point.
-func (e *Engine) ExistsThreshold(q Query, tau float64) ([]Result, error) {
-	all, err := e.Exists(q)
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateExists, WithWindow(q)))
 	if err != nil {
 		return nil, err
 	}
-	out := all[:0]
-	for _, r := range all {
-		if r.Prob >= tau {
-			out = append(out, r)
-		}
+	return resp.Results, nil
+}
+
+// ForAll answers the PST∀Q (Definition 3) for every object. Thin
+// wrapper over Evaluate.
+func (e *Engine) ForAll(q Query) ([]Result, error) {
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateForAll, WithWindow(q)))
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Prob != out[b].Prob {
-			return out[a].Prob > out[b].Prob
-		}
-		return out[a].ObjectID < out[b].ObjectID
-	})
+	return resp.Results, nil
+}
+
+// KTimes answers the PSTkQ (Definition 4) for every object. Thin
+// wrapper over Evaluate.
+func (e *Engine) KTimes(q Query) ([]KResult, error) {
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateKTimes, WithWindow(q)))
+	if err != nil {
+		return nil, err
+	}
+	return toKResults(resp.Results), nil
+}
+
+// ExistsThreshold returns the objects whose PST∃Q probability is at
+// least tau, sorted by descending probability. It is the natural
+// "retrieve qualifying icebergs" entry point. Thin wrapper over
+// Evaluate (which leaves threshold results in evaluation order).
+func (e *Engine) ExistsThreshold(q Query, tau float64) ([]Result, error) {
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateExists,
+		WithWindow(q), WithThreshold(tau)))
+	if err != nil {
+		return nil, err
+	}
+	out := resp.Results
+	sort.Slice(out, func(a, b int) bool { return better(out[a], out[b]) })
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ust/internal/markov"
@@ -27,6 +28,12 @@ import (
 // via the returned step count; steps == maxSteps with err == nil means
 // tolerance was not reached — the scores are then a lower bound).
 func HittingScores(chain *markov.Chain, regionStates []int, maxSteps int, tol float64) (*sparse.Vec, int, error) {
+	return hittingScores(context.Background(), chain, regionStates, maxSteps, tol)
+}
+
+// hittingScores is the ctx-aware fixed-point kernel behind
+// HittingScores; it checks ctx once per backward sweep.
+func hittingScores(ctx context.Context, chain *markov.Chain, regionStates []int, maxSteps int, tol float64) (*sparse.Vec, int, error) {
 	n := chain.NumStates()
 	if maxSteps <= 0 {
 		// Slow-mixing chains (e.g. long random walks) converge in
@@ -56,6 +63,9 @@ func HittingScores(chain *markov.Chain, regionStates []int, maxSteps int, tol fl
 	}
 	pin(score)
 	for step := 1; step <= maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		chain.StepBack(next, score)
 		pin(next)
 		// Monotone convergence: sup-norm of the increment.

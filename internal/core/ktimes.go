@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"ust/internal/markov"
 	"ust/internal/sparse"
@@ -27,11 +27,17 @@ func (e *Engine) KTimesOB(o *Object, q Query) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return kTimesOne(context.Background(), ch, o, w)
+}
+
+// kTimesOne is the shared per-object PSTkQ kernel over a compiled
+// window.
+func kTimesOne(ctx context.Context, ch *markov.Chain, o *Object, w *window) ([]float64, error) {
 	if w.k == 0 {
 		return []float64{1}, nil
 	}
 	if len(o.Observations) > 1 {
-		return nil, fmt.Errorf("core: PSTkQ with multiple observations is not supported; object %d has %d", o.ID, len(o.Observations))
+		return nil, errKTimesMultiObs(o)
 	}
 	first := o.First()
 	if first.Time > w.horizon {
@@ -41,10 +47,12 @@ func (e *Engine) KTimesOB(o *Object, q Query) ([]float64, error) {
 	if init.Vec().Normalize() == 0 {
 		return nil, errZeroMass(o.ID)
 	}
-	return kTimesForward(ch, init.Vec(), first.Time, w), nil
+	return kTimesForward(ctx, ch, init.Vec(), first.Time, w)
 }
 
-func kTimesForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window) []float64 {
+// kTimesForward steps the count matrix forward, checking ctx once per
+// transition.
+func kTimesForward(ctx context.Context, chain *markov.Chain, init *sparse.Vec, t0 int, w *window) ([]float64, error) {
 	n := chain.NumStates()
 	rows := make([]*sparse.Vec, w.k+1)
 	for i := range rows {
@@ -56,6 +64,9 @@ func kTimesForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window) []f
 	}
 	buf := sparse.NewVec(n)
 	for t := t0; t < w.horizon; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Rows above the number of processed query times are all zero;
 		// stepping them would be wasted work but correct. Step every
 		// non-empty row.
@@ -74,7 +85,7 @@ func kTimesForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window) []f
 	for i, r := range rows {
 		out[i] = r.Sum()
 	}
-	return out
+	return out, nil
 }
 
 // shiftDown moves the in-window mass of row k into row k+1 (same
@@ -102,48 +113,29 @@ func shiftDown(rows []*sparse.Vec, w *window) {
 // world at state s at time t visits the window at exactly k of the query
 // timestamps in (t, horizon]; stepping back INTO a query timestamp
 // first re-indexes in-window states to consume one visit. Each object is
-// then answered with |T□|+1 dot products.
+// then answered with |T□|+1 dot products. Thin wrapper over Evaluate.
 func (e *Engine) KTimesQB(q Query) ([]KResult, error) {
-	results := make([]KResult, 0, e.db.Len())
-	for _, grp := range e.db.groupByChain() {
-		w, err := compile(q, grp.chain.NumStates())
-		if err != nil {
-			return nil, err
-		}
-		cache := map[int][]*sparse.Vec{}
-		for _, o := range grp.objects {
-			if w.k == 0 {
-				results = append(results, KResult{ObjectID: o.ID, Dist: []float64{1}})
-				continue
-			}
-			if len(o.Observations) > 1 {
-				return nil, fmt.Errorf("core: PSTkQ with multiple observations is not supported; object %d has %d", o.ID, len(o.Observations))
-			}
-			first := o.First()
-			if first.Time > w.horizon {
-				return nil, errObservedAfterHorizon(o.ID, first.Time, w.horizon)
-			}
-			backs, ok := cache[first.Time]
-			if !ok {
-				backs = kTimesBackward(grp.chain, w, first.Time)
-				cache[first.Time] = backs
-			}
-			init := first.PDF.Clone()
-			if init.Vec().Normalize() == 0 {
-				return nil, errZeroMass(o.ID)
-			}
-			dist := make([]float64, w.k+1)
-			for k := range dist {
-				dist[k] = init.Vec().Dot(backs[k])
-			}
-			results = append(results, KResult{ObjectID: o.ID, Dist: dist})
-		}
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateKTimes,
+		WithWindow(q), WithStrategy(StrategyQueryBased)))
+	if err != nil {
+		return nil, err
 	}
-	return results, nil
+	return toKResults(resp.Results), nil
 }
 
-// kTimesBackward produces the scoring vectors B_0 … B_K at time t0.
-func kTimesBackward(chain *markov.Chain, w *window, t0 int) []*sparse.Vec {
+// toKResults converts unified ktimes Results into the legacy KResult
+// form.
+func toKResults(results []Result) []KResult {
+	out := make([]KResult, len(results))
+	for i, r := range results {
+		out[i] = KResult{ObjectID: r.ObjectID, Dist: r.Dist}
+	}
+	return out
+}
+
+// kTimesBackward produces the scoring vectors B_0 … B_K at time t0,
+// checking ctx once per backward step.
+func kTimesBackward(ctx context.Context, chain *markov.Chain, w *window, t0 int) ([]*sparse.Vec, error) {
 	n := chain.NumStates()
 	backs := make([]*sparse.Vec, w.k+1)
 	for k := range backs {
@@ -156,6 +148,9 @@ func kTimesBackward(chain *markov.Chain, w *window, t0 int) []*sparse.Vec {
 	}
 	buf := sparse.NewVec(n)
 	for t := w.horizon; t > t0; t-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if w.atTime(t) {
 			consumeVisit(backs, w)
 		}
@@ -168,7 +163,7 @@ func kTimesBackward(chain *markov.Chain, w *window, t0 int) []*sparse.Vec {
 	if w.atTime(t0) {
 		consumeVisit(backs, w)
 	}
-	return backs
+	return backs, nil
 }
 
 // consumeVisit re-indexes the backward vectors at a query timestamp: a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ust/internal/markov"
@@ -110,9 +111,9 @@ func (m *Monitor) Results() ([]Result, error) {
 				case eval.w.k == 0:
 					p = 0
 				case len(o.Observations) > 1:
-					p, err = existsMultiObs(grp.chain, o.Observations, eval.w)
+					p, err = existsMultiObs(context.Background(), grp.chain, o.Observations, eval.w)
 				default:
-					p, err = eval.exists(o)
+					p, err = eval.exists(context.Background(), o)
 				}
 				if err != nil {
 					return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -35,6 +36,12 @@ func monteCarloEval(chain *markov.Chain, o *Object, q Query, n int, rng *rand.Ra
 	if err != nil {
 		return 0, err
 	}
+	return monteCarloRun(context.Background(), chain, o, w, n, rng, pred)
+}
+
+// monteCarloRun is the sampling kernel over a compiled window. It
+// checks ctx once per sampled path and aborts with ctx.Err().
+func monteCarloRun(ctx context.Context, chain *markov.Chain, o *Object, w *window, n int, rng *rand.Rand, pred predicate) (float64, error) {
 	if w.k == 0 {
 		if pred == predicateForAll {
 			return 1, nil
@@ -57,6 +64,9 @@ func monteCarloEval(chain *markov.Chain, o *Object, q Query, n int, rng *rand.Ra
 	}
 	var hitWeight, totalWeight float64
 	for s := 0; s < n; s++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		path := chain.SamplePath(first.PDF.Vec(), steps, rng)
 		weight := 1.0
 		if multi {
@@ -110,6 +120,12 @@ func MonteCarloKTimes(chain *markov.Chain, o *Object, q Query, n int, rng *rand.
 	if err != nil {
 		return nil, err
 	}
+	return monteCarloKTimesRun(context.Background(), chain, o, w, n, rng)
+}
+
+// monteCarloKTimesRun is the PSTkQ sampling kernel over a compiled
+// window, checking ctx once per sampled path.
+func monteCarloKTimesRun(ctx context.Context, chain *markov.Chain, o *Object, w *window, n int, rng *rand.Rand) ([]float64, error) {
 	if w.k == 0 {
 		return []float64{1}, nil
 	}
@@ -118,7 +134,7 @@ func MonteCarloKTimes(chain *markov.Chain, o *Object, q Query, n int, rng *rand.
 		return nil, errObservedAfterHorizon(o.ID, first.Time, w.horizon)
 	}
 	if len(o.Observations) > 1 {
-		return nil, fmt.Errorf("core: PSTkQ with multiple observations is not supported; object %d has %d", o.ID, len(o.Observations))
+		return nil, errKTimesMultiObs(o)
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("core: Monte-Carlo needs a positive sample count, got %d", n)
@@ -126,6 +142,9 @@ func MonteCarloKTimes(chain *markov.Chain, o *Object, q Query, n int, rng *rand.
 	steps := w.horizon - first.Time
 	counts := make([]float64, w.k+1)
 	for s := 0; s < n; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		path := chain.SamplePath(first.PDF.Vec(), steps, rng)
 		visits := 0
 		for t, st := range path {
@@ -148,30 +167,4 @@ func MonteCarloStdDev(p float64, n int) float64 {
 		return math.Inf(1)
 	}
 	return math.Sqrt(p * (1 - p) / float64(n))
-}
-
-func (e *Engine) monteCarloAll(q Query, pred predicate) ([]Result, error) {
-	rng := rand.New(rand.NewSource(e.opts.MonteCarloSeed))
-	results := make([]Result, 0, e.db.Len())
-	for _, o := range e.db.Objects() {
-		p, err := monteCarloEval(e.db.ChainOf(o), o, q, e.opts.MonteCarloSamples, rng, pred)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, Result{ObjectID: o.ID, Prob: p})
-	}
-	return results, nil
-}
-
-func (e *Engine) monteCarloKTimes(q Query) ([]KResult, error) {
-	rng := rand.New(rand.NewSource(e.opts.MonteCarloSeed))
-	results := make([]KResult, 0, e.db.Len())
-	for _, o := range e.db.Objects() {
-		dist, err := MonteCarloKTimes(e.db.ChainOf(o), o, q, e.opts.MonteCarloSamples, rng)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, KResult{ObjectID: o.ID, Dist: dist})
-	}
-	return results, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ust/internal/markov"
@@ -26,7 +27,8 @@ import (
 
 // existsMultiObs computes P∃ for an object with ≥ 1 observations.
 // Observation list must be sorted by time (Object guarantees this).
-func existsMultiObs(chain *markov.Chain, obs []Observation, w *window) (float64, error) {
+// Checks ctx once per forward step.
+func existsMultiObs(ctx context.Context, chain *markov.Chain, obs []Observation, w *window) (float64, error) {
 	if len(obs) == 0 {
 		return 0, fmt.Errorf("core: no observations")
 	}
@@ -50,6 +52,9 @@ func existsMultiObs(chain *markov.Chain, obs []Observation, w *window) (float64,
 	bufA := sparse.NewVec(n)
 	bufB := sparse.NewVec(n)
 	for ; t < end; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		chain.Step(bufA, pNot)
 		pNot, bufA = bufA, pNot
 		chain.Step(bufB, pHit)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ust/internal/markov"
@@ -40,8 +41,9 @@ func sweepHits(v *sparse.Vec, w *window) float64 {
 // termination as soon as the accumulated hit probability reaches it; the
 // returned value is then a lower bound (Section V-C's "sufficiently
 // large ◆" pruning). Use stopAt > 1 (or 0, normalized to >1) for the
-// exact result.
-func existsForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window, stopAt float64) float64 {
+// exact result. The pass checks ctx once per forward step and aborts
+// with ctx.Err() on cancellation.
+func existsForward(ctx context.Context, chain *markov.Chain, init *sparse.Vec, t0 int, w *window, stopAt float64) (float64, error) {
 	if stopAt <= 0 {
 		stopAt = 2 // never reached: exact evaluation
 	}
@@ -52,6 +54,9 @@ func existsForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window, sto
 	}
 	next := sparse.NewVec(init.Len())
 	for t := t0; t < w.horizon; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if hit >= stopAt {
 			break
 		}
@@ -64,7 +69,7 @@ func existsForward(chain *markov.Chain, init *sparse.Vec, t0 int, w *window, sto
 			hit += sweepHits(cur, w)
 		}
 	}
-	return hit
+	return hit, nil
 }
 
 // ExistsOB answers the PST∃Q for a single-observation object by the
@@ -76,15 +81,15 @@ func (e *Engine) ExistsOB(o *Object, q Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return e.existsOB(o, ch, w)
+	return e.existsOB(context.Background(), o, ch, w)
 }
 
-func (e *Engine) existsOB(o *Object, ch *markov.Chain, w *window) (float64, error) {
+func (e *Engine) existsOB(ctx context.Context, o *Object, ch *markov.Chain, w *window) (float64, error) {
 	if w.k == 0 {
 		return 0, nil
 	}
 	if len(o.Observations) > 1 {
-		return existsMultiObs(ch, o.Observations, w)
+		return existsMultiObs(ctx, ch, o.Observations, w)
 	}
 	first := o.First()
 	if first.Time > w.horizon {
@@ -95,7 +100,7 @@ func (e *Engine) existsOB(o *Object, ch *markov.Chain, w *window) (float64, erro
 	if mass == 0 {
 		return 0, fmt.Errorf("core: object %d has zero-mass observation", o.ID)
 	}
-	return existsForward(ch, init.Vec(), first.Time, w, 0), nil
+	return existsForward(ctx, ch, init.Vec(), first.Time, w, 0)
 }
 
 // ExistsOBBounds runs the object-based forward pass with early
@@ -115,7 +120,7 @@ func (e *Engine) ExistsOBBounds(o *Object, q Query, tau float64) (lo, hi float64
 		return 0, 0, nil
 	}
 	if len(o.Observations) > 1 {
-		p, merr := existsMultiObs(ch, o.Observations, w)
+		p, merr := existsMultiObs(context.Background(), ch, o.Observations, w)
 		return p, p, merr
 	}
 	first := o.First()
@@ -167,7 +172,7 @@ func (e *Engine) ForAllOB(o *Object, q Query) (float64, error) {
 	if w.k == 0 {
 		return 1, nil // vacuously inside for all of zero timestamps
 	}
-	pEscape, err := e.existsOB(o, ch, w.complemented())
+	pEscape, err := e.existsOB(context.Background(), o, ch, w.complemented())
 	if err != nil {
 		return 0, err
 	}

@@ -1,71 +1,120 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
+	"context"
 	"sync"
 )
 
-// Parallel object-based evaluation. The OB strategy is embarrassingly
-// parallel across objects (each forward pass touches only per-object
-// state); chains are immutable after construction, so workers share
-// them freely. The QB strategy needs no such treatment: its per-object
-// work is already a dot product.
+// Ordered parallel evaluation. Per-object work (object-based forward
+// passes, Monte-Carlo sampling) is embarrassingly parallel: chains are
+// immutable after construction, so workers share them freely. The
+// query-based strategy needs no such treatment — its per-object work is
+// already a dot product.
+//
+// parallelOrdered delivers results in input order through a bounded
+// reorder pipeline, so streaming consumers see the same sequence as the
+// serial path while memory stays O(workers) regardless of input size.
+// The first failure — the one at the lowest input index, which makes
+// the returned error deterministic regardless of goroutine scheduling —
+// cancels all remaining work.
+func parallelOrdered(ctx context.Context, n, workers int, fn func(ctx context.Context, idx int) (Result, error)) func(yield func(Result, error) bool) {
+	return func(yield func(Result, error) bool) {
+		if n == 0 {
+			return
+		}
+		if workers > n {
+			workers = n
+		}
+		ctx, cancel := context.WithCancel(ctx)
+
+		type slot struct {
+			r   Result
+			err error
+		}
+		type job struct {
+			idx int
+			out chan slot
+		}
+		// order carries each job's result channel in submission order;
+		// its capacity bounds how far workers may run ahead of the
+		// consumer.
+		order := make(chan chan slot, 2*workers)
+		jobs := make(chan job)
+
+		go func() { // feeder
+			defer close(jobs)
+			defer close(order)
+			for i := 0; i < n; i++ {
+				out := make(chan slot, 1)
+				select {
+				case order <- out:
+				case <-ctx.Done():
+					return
+				}
+				select {
+				case jobs <- job{idx: i, out: out}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					r, err := fn(ctx, j.idx)
+					j.out <- slot{r: r, err: err} // buffered: never blocks
+				}
+			}()
+		}
+		// Cancel BEFORE waiting: on an early return (consumer break or
+		// error) the feeder is blocked sending into the full pipeline
+		// and only the cancellation releases it — waiting first would
+		// deadlock.
+		defer func() {
+			cancel()
+			wg.Wait()
+		}()
+
+		for out := range order {
+			var s slot
+			select {
+			case s = <-out:
+			case <-ctx.Done():
+				yield(Result{}, ctx.Err())
+				return
+			}
+			if s.err != nil {
+				yield(Result{}, s.err)
+				return
+			}
+			if !yield(s.r, nil) {
+				return
+			}
+		}
+		// The feeder closes order early when ctx is cancelled; if every
+		// in-flight item still completed cleanly the loop above ends
+		// without an error slot. A cancelled scan must never look like a
+		// complete one — surface ctx.Err() explicitly.
+		if err := ctx.Err(); err != nil {
+			yield(Result{}, err)
+		}
+	}
+}
 
 // ExistsOBParallel evaluates the PST∃Q for every object with the
 // object-based strategy fanned out over workers goroutines
-// (workers ≤ 0 selects GOMAXPROCS). Results are in database order, as
-// with ExistsQB.
+// (workers ≤ 0 selects GOMAXPROCS). Results are in evaluation order, as
+// with Evaluate. The first per-object error cancels all remaining work
+// and is returned deterministically (lowest object index wins).
 func (e *Engine) ExistsOBParallel(q Query, workers int) ([]Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	objs := e.db.Objects()
-	results := make([]Result, len(objs))
-	// Pre-compile one window per chain group and warm the transposes so
-	// concurrent lazy initialization cannot race.
-	windows := map[int]*window{} // object index -> compiled window
-	for _, grp := range e.db.groupByChain() {
-		w, err := compile(q, grp.chain.NumStates())
-		if err != nil {
-			return nil, err
-		}
-		grp.chain.Transposed()
-		for _, o := range grp.objects {
-			windows[o.ID] = w
-		}
-	}
-
-	var wg sync.WaitGroup
-	errs := make(chan error, workers)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				o := objs[idx]
-				p, err := e.existsOB(o, e.db.ChainOf(o), windows[o.ID])
-				if err != nil {
-					select {
-					case errs <- fmt.Errorf("object %d: %w", o.ID, err):
-					default:
-					}
-					continue
-				}
-				results[idx] = Result{ObjectID: o.ID, Prob: p}
-			}
-		}()
-	}
-	for idx := range objs {
-		next <- idx
-	}
-	close(next)
-	wg.Wait()
-	select {
-	case err := <-errs:
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateExists,
+		WithWindow(q), WithStrategy(StrategyObjectBased), WithParallelism(workers)))
+	if err != nil {
 		return nil, err
-	default:
 	}
-	return results, nil
+	return resp.Results, nil
 }

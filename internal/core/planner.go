@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ust/internal/markov"
 )
 
@@ -97,34 +99,27 @@ func (e *Engine) PlanExists(q Query) ([]CostEstimate, error) {
 
 // ExistsAuto evaluates the PST∃Q with the strategy the planner
 // predicts to be cheaper. It returns the results and the chosen
-// strategy.
+// strategy. Thin wrapper over Evaluate with WithAutoPlan.
 func (e *Engine) ExistsAuto(q Query) ([]Result, Strategy, error) {
-	plans, err := e.PlanExists(q)
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateExists,
+		WithWindow(q), WithAutoPlan()))
 	if err != nil {
 		return nil, 0, err
 	}
-	chosen := plans[0].Strategy
-	var res []Result
-	switch chosen {
-	case StrategyObjectBased:
-		res, err = e.existsAllOB(q)
-	default:
-		res, err = e.ExistsQB(q)
-	}
-	return res, chosen, err
+	return resp.Results, resp.Strategy, nil
 }
 
 // ExpectedCount returns the expected number of database objects
 // satisfying the PST∃Q — Σ_o P∃(o). This is the paper's "predict the
 // number of cars that will be in a congested road segment after 10-15
-// minutes" aggregate.
+// minutes" aggregate. It accumulates over the streaming path, so no
+// result slice is materialized.
 func (e *Engine) ExpectedCount(q Query) (float64, error) {
-	res, err := e.Exists(q)
-	if err != nil {
-		return 0, err
-	}
 	sum := 0.0
-	for _, r := range res {
+	for r, err := range e.EvaluateSeq(context.Background(), NewRequest(PredicateExists, WithWindow(q))) {
+		if err != nil {
+			return 0, err
+		}
 		sum += r.Prob
 	}
 	return sum, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -126,10 +127,12 @@ func TestExistsOBParallelMatchesSequential(t *testing.T) {
 	e := NewEngine(db, Options{})
 	q := NewQuery(Interval(100, 140), Interval(10, 15))
 
-	seq, err := e.existsAllOB(q)
+	seqResp, err := e.Evaluate(context.Background(), NewRequest(PredicateExists,
+		WithWindow(q), WithStrategy(StrategyObjectBased)))
 	if err != nil {
 		t.Fatal(err)
 	}
+	seq := seqResp.Results
 	for _, workers := range []int{1, 4, 0} {
 		par, err := e.ExistsOBParallel(q, workers)
 		if err != nil {

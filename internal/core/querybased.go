@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ust/internal/markov"
 	"ust/internal/sparse"
 )
@@ -21,15 +23,19 @@ import (
 // hitScores runs the backward sweep down to time t0 and returns the
 // scoring vector. The result additionally accounts for t0 itself being a
 // query timestamp (footnote 2 of the paper): scores of states in S□ are
-// pinned to 1.
-func hitScores(chain *markov.Chain, w *window, t0 int) *sparse.Vec {
+// pinned to 1. The sweep checks ctx once per backward step and aborts
+// with ctx.Err() on cancellation.
+func hitScores(ctx context.Context, chain *markov.Chain, w *window, t0 int) (*sparse.Vec, error) {
 	n := chain.NumStates()
 	score := sparse.NewVec(n)
 	if w.k == 0 || w.horizon < t0 {
-		return score
+		return score, nil
 	}
 	next := sparse.NewVec(n)
 	for t := w.horizon; t > t0; t-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if w.atTime(t) {
 			pinRegion(score, w)
 		}
@@ -39,7 +45,7 @@ func hitScores(chain *markov.Chain, w *window, t0 int) *sparse.Vec {
 	if w.atTime(t0) {
 		pinRegion(score, w)
 	}
-	return score
+	return score, nil
 }
 
 // pinRegion sets score[s] = 1 for every state inside the (possibly
@@ -65,17 +71,20 @@ func newQBGroupEval(chain *markov.Chain, w *window) *qbGroupEval {
 
 // scoreAt returns (building if needed) the scoring vector for objects
 // observed at time t0.
-func (g *qbGroupEval) scoreAt(t0 int) *sparse.Vec {
+func (g *qbGroupEval) scoreAt(ctx context.Context, t0 int) (*sparse.Vec, error) {
 	if v, ok := g.scores[t0]; ok {
-		return v
+		return v, nil
 	}
-	v := hitScores(g.chain, g.w, t0)
+	v, err := hitScores(ctx, g.chain, g.w, t0)
+	if err != nil {
+		return nil, err
+	}
 	g.scores[t0] = v
-	return v
+	return v, nil
 }
 
 // exists answers one single-observation object via dot product.
-func (g *qbGroupEval) exists(o *Object) (float64, error) {
+func (g *qbGroupEval) exists(ctx context.Context, o *Object) (float64, error) {
 	first := o.First()
 	if first.Time > g.w.horizon {
 		return 0, errObservedAfterHorizon(o.ID, first.Time, g.w.horizon)
@@ -84,55 +93,37 @@ func (g *qbGroupEval) exists(o *Object) (float64, error) {
 	if init.Vec().Normalize() == 0 {
 		return 0, errZeroMass(o.ID)
 	}
-	return init.Vec().Dot(g.scoreAt(first.Time)), nil
+	score, err := g.scoreAt(ctx, first.Time)
+	if err != nil {
+		return 0, err
+	}
+	return init.Vec().Dot(score), nil
 }
 
 // ExistsQB answers the PST∃Q for every object in the database using the
 // query-based strategy: one backward sweep per (chain, observation time)
 // pair, then one dot product per object. Multi-observation objects fall
 // back to the forward multi-observation kernel, preserving exactness.
+// Thin wrapper over Evaluate.
 func (e *Engine) ExistsQB(q Query) ([]Result, error) {
-	return e.qbAll(q, false)
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateExists,
+		WithWindow(q), WithStrategy(StrategyQueryBased)))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // ForAllQB answers the PST∀Q for every object via the complement
-// identity, sharing the query-based machinery.
+// identity, sharing the query-based machinery. Thin wrapper over
+// Evaluate.
 func (e *Engine) ForAllQB(q Query) ([]Result, error) {
-	return e.qbAll(q, true)
-}
-
-func (e *Engine) qbAll(q Query, forAll bool) ([]Result, error) {
-	results := make([]Result, 0, e.db.Len())
-	for _, grp := range e.db.groupByChain() {
-		w, err := compile(q, grp.chain.NumStates())
-		if err != nil {
-			return nil, err
-		}
-		if forAll {
-			w = w.complemented()
-		}
-		eval := newQBGroupEval(grp.chain, w)
-		for _, o := range grp.objects {
-			var p float64
-			var oerr error
-			switch {
-			case w.k == 0:
-				p = 0
-			case len(o.Observations) > 1:
-				p, oerr = existsMultiObs(grp.chain, o.Observations, w)
-			default:
-				p, oerr = eval.exists(o)
-			}
-			if oerr != nil {
-				return nil, oerr
-			}
-			if forAll {
-				p = 1 - p
-			}
-			results = append(results, Result{ObjectID: o.ID, Prob: p})
-		}
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateForAll,
+		WithWindow(q), WithStrategy(StrategyQueryBased)))
+	if err != nil {
+		return nil, err
 	}
-	return results, nil
+	return resp.Results, nil
 }
 
 // ExistsQBScores exposes the raw scoring vector for a chain at a given
@@ -144,5 +135,5 @@ func (e *Engine) ExistsQBScores(chain *markov.Chain, q Query, t0 int) (*sparse.V
 	if err != nil {
 		return nil, err
 	}
-	return hitScores(chain, w, t0), nil
+	return hitScores(context.Background(), chain, w, t0)
 }

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"ust/internal/spatial"
+)
+
+// The unified query surface. A Request is one self-contained question —
+// predicate kind × spatio-temporal window × execution hints — and
+// Engine.Evaluate / Engine.EvaluateSeq are the only entry points needed
+// to ask it. The legacy per-variant Engine methods (Exists, ExistsQB,
+// ExistsThreshold, TopKExists, …) are thin wrappers over this surface.
+
+// Predicate identifies the query predicate of a Request.
+type Predicate int
+
+const (
+	// PredicateExists is the PST∃Q (Definition 2): probability the
+	// object is inside the region at SOME timestamp of the window.
+	PredicateExists Predicate = iota
+	// PredicateForAll is the PST∀Q (Definition 3): probability the
+	// object is inside the region at EVERY timestamp of the window.
+	PredicateForAll
+	// PredicateKTimes is the PSTkQ (Definition 4): the distribution over
+	// how many window timestamps the object spends inside the region.
+	// Results carry the distribution in Result.Dist; Result.Prob is the
+	// probability of at least one visit (1 − Dist[0]).
+	PredicateKTimes
+	// PredicateEventually is the unbounded-horizon extension: the
+	// probability the object EVER enters the region, with no time limit
+	// (the chain-theoretic hitting probability). The temporal predicate
+	// is ignored; tune convergence with WithHittingLimits.
+	PredicateEventually
+)
+
+func (p Predicate) String() string {
+	switch p {
+	case PredicateExists:
+		return "exists"
+	case PredicateForAll:
+		return "forall"
+	case PredicateKTimes:
+		return "ktimes"
+	case PredicateEventually:
+		return "eventually"
+	default:
+		return fmt.Sprintf("Predicate(%d)", int(p))
+	}
+}
+
+// Request is a complete query: what to ask (predicate + window) and how
+// to run it (strategy, ranking, budgets). Build one with NewRequest and
+// functional options; the zero value is an exists-query with an empty
+// window. Requests are values — copy and re-use them freely; options
+// never mutate shared state.
+type Request struct {
+	// Predicate selects the query semantics.
+	Predicate Predicate
+	// States is the spatial predicate S□ as raw state identifiers.
+	// It is merged with the states resolved from Region, if any.
+	States []int
+	// Times is the temporal predicate T□ as absolute timestamps.
+	Times []int
+	// Region is an optional geometric spatial predicate. It is resolved
+	// into state ids through Resolver at evaluation time and unioned
+	// with States.
+	Region spatial.Region
+	// Resolver maps Region to state ids (an *spatial.RTree over the
+	// state space, or a Grid/LineSpace directly). Required when Region
+	// is set.
+	Resolver spatial.Resolver
+
+	// Execution hints, set via options. nil/zero means "engine default".
+	strategy    *Strategy
+	autoPlan    bool
+	threshold   *float64
+	topK        int
+	parallelism int
+	mcSamples   int
+	mcSeed      *int64
+	maxSteps    int
+	tol         float64
+}
+
+// RequestOption customizes one Request.
+type RequestOption func(*Request)
+
+// NewRequest builds a Request for the given predicate.
+func NewRequest(p Predicate, opts ...RequestOption) Request {
+	r := Request{Predicate: p}
+	for _, opt := range opts {
+		opt(&r)
+	}
+	return r
+}
+
+// With returns a copy of the request with the extra options applied.
+func (r Request) With(opts ...RequestOption) Request {
+	for _, opt := range opts {
+		opt(&r)
+	}
+	return r
+}
+
+// WithWindow sets the spatio-temporal window from a legacy Query value.
+func WithWindow(q Query) RequestOption {
+	return func(r *Request) {
+		r.States = q.States
+		r.Times = q.Times
+	}
+}
+
+// WithStates sets the spatial predicate as raw state identifiers.
+func WithStates(states []int) RequestOption {
+	return func(r *Request) { r.States = states }
+}
+
+// WithTimes sets the temporal predicate as absolute timestamps.
+func WithTimes(times []int) RequestOption {
+	return func(r *Request) { r.Times = times }
+}
+
+// WithTimeRange sets the temporal predicate to the contiguous window
+// {lo..hi}.
+func WithTimeRange(lo, hi int) RequestOption {
+	return func(r *Request) { r.Times = Interval(lo, hi) }
+}
+
+// WithRegion sets a geometric spatial predicate, resolved to state ids
+// through the resolver (an R-tree over the state space, or a raster
+// space directly) when the request is evaluated. Resolved ids are
+// unioned with any raw ids set via WithStates.
+func WithRegion(region spatial.Region, resolver spatial.Resolver) RequestOption {
+	return func(r *Request) {
+		r.Region = region
+		r.Resolver = resolver
+	}
+}
+
+// WithStrategy forces the evaluation strategy for this request,
+// overriding the engine default and WithAutoPlan.
+func WithStrategy(s Strategy) RequestOption {
+	return func(r *Request) {
+		r.strategy = &s
+		r.autoPlan = false
+	}
+}
+
+// WithAutoPlan lets the cost planner pick the cheaper exact strategy
+// per request (Section V-C). The chosen strategy and the cost estimates
+// are reported in the Response.
+func WithAutoPlan() RequestOption {
+	return func(r *Request) {
+		r.autoPlan = true
+		r.strategy = nil
+	}
+}
+
+// WithThreshold keeps only objects whose probability is ≥ tau. Results
+// stay in database order (rank them with WithTopK when needed).
+func WithThreshold(tau float64) RequestOption {
+	return func(r *Request) { r.threshold = &tau }
+}
+
+// WithTopK keeps the k highest-probability objects, sorted descending
+// (ties break toward smaller object id). Memory stays O(k) regardless
+// of database size.
+func WithTopK(k int) RequestOption {
+	return func(r *Request) { r.topK = k }
+}
+
+// WithParallelism fans per-object work out over the given number of
+// goroutines (≤ 0 selects GOMAXPROCS). Only the object-based and
+// Monte-Carlo strategies parallelize; the query-based strategy's
+// per-object work is already a dot product.
+func WithParallelism(workers int) RequestOption {
+	return func(r *Request) {
+		if workers <= 0 {
+			workers = -1 // resolved to GOMAXPROCS at evaluation time
+		}
+		r.parallelism = workers
+	}
+}
+
+// WithMonteCarloBudget overrides the per-object sample budget (and
+// seed) for the Monte-Carlo strategy on this request.
+func WithMonteCarloBudget(samples int, seed int64) RequestOption {
+	return func(r *Request) {
+		r.mcSamples = samples
+		r.mcSeed = &seed
+	}
+}
+
+// WithHittingLimits tunes the fixed-point iteration of
+// PredicateEventually: maxSteps bounds the backward sweeps, tol is the
+// sup-norm convergence tolerance. ≤ 0 selects the defaults.
+func WithHittingLimits(maxSteps int, tol float64) RequestOption {
+	return func(r *Request) {
+		r.maxSteps = maxSteps
+		r.tol = tol
+	}
+}
+
+// Window resolves the request's spatio-temporal window into a legacy
+// Query value: the union of the raw state ids and the region resolved
+// against the state space. It is the inverse of WithWindow.
+func (r Request) Window() (Query, error) {
+	states := r.States
+	if r.Region != nil {
+		if r.Resolver == nil {
+			return Query{}, fmt.Errorf("core: request has a region but no resolver (use WithRegion)")
+		}
+		resolved := r.Resolver.StatesIn(r.Region)
+		if len(r.States) > 0 {
+			merged := make([]int, 0, len(r.States)+len(resolved))
+			merged = append(merged, r.States...)
+			merged = append(merged, resolved...)
+			states = merged
+		} else {
+			states = resolved
+		}
+	}
+	return NewQuery(states, r.Times), nil
+}
+
+// resolveStrategy returns the strategy this request should run with
+// under the given engine defaults. Auto-planning is handled by the
+// caller (it needs the resolved window).
+func (r Request) resolveStrategy(def Strategy) Strategy {
+	if r.strategy != nil {
+		return *r.strategy
+	}
+	return def
+}
+
+// validate rejects nonsensical hint combinations early.
+func (r Request) validate() error {
+	switch r.Predicate {
+	case PredicateExists, PredicateForAll, PredicateKTimes, PredicateEventually:
+	default:
+		return fmt.Errorf("core: unknown predicate %v", r.Predicate)
+	}
+	if r.topK < 0 {
+		return fmt.Errorf("core: top-k needs k ≥ 1, got %d", r.topK)
+	}
+	if r.threshold != nil && (*r.threshold < 0 || *r.threshold > 1) {
+		return fmt.Errorf("core: threshold %g outside [0, 1]", *r.threshold)
+	}
+	if r.mcSamples < 0 {
+		return fmt.Errorf("core: Monte-Carlo needs a positive sample count, got %d", r.mcSamples)
+	}
+	if r.Predicate == PredicateEventually {
+		if r.strategy != nil && *r.strategy == StrategyMonteCarlo {
+			return fmt.Errorf("core: eventually-queries have no Monte-Carlo strategy")
+		}
+	}
+	return nil
+}

@@ -1,40 +1,29 @@
 package core
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 )
 
+// Ranked retrieval. The heap machinery here backs WithTopK in Evaluate;
+// TopKExists and RankedExists are compatibility wrappers.
+
 // TopKExists returns the k objects with the highest PST∃Q probability,
 // sorted descending (ties break toward smaller object id). It evaluates
-// with the configured strategy and keeps only a k-sized min-heap, so
-// memory stays O(k) regardless of database size.
+// with the engine's default strategy and keeps only a k-sized min-heap,
+// so memory stays O(k) regardless of database size. Thin wrapper over
+// Evaluate.
 func (e *Engine) TopKExists(q Query, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: top-k needs k ≥ 1, got %d", k)
 	}
-	all, err := e.Exists(q)
+	resp, err := e.Evaluate(context.Background(), NewRequest(PredicateExists,
+		WithWindow(q), WithTopK(k)))
 	if err != nil {
 		return nil, err
 	}
-	h := &resultMinHeap{}
-	heap.Init(h)
-	for _, r := range all {
-		if h.Len() < k {
-			heap.Push(h, r)
-			continue
-		}
-		if better(r, (*h)[0]) {
-			(*h)[0] = r
-			heap.Fix(h, 0)
-		}
-	}
-	out := make([]Result, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Result)
-	}
-	return out, nil
+	return resp.Results, nil
 }
 
 // better reports whether a ranks above b: higher probability first,

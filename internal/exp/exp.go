@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -163,11 +164,13 @@ func formatNum(v float64) string {
 	}
 }
 
-// Experiment is a runnable paper figure.
+// Experiment is a runnable paper figure. Run honors ctx cancellation:
+// a cancelled context aborts the measurement loops within one work
+// item and surfaces ctx.Err().
 type Experiment struct {
 	ID          string
 	Description string
-	Run         func(Config) (*Report, error)
+	Run         func(context.Context, Config) (*Report, error)
 }
 
 var registry = map[string]Experiment{}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestAllExperimentsRunTiny(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep, err := e.Run(tinyConfig())
+			rep, err := e.Run(context.Background(), tinyConfig())
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -114,7 +115,7 @@ func TestFig9dBiasGrowsWithWindow(t *testing.T) {
 	// The deterministic shape assertion for the accuracy experiment: at
 	// every window length the independence model is at or above the
 	// exact model, and its excess widens from the first to last window.
-	rep, err := runFig9d(Config{Scale: ScaleTiny, Seed: 7})
+	rep, err := runFig9d(context.Background(), Config{Scale: ScaleTiny, Seed: 7})
 	if err != nil {
 		t.Fatalf("fig9d: %v", err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -31,7 +32,7 @@ func init() {
 // runExtCluster sweeps the number of distinct chains per cluster and
 // measures: exact per-object evaluation vs cluster-pruned evaluation
 // (index prebuilt) and the fraction of objects decided by bounds alone.
-func runExtCluster(cfg Config) (*Report, error) {
+func runExtCluster(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	numObjects, numStates := 150, 1200
 	if cfg.Scale == ScaleTiny {
@@ -72,7 +73,8 @@ func runExtCluster(cfg Config) (*Report, error) {
 		const tau = 0.3
 
 		tExact, err := timeIt(func() error {
-			_, err := e.ExistsThreshold(q, tau)
+			_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateExists,
+				core.WithWindow(q), core.WithThreshold(tau)))
 			return err
 		})
 		if err != nil {
@@ -122,7 +124,7 @@ func perturbChain(base *markov.Chain, eps float64, rng *rand.Rand) *markov.Chain
 }
 
 // runExtParallel measures OB evaluation at increasing worker counts.
-func runExtParallel(cfg Config) (*Report, error) {
+func runExtParallel(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	p := gen.Defaults(cfg.Seed)
 	switch cfg.Scale {
@@ -148,7 +150,8 @@ func runExtParallel(cfg Config) (*Report, error) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		w := workers
 		t, err := timeIt(func() error {
-			_, err := e.ExistsOBParallel(q, w)
+			_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateExists, core.WithWindow(q),
+				core.WithStrategy(core.StrategyObjectBased), core.WithParallelism(w)))
 			return err
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"ust/internal/core"
@@ -15,15 +16,15 @@ func init() {
 	register(Experiment{
 		ID:          "fig10a",
 		Description: "Fig 10(a): predicate runtimes vs window length, object-based",
-		Run: func(cfg Config) (*Report, error) {
-			return runFig10(cfg, "fig10a", core.StrategyObjectBased)
+		Run: func(ctx context.Context, cfg Config) (*Report, error) {
+			return runFig10(ctx, cfg, "fig10a", core.StrategyObjectBased)
 		},
 	})
 	register(Experiment{
 		ID:          "fig10b",
 		Description: "Fig 10(b): predicate runtimes vs window length, query-based",
-		Run: func(cfg Config) (*Report, error) {
-			return runFig10(cfg, "fig10b", core.StrategyQueryBased)
+		Run: func(ctx context.Context, cfg Config) (*Report, error) {
+			return runFig10(ctx, cfg, "fig10b", core.StrategyQueryBased)
 		},
 	})
 }
@@ -35,7 +36,7 @@ func fig10WindowLengths(s Scale) []int {
 	return []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 }
 
-func runFig10(cfg Config, id string, strategy core.Strategy) (*Report, error) {
+func runFig10(ctx context.Context, cfg Config, id string, strategy core.Strategy) (*Report, error) {
 	start := time.Now()
 	p := gen.Defaults(cfg.Seed)
 	switch cfg.Scale {
@@ -62,21 +63,21 @@ func runFig10(cfg Config, id string, strategy core.Strategy) (*Report, error) {
 	for _, winLen := range fig10WindowLengths(cfg.Scale) {
 		q := core.NewQuery(region, core.Interval(w.TimeLo, w.TimeLo+winLen-1))
 		tK, err := timeIt(func() error {
-			_, err := e.KTimes(q)
+			_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateKTimes, core.WithWindow(q)))
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		tExists, err := timeIt(func() error {
-			_, err := e.Exists(q)
+			_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateExists, core.WithWindow(q)))
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		tForAll, err := timeIt(func() error {
-			_, err := e.ForAll(q)
+			_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateForAll, core.WithWindow(q)))
 			return err
 		})
 		if err != nil {

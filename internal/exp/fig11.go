@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"ust/internal/gen"
@@ -36,7 +37,7 @@ func fig11Params(cfg Config) gen.Params {
 	return p
 }
 
-func runFig11a(cfg Config) (*Report, error) {
+func runFig11a(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	rep := &Report{
 		ID:     "fig11a",
@@ -56,7 +57,7 @@ func runFig11a(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		q := defaultWindowQuery(p.NumStates)
-		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		tOB, tQB, err := timeExistsOBQB(ctx, db, q)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +68,7 @@ func runFig11a(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runFig11b(cfg Config) (*Report, error) {
+func runFig11b(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	rep := &Report{
 		ID:     "fig11b",
@@ -87,7 +88,7 @@ func runFig11b(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		q := defaultWindowQuery(p.NumStates)
-		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		tOB, tQB, err := timeExistsOBQB(ctx, db, q)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"ust/internal/core"
@@ -35,7 +36,7 @@ func fig8aSizes(s Scale) (numObjects int, states []int, mcPaper, mcAccurate int)
 	}
 }
 
-func runFig8a(cfg Config) (*Report, error) {
+func runFig8a(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	numObjects, states, mcPaper, mcAccurate := fig8aSizes(cfg.Scale)
 	rep := &Report{
@@ -46,8 +47,9 @@ func runFig8a(cfg Config) (*Report, error) {
 	}
 	timeMC := func(db *core.Database, q core.Query, n int) (float64, error) {
 		return timeIt(func() error {
-			e := core.NewEngine(db, core.Options{Strategy: core.StrategyMonteCarlo, MonteCarloSamples: n, MonteCarloSeed: cfg.Seed})
-			_, err := e.Exists(q)
+			e := core.NewEngine(db, core.Options{})
+			_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateExists, core.WithWindow(q),
+				core.WithStrategy(core.StrategyMonteCarlo), core.WithMonteCarloBudget(n, cfg.Seed)))
 			return err
 		})
 	}
@@ -69,7 +71,7 @@ func runFig8a(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		tOB, tQB, err := timeExistsOBQB(ctx, db, q)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +97,7 @@ func fig8bSizes(s Scale) (numObjects int, states []int) {
 	}
 }
 
-func runFig8b(cfg Config) (*Report, error) {
+func runFig8b(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	numObjects, states := fig8bSizes(cfg.Scale)
 	rep := &Report{
@@ -113,7 +115,7 @@ func runFig8b(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		q := defaultWindowQuery(nStates)
-		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		tOB, tQB, err := timeExistsOBQB(ctx, db, q)
 		if err != nil {
 			return nil, err
 		}
@@ -134,19 +136,20 @@ func defaultWindowQuery(numStates int) core.Query {
 }
 
 // timeExistsOBQB measures the wall time of the OB and QB strategies for
-// PST∃Q over the whole database.
-func timeExistsOBQB(db *core.Database, q core.Query, cfg Config) (tOB, tQB float64, err error) {
+// PST∃Q over the whole database, via per-request strategy overrides.
+func timeExistsOBQB(ctx context.Context, db *core.Database, q core.Query) (tOB, tQB float64, err error) {
+	e := core.NewEngine(db, core.Options{})
 	tOB, err = timeIt(func() error {
-		e := core.NewEngine(db, core.Options{Strategy: core.StrategyObjectBased})
-		_, err := e.Exists(q)
+		_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateExists,
+			core.WithWindow(q), core.WithStrategy(core.StrategyObjectBased)))
 		return err
 	})
 	if err != nil {
 		return 0, 0, err
 	}
 	tQB, err = timeIt(func() error {
-		e := core.NewEngine(db, core.Options{Strategy: core.StrategyQueryBased})
-		_, err := e.Exists(q)
+		_, err := e.Evaluate(ctx, core.NewRequest(core.PredicateExists,
+			core.WithWindow(q), core.WithStrategy(core.StrategyQueryBased)))
 		return err
 	})
 	return tOB, tQB, err

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"ust/internal/core"
@@ -22,15 +23,15 @@ func init() {
 	register(Experiment{
 		ID:          "fig9b",
 		Description: "Fig 9(b): PST∃Q runtime vs query start time (Munich-like network)",
-		Run: func(cfg Config) (*Report, error) {
-			return runFig9Network(cfg, "fig9b", "Munich", network.MunichSpec(cfg.Seed))
+		Run: func(ctx context.Context, cfg Config) (*Report, error) {
+			return runFig9Network(ctx, cfg, "fig9b", "Munich", network.MunichSpec(cfg.Seed))
 		},
 	})
 	register(Experiment{
 		ID:          "fig9c",
 		Description: "Fig 9(c): PST∃Q runtime vs query start time (North-America-like network)",
-		Run: func(cfg Config) (*Report, error) {
-			return runFig9Network(cfg, "fig9c", "North America", network.NorthAmericaSpec(cfg.Seed))
+		Run: func(ctx context.Context, cfg Config) (*Report, error) {
+			return runFig9Network(ctx, cfg, "fig9c", "North America", network.NorthAmericaSpec(cfg.Seed))
 		},
 	})
 	register(Experiment{
@@ -49,7 +50,7 @@ func fig9StartTimes(s Scale) []int {
 	}
 }
 
-func runFig9a(cfg Config) (*Report, error) {
+func runFig9a(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	p := gen.Defaults(cfg.Seed)
 	switch cfg.Scale {
@@ -73,7 +74,7 @@ func runFig9a(cfg Config) (*Report, error) {
 	w := gen.DefaultWindow()
 	for _, h := range fig9StartTimes(cfg.Scale) {
 		q := core.NewQuery(w.States(p.NumStates), core.Interval(h, h+5))
-		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		tOB, tQB, err := timeExistsOBQB(ctx, db, q)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +87,7 @@ func runFig9a(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runFig9Network(cfg Config, id, name string, spec network.RoadNetworkSpec) (*Report, error) {
+func runFig9Network(ctx context.Context, cfg Config, id, name string, spec network.RoadNetworkSpec) (*Report, error) {
 	start := time.Now()
 	numObjects := 500
 	switch cfg.Scale {
@@ -111,7 +112,7 @@ func runFig9Network(cfg Config, id, name string, spec network.RoadNetworkSpec) (
 	}
 	for _, h := range fig9StartTimes(cfg.Scale) {
 		q := core.NewQuery(region, core.Interval(h, h+5))
-		tOB, tQB, err := timeExistsOBQB(db, q, cfg)
+		tOB, tQB, err := timeExistsOBQB(ctx, db, q)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +125,7 @@ func runFig9Network(cfg Config, id, name string, spec network.RoadNetworkSpec) (
 	return rep, nil
 }
 
-func runFig9d(cfg Config) (*Report, error) {
+func runFig9d(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	p := gen.Defaults(cfg.Seed)
 	switch cfg.Scale {
@@ -153,6 +154,9 @@ func runFig9d(cfg Config) (*Report, error) {
 		var sumExact, sumIndep float64
 		var nonZero int
 		for _, o := range db.Objects() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			exact, err := e.ExistsOB(o, q)
 			if err != nil {
 				return nil, err

@@ -15,6 +15,13 @@ type Region interface {
 	BBox() Rect
 }
 
+// Resolver maps a region to the identifiers of the states it covers.
+// Grid and LineSpace resolve by raster arithmetic; RTree resolves any
+// indexed state space (road networks included) by spatial search.
+type Resolver interface {
+	StatesIn(r Region) []int
+}
+
 // Rect is an axis-aligned rectangle, closed on all sides.
 type Rect struct {
 	MinX, MinY, MaxX, MaxY float64

@@ -174,6 +174,10 @@ func (t *RTree) Search(r Region) []int {
 // SearchRect returns the ids of entries inside the rectangle, ascending.
 func (t *RTree) SearchRect(r Rect) []int { return t.Search(r) }
 
+// StatesIn is Search under the Resolver interface name, so an R-tree
+// over a state space plugs directly into region-valued query requests.
+func (t *RTree) StatesIn(r Region) []int { return t.Search(r) }
+
 // Nearest returns the id of the indexed entry closest to p in Euclidean
 // distance and that distance. The second return is math.Inf(1) when the
 // tree is empty (id −1). Ties break toward the smaller id.

@@ -1,0 +1,156 @@
+package ust_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"ust"
+)
+
+// Tests for the unified Request/Evaluate surface through the public
+// facade: the paper's running example expressed as Requests, region
+// resolution via the R-tree, streaming, and cancellation.
+
+func TestEvaluateRunningExample(t *testing.T) {
+	_, engine := paperSetup(t)
+	ctx := context.Background()
+	window := []ust.RequestOption{
+		ust.WithStates([]int{0, 1}),
+		ust.WithTimes([]int{2, 3}),
+	}
+
+	exists, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateExists, window...))
+	if err != nil {
+		t.Fatalf("Evaluate(exists): %v", err)
+	}
+	if math.Abs(exists.Results[0].Prob-0.864) > 1e-12 {
+		t.Errorf("P∃ = %v, want 0.864", exists.Results[0].Prob)
+	}
+	if exists.Strategy != ust.StrategyQueryBased {
+		t.Errorf("default strategy = %v, want query-based", exists.Strategy)
+	}
+
+	forAll, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateForAll, window...))
+	if err != nil {
+		t.Fatalf("Evaluate(forall): %v", err)
+	}
+	if math.Abs(forAll.Results[0].Prob-0.192) > 1e-12 {
+		t.Errorf("P∀ = %v, want 0.192", forAll.Results[0].Prob)
+	}
+
+	kt, err := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateKTimes, window...))
+	if err != nil {
+		t.Fatalf("Evaluate(ktimes): %v", err)
+	}
+	want := []float64{0.136, 0.672, 0.192}
+	for k, p := range kt.Results[0].Dist {
+		if math.Abs(p-want[k]) > 1e-12 {
+			t.Errorf("P(k=%d) = %v, want %v", k, p, want[k])
+		}
+	}
+}
+
+func TestEvaluateWithRegionOverGrid(t *testing.T) {
+	grid := ust.NewGrid(10, 10)
+	n := grid.NumStates()
+	rows := make([][]float64, n)
+	for id := 0; id < n; id++ {
+		rows[id] = make([]float64, n)
+		nbrs := grid.Neighbors4(id)
+		rows[id][id] = 0.5
+		for _, nb := range nbrs {
+			rows[id][nb] = 0.5 / float64(len(nbrs))
+		}
+	}
+	chain, err := ust.ChainFromDense(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ust.NewDatabase(chain)
+	if err := db.AddSimple(1, ust.PointDistribution(n, grid.ID(5, 5))); err != nil {
+		t.Fatal(err)
+	}
+	engine := ust.NewEngine(db, ust.Options{})
+	index := ust.IndexSpace(grid, 0)
+	region := ust.NewRect(4, 4, 6, 6)
+
+	viaRegion, err := engine.Evaluate(context.Background(), ust.NewRequest(ust.PredicateExists,
+		ust.WithRegion(region, index),
+		ust.WithTimeRange(1, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStates, err := engine.Evaluate(context.Background(), ust.NewRequest(ust.PredicateExists,
+		ust.WithStates(index.Search(region)),
+		ust.WithTimeRange(1, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRegion.Results[0].Prob != viaStates.Results[0].Prob {
+		t.Errorf("region-resolved %v != state-resolved %v",
+			viaRegion.Results[0].Prob, viaStates.Results[0].Prob)
+	}
+	if viaRegion.Results[0].Prob <= 0.5 {
+		t.Errorf("object starting inside the region should very likely hit it; got %v",
+			viaRegion.Results[0].Prob)
+	}
+}
+
+func TestEvaluateSeqStreamsAndCancels(t *testing.T) {
+	chain, err := ust.ChainFromDense([][]float64{
+		{0.5, 0.5, 0},
+		{0, 0.5, 0.5},
+		{0.5, 0, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ust.NewDatabase(chain)
+	for id := 0; id < 200; id++ {
+		if err := db.AddSimple(id, ust.PointDistribution(3, id%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine := ust.NewEngine(db, ust.Options{})
+	req := ust.NewRequest(ust.PredicateExists,
+		ust.WithStates([]int{0}), ust.WithTimeRange(1, 5))
+
+	// Streaming yields every object in order.
+	count := 0
+	for r, err := range engine.EvaluateSeq(context.Background(), req) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ObjectID != count {
+			t.Fatalf("stream out of order: got object %d at position %d", r.ObjectID, count)
+		}
+		count++
+	}
+	if count != 200 {
+		t.Fatalf("streamed %d results, want 200", count)
+	}
+
+	// Cancellation stops the stream within one work item.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	count = 0
+	var gotErr error
+	for _, err := range engine.EvaluateSeq(ctx, req) {
+		if err != nil {
+			gotErr = err
+			break
+		}
+		count++
+		if count == 5 {
+			cancel()
+		}
+	}
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("stream error = %v, want context.Canceled", gotErr)
+	}
+	if count > 6 {
+		t.Fatalf("stream yielded %d results after cancellation at 5", count)
+	}
+}

@@ -21,6 +21,9 @@ type (
 	// Region is a subset of the plane usable as the spatial side of a
 	// query window.
 	Region = spatial.Region
+	// RegionResolver maps a region to covered state ids: an RTree over
+	// the state space, or a Grid/LineSpace directly. Used by WithRegion.
+	RegionResolver = spatial.Resolver
 	// RegionUnion composes regions; query regions need not be
 	// connected.
 	RegionUnion = spatial.Union

@@ -25,8 +25,15 @@
 //	db := ust.NewDatabase(chain)
 //	db.AddSimple(1, ust.PointDistribution(3, 1)) // observed at state s2
 //	engine := ust.NewEngine(db, ust.Options{})
-//	res, _ := engine.Exists(ust.NewQuery([]int{0, 1}, []int{2, 3}))
-//	// res[0].Prob == 0.864 — the paper's running example
+//	resp, _ := engine.Evaluate(ctx, ust.NewRequest(ust.PredicateExists,
+//		ust.WithStates([]int{0, 1}), ust.WithTimes([]int{2, 3})))
+//	// resp.Results[0].Prob == 0.864 — the paper's running example
+//
+// Evaluate answers every predicate (exists / forall / ktimes /
+// eventually) with every strategy and ranking through a single Request
+// value; EvaluateSeq streams the same results one object at a time for
+// scans too large to materialize. The per-variant methods (Exists,
+// ForAll, KTimes, TopKExists, …) remain as thin wrappers.
 //
 // Objects may carry multiple observations; queries between (or after)
 // observations are answered by conditioning on all of them (Bayesian
@@ -67,7 +74,17 @@ type (
 	Options = core.Options
 	// Query is a spatio-temporal window: states × timestamps.
 	Query = core.Query
-	// Result is a per-object probability.
+	// Request is a complete query: predicate × window × execution
+	// hints. Build one with NewRequest and the With… options.
+	Request = core.Request
+	// RequestOption customizes one Request.
+	RequestOption = core.RequestOption
+	// Response is the batch answer to a Request.
+	Response = core.Response
+	// Predicate identifies the query predicate of a Request.
+	Predicate = core.Predicate
+	// Result is a per-object probability (plus the visit-count
+	// distribution for ktimes-requests).
 	Result = core.Result
 	// KResult is a per-object k-times distribution.
 	KResult = core.KResult
@@ -100,6 +117,70 @@ const (
 	// StrategyMonteCarlo: the sampling baseline. Approximate.
 	StrategyMonteCarlo = core.StrategyMonteCarlo
 )
+
+// Query predicates.
+const (
+	// PredicateExists: PST∃Q — inside the region at SOME window time.
+	PredicateExists = core.PredicateExists
+	// PredicateForAll: PST∀Q — inside the region at EVERY window time.
+	PredicateForAll = core.PredicateForAll
+	// PredicateKTimes: PSTkQ — distribution over the visit count.
+	PredicateKTimes = core.PredicateKTimes
+	// PredicateEventually: unbounded-horizon hitting probability.
+	PredicateEventually = core.PredicateEventually
+)
+
+// NewRequest builds a Request for the given predicate; see the With…
+// options for windows, strategies, ranking and budgets. Evaluate it
+// with engine.Evaluate (batch) or engine.EvaluateSeq (streaming).
+func NewRequest(p Predicate, opts ...RequestOption) Request { return core.NewRequest(p, opts...) }
+
+// WithWindow sets the request's window from a Query value.
+func WithWindow(q Query) RequestOption { return core.WithWindow(q) }
+
+// WithStates sets the spatial predicate as raw state identifiers.
+func WithStates(states []int) RequestOption { return core.WithStates(states) }
+
+// WithTimes sets the temporal predicate as absolute timestamps.
+func WithTimes(times []int) RequestOption { return core.WithTimes(times) }
+
+// WithTimeRange sets the temporal predicate to {lo..hi}.
+func WithTimeRange(lo, hi int) RequestOption { return core.WithTimeRange(lo, hi) }
+
+// WithRegion sets a geometric spatial predicate, resolved to state ids
+// through the resolver (an R-tree over the state space, or a raster
+// space directly) at evaluation time.
+func WithRegion(region Region, resolver RegionResolver) RequestOption {
+	return core.WithRegion(region, resolver)
+}
+
+// WithStrategy forces the evaluation strategy for this request.
+func WithStrategy(s Strategy) RequestOption { return core.WithStrategy(s) }
+
+// WithAutoPlan lets the cost planner pick the cheaper exact strategy.
+func WithAutoPlan() RequestOption { return core.WithAutoPlan() }
+
+// WithThreshold keeps only objects with probability ≥ tau.
+func WithThreshold(tau float64) RequestOption { return core.WithThreshold(tau) }
+
+// WithTopK keeps the k highest-probability objects, ranked.
+func WithTopK(k int) RequestOption { return core.WithTopK(k) }
+
+// WithParallelism fans per-object work out over workers goroutines
+// (≤ 0 selects GOMAXPROCS).
+func WithParallelism(workers int) RequestOption { return core.WithParallelism(workers) }
+
+// WithMonteCarloBudget overrides the Monte-Carlo sample budget and seed
+// for this request.
+func WithMonteCarloBudget(samples int, seed int64) RequestOption {
+	return core.WithMonteCarloBudget(samples, seed)
+}
+
+// WithHittingLimits tunes the fixed-point iteration of
+// PredicateEventually requests.
+func WithHittingLimits(maxSteps int, tol float64) RequestOption {
+	return core.WithHittingLimits(maxSteps, tol)
+}
 
 // NewChain validates m as row-stochastic and wraps it as a motion model.
 func NewChain(m *Matrix) (*Chain, error) { return markov.NewChain(m) }
