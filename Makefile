@@ -31,8 +31,14 @@ examples:
 		$(GO) build -o /dev/null "./$$d" || exit 1; \
 	done
 
+# bench writes BENCH.json (machine-readable, via cmd/benchjson) while
+# echoing the usual human-readable lines, so the perf trajectory is
+# trackable commit over commit. Two-step through a temp file so a
+# benchmark failure fails the target (a pipe would mask go test's exit).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	@$(GO) test -bench=. -benchtime=1x -run '^$$' -json . > .bench.jsonl || { cat .bench.jsonl; rm -f .bench.jsonl; exit 1; }
+	@$(GO) run ./cmd/benchjson -o BENCH.json < .bench.jsonl
+	@rm -f .bench.jsonl
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,159 @@
+// Command benchjson converts a `go test -json -bench` event stream
+// (stdin) into a machine-readable benchmark summary (BENCH.json), so the
+// performance trajectory of the engine can be tracked across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchtime=1x -json . | benchjson -o BENCH.json
+//
+// Benchmark output lines are echoed to stderr as they arrive, so the
+// human-readable stream is preserved. The JSON artifact is an array of
+//
+//	{"name": ..., "package": ..., "iterations": N, "ns_per_op": ...,
+//	 "metrics": {"B/op": ..., "allocs/op": ..., ...}}
+//
+// entries, one per benchmark result.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event schema we need.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo/sub-8   	     123	   4567 ns/op	  89 B/op	  2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output path for the JSON summary")
+	flag.Parse()
+
+	var results []Result
+	// `go test -json` emits output in fragments (a benchmark's name and
+	// its measurements arrive as separate events), so reassemble full
+	// lines per package before parsing.
+	partial := map[string]string{}
+	flush := func(pkg, frag string) {
+		buf := partial[pkg] + frag
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			line := buf[:nl]
+			buf = buf[nl+1:]
+			if strings.HasPrefix(line, "Benchmark") || strings.HasPrefix(line, "ok ") ||
+				strings.HasPrefix(line, "PASS") || strings.HasPrefix(line, "FAIL") ||
+				strings.HasPrefix(line, "--- ") {
+				fmt.Fprintln(os.Stderr, line)
+			}
+			if r, ok := parseBench(line, pkg); ok {
+				results = append(results, r)
+			}
+		}
+		partial[pkg] = buf
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate plain-text lines (the stream may be piped through
+			// other tools); try to parse them directly.
+			ev = testEvent{Action: "output", Output: sc.Text() + "\n"}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		flush(ev.Package, ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	for pkg, rest := range partial {
+		if rest != "" {
+			flush(pkg, "\n")
+		}
+	}
+
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Package != results[b].Package {
+			return results[a].Package < results[b].Package
+		}
+		return results[a].Name < results[b].Name
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d result(s) to %s\n", len(results), *out)
+}
+
+// parseBench parses one benchmark result line into a Result.
+func parseBench(line, pkg string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1], Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	// The tail is whitespace-separated (value, unit) pairs.
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,11 @@
 //	ustbench [-fig all|fig8a|fig8b|fig9a|fig9b|fig9c|fig9d|fig10a|fig10b|fig11a|fig11b]
 //	         [-scale tiny|small|paper] [-seed N] [-csv DIR]
 //
+// Beyond the paper's figures, `-list` shows the extension experiments:
+// ext-cluster (interval-chain pruning), ext-parallel (OB fan-out) and
+// ext-kernel (score-cache and filter–refine speedups on repeated and
+// ranked queries).
+//
 // -scale small (the default) runs each experiment at a size that
 // preserves the paper's qualitative shapes in minutes; -scale paper uses
 // the paper's dataset sizes and can run for hours.

@@ -8,6 +8,12 @@
 //	         [-predicate exists|forall|ktimes|eventually]
 //	         [-strategy auto|qb|ob|mc] [-workers N]
 //	         [-threshold P] [-top N] [-stream] [-json]
+//	         [-no-cache] [-no-filter]
+//
+// Threshold and top-k queries run through the engine's filter–refine
+// path, and repeated evaluations share backward sweeps via the score
+// cache; the per-query cache/filter statistics are reported on stderr.
+// -no-cache / -no-filter disable either (results are identical).
 //
 // State and time ranges accept "lo-hi" intervals or comma-separated
 // lists ("100-120" or "5,9,13" or a mix: "1-3,7"). -times is optional
@@ -47,6 +53,8 @@ func main() {
 	mcSamples := flag.Int("mc-samples", 100, "samples per object for -strategy mc")
 	stream := flag.Bool("stream", false, "stream results as they are produced (unranked)")
 	asJSON := flag.Bool("json", false, "emit JSON (NDJSON with -stream) instead of a table")
+	noCache := flag.Bool("no-cache", false, "bypass the engine score cache")
+	noFilter := flag.Bool("no-filter", false, "disable filter–refine pruning for threshold/top-k")
 	flag.Parse()
 
 	if *dbPath == "" || *statesArg == "" || (*timesArg == "" && *predicate != "eventually") {
@@ -98,6 +106,12 @@ func main() {
 	if *threshold > 0 {
 		opts = append(opts, core.WithThreshold(*threshold))
 	}
+	if *noCache {
+		opts = append(opts, core.WithCache(false))
+	}
+	if *noFilter {
+		opts = append(opts, core.WithFilterRefine(false))
+	}
 
 	var pred core.Predicate
 	switch *predicate {
@@ -130,6 +144,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ustquery: strategy %s, %d result(s)\n", resp.Strategy, len(resp.Results))
+	if resp.Cache.Hits+resp.Cache.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "ustquery: score cache %d hit(s), %d miss(es)\n", resp.Cache.Hits, resp.Cache.Misses)
+	}
+	if resp.Filter.Candidates > 0 {
+		fmt.Fprintf(os.Stderr, "ustquery: filter pruned %d of %d object(s), %d refined exactly\n",
+			resp.Filter.Pruned, resp.Filter.Candidates, resp.Filter.Refined)
+	}
 	results := resp.Results
 	if !ranked && pred != core.PredicateKTimes {
 		// -top 0 means "all", still reported best-first like every other

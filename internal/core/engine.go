@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"ust/internal/sparse"
 )
 
 // Strategy selects the evaluation plan for database-wide queries.
@@ -34,6 +36,10 @@ func (s Strategy) String() string {
 	}
 }
 
+// DefaultCacheBytes is the default byte budget of the engine's shared
+// score cache: enough for ~80 dense sweeps over a 100k-state space.
+const DefaultCacheBytes = 64 << 20
+
 // Options tune an Engine. Every option can be overridden per request
 // (WithStrategy, WithMonteCarloBudget, …).
 type Options struct {
@@ -46,11 +52,20 @@ type Options struct {
 	// MonteCarloSeed seeds the sampler. The default (0) is a fixed seed:
 	// results are reproducible unless the caller randomizes.
 	MonteCarloSeed int64
+	// CacheBytes bounds the engine-wide score cache that shares backward
+	// sweeps across requests, Monitors and the CLIs (approximate payload
+	// bytes, LRU beyond it). 0 selects DefaultCacheBytes; negative
+	// disables engine-side caching entirely. Individual requests can opt
+	// out with WithCache(false).
+	CacheBytes int
 }
 
 func (o Options) withDefaults() Options {
 	if o.MonteCarloSamples <= 0 {
 		o.MonteCarloSamples = 100
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = DefaultCacheBytes
 	}
 	return o
 }
@@ -62,6 +77,10 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	db   *Database
 	opts Options
+	// cache shares backward-sweep results engine-wide (nil when
+	// disabled); pool recycles sweep scratch buffers.
+	cache *scoreCache
+	pool  *sparse.VecPool
 }
 
 // NewEngine builds an engine over db with the given options.
@@ -69,11 +88,33 @@ func NewEngine(db *Database, opts Options) *Engine {
 	if db == nil {
 		panic("core: nil database")
 	}
-	return &Engine{db: db, opts: opts.withDefaults()}
+	e := &Engine{db: db, opts: opts.withDefaults(), pool: &sparse.VecPool{}}
+	if e.opts.CacheBytes > 0 {
+		e.cache = newScoreCache(e.opts.CacheBytes, db.Version)
+	}
+	return e
 }
 
 // Database returns the engine's database.
 func (e *Engine) Database() *Database { return e.db }
+
+// CacheStats snapshots the engine's score-cache counters. The zero value
+// is returned when caching is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.snapshot()
+}
+
+// InvalidateCache drops every cached sweep immediately. Mutations
+// through the Database already expire entries generation-wise; this is
+// the manual override for callers mutating state the engine cannot see.
+func (e *Engine) InvalidateCache() {
+	if e.cache != nil {
+		e.cache.invalidate()
+	}
+}
 
 // Result is a per-object query answer. Prob is the predicate
 // probability; for ktimes-requests Dist additionally carries the full

@@ -9,7 +9,6 @@ import (
 	"runtime"
 
 	"ust/internal/markov"
-	"ust/internal/sparse"
 )
 
 func errKTimesMultiObs(o *Object) error {
@@ -39,18 +38,30 @@ type Response struct {
 	// Plans carries the planner's cost estimates (best first) when the
 	// request asked for WithAutoPlan; nil otherwise.
 	Plans []CostEstimate
+	// Cache reports this evaluation's score-cache traffic: Hits sweeps
+	// were served from the engine-wide cache, Misses were computed
+	// fresh. Zero when caching is disabled.
+	Cache CacheReport
+	// Filter reports the filter–refine funnel of this evaluation:
+	// Candidates considered, Pruned excluded by cheap bounds alone,
+	// Refined evaluated exactly. Zero when the filter did not engage.
+	Filter FilterReport
 }
 
 // evalPlan is a Request resolved against an engine: window materialized,
 // strategy chosen, budgets defaulted.
 type evalPlan struct {
-	req      Request
-	query    Query
-	strategy Strategy
-	plans    []CostEstimate
-	workers  int
-	samples  int
-	seed     int64
+	req       Request
+	query     Query
+	strategy  Strategy
+	plans     []CostEstimate
+	workers   int
+	samples   int
+	seed      int64
+	useCache  bool
+	useFilter bool
+	cacheRep  CacheReport
+	filterRep FilterReport
 }
 
 // prepare resolves the request's window, strategy and budgets.
@@ -96,6 +107,15 @@ func (e *Engine) prepare(req Request) (*evalPlan, error) {
 	if req.mcSeed != nil {
 		p.seed = *req.mcSeed
 	}
+
+	p.useCache = e.cache != nil
+	if req.useCache != nil {
+		p.useCache = p.useCache && *req.useCache
+	}
+	p.useFilter = req.useFilter == nil || *req.useFilter
+	if p.plans != nil && (req.threshold != nil || req.topK > 0) {
+		annotateFilterOps(p.plans, e, q)
+	}
 	return p, nil
 }
 
@@ -114,28 +134,12 @@ func (e *Engine) evaluatePlan(ctx context.Context, plan *evalPlan) (*Response, e
 	resp := &Response{Strategy: plan.strategy, Plans: plan.plans}
 
 	if plan.req.topK > 0 {
-		// Ranked retrieval: fold the stream through a k-sized min-heap so
-		// memory stays O(k) regardless of database size.
-		h := &resultMinHeap{}
-		heap.Init(h)
-		for r, serr := range e.stream(ctx, plan) {
-			if serr != nil {
-				return nil, serr
-			}
-			if h.Len() < plan.req.topK {
-				heap.Push(h, r)
-				continue
-			}
-			if better(r, (*h)[0]) {
-				(*h)[0] = r
-				heap.Fix(h, 0)
-			}
-		}
-		out := make([]Result, h.Len())
-		for i := len(out) - 1; i >= 0; i-- {
-			out[i] = heap.Pop(h).(Result)
+		out, err := e.topK(ctx, plan)
+		if err != nil {
+			return nil, err
 		}
 		resp.Results = out
+		resp.Cache, resp.Filter = plan.cacheRep, plan.filterRep
 		return resp, nil
 	}
 
@@ -147,7 +151,48 @@ func (e *Engine) evaluatePlan(ctx context.Context, plan *evalPlan) (*Response, e
 		results = append(results, r)
 	}
 	resp.Results = results
+	resp.Cache, resp.Filter = plan.cacheRep, plan.filterRep
 	return resp, nil
+}
+
+// topK runs ranked retrieval: the stream folded through a k-sized
+// min-heap so memory stays O(k) regardless of database size. When the
+// plan is filter-eligible the fold additionally prunes objects whose
+// upper bound provably cannot displace the current k-th result
+// (filter.go); both paths share the same heap semantics and exact
+// evaluators, so results are identical.
+func (e *Engine) topK(ctx context.Context, plan *evalPlan) ([]Result, error) {
+	h := &resultMinHeap{}
+	heap.Init(h)
+	if plan.filterEligible() {
+		if err := e.topKFiltered(ctx, plan, h); err != nil {
+			return nil, err
+		}
+	} else {
+		for r, serr := range e.stream(ctx, plan) {
+			if serr != nil {
+				return nil, serr
+			}
+			pushTopK(h, plan.req.topK, r)
+		}
+	}
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out, nil
+}
+
+// pushTopK folds one result into the k-bounded min-heap.
+func pushTopK(h *resultMinHeap, k int, r Result) {
+	if h.Len() < k {
+		heap.Push(h, r)
+		return
+	}
+	if better(r, (*h)[0]) {
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
 }
 
 // EvaluateSeq answers the request as a stream: results are yielded one
@@ -180,8 +225,13 @@ func (e *Engine) EvaluateSeq(ctx context.Context, req Request) iter.Seq2[Result,
 }
 
 // stream dispatches to the per-predicate/per-strategy evaluation cores
-// and applies threshold filtering.
+// and applies threshold filtering. Filter-eligible threshold requests
+// route through the filter–refine core (filter.go), which skips exact
+// evaluation of objects that provably cannot reach the threshold.
 func (e *Engine) stream(ctx context.Context, plan *evalPlan) iter.Seq2[Result, error] {
+	if plan.req.topK <= 0 && plan.req.threshold != nil && plan.filterEligible() {
+		return e.streamFilteredThreshold(ctx, plan)
+	}
 	var inner iter.Seq2[Result, error]
 	switch plan.req.Predicate {
 	case PredicateEventually:
@@ -227,42 +277,27 @@ func (e *Engine) stream(ctx context.Context, plan *evalPlan) iter.Seq2[Result, e
 }
 
 // streamExistsQB is the query-based core: one ctx-aware backward sweep
-// per (chain, observation time), then a dot product per object.
+// per (chain, observation time) — shared through the score cache — then
+// a dot product per object.
 func (e *Engine) streamExistsQB(ctx context.Context, plan *evalPlan, forAll bool) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
 		for _, grp := range e.db.groupByChain() {
-			w, err := compile(plan.query, grp.chain.NumStates())
+			k, err := e.groupKernel(grp, plan, forAll)
 			if err != nil {
 				yield(Result{}, err)
 				return
 			}
-			if forAll {
-				w = w.complemented()
-			}
-			eval := newQBGroupEval(grp.chain, w)
 			for _, o := range grp.objects {
 				if err := ctx.Err(); err != nil {
 					yield(Result{}, err)
 					return
 				}
-				var p float64
-				var oerr error
-				switch {
-				case w.k == 0:
-					p = 0
-				case len(o.Observations) > 1:
-					p, oerr = existsMultiObs(ctx, grp.chain, o.Observations, w)
-				default:
-					p, oerr = eval.exists(ctx, o)
-				}
+				r, oerr := k.existsExact(ctx, o, forAll)
 				if oerr != nil {
 					yield(Result{}, oerr)
 					return
 				}
-				if forAll {
-					p = 1 - p
-				}
-				if !yield(Result{ObjectID: o.ID, Prob: p}, nil) {
+				if !yield(r, nil) {
 					return
 				}
 			}
@@ -270,33 +305,42 @@ func (e *Engine) streamExistsQB(ctx context.Context, plan *evalPlan, forAll bool
 	}
 }
 
-// obTask is one unit of object-based work: an object bound to its
-// compiled window.
-type obTask struct {
-	o     *Object
-	chain *markov.Chain
-	w     *window
+// groupKernel compiles the plan's window for one chain group (taking the
+// PST∀Q complement when requested) and binds it to the engine kernel.
+func (e *Engine) groupKernel(grp chainGroup, plan *evalPlan, complement bool) (*kern, error) {
+	w, err := compile(plan.query, grp.chain.NumStates())
+	if err != nil {
+		return nil, err
+	}
+	if complement {
+		w = w.complemented()
+	}
+	return e.kernel(grp.chain, w, plan), nil
 }
 
-// obTasks flattens the database into evaluation order with one compiled
-// window per chain group. complement selects the PST∀Q view. warm
-// pre-builds each chain's transpose so concurrent lazy initialization
-// cannot race when workers share the chain; serial paths skip it.
-func (e *Engine) obTasks(q Query, complement, warm bool) ([]obTask, error) {
+// obTask is one unit of object-based work: an object bound to its chain
+// group's kernel.
+type obTask struct {
+	o *Object
+	k *kern
+}
+
+// obTasks flattens the database into evaluation order with one kernel
+// per chain group. complement selects the PST∀Q view. warm pre-builds
+// each chain's transpose so concurrent lazy initialization cannot race
+// when workers share the chain; serial paths skip it.
+func (e *Engine) obTasks(plan *evalPlan, complement, warm bool) ([]obTask, error) {
 	tasks := make([]obTask, 0, e.db.Len())
 	for _, grp := range e.db.groupByChain() {
-		w, err := compile(q, grp.chain.NumStates())
+		k, err := e.groupKernel(grp, plan, complement)
 		if err != nil {
 			return nil, err
-		}
-		if complement {
-			w = w.complemented()
 		}
 		if warm {
 			grp.chain.Transposed()
 		}
 		for _, o := range grp.objects {
-			tasks = append(tasks, obTask{o: o, chain: grp.chain, w: w})
+			tasks = append(tasks, obTask{o: o, k: k})
 		}
 	}
 	return tasks, nil
@@ -307,24 +351,13 @@ func (e *Engine) obTasks(q Query, complement, warm bool) ([]obTask, error) {
 // in-order delivery.
 func (e *Engine) streamExistsOB(ctx context.Context, plan *evalPlan, forAll bool) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
-		tasks, err := e.obTasks(plan.query, forAll, plan.workers > 1)
+		tasks, err := e.obTasks(plan, forAll, plan.workers > 1)
 		if err != nil {
 			yield(Result{}, err)
 			return
 		}
 		eval := func(ctx context.Context, i int) (Result, error) {
-			t := tasks[i]
-			if forAll && t.w.k == 0 {
-				return Result{ObjectID: t.o.ID, Prob: 1}, nil
-			}
-			p, oerr := e.existsOB(ctx, t.o, t.chain, t.w)
-			if oerr != nil {
-				return Result{}, oerr
-			}
-			if forAll {
-				p = 1 - p
-			}
-			return Result{ObjectID: t.o.ID, Prob: p}, nil
+			return tasks[i].k.obExistsExact(ctx, tasks[i].o, forAll)
 		}
 		if plan.workers > 1 {
 			parallelOrdered(ctx, len(tasks), plan.workers, eval)(yield)
@@ -347,13 +380,21 @@ func (e *Engine) streamExistsOB(ctx context.Context, plan *evalPlan, forAll bool
 	}
 }
 
+// mcTask is one unit of Monte-Carlo work: an object bound to its chain
+// and compiled window (no kernel — sampling neither caches nor filters).
+type mcTask struct {
+	o     *Object
+	chain *markov.Chain
+	w     *window
+}
+
 // mcTasks flattens the database in insertion order (not chain-group
 // order) with one compiled window per distinct chain: the Monte-Carlo
 // rng sequence is part of the observable output, and the serial shared
 // rng has always consumed objects in database order.
-func (e *Engine) mcTasks(q Query) ([]obTask, error) {
+func (e *Engine) mcTasks(q Query) ([]mcTask, error) {
 	windows := map[*markov.Chain]*window{}
-	tasks := make([]obTask, 0, e.db.Len())
+	tasks := make([]mcTask, 0, e.db.Len())
 	for _, o := range e.db.Objects() {
 		ch := e.db.ChainOf(o)
 		w, ok := windows[ch]
@@ -365,7 +406,7 @@ func (e *Engine) mcTasks(q Query) ([]obTask, error) {
 			}
 			windows[ch] = w
 		}
-		tasks = append(tasks, obTask{o: o, chain: ch, w: w})
+		tasks = append(tasks, mcTask{o: o, chain: ch, w: w})
 	}
 	return tasks, nil
 }
@@ -436,55 +477,27 @@ func kTimesResult(objectID int, dist []float64) Result {
 }
 
 // streamKTimesQB is the query-based PSTkQ core: |T□|+1 backward vectors
-// per (chain, observation time), then |T□|+1 dot products per object.
+// per (chain, observation time) — shared through the score cache — then
+// |T□|+1 dot products per object.
 func (e *Engine) streamKTimesQB(ctx context.Context, plan *evalPlan) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
 		for _, grp := range e.db.groupByChain() {
-			w, err := compile(plan.query, grp.chain.NumStates())
+			k, err := e.groupKernel(grp, plan, false)
 			if err != nil {
 				yield(Result{}, err)
 				return
 			}
-			cache := map[int][]*sparse.Vec{}
 			for _, o := range grp.objects {
 				if err := ctx.Err(); err != nil {
 					yield(Result{}, err)
 					return
 				}
-				if w.k == 0 {
-					if !yield(kTimesResult(o.ID, []float64{1}), nil) {
-						return
-					}
-					continue
-				}
-				if len(o.Observations) > 1 {
-					yield(Result{}, errKTimesMultiObs(o))
+				r, oerr := k.ktimesQBExact(ctx, o)
+				if oerr != nil {
+					yield(Result{}, oerr)
 					return
 				}
-				first := o.First()
-				if first.Time > w.horizon {
-					yield(Result{}, errObservedAfterHorizon(o.ID, first.Time, w.horizon))
-					return
-				}
-				backs, ok := cache[first.Time]
-				if !ok {
-					backs, err = kTimesBackward(ctx, grp.chain, w, first.Time)
-					if err != nil {
-						yield(Result{}, err)
-						return
-					}
-					cache[first.Time] = backs
-				}
-				init := first.PDF.Clone()
-				if init.Vec().Normalize() == 0 {
-					yield(Result{}, errZeroMass(o.ID))
-					return
-				}
-				dist := make([]float64, w.k+1)
-				for k := range dist {
-					dist[k] = init.Vec().Dot(backs[k])
-				}
-				if !yield(kTimesResult(o.ID, dist), nil) {
+				if !yield(r, nil) {
 					return
 				}
 			}
@@ -497,18 +510,13 @@ func (e *Engine) streamKTimesQB(ctx context.Context, plan *evalPlan) iter.Seq2[R
 // out over plan.workers goroutines.
 func (e *Engine) streamKTimesOB(ctx context.Context, plan *evalPlan) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
-		tasks, err := e.obTasks(plan.query, false, plan.workers > 1)
+		tasks, err := e.obTasks(plan, false, plan.workers > 1)
 		if err != nil {
 			yield(Result{}, err)
 			return
 		}
 		eval := func(ctx context.Context, i int) (Result, error) {
-			t := tasks[i]
-			dist, kerr := kTimesOne(ctx, t.chain, t.o, t.w)
-			if kerr != nil {
-				return Result{}, kerr
-			}
-			return kTimesResult(t.o.ID, dist), nil
+			return tasks[i].k.ktimesOBExact(ctx, tasks[i].o)
 		}
 		if plan.workers > 1 {
 			parallelOrdered(ctx, len(tasks), plan.workers, eval)(yield)
@@ -571,14 +579,16 @@ func (e *Engine) streamKTimesMC(ctx context.Context, plan *evalPlan) iter.Seq2[R
 }
 
 // streamEventually is the unbounded-horizon core: one ctx-aware
-// fixed-point sweep per chain group, then a dot product per object.
-// (The legacy per-object ExistsEventually recomputed the sweep per
-// object; the grouped evaluation amortizes it across the database.)
+// fixed-point sweep per chain group — shared through the score cache —
+// then a dot product per object. (The legacy per-object ExistsEventually
+// recomputed the sweep per object; the grouped evaluation amortizes it
+// across the database.)
 func (e *Engine) streamEventually(ctx context.Context, plan *evalPlan) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
 		region := sortedSet(plan.query.States)
 		for _, grp := range e.db.groupByChain() {
-			scores, _, err := hittingScores(ctx, grp.chain, region, plan.req.maxSteps, plan.req.tol)
+			k := e.kernel(grp.chain, nil, plan)
+			scores, err := k.hittingFor(ctx, region, plan.req.maxSteps, plan.req.tol)
 			if err != nil {
 				yield(Result{}, err)
 				return

@@ -35,18 +35,7 @@ func HittingScores(chain *markov.Chain, regionStates []int, maxSteps int, tol fl
 // HittingScores; it checks ctx once per backward sweep.
 func hittingScores(ctx context.Context, chain *markov.Chain, regionStates []int, maxSteps int, tol float64) (*sparse.Vec, int, error) {
 	n := chain.NumStates()
-	if maxSteps <= 0 {
-		// Slow-mixing chains (e.g. long random walks) converge in
-		// O(n²·log(1/tol)) iterations; the default favors correctness
-		// over speed for moderate spaces and callers tune it down.
-		maxSteps = 20 * n
-		if maxSteps < 5000 {
-			maxSteps = 5000
-		}
-	}
-	if tol <= 0 {
-		tol = 1e-12
-	}
+	maxSteps, tol = hittingLimits(n, maxSteps, tol)
 	mask := make([]bool, n)
 	for _, s := range regionStates {
 		if s < 0 || s >= n {
@@ -82,6 +71,25 @@ func hittingScores(ctx context.Context, chain *markov.Chain, regionStates []int,
 		}
 	}
 	return score, maxSteps, nil
+}
+
+// hittingLimits resolves the fixed-point iteration limits: callers pass
+// ≤ 0 for defaults. Slow-mixing chains (e.g. long random walks) converge
+// in O(n²·log(1/tol)) iterations; the default favors correctness over
+// speed for moderate spaces and callers tune it down. Centralized so the
+// score cache can key on the resolved values and explicit-vs-defaulted
+// requests share entries.
+func hittingLimits(n, maxSteps int, tol float64) (int, float64) {
+	if maxSteps <= 0 {
+		maxSteps = 20 * n
+		if maxSteps < 5000 {
+			maxSteps = 5000
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	return maxSteps, tol
 }
 
 // ExistsEventually returns the probability that the object ever enters

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// The sweep kernel layer. Every evaluation strategy in this package
+// reduces to a small set of per-(chain, window, observation-time)
+// primitives: the PST∃Q backward scoring sweep, the PSTkQ backward
+// vector family, the unbounded-horizon hitting fixed point, and the
+// boolean reachability envelopes that bound them from above and below.
+// kern binds one chain and compiled window to the engine's shared score
+// cache and buffer pool so that Evaluate, EvaluateSeq, Monitor, the
+// experiment harness and the CLIs all share the same sweeps instead of
+// each owning private ones (previously qbGroupEval in querybased.go,
+// a private map in streamKTimesQB, and Monitor's evals map — three
+// uncoordinated caches of the same data).
+//
+// A kern is cheap to construct (no precomputation) and safe to use from
+// one goroutine; concurrent Evaluate calls each build their own kern
+// over the same underlying cache, which is concurrency-safe. (The
+// parallel OB fan-out shares one kern across workers, but only through
+// the pool-backed exact evaluators, never the memoizing accessors.)
+type kern struct {
+	chain *markov.Chain
+	w     *window
+	cache *scoreCache // nil: engine-wide caching disabled for this request
+	rep   *CacheReport
+	pool  *sparse.VecPool
+	// local memoizes sweeps within this kern's lifetime (one chain group
+	// of one request, or one Monitor) when the engine cache is bypassed,
+	// preserving the historical one-sweep-per-distinct-time behavior:
+	// WithCache(false) must never degrade QB evaluation to a sweep per
+	// object. Untracked by CacheReport — it is not the shared cache.
+	local map[scoreKey]scoreValue
+}
+
+// lookup consults the engine cache or the request-local memo.
+func (k *kern) lookup(key scoreKey) (scoreValue, bool) {
+	if k.cache != nil {
+		return k.cache.get(key, k.rep)
+	}
+	v, ok := k.local[key]
+	return v, ok
+}
+
+// store records a computed payload in whichever tier lookup consults.
+func (k *kern) store(key scoreKey, v scoreValue) {
+	if k.cache != nil {
+		k.cache.put(key, v)
+		return
+	}
+	if k.local == nil {
+		k.local = map[scoreKey]scoreValue{}
+	}
+	k.local[key] = v
+}
+
+// kernel builds the sweep kernel for one chain group under a prepared
+// plan. plan may be nil (Monitor, legacy wrappers): caching is then on
+// whenever the engine has a cache, and traffic goes unreported.
+func (e *Engine) kernel(chain *markov.Chain, w *window, plan *evalPlan) *kern {
+	k := &kern{chain: chain, w: w, pool: e.pool}
+	if e.cache != nil && (plan == nil || plan.useCache) {
+		k.cache = e.cache
+		if plan != nil {
+			k.rep = &plan.cacheRep
+		}
+	}
+	return k
+}
+
+// existsScoreAt returns the PST∃Q scoring vector for objects observed at
+// time t0: entry s is the probability that a world at state s at t0
+// satisfies the predicate. Served from the shared cache when possible.
+// The returned vector is shared and must not be mutated.
+func (k *kern) existsScoreAt(ctx context.Context, t0 int) (*sparse.Vec, error) {
+	key := scoreKey{chain: k.chain, kind: kindExists, sig: k.w.signature(), t0: t0}
+	if v, ok := k.lookup(key); ok {
+		return v.vecs[0], nil
+	}
+	score, err := hitScores(ctx, k.chain, k.w, t0, k.pool)
+	if err != nil {
+		return nil, err
+	}
+	k.store(key, scoreValue{vecs: []*sparse.Vec{score}})
+	return score, nil
+}
+
+// ktimesBacksAt returns the |T□|+1 PSTkQ backward vectors at time t0.
+// The returned vectors are shared and must not be mutated.
+func (k *kern) ktimesBacksAt(ctx context.Context, t0 int) ([]*sparse.Vec, error) {
+	key := scoreKey{chain: k.chain, kind: kindKTimes, sig: k.w.signature(), t0: t0}
+	if v, ok := k.lookup(key); ok {
+		return v.vecs, nil
+	}
+	backs, err := kTimesBackward(ctx, k.chain, k.w, t0, k.pool)
+	if err != nil {
+		return nil, err
+	}
+	k.store(key, scoreValue{vecs: backs})
+	return backs, nil
+}
+
+// hittingFor returns the unbounded-horizon hitting-probability vector
+// for the region, caching on the resolved (maxSteps, tol) so explicit
+// and defaulted limits share entries. The returned vector is shared and
+// must not be mutated.
+func (k *kern) hittingFor(ctx context.Context, region []int, maxSteps int, tol float64) (*sparse.Vec, error) {
+	maxSteps, tol = hittingLimits(k.chain.NumStates(), maxSteps, tol)
+	h := uint64(fnvOffset)
+	for _, s := range region {
+		h = fnvMix(h, uint64(s)+1)
+	}
+	h = fnvMix(h, fnvSep)
+	h = fnvMix(h, uint64(maxSteps))
+	h = fnvMix(h, math.Float64bits(tol))
+	key := scoreKey{chain: k.chain, kind: kindHitting, sig: h}
+	if v, ok := k.lookup(key); ok {
+		return v.vecs[0], nil
+	}
+	scores, _, err := hittingScores(ctx, k.chain, region, maxSteps, tol)
+	if err != nil {
+		return nil, err
+	}
+	k.store(key, scoreValue{vecs: []*sparse.Vec{scores}})
+	return scores, nil
+}
+
+// possibleMaskAt returns the backward reachability envelope at t0: the
+// states from which a trajectory CAN satisfy the (possibly inverted)
+// window predicate. Mass outside the envelope can never contribute, so
+// an object's initial mass on it upper-bounds its query probability.
+func (k *kern) possibleMaskAt(ctx context.Context, t0 int) (*sparse.Bitset, error) {
+	return k.maskAt(ctx, t0, kindPossible)
+}
+
+// certainMaskAt returns the dual envelope: the states from which EVERY
+// trajectory satisfies the predicate. Initial mass on it lower-bounds
+// the query probability.
+func (k *kern) certainMaskAt(ctx context.Context, t0 int) (*sparse.Bitset, error) {
+	return k.maskAt(ctx, t0, kindCertain)
+}
+
+func (k *kern) maskAt(ctx context.Context, t0 int, kind scoreKind) (*sparse.Bitset, error) {
+	key := scoreKey{chain: k.chain, kind: kind, sig: k.w.signature(), t0: t0}
+	if v, ok := k.lookup(key); ok {
+		return v.bits, nil
+	}
+	m, err := supportEnvelope(ctx, k.chain, k.w, t0, kind == kindCertain)
+	if err != nil {
+		return nil, err
+	}
+	k.store(key, scoreValue{bits: m})
+	return m, nil
+}
+
+// supportEnvelope runs the boolean shadow of the backward sweep: the
+// same loop shape as hitScores, propagating supports instead of mass.
+// certain selects the all-successors (lower-bound) propagation.
+func supportEnvelope(ctx context.Context, chain *markov.Chain, w *window, t0 int, certain bool) (*sparse.Bitset, error) {
+	n := chain.NumStates()
+	m := sparse.NewBitset(n)
+	if w.k == 0 || w.horizon < t0 {
+		return m, nil
+	}
+	next := sparse.NewBitset(n)
+	for t := w.horizon; t > t0; t-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if w.atTime(t) {
+			orRegion(m, w)
+		}
+		if certain {
+			chain.StepBackCertain(next, m)
+		} else {
+			chain.StepBackSupport(next, m)
+		}
+		m, next = next, m
+	}
+	if w.atTime(t0) {
+		orRegion(m, w)
+	}
+	return m, nil
+}
+
+// orRegion adds every state of the (possibly inverted) spatial predicate
+// to the set — the boolean twin of pinRegion.
+func orRegion(b *sparse.Bitset, w *window) {
+	w.eachRegionState(func(s int) { b.Set(s) })
+}
+
+// boundSlack absorbs the floating-point daylight between a bound
+// computed by mask-mass summation and the exact sweep's dot product, so
+// conservative pruning decisions stay conservative under rounding.
+const boundSlack = 1e-9
+
+// boundable reports whether o is eligible for envelope bounds: exactly
+// one observation, inside the horizon, against a non-empty window.
+// Ineligible objects are simply refined exactly (multi-observation
+// conditioning can concentrate mass anywhere, and after-horizon objects
+// must surface the same error the exact path raises).
+func (k *kern) boundable(o *Object) bool {
+	return k.w.k > 0 && len(o.Observations) == 1 && o.First().Time <= k.w.horizon
+}
+
+// existsUpper returns a conservative upper bound on P∃(o) under the
+// kern's window. ok is false when o is not boundable. A returned bound
+// of exactly 0 is not merely conservative but EXACT: the observation
+// support is disjoint from the reachability envelope, the score
+// vector's support is contained in that envelope (float propagation
+// follows the same edge structure and can only shrink support), so the
+// exact dot product — and the OB forward pass's absorbed mass — is
+// bit-exactly 0.0. Filter paths answer such objects without refinement.
+func (k *kern) existsUpper(ctx context.Context, o *Object) (hi float64, ok bool, err error) {
+	if !k.boundable(o) {
+		return 1, false, nil
+	}
+	pm, err := k.possibleMaskAt(ctx, o.First().Time)
+	if err != nil {
+		return 1, false, err
+	}
+	pdf := o.First().PDF.Vec()
+	mass := pdf.Sum()
+	if mass <= 0 {
+		return 1, false, nil
+	}
+	raw := pm.MassOn(pdf)
+	if raw == 0 {
+		return 0, true, nil
+	}
+	return raw/mass + boundSlack, true, nil
+}
+
+// existsLower returns a conservative lower bound on P∃(o). ok is false
+// when o is not boundable.
+func (k *kern) existsLower(ctx context.Context, o *Object) (lo float64, ok bool, err error) {
+	if !k.boundable(o) {
+		return 0, false, nil
+	}
+	cm, err := k.certainMaskAt(ctx, o.First().Time)
+	if err != nil {
+		return 0, false, err
+	}
+	pdf := o.First().PDF.Vec()
+	mass := pdf.Sum()
+	if mass <= 0 {
+		return 0, false, nil
+	}
+	lo = cm.MassOn(pdf)/mass - boundSlack
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, true, nil
+}
+
+// --- exact per-object evaluators -----------------------------------------
+//
+// These are THE per-object evaluation cores: the unfiltered streams, the
+// filter–refine paths and Monitor all call the same functions, which is
+// what makes pruned and unpruned results byte-identical by construction.
+
+// existsExact answers one object with the query-based strategy (backward
+// scoring sweep + dot product), handling the k = 0, multi-observation
+// and after-horizon cases exactly like the historical stream core.
+func (k *kern) existsExact(ctx context.Context, o *Object, forAll bool) (Result, error) {
+	var p float64
+	var err error
+	switch {
+	case k.w.k == 0:
+		p = 0
+	case len(o.Observations) > 1:
+		p, err = existsMultiObs(ctx, k.chain, o.Observations, k.w)
+	default:
+		p, err = k.existsDot(ctx, o)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if forAll {
+		p = 1 - p
+	}
+	return Result{ObjectID: o.ID, Prob: p}, nil
+}
+
+// existsDot is the single-observation QB core: normalize the observation
+// pdf and dot it with the (cached) scoring vector.
+func (k *kern) existsDot(ctx context.Context, o *Object) (float64, error) {
+	first := o.First()
+	if first.Time > k.w.horizon {
+		return 0, errObservedAfterHorizon(o.ID, first.Time, k.w.horizon)
+	}
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return 0, errZeroMass(o.ID)
+	}
+	score, err := k.existsScoreAt(ctx, first.Time)
+	if err != nil {
+		return 0, err
+	}
+	return init.Vec().Dot(score), nil
+}
+
+// obExistsExact answers one object with the object-based strategy (a
+// forward pass), handling the PST∀Q complement edge cases exactly like
+// the historical stream core. The kern's window must already be the
+// complemented one for forAll requests.
+func (k *kern) obExistsExact(ctx context.Context, o *Object, forAll bool) (Result, error) {
+	if forAll && k.w.k == 0 {
+		return Result{ObjectID: o.ID, Prob: 1}, nil
+	}
+	p, err := existsOBOne(ctx, k.chain, o, k.w, k.pool)
+	if err != nil {
+		return Result{}, err
+	}
+	if forAll {
+		p = 1 - p
+	}
+	return Result{ObjectID: o.ID, Prob: p}, nil
+}
+
+// ktimesQBExact answers one object's PSTkQ distribution with the
+// query-based strategy: |T□|+1 (cached) backward vectors, |T□|+1 dots.
+func (k *kern) ktimesQBExact(ctx context.Context, o *Object) (Result, error) {
+	if k.w.k == 0 {
+		return kTimesResult(o.ID, []float64{1}), nil
+	}
+	if len(o.Observations) > 1 {
+		return Result{}, errKTimesMultiObs(o)
+	}
+	first := o.First()
+	if first.Time > k.w.horizon {
+		return Result{}, errObservedAfterHorizon(o.ID, first.Time, k.w.horizon)
+	}
+	backs, err := k.ktimesBacksAt(ctx, first.Time)
+	if err != nil {
+		return Result{}, err
+	}
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return Result{}, errZeroMass(o.ID)
+	}
+	dist := make([]float64, k.w.k+1)
+	for i := range dist {
+		dist[i] = init.Vec().Dot(backs[i])
+	}
+	return kTimesResult(o.ID, dist), nil
+}
+
+// ktimesOBExact answers one object's PSTkQ distribution with the
+// object-based count-matrix forward pass.
+func (k *kern) ktimesOBExact(ctx context.Context, o *Object) (Result, error) {
+	dist, err := kTimesOne(ctx, k.chain, o, k.w, k.pool)
+	if err != nil {
+		return Result{}, err
+	}
+	return kTimesResult(o.ID, dist), nil
+}

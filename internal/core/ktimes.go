@@ -27,12 +27,12 @@ func (e *Engine) KTimesOB(o *Object, q Query) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return kTimesOne(context.Background(), ch, o, w)
+	return kTimesOne(context.Background(), ch, o, w, e.pool)
 }
 
 // kTimesOne is the shared per-object PSTkQ kernel over a compiled
 // window.
-func kTimesOne(ctx context.Context, ch *markov.Chain, o *Object, w *window) ([]float64, error) {
+func kTimesOne(ctx context.Context, ch *markov.Chain, o *Object, w *window, pool *sparse.VecPool) ([]float64, error) {
 	if w.k == 0 {
 		return []float64{1}, nil
 	}
@@ -47,22 +47,29 @@ func kTimesOne(ctx context.Context, ch *markov.Chain, o *Object, w *window) ([]f
 	if init.Vec().Normalize() == 0 {
 		return nil, errZeroMass(o.ID)
 	}
-	return kTimesForward(ctx, ch, init.Vec(), first.Time, w)
+	return kTimesForward(ctx, ch, init.Vec(), first.Time, w, pool)
 }
 
 // kTimesForward steps the count matrix forward, checking ctx once per
-// transition.
-func kTimesForward(ctx context.Context, chain *markov.Chain, init *sparse.Vec, t0 int, w *window) ([]float64, error) {
+// transition. All |T□|+2 scratch rows come from pool (nil allowed) and
+// return to it.
+func kTimesForward(ctx context.Context, chain *markov.Chain, init *sparse.Vec, t0 int, w *window, pool *sparse.VecPool) ([]float64, error) {
 	n := chain.NumStates()
 	rows := make([]*sparse.Vec, w.k+1)
 	for i := range rows {
-		rows[i] = sparse.NewVec(n)
+		rows[i] = pool.Get(n)
 	}
+	buf := pool.Get(n)
+	defer func() {
+		for _, r := range rows {
+			pool.Put(r)
+		}
+		pool.Put(buf)
+	}()
 	rows[0].CopyFrom(init)
 	if w.atTime(t0) {
 		shiftDown(rows, w)
 	}
-	buf := sparse.NewVec(n)
 	for t := t0; t < w.horizon; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -134,21 +141,24 @@ func toKResults(results []Result) []KResult {
 }
 
 // kTimesBackward produces the scoring vectors B_0 … B_K at time t0,
-// checking ctx once per backward step.
-func kTimesBackward(ctx context.Context, chain *markov.Chain, w *window, t0 int) ([]*sparse.Vec, error) {
+// checking ctx once per backward step. The returned vectors are owned by
+// the caller (and typically handed to the score cache); only the swap
+// buffer is pooled.
+func kTimesBackward(ctx context.Context, chain *markov.Chain, w *window, t0 int, pool *sparse.VecPool) ([]*sparse.Vec, error) {
 	n := chain.NumStates()
 	backs := make([]*sparse.Vec, w.k+1)
 	for k := range backs {
-		backs[k] = sparse.NewVec(n)
+		backs[k] = pool.Get(n)
 	}
 	// At the horizon, no future query times remain: every state has
 	// exactly 0 future visits with probability 1.
 	for s := 0; s < n; s++ {
 		backs[0].Set(s, 1)
 	}
-	buf := sparse.NewVec(n)
+	buf := pool.Get(n)
 	for t := w.horizon; t > t0; t-- {
 		if err := ctx.Err(); err != nil {
+			pool.Put(buf)
 			return nil, err
 		}
 		if w.atTime(t) {
@@ -163,6 +173,7 @@ func kTimesBackward(ctx context.Context, chain *markov.Chain, w *window, t0 int)
 	if w.atTime(t0) {
 		consumeVisit(backs, w)
 	}
+	pool.Put(buf)
 	return backs, nil
 }
 

@@ -14,6 +14,14 @@ import (
 // applications (the Ice Patrol keeps one standing query per shipping
 // lane and updates bergs as sightings come in).
 //
+// Backward scoring sweeps are served by the engine's shared score cache
+// — the same entries every Evaluate call uses — so a Monitor no longer
+// owns a private sweep cache, and concurrent ad-hoc queries against the
+// same engine reuse the standing query's sweeps (and vice versa).
+// Observation updates advance the database generation, which expires
+// cached sweeps lazily; results are identical to a fresh evaluation at
+// every read.
+//
 // A Monitor is not safe for concurrent use.
 type Monitor struct {
 	engine *Engine
@@ -21,10 +29,8 @@ type Monitor struct {
 	// cached per-object probabilities and the dirty set.
 	probs map[int]float64
 	dirty map[int]bool
-	// qb evaluators per chain, shared across refreshes; observation
-	// changes do not invalidate backward scores (those depend only on
-	// chain + query + observation time).
-	evals map[*markov.Chain]*qbGroupEval
+	// kernels per chain (compiled window + shared-cache binding).
+	kerns map[*markov.Chain]*kern
 }
 
 // NewMonitor registers a standing PST∃Q over the engine's database.
@@ -36,7 +42,7 @@ func (e *Engine) NewMonitor(q Query) *Monitor {
 		query:  q,
 		probs:  map[int]float64{},
 		dirty:  map[int]bool{},
-		evals:  map[*markov.Chain]*qbGroupEval{},
+		kerns:  map[*markov.Chain]*kern{},
 	}
 	for _, o := range e.db.Objects() {
 		m.dirty[o.ID] = true
@@ -63,14 +69,9 @@ func (m *Monitor) Observe(objectID int, obs Observation) error {
 	if err != nil {
 		return err
 	}
-	// Swap in place: preserve database order.
-	for i, cur := range db.objects {
-		if cur.ID == objectID {
-			db.objects[i] = updated
-			break
-		}
+	if err := db.ReplaceObject(updated); err != nil {
+		return err
 	}
-	db.byID[objectID] = updated
 	m.dirty[objectID] = true
 	return nil
 }
@@ -93,32 +94,23 @@ func (m *Monitor) Results() ([]Result, error) {
 	db := m.engine.db
 	if len(m.dirty) > 0 {
 		for _, grp := range db.groupByChain() {
-			var eval *qbGroupEval
+			var k *kern
 			for _, o := range grp.objects {
 				if !m.dirty[o.ID] {
 					continue
 				}
-				if eval == nil {
+				if k == nil {
 					var err error
-					eval, err = m.evalFor(grp.chain)
+					k, err = m.kernFor(grp.chain)
 					if err != nil {
 						return nil, err
 					}
 				}
-				var p float64
-				var err error
-				switch {
-				case eval.w.k == 0:
-					p = 0
-				case len(o.Observations) > 1:
-					p, err = existsMultiObs(context.Background(), grp.chain, o.Observations, eval.w)
-				default:
-					p, err = eval.exists(context.Background(), o)
-				}
+				r, err := k.existsExact(context.Background(), o, false)
 				if err != nil {
 					return nil, err
 				}
-				m.probs[o.ID] = p
+				m.probs[o.ID] = r.Prob
 				delete(m.dirty, o.ID)
 			}
 		}
@@ -130,17 +122,17 @@ func (m *Monitor) Results() ([]Result, error) {
 	return out, nil
 }
 
-// evalFor returns (building if needed) the cached QB evaluator for a
-// chain.
-func (m *Monitor) evalFor(chain *markov.Chain) (*qbGroupEval, error) {
-	if ev, ok := m.evals[chain]; ok {
-		return ev, nil
+// kernFor returns (building if needed) the kernel binding for a chain:
+// the compiled window is monitor-local, the sweeps behind it engine-wide.
+func (m *Monitor) kernFor(chain *markov.Chain) (*kern, error) {
+	if k, ok := m.kerns[chain]; ok {
+		return k, nil
 	}
 	w, err := compile(m.query, chain.NumStates())
 	if err != nil {
 		return nil, err
 	}
-	ev := newQBGroupEval(chain, w)
-	m.evals[chain] = ev
-	return ev, nil
+	k := m.engine.kernel(chain, w, nil)
+	m.kerns[chain] = k
+	return k, nil
 }

@@ -74,6 +74,13 @@ type Database struct {
 	chain   *markov.Chain
 	objects []*Object
 	byID    map[int]*Object
+	// version counts mutations (inserts and observation updates). The
+	// engine's score cache tags entries with the version current when
+	// they were computed and lazily expires entries from older
+	// generations — the generation-based invalidation that keeps cached
+	// sweeps and standing queries honest across updates. Databases are
+	// not safe for concurrent mutation (reads may be concurrent).
+	version uint64
 }
 
 // NewDatabase creates a database with the given default chain.
@@ -102,6 +109,42 @@ func (db *Database) Add(o *Object) error {
 	}
 	db.objects = append(db.objects, o)
 	db.byID[o.ID] = o
+	db.version++
+	return nil
+}
+
+// Version returns the database's mutation generation. It advances on
+// every insert and observation update; caches keyed on derived state
+// (the engine's score cache, a Monitor's per-object results) compare
+// generations to decide staleness.
+func (db *Database) Version() uint64 { return db.version }
+
+// ReplaceObject swaps in a new version of an existing object (same ID),
+// preserving database order, and advances the generation. It is the
+// observation-update entry point used by Monitor.Observe.
+func (db *Database) ReplaceObject(updated *Object) error {
+	if updated == nil {
+		return fmt.Errorf("core: nil object")
+	}
+	old := db.byID[updated.ID]
+	if old == nil {
+		return fmt.Errorf("core: unknown object %d", updated.ID)
+	}
+	ch := db.ChainOf(updated)
+	for _, obs := range updated.Observations {
+		if obs.PDF.NumStates() != ch.NumStates() {
+			return fmt.Errorf("core: object %d observation over %d states, chain has %d",
+				updated.ID, obs.PDF.NumStates(), ch.NumStates())
+		}
+	}
+	for i, cur := range db.objects {
+		if cur.ID == updated.ID {
+			db.objects[i] = updated
+			break
+		}
+	}
+	db.byID[updated.ID] = updated
+	db.version++
 	return nil
 }
 

@@ -42,17 +42,23 @@ func sweepHits(v *sparse.Vec, w *window) float64 {
 // returned value is then a lower bound (Section V-C's "sufficiently
 // large ◆" pruning). Use stopAt > 1 (or 0, normalized to >1) for the
 // exact result. The pass checks ctx once per forward step and aborts
-// with ctx.Err() on cancellation.
-func existsForward(ctx context.Context, chain *markov.Chain, init *sparse.Vec, t0 int, w *window, stopAt float64) (float64, error) {
+// with ctx.Err() on cancellation. Scratch buffers come from pool (nil is
+// allowed).
+func existsForward(ctx context.Context, chain *markov.Chain, init *sparse.Vec, t0 int, w *window, stopAt float64, pool *sparse.VecPool) (float64, error) {
 	if stopAt <= 0 {
 		stopAt = 2 // never reached: exact evaluation
 	}
-	cur := init.Clone()
+	cur := pool.Get(init.Len())
+	cur.CopyFrom(init)
+	next := pool.Get(init.Len())
+	defer func() {
+		pool.Put(cur)
+		pool.Put(next)
+	}()
 	hit := 0.0
 	if w.atTime(t0) {
 		hit += sweepHits(cur, w)
 	}
-	next := sparse.NewVec(init.Len())
 	for t := t0; t < w.horizon; t++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -85,6 +91,12 @@ func (e *Engine) ExistsOB(o *Object, q Query) (float64, error) {
 }
 
 func (e *Engine) existsOB(ctx context.Context, o *Object, ch *markov.Chain, w *window) (float64, error) {
+	return existsOBOne(ctx, ch, o, w, e.pool)
+}
+
+// existsOBOne is the free-standing OB core shared by the engine wrappers
+// and the kernel layer.
+func existsOBOne(ctx context.Context, ch *markov.Chain, o *Object, w *window, pool *sparse.VecPool) (float64, error) {
 	if w.k == 0 {
 		return 0, nil
 	}
@@ -100,7 +112,7 @@ func (e *Engine) existsOB(ctx context.Context, o *Object, ch *markov.Chain, w *w
 	if mass == 0 {
 		return 0, fmt.Errorf("core: object %d has zero-mass observation", o.ID)
 	}
-	return existsForward(ctx, ch, init.Vec(), first.Time, w, 0)
+	return existsForward(ctx, ch, init.Vec(), first.Time, w, 0, pool)
 }
 
 // ExistsOBBounds runs the object-based forward pass with early
@@ -159,6 +171,51 @@ func (e *Engine) ExistsOBBounds(o *Object, q Query, tau float64) (lo, hi float64
 		}
 	}
 	return hit, hit, nil
+}
+
+// existsOBRefine is the filter–refine variant of the OB forward pass
+// bracketed against a rejection band: it either proves the exact P∃
+// falls outside [rejectBelow, rejectAbove] and stops early (qualified =
+// false, p meaningless), or runs to completion and returns the exact
+// probability — bit-identical to existsForward's, since the loop body is
+// the same arithmetic in the same order. The proof side is the
+// ExistsOBBounds bracketing: the accumulated hit mass is a lower bound,
+// hit plus the free (unabsorbed) mass an upper bound. Rejection widens
+// the band by boundSlack so float rounding can only make the filter keep
+// more, never drop a qualifying object. Disable a side with rejectBelow
+// ≤ 0 / rejectAbove ≥ 1+.
+func existsOBRefine(ctx context.Context, chain *markov.Chain, init *sparse.Vec, t0 int, w *window, rejectBelow, rejectAbove float64, pool *sparse.VecPool) (p float64, qualified bool, err error) {
+	cur := pool.Get(init.Len())
+	cur.CopyFrom(init)
+	next := pool.Get(init.Len())
+	defer func() {
+		pool.Put(cur)
+		pool.Put(next)
+	}()
+	hit := 0.0
+	if w.atTime(t0) {
+		hit += sweepHits(cur, w)
+	}
+	for t := t0; t < w.horizon; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		if hit+cur.Sum() < rejectBelow-boundSlack {
+			return 0, false, nil // provably below the band
+		}
+		if hit > rejectAbove+boundSlack {
+			return 0, false, nil // provably above the band
+		}
+		if cur.NNZ() == 0 {
+			break
+		}
+		chain.Step(next, cur)
+		cur, next = next, cur
+		if w.atTime(t + 1) {
+			hit += sweepHits(cur, w)
+		}
+	}
+	return hit, true, nil
 }
 
 // ForAllOB answers the PST∀Q by the complement identity of Section VII:

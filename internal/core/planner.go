@@ -30,6 +30,13 @@ type CostEstimate struct {
 	Sweeps int
 	// Ops approximates the touched non-zero count.
 	Ops float64
+	// FilterOps approximates the extra cost of the filter stage
+	// (boolean envelope sweeps, in the same touched-entries units scaled
+	// by the 64× word-packing) when the request carries a threshold or
+	// top-k and the strategy is filter-eligible; 0 otherwise. The filter
+	// pays this once per (chain, observation time) to skip Ops-scale
+	// exact work per pruned object.
+	FilterOps float64
 }
 
 // estimateAvgRowNNZ samples rows to approximate nnz per row.
@@ -95,6 +102,39 @@ func (e *Engine) PlanExists(q Query) ([]CostEstimate, error) {
 		plans[0], plans[1] = plans[1], plans[0]
 	}
 	return plans, nil
+}
+
+// annotateFilterOps fills CostEstimate.FilterOps for a threshold/top-k
+// request: one boolean backward sweep per (chain, distinct observation
+// time) — the envelope kernels touch every transition non-zero per
+// step, like the float sweeps, just with a bit-set instead of a
+// multiply-add — plus a bound dot per object. Reported for
+// EXPLAIN-style introspection; the actual funnel lands in
+// Response.Filter.
+func annotateFilterOps(plans []CostEstimate, e *Engine, q Query) {
+	horizon := q.Horizon()
+	ops := 0.0
+	for _, grp := range e.db.groupByChain() {
+		times := map[int]bool{}
+		for _, o := range grp.objects {
+			first := o.First()
+			if first.Time > horizon {
+				continue
+			}
+			times[first.Time] = true
+			// One mask-mass dot per object over its observation support.
+			ops += float64(first.PDF.Vec().NNZ())
+		}
+		for t0 := range times {
+			ops += float64(horizon-t0) * float64(grp.chain.NNZ())
+		}
+	}
+	for i := range plans {
+		switch plans[i].Strategy {
+		case StrategyQueryBased, StrategyObjectBased:
+			plans[i].FilterOps = ops
+		}
+	}
 }
 
 // ExistsAuto evaluates the PST∃Q with the strategy the planner

@@ -71,7 +71,8 @@ type window struct {
 	invert  bool
 	timeSet map[int]bool
 	horizon int
-	k       int // |T□|
+	k       int    // |T□|
+	sig     uint64 // content fingerprint of (numStates, S□, T□), invert excluded
 }
 
 func compile(q Query, numStates int) (*window, error) {
@@ -91,7 +92,47 @@ func compile(q Query, numStates int) (*window, error) {
 	for _, t := range q.Times {
 		w.timeSet[t] = true
 	}
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(numStates))
+	for _, s := range w.states {
+		h = fnvMix(h, uint64(s)+1)
+	}
+	h = fnvMix(h, fnvSep)
+	for _, t := range sortedSet(q.Times) {
+		h = fnvMix(h, uint64(t)+1)
+	}
+	w.sig = h
 	return w, nil
+}
+
+// signature fingerprints the compiled window for score-cache keys. Two
+// windows with equal signatures over the same chain compile to the same
+// predicate (modulo the astronomically unlikely 64-bit collision);
+// inversion flips a dedicated bit so PST∀Q complements never alias their
+// base window.
+func (w *window) signature() uint64 {
+	if w.invert {
+		return w.sig ^ invertSigFlip
+	}
+	return w.sig
+}
+
+// FNV-1a over uint64 words, with a separator word between the state and
+// time lists so {1}×{} never collides with {}×{1}.
+const (
+	fnvOffset     = 0xcbf29ce484222325
+	fnvPrime      = 0x100000001b3
+	fnvSep        = 0xfffffffffffffffe
+	invertSigFlip = 0x9e3779b97f4a7c15
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
 }
 
 // eachRegionState calls fn for every state satisfying the (possibly

@@ -19,21 +19,27 @@ import (
 // implicitly: stepping backward INTO a query timestamp first replaces
 // the scores of states inside S□ by 1 (any world standing there is a
 // certain hit — the redirected column of M+), then applies Mᵀ.
+//
+// Sweep results are shared engine-wide through the score cache; the
+// per-object machinery lives in the kernel layer (kernel.go).
 
 // hitScores runs the backward sweep down to time t0 and returns the
 // scoring vector. The result additionally accounts for t0 itself being a
 // query timestamp (footnote 2 of the paper): scores of states in S□ are
 // pinned to 1. The sweep checks ctx once per backward step and aborts
-// with ctx.Err() on cancellation.
-func hitScores(ctx context.Context, chain *markov.Chain, w *window, t0 int) (*sparse.Vec, error) {
+// with ctx.Err() on cancellation. Scratch buffers come from pool (nil is
+// allowed); the returned vector is freshly owned by the caller.
+func hitScores(ctx context.Context, chain *markov.Chain, w *window, t0 int, pool *sparse.VecPool) (*sparse.Vec, error) {
 	n := chain.NumStates()
-	score := sparse.NewVec(n)
+	score := pool.Get(n)
 	if w.k == 0 || w.horizon < t0 {
 		return score, nil
 	}
-	next := sparse.NewVec(n)
+	next := pool.Get(n)
 	for t := w.horizon; t > t0; t-- {
 		if err := ctx.Err(); err != nil {
+			pool.Put(score)
+			pool.Put(next)
 			return nil, err
 		}
 		if w.atTime(t) {
@@ -45,6 +51,7 @@ func hitScores(ctx context.Context, chain *markov.Chain, w *window, t0 int) (*sp
 	if w.atTime(t0) {
 		pinRegion(score, w)
 	}
+	pool.Put(next)
 	return score, nil
 }
 
@@ -53,51 +60,6 @@ func hitScores(ctx context.Context, chain *markov.Chain, w *window, t0 int) (*sp
 // backward.
 func pinRegion(score *sparse.Vec, w *window) {
 	w.eachRegionState(func(s int) { score.Set(s, 1) })
-}
-
-// qbGroupEval evaluates scores for one chain group at the given start
-// time. Objects whose single observation is at a different time than t0
-// need their own sweep depth; the cache keyed by observation time keeps
-// one scoring vector per distinct time.
-type qbGroupEval struct {
-	chain  *markov.Chain
-	w      *window
-	scores map[int]*sparse.Vec // observation time -> scoring vector
-}
-
-func newQBGroupEval(chain *markov.Chain, w *window) *qbGroupEval {
-	return &qbGroupEval{chain: chain, w: w, scores: map[int]*sparse.Vec{}}
-}
-
-// scoreAt returns (building if needed) the scoring vector for objects
-// observed at time t0.
-func (g *qbGroupEval) scoreAt(ctx context.Context, t0 int) (*sparse.Vec, error) {
-	if v, ok := g.scores[t0]; ok {
-		return v, nil
-	}
-	v, err := hitScores(ctx, g.chain, g.w, t0)
-	if err != nil {
-		return nil, err
-	}
-	g.scores[t0] = v
-	return v, nil
-}
-
-// exists answers one single-observation object via dot product.
-func (g *qbGroupEval) exists(ctx context.Context, o *Object) (float64, error) {
-	first := o.First()
-	if first.Time > g.w.horizon {
-		return 0, errObservedAfterHorizon(o.ID, first.Time, g.w.horizon)
-	}
-	init := first.PDF.Clone()
-	if init.Vec().Normalize() == 0 {
-		return 0, errZeroMass(o.ID)
-	}
-	score, err := g.scoreAt(ctx, first.Time)
-	if err != nil {
-		return 0, err
-	}
-	return init.Vec().Dot(score), nil
 }
 
 // ExistsQB answers the PST∃Q for every object in the database using the
@@ -130,10 +92,16 @@ func (e *Engine) ForAllQB(q Query) ([]Result, error) {
 // observation time: entry s is the probability that an object starting
 // at s at time t0 satisfies the query. Useful for visualization and for
 // answering "which starting positions are dangerous" questions directly.
+// Served through the engine's score cache when enabled; the returned
+// vector is a private copy the caller may mutate freely.
 func (e *Engine) ExistsQBScores(chain *markov.Chain, q Query, t0 int) (*sparse.Vec, error) {
 	w, err := compile(q, chain.NumStates())
 	if err != nil {
 		return nil, err
 	}
-	return hitScores(context.Background(), chain, w, t0)
+	score, err := e.kernel(chain, w, nil).existsScoreAt(context.Background(), t0)
+	if err != nil {
+		return nil, err
+	}
+	return score.Clone(), nil
 }

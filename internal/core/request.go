@@ -81,6 +81,8 @@ type Request struct {
 	mcSeed      *int64
 	maxSteps    int
 	tol         float64
+	useCache    *bool
+	useFilter   *bool
 }
 
 // RequestOption customizes one Request.
@@ -200,6 +202,25 @@ func WithHittingLimits(maxSteps int, tol float64) RequestOption {
 		r.maxSteps = maxSteps
 		r.tol = tol
 	}
+}
+
+// WithCache toggles the engine's shared score cache for this request.
+// Caching is on by default (when the engine has a cache); WithCache
+// (false) forces fresh sweeps — useful for benchmarking and for one-off
+// windows not worth the cache residency. Results are identical either
+// way.
+func WithCache(enabled bool) RequestOption {
+	return func(r *Request) { r.useCache = &enabled }
+}
+
+// WithFilterRefine toggles the filter–refine stage for WithThreshold /
+// WithTopK requests on the exact strategies: cheap reachability-envelope
+// bounds prune objects that provably cannot qualify before any exact
+// per-object evaluation runs. On by default; results are identical
+// either way (the filter is strictly conservative), so the switch exists
+// for benchmarking and fallback. Response.Filter reports the funnel.
+func WithFilterRefine(enabled bool) RequestOption {
+	return func(r *Request) { r.useFilter = &enabled }
 }
 
 // Window resolves the request's spatio-temporal window into a legacy

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// The engine-wide score cache. A backward sweep's result — the scoring
+// vector(s) for one (chain, compiled window, observation time) — depends
+// on nothing else: not on the object being answered, not on the rest of
+// the database. That makes it the natural unit of sharing across
+// repeated Evaluate calls, standing Monitors, the experiment harness and
+// ustquery sessions against one engine. The cache is a concurrency-safe,
+// size-bounded LRU over those sweep results plus the boolean
+// reachability envelopes the filter stage derives from the same keys.
+//
+// Invalidation is generation-based: every entry records the database
+// generation (Database.Version) current when it was computed; lookups
+// compare against the live generation and lazily expire mismatched
+// entries of generation-SENSITIVE kinds — payloads whose inputs include
+// object observations. Every kind cached today (exists/ktimes sweeps,
+// hitting vectors, boolean envelopes) is a pure function of the
+// immutable chain, the window and the observation time, so mutations
+// can never make it wrong: such entries are revalidated in place
+// instead of recomputed, which keeps standing queries and ingest loops
+// (Observe/Add, then Evaluate) fully cached. The generation machinery
+// is the correctness rail for future kinds that DO depend on mutable
+// state (cached posteriors, per-object results); Engine.InvalidateCache
+// remains the manual override.
+
+// scoreKind discriminates what a cache entry holds.
+type scoreKind uint8
+
+const (
+	// kindExists: one scoring vector from the PST∃Q backward sweep.
+	kindExists scoreKind = iota
+	// kindKTimes: the |T□|+1 backward vectors of the PSTkQ sweep.
+	kindKTimes
+	// kindHitting: the fixed-point hitting-probability vector
+	// (PredicateEventually); t0 is unused, sig folds in maxSteps/tol.
+	kindHitting
+	// kindPossible: the "can possibly hit" reachability envelope.
+	kindPossible
+	// kindCertain: the "hits with certainty" envelope.
+	kindCertain
+)
+
+// genSensitive reports whether entries of this kind depend on object
+// observations (or other mutable database state) and must therefore
+// expire when the database generation advances. Sweeps and envelopes
+// depend only on the immutable chain + window + time, so none of the
+// built-in kinds is sensitive; unknown kinds default to sensitive so a
+// future cache user is safe by default.
+func (k scoreKind) genSensitive() bool {
+	switch k {
+	case kindExists, kindKTimes, kindHitting, kindPossible, kindCertain:
+		return false
+	}
+	return true
+}
+
+// scoreKey identifies one cached sweep. The chain pointer is identity:
+// chains are immutable after construction, so pointer equality is value
+// equality for our purposes.
+type scoreKey struct {
+	chain *markov.Chain
+	kind  scoreKind
+	sig   uint64 // window signature (or hashed hitting parameters)
+	t0    int    // observation time the sweep descends to
+}
+
+// scoreValue is the payload of one entry: float vectors for exact
+// sweeps, bitsets for envelopes. Cached payloads are shared and must be
+// treated as immutable by every reader.
+type scoreValue struct {
+	vecs []*sparse.Vec
+	bits *sparse.Bitset
+}
+
+// bytes approximates the resident size of the payload.
+func (v scoreValue) bytes() int {
+	b := 0
+	for _, vec := range v.vecs {
+		b += 8 * vec.Len()
+	}
+	if v.bits != nil {
+		b += 8 * v.bits.Words()
+	}
+	return b
+}
+
+// CacheStats is a snapshot of the engine score cache's lifetime
+// counters, exposed through Engine.CacheStats.
+type CacheStats struct {
+	// Hits and Misses count lookups. A hit means a backward sweep (or
+	// envelope) was served without recomputation.
+	Hits, Misses uint64
+	// Evictions counts entries dropped to respect the size bound.
+	Evictions uint64
+	// Expired counts entries dropped by generation invalidation after
+	// database mutations.
+	Expired uint64
+	// Entries and Bytes describe the current residency.
+	Entries int
+	Bytes   int
+}
+
+// CacheReport is the per-request slice of cache traffic, reported on
+// Response.Cache. Hits+Misses is the number of sweeps the request
+// needed; Hits of them were served from the shared cache.
+type CacheReport struct {
+	Hits, Misses int
+}
+
+func (r *CacheReport) hit() {
+	if r != nil {
+		r.Hits++
+	}
+}
+
+func (r *CacheReport) miss() {
+	if r != nil {
+		r.Misses++
+	}
+}
+
+// scoreCache is the LRU proper. The zero value is not usable; construct
+// with newScoreCache.
+type scoreCache struct {
+	mu       sync.Mutex
+	capacity int // byte budget; entries are evicted LRU-first beyond it
+	bytes    int
+	ll       *list.List // front = most recently used
+	items    map[scoreKey]*list.Element
+	gen      func() uint64 // live generation source (Database.Version)
+	stats    CacheStats
+}
+
+type scoreEntry struct {
+	key scoreKey
+	val scoreValue
+	gen uint64
+}
+
+// newScoreCache builds a cache bounded to roughly capacity bytes of
+// payload. gen supplies the live database generation.
+func newScoreCache(capacity int, gen func() uint64) *scoreCache {
+	return &scoreCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[scoreKey]*list.Element{},
+		gen:      gen,
+	}
+}
+
+// get returns the cached payload for key if present and current.
+func (c *scoreCache) get(key scoreKey, rep *CacheReport) (scoreValue, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if ok {
+		ent := el.Value.(*scoreEntry)
+		if gen := c.gen(); ent.gen != gen {
+			if ent.key.kind.genSensitive() {
+				// The database changed since this payload was computed
+				// and the payload depends on what changed: expire and
+				// fall through to a miss.
+				c.removeLocked(el)
+				c.stats.Expired++
+				c.stats.Misses++
+				rep.miss()
+				return scoreValue{}, false
+			}
+			// Generation-independent payload: provably still valid,
+			// revalidate in place.
+			ent.gen = gen
+		}
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		rep.hit()
+		return ent.val, true
+	}
+	c.stats.Misses++
+	rep.miss()
+	return scoreValue{}, false
+}
+
+// put inserts (or replaces) the payload for key, then evicts LRU entries
+// beyond the byte budget. The newest entry always survives its own
+// insert, even when it alone exceeds the budget — refusing it would turn
+// a hot oversized sweep into a permanent miss.
+func (c *scoreCache) put(key scoreKey, val scoreValue) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Duplicate compute under concurrency: keep the existing entry
+		// (readers may already share it) and drop the newcomer.
+		c.ll.MoveToFront(el)
+		return
+	}
+	ent := &scoreEntry{key: key, val: val, gen: c.gen()}
+	el := c.ll.PushFront(ent)
+	c.items[key] = el
+	c.bytes += val.bytes()
+	for c.bytes > c.capacity && c.ll.Len() > 1 {
+		c.removeLocked(c.ll.Back())
+		c.stats.Evictions++
+	}
+}
+
+// invalidate drops every entry immediately.
+func (c *scoreCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.ll.Len() > 0 {
+		c.removeLocked(c.ll.Back())
+		c.stats.Expired++
+	}
+}
+
+func (c *scoreCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*scoreEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= ent.val.bytes()
+}
+
+// snapshot returns the lifetime counters plus current residency.
+func (c *scoreCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Bytes = c.bytes
+	return s
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ust/internal/markov"
+	"ust/internal/sparse"
+)
+
+// cacheTestDB builds a small random database over one chain.
+func cacheTestDB(t testing.TB, n, objects int, seed int64) *Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(3)
+		for d := 0; d < deg; d++ {
+			b.Add(i, rng.Intn(n), 0.2+rng.Float64())
+		}
+	}
+	chain := markov.MustChain(b.Build().NormalizeRows())
+	db := NewDatabase(chain)
+	for id := 0; id < objects; id++ {
+		if err := db.AddSimple(id, markov.PointDistribution(n, rng.Intn(n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// sameResult compares two Results bit-exactly (including Dist).
+func sameResult(a, b Result) bool {
+	if a.ObjectID != b.ObjectID || a.Prob != b.Prob || len(a.Dist) != len(b.Dist) {
+		return false
+	}
+	for k := range a.Dist {
+		if a.Dist[k] != b.Dist[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRepeatedEvaluateHitsScoreCache(t *testing.T) {
+	db := cacheTestDB(t, 40, 20, 1)
+	e := NewEngine(db, Options{})
+	req := NewRequest(PredicateExists, WithStates([]int{3, 4, 5}), WithTimes(Interval(2, 6)))
+
+	resp1, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All objects share observation time 0: the first object computes the
+	// sweep, the rest hit it within the same request.
+	if resp1.Cache.Misses != 1 {
+		t.Fatalf("first evaluate: Misses = %d, want 1", resp1.Cache.Misses)
+	}
+	if resp1.Cache.Hits != len(db.Objects())-1 {
+		t.Fatalf("first evaluate: Hits = %d, want %d", resp1.Cache.Hits, len(db.Objects())-1)
+	}
+
+	resp2, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cache.Misses != 0 {
+		t.Fatalf("repeated evaluate: Misses = %d, want 0 (sweep should be cached)", resp2.Cache.Misses)
+	}
+	if resp2.Cache.Hits != len(db.Objects()) {
+		t.Fatalf("repeated evaluate: Hits = %d, want %d", resp2.Cache.Hits, len(db.Objects()))
+	}
+	for i := range resp1.Results {
+		if !sameResult(resp1.Results[i], resp2.Results[i]) {
+			t.Fatalf("cached result differs at %d: %+v vs %+v", i, resp1.Results[i], resp2.Results[i])
+		}
+	}
+
+	stats := e.CacheStats()
+	if stats.Entries == 0 || stats.Bytes == 0 {
+		t.Fatalf("engine stats report empty cache: %+v", stats)
+	}
+	if stats.Hits == 0 || stats.Misses == 0 {
+		t.Fatalf("engine stats missing traffic: %+v", stats)
+	}
+}
+
+func TestCachedResultsIdenticalAcrossPredicates(t *testing.T) {
+	db := cacheTestDB(t, 30, 12, 2)
+	e := NewEngine(db, Options{})
+	reqs := []Request{
+		NewRequest(PredicateExists, WithStates(Interval(5, 9)), WithTimes(Interval(1, 5))),
+		NewRequest(PredicateForAll, WithStates(Interval(0, 20)), WithTimes(Interval(1, 4))),
+		NewRequest(PredicateKTimes, WithStates(Interval(5, 9)), WithTimes(Interval(1, 4))),
+		NewRequest(PredicateEventually, WithStates(Interval(5, 9)), WithHittingLimits(200, 1e-10)),
+	}
+	for ri, req := range reqs {
+		uncached, err := e.Evaluate(context.Background(), req.With(WithCache(false)))
+		if err != nil {
+			t.Fatalf("req %d uncached: %v", ri, err)
+		}
+		if uncached.Cache != (CacheReport{}) {
+			t.Fatalf("req %d: WithCache(false) still reported traffic %+v", ri, uncached.Cache)
+		}
+		warm, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("req %d warm: %v", ri, err)
+		}
+		hot, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("req %d hot: %v", ri, err)
+		}
+		if hot.Cache.Misses != 0 || hot.Cache.Hits == 0 {
+			t.Fatalf("req %d hot: cache report %+v, want pure hits", ri, hot.Cache)
+		}
+		for i := range uncached.Results {
+			a, b, c := uncached.Results[i], warm.Results[i], hot.Results[i]
+			if a.ObjectID != b.ObjectID || a.Prob != b.Prob || a.ObjectID != c.ObjectID || a.Prob != c.Prob {
+				t.Fatalf("req %d: results diverge at %d: %+v / %+v / %+v", ri, i, a, b, c)
+			}
+			for k := range a.Dist {
+				if a.Dist[k] != b.Dist[k] || a.Dist[k] != c.Dist[k] {
+					t.Fatalf("req %d: dist diverges at %d", ri, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreCacheGenerationInvalidation exercises the generation rail
+// directly: entries of a generation-sensitive kind expire when the
+// database mutates, generation-independent kinds (every sweep kind)
+// revalidate in place, and InvalidateCache drops everything.
+func TestScoreCacheGenerationInvalidation(t *testing.T) {
+	gen := uint64(0)
+	c := newScoreCache(1<<20, func() uint64 { return gen })
+	chain := markov.MustChain(sparse.Identity(4).NormalizeRows())
+	vec := sparse.NewVec(4)
+
+	sweepKey := scoreKey{chain: chain, kind: kindExists, sig: 1, t0: 0}
+	const kindSensitiveTest scoreKind = 200 // unknown kinds default to sensitive
+	sensKey := scoreKey{chain: chain, kind: kindSensitiveTest, sig: 2, t0: 0}
+	c.put(sweepKey, scoreValue{vecs: []*sparse.Vec{vec}})
+	c.put(sensKey, scoreValue{vecs: []*sparse.Vec{vec}})
+
+	gen++ // a database mutation
+	if _, ok := c.get(sweepKey, nil); !ok {
+		t.Fatalf("generation-independent sweep expired on mutation")
+	}
+	if _, ok := c.get(sensKey, nil); ok {
+		t.Fatalf("generation-sensitive entry survived mutation")
+	}
+	if s := c.snapshot(); s.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1 (%+v)", s.Expired, s)
+	}
+
+	c.invalidate()
+	if _, ok := c.get(sweepKey, nil); ok {
+		t.Fatalf("manual invalidate left entries behind")
+	}
+	if s := c.snapshot(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("invalidate left residency: %+v", s)
+	}
+}
+
+// TestCacheSurvivesObservationUpdate: sweeps depend only on the
+// immutable chain + window + time, so observation updates must NOT cost
+// recomputation — and results must still match a cold engine exactly.
+func TestCacheSurvivesObservationUpdate(t *testing.T) {
+	db := cacheTestDB(t, 30, 10, 3)
+	e := NewEngine(db, Options{})
+	req := NewRequest(PredicateExists, WithStates(Interval(2, 6)), WithTimes(Interval(1, 5)))
+
+	if _, err := e.Evaluate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := db.Version()
+
+	// Update object 0's observation set through the database.
+	o := db.Get(0)
+	updated, err := NewObject(0, o.Chain, append(append([]Observation(nil), o.Observations...),
+		Observation{Time: 3, PDF: markov.UniformOver(30, Interval(0, 29))})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReplaceObject(updated); err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() == genBefore {
+		t.Fatalf("ReplaceObject did not advance the generation")
+	}
+
+	resp, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache.Misses != 0 {
+		t.Fatalf("observation update needlessly expired observation-independent sweeps: %+v", resp.Cache)
+	}
+
+	// Ground truth from a cold engine over the same database.
+	cold := NewEngine(db, Options{CacheBytes: -1})
+	want, err := cold.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Results) != len(resp.Results) {
+		t.Fatalf("result count mismatch")
+	}
+	for i := range want.Results {
+		if !sameResult(want.Results[i], resp.Results[i]) {
+			t.Fatalf("post-update result %d: %+v, want %+v", i, resp.Results[i], want.Results[i])
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	db := cacheTestDB(t, 50, 4, 4)
+	// Budget fits roughly one 50-state sweep (8*50 = 400 bytes): two
+	// distinct windows must evict each other.
+	e := NewEngine(db, Options{CacheBytes: 500})
+	reqA := NewRequest(PredicateExists, WithStates(Interval(0, 4)), WithTimes(Interval(1, 4)))
+	reqB := NewRequest(PredicateExists, WithStates(Interval(10, 14)), WithTimes(Interval(1, 4)))
+	for i := 0; i < 3; i++ {
+		if _, err := e.Evaluate(context.Background(), reqA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Evaluate(context.Background(), reqB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := e.CacheStats()
+	if stats.Evictions == 0 {
+		t.Fatalf("tiny cache never evicted: %+v", stats)
+	}
+	if stats.Bytes > 1000 {
+		t.Fatalf("cache grew past its budget: %+v", stats)
+	}
+}
+
+// TestConcurrentEvaluateSharedCache hammers one engine from many
+// goroutines (run under -race via make race) and verifies every result
+// matches the serial reference.
+func TestConcurrentEvaluateSharedCache(t *testing.T) {
+	db := cacheTestDB(t, 60, 30, 5)
+	e := NewEngine(db, Options{})
+	reqs := []Request{
+		NewRequest(PredicateExists, WithStates(Interval(3, 9)), WithTimes(Interval(2, 7))),
+		NewRequest(PredicateForAll, WithStates(Interval(0, 40)), WithTimes(Interval(1, 4))),
+		NewRequest(PredicateKTimes, WithStates(Interval(3, 9)), WithTimes(Interval(2, 5))),
+		NewRequest(PredicateExists, WithStates(Interval(3, 9)), WithTimes(Interval(2, 7)), WithThreshold(0.1)),
+		NewRequest(PredicateExists, WithStates(Interval(3, 9)), WithTimes(Interval(2, 7)), WithTopK(5)),
+	}
+	want := make([]*Response, len(reqs))
+	ref := NewEngine(db, Options{CacheBytes: -1})
+	for i, req := range reqs {
+		var err error
+		want[i], err = ref.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		for i := range reqs {
+			wg.Add(1)
+			go func(g, i int) {
+				defer wg.Done()
+				resp, err := e.Evaluate(context.Background(), reqs[i])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d req %d: %v", g, i, err)
+					return
+				}
+				if len(resp.Results) != len(want[i].Results) {
+					errs <- fmt.Errorf("req %d: %d results, want %d", i, len(resp.Results), len(want[i].Results))
+					return
+				}
+				for j := range resp.Results {
+					if resp.Results[j].ObjectID != want[i].Results[j].ObjectID ||
+						resp.Results[j].Prob != want[i].Results[j].Prob {
+						errs <- fmt.Errorf("req %d result %d: %+v, want %+v", i, j, resp.Results[j], want[i].Results[j])
+						return
+					}
+				}
+			}(g, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMonitorSharedCacheIdentical pins Monitor's incremental refresh to
+// fresh full evaluations across a stream of observation updates — the
+// fold-onto-shared-cache refactor must not change a single bit.
+func TestMonitorSharedCacheIdentical(t *testing.T) {
+	db := cacheTestDB(t, 40, 15, 6)
+	e := NewEngine(db, Options{})
+	q := NewQuery(Interval(4, 9), Interval(3, 8))
+	m := e.NewMonitor(q)
+
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 5; round++ {
+		got, err := m.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Dirty() != 0 {
+			t.Fatalf("round %d: %d dirty after Results", round, m.Dirty())
+		}
+		// Fresh engine over the same database = ground truth.
+		fresh := NewEngine(db, Options{CacheBytes: -1})
+		want, err := fresh.Exists(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d results, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if !sameResult(got[i], want[i]) {
+				t.Fatalf("round %d: result %d = %+v, want %+v", round, i, got[i], want[i])
+			}
+		}
+		// Feed a new observation to a random object.
+		id := rng.Intn(db.Len())
+		last := db.Get(id).Last()
+		// A broad (uniform) sighting stays consistent with any motion
+		// model; a random point sighting could be impossible.
+		if err := m.Observe(id, Observation{Time: last.Time + 1 + rng.Intn(2), PDF: markov.UniformOver(40, Interval(0, 39))}); err != nil {
+			t.Fatal(err)
+		}
+		if m.Dirty() != 1 {
+			t.Fatalf("round %d: Dirty = %d, want 1", round, m.Dirty())
+		}
+	}
+}

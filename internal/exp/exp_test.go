@@ -44,7 +44,7 @@ func TestScaleString(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext-cluster", "ext-parallel",
+		"ext-cluster", "ext-kernel", "ext-parallel",
 		"fig10a", "fig10b", "fig11a", "fig11b",
 		"fig8a", "fig8b", "fig9a", "fig9b", "fig9c", "fig9d",
 	}

@@ -1,0 +1,60 @@
+package markov
+
+import "ust/internal/sparse"
+
+// Support propagation: the boolean shadow of the chain's transition
+// operator. Where Step moves probability mass, these move only *support*
+// ("is any mass possible here?"), one bit per state. The query engine's
+// filter–refine stage builds reachability envelopes out of them: n-step
+// support expansion of a query region yields, per state, a conservative
+// answer to "could an object starting here possibly (or certainly) hit
+// the region?" — enough to prune most objects before any exact sweep.
+
+// StepSupport computes the one-step forward support expansion
+// dst = {j : ∃ i ∈ src, M[i,j] > 0}. dst must not alias src.
+func (c *Chain) StepSupport(dst, src *sparse.Bitset) {
+	sparse.BoolVecMat(dst, src, c.m)
+}
+
+// StepBackSupport computes the one-step backward support expansion
+// dst = {i : ∃ j ∈ src, M[i,j] > 0} — the states that can reach src in
+// one transition. It walks the cached transpose; warm it with Transposed
+// before sharing the chain across goroutines. dst must not alias src.
+func (c *Chain) StepBackSupport(dst, src *sparse.Bitset) {
+	sparse.BoolVecMat(dst, src, c.Transposed())
+}
+
+// StepBackCertain computes dst = {i : out-degree(i) > 0 and every
+// successor of i is in src} — the states that reach src in one step with
+// certainty. Dangling states (no outgoing transitions) are conservatively
+// excluded. dst must not alias src.
+func (c *Chain) StepBackCertain(dst, src *sparse.Bitset) {
+	sparse.BoolMatVecAll(dst, src, c.m)
+}
+
+// SupportExpand returns the support of init expanded forward by up to
+// steps transitions: the states an object with that initial support can
+// occupy at any t ≤ steps (the paper's S_reach as a bitset). It is the
+// fixed-point-truncated union of the step-wise supports.
+func (c *Chain) SupportExpand(init *sparse.Bitset, steps int) *sparse.Bitset {
+	n := c.NumStates()
+	all := init.Clone()
+	cur := init.Clone()
+	next := sparse.NewBitset(n)
+	for s := 0; s < steps; s++ {
+		c.StepSupport(next, cur)
+		// Stop early once the frontier adds nothing new.
+		grew := false
+		next.Range(func(i int) {
+			if !all.Has(i) {
+				all.Set(i)
+				grew = true
+			}
+		})
+		if !grew {
+			break
+		}
+		cur, next = next, cur
+	}
+	return all
+}

@@ -1,0 +1,125 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+
+	"ust/internal/sparse"
+)
+
+// chain3 is the paper's running-example chain: s1 → s3, s2 → {s1, s3},
+// s3 → {s2, s3}.
+func chain3(t *testing.T) *Chain {
+	t.Helper()
+	c, err := FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func bitsetOf(n int, ids ...int) *sparse.Bitset {
+	b := sparse.NewBitset(n)
+	for _, i := range ids {
+		b.Set(i)
+	}
+	return b
+}
+
+func TestStepSupportForwardBack(t *testing.T) {
+	c := chain3(t)
+	dst := sparse.NewBitset(3)
+
+	c.StepSupport(dst, bitsetOf(3, 0))
+	if !dst.Equal(bitsetOf(3, 2)) {
+		t.Fatalf("StepSupport({0}) = %d members, want {2}", dst.Count())
+	}
+	c.StepSupport(dst, bitsetOf(3, 1))
+	if !dst.Equal(bitsetOf(3, 0, 2)) {
+		t.Fatalf("StepSupport({1}) wrong")
+	}
+
+	// Backward: predecessors of {0} are states with an edge into 0 = {1}.
+	c.StepBackSupport(dst, bitsetOf(3, 0))
+	if !dst.Equal(bitsetOf(3, 1)) {
+		t.Fatalf("StepBackSupport({0}) wrong")
+	}
+
+	// Certain: every successor inside src. succ(0)={2} ⊆ {2}; succ(2)={1,2} ⊄ {2}.
+	c.StepBackCertain(dst, bitsetOf(3, 2))
+	if !dst.Has(0) || dst.Has(1) || dst.Has(2) {
+		t.Fatalf("StepBackCertain({2}) wrong: {0:%v 1:%v 2:%v}", dst.Has(0), dst.Has(1), dst.Has(2))
+	}
+}
+
+// TestSupportExpandMatchesReachable pins SupportExpand to the existing
+// slice-based Reachable on random chains.
+func TestSupportExpandMatchesReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(30)
+		b := sparse.NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			deg := 1 + rng.Intn(3)
+			for d := 0; d < deg; d++ {
+				b.Add(i, rng.Intn(n), 1)
+			}
+		}
+		c := MustChain(b.Build().NormalizeRows())
+
+		start := rng.Intn(n)
+		steps := rng.Intn(6)
+		init := sparse.NewVec(n)
+		init.Set(start, 1)
+		want := map[int]bool{}
+		for _, s := range c.Reachable(init, steps) {
+			want[s] = true
+		}
+
+		got := c.SupportExpand(bitsetOf(n, start), steps)
+		for s := 0; s < n; s++ {
+			if got.Has(s) != want[s] {
+				t.Fatalf("trial %d: SupportExpand disagrees with Reachable at state %d (steps=%d)", trial, s, steps)
+			}
+		}
+	}
+}
+
+// TestStepSupportMatchesStep pins the boolean step to the support of the
+// float step.
+func TestStepSupportMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		b := sparse.NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			deg := 1 + rng.Intn(3)
+			for d := 0; d < deg; d++ {
+				b.Add(i, rng.Intn(n), 1)
+			}
+		}
+		c := MustChain(b.Build().NormalizeRows())
+
+		v := sparse.NewVec(n)
+		bs := sparse.NewBitset(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.4 {
+				v.Set(i, rng.Float64()+0.1)
+				bs.Set(i)
+			}
+		}
+		fv := sparse.NewVec(n)
+		c.Step(fv, v)
+		fb := sparse.NewBitset(n)
+		c.StepSupport(fb, bs)
+		for i := 0; i < n; i++ {
+			if fb.Has(i) != (fv.At(i) != 0) {
+				t.Fatalf("trial %d: StepSupport[%d]=%v but Step mass %g", trial, i, fb.Has(i), fv.At(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBuilderCSR drives the COO builder with arbitrary entry streams and
+// checks the structural invariants every consumer of CSR relies on:
+//
+//   - rowPtr is monotone, starts at 0 and ends at NNZ,
+//   - column indices within every row are sorted and unique,
+//   - duplicate coordinates are folded by summation (At matches a
+//     reference accumulation map),
+//   - Transpose round-trips,
+//   - NormalizeRows yields rows summing to 1 (the stochastic check the
+//     markov layer builds on).
+func FuzzBuilderCSR(f *testing.F) {
+	f.Add([]byte{3, 3, 0, 0, 1, 1, 1, 2, 0, 0, 3})
+	f.Add([]byte{1, 1, 0, 0, 200})
+	f.Add([]byte{8, 5, 7, 4, 9, 0, 0, 1, 7, 4, 9, 3, 2, 250})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		rows := 1 + int(data[0])%24
+		cols := 1 + int(data[1])%24
+		data = data[2:]
+
+		b := NewBuilder(rows, cols)
+		ref := map[[2]int]float64{}
+		for len(data) >= 3 {
+			i := int(data[0]) % rows
+			j := int(data[1]) % cols
+			x := float64(data[2]) / 16 // non-negative, representable
+			data = data[3:]
+			b.Add(i, j, x)
+			if x != 0 {
+				ref[[2]int{i, j}] += x
+			}
+		}
+		m := b.Build()
+
+		checkCSRInvariants(t, m, rows, cols)
+
+		// Values: every coordinate matches the reference accumulation.
+		for ij, want := range ref {
+			if got := m.At(ij[0], ij[1]); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("At(%d,%d) = %g, want %g", ij[0], ij[1], got, want)
+			}
+		}
+		nnzWant := 0
+		for _, v := range ref {
+			if v != 0 {
+				nnzWant++
+			}
+		}
+		if m.NNZ() != nnzWant {
+			t.Fatalf("NNZ = %d, want %d", m.NNZ(), nnzWant)
+		}
+
+		// Transpose preserves structure and round-trips.
+		tr := m.Transpose()
+		checkCSRInvariants(t, tr, cols, rows)
+		if !tr.Transpose().Equal(m, 0) {
+			t.Fatalf("transpose does not round-trip")
+		}
+
+		// NormalizeRows: every non-empty row becomes a distribution — the
+		// stochastic property the chain layer validates.
+		norm := m.NormalizeRows()
+		checkCSRInvariants(t, norm, rows, cols)
+		for i := 0; i < rows; i++ {
+			if norm.RowNNZ(i) == 0 {
+				continue
+			}
+			if s := norm.RowSum(i); math.Abs(s-1) > 1e-9 {
+				t.Fatalf("normalized row %d sums to %g", i, s)
+			}
+		}
+	})
+}
+
+// checkCSRInvariants asserts the representation invariants of a CSR.
+func checkCSRInvariants(t *testing.T, m *CSR, rows, cols int) {
+	t.Helper()
+	if m.rows != rows || m.cols != cols {
+		t.Fatalf("dims = %dx%d, want %dx%d", m.rows, m.cols, rows, cols)
+	}
+	if len(m.rowPtr) != rows+1 {
+		t.Fatalf("len(rowPtr) = %d, want %d", len(m.rowPtr), rows+1)
+	}
+	if m.rowPtr[0] != 0 {
+		t.Fatalf("rowPtr[0] = %d, want 0", m.rowPtr[0])
+	}
+	if m.rowPtr[rows] != len(m.vals) || len(m.colIdx) != len(m.vals) {
+		t.Fatalf("rowPtr end %d, colIdx %d, vals %d inconsistent", m.rowPtr[rows], len(m.colIdx), len(m.vals))
+	}
+	for i := 0; i < rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		if hi < lo {
+			t.Fatalf("rowPtr not monotone at row %d: %d > %d", i, lo, hi)
+		}
+		for k := lo; k < hi; k++ {
+			j := m.colIdx[k]
+			if j < 0 || j >= cols {
+				t.Fatalf("row %d column %d out of range", i, j)
+			}
+			if k > lo && m.colIdx[k-1] >= j {
+				t.Fatalf("row %d columns not sorted unique: %d then %d", i, m.colIdx[k-1], j)
+			}
+			if m.vals[k] == 0 {
+				t.Fatalf("stored explicit zero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// FuzzFromRows exercises the duplicate/ordering validation of the fast
+// row-wise constructor with random (but well-formed) inputs.
+func FuzzFromRows(f *testing.F) {
+	f.Add(uint16(3), []byte{1, 2, 0})
+	f.Fuzz(func(t *testing.T, dims uint16, data []byte) {
+		n := 1 + int(dims)%16
+		// One byte per row: out-degree; columns chosen round-robin so they
+		// are unique by construction.
+		m := FromRows(n, n, func(i int) ([]int, []float64) {
+			deg := 0
+			if i < len(data) {
+				deg = int(data[i]) % (n + 1)
+			}
+			idx := make([]int, 0, deg)
+			vals := make([]float64, 0, deg)
+			for d := 0; d < deg; d++ {
+				idx = append(idx, (i+d*7)%n)
+				vals = append(vals, 1)
+			}
+			return dedupe(idx), ones(len(dedupe(idx)))
+		})
+		checkCSRInvariants(t, m, n, n)
+	})
+}
+
+func dedupe(in []int) []int {
+	seen := map[int]bool{}
+	out := in[:0:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

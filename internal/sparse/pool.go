@@ -1,0 +1,49 @@
+package sparse
+
+import "sync"
+
+// VecPool recycles sweep scratch vectors across queries. Every backward
+// sweep and forward pass needs one or two |S|-sized buffers; on a 100k
+// state space that is ~1.6 MB of garbage per evaluated request. The pool
+// keeps one free list per dimension (databases routinely mix chains over
+// different state spaces) and hands out zeroed, sparse-mode vectors.
+//
+// VecPool is safe for concurrent use; the zero value is ready to use.
+type VecPool struct {
+	mu    sync.Mutex
+	pools map[int]*sync.Pool
+}
+
+// Get returns a zeroed vector of dimension n, reusing a pooled one when
+// available.
+func (p *VecPool) Get(n int) *Vec {
+	if p == nil {
+		return NewVec(n)
+	}
+	return p.poolFor(n).Get().(*Vec)
+}
+
+// Put returns v to the pool for reuse. v must not be used afterwards.
+// Putting a vector that escaped to a caller (a returned score, a cached
+// entry) is a bug; only scratch buffers go back.
+func (p *VecPool) Put(v *Vec) {
+	if p == nil || v == nil {
+		return
+	}
+	v.Reset()
+	p.poolFor(v.Len()).Put(v)
+}
+
+func (p *VecPool) poolFor(n int) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pools == nil {
+		p.pools = map[int]*sync.Pool{}
+	}
+	sp, ok := p.pools[n]
+	if !ok {
+		sp = &sync.Pool{New: func() any { return NewVec(n) }}
+		p.pools[n] = sp
+	}
+	return sp
+}

@@ -105,7 +105,20 @@ type (
 	Sampler = markov.Sampler
 	// CostEstimate is a planner prediction for one strategy.
 	CostEstimate = core.CostEstimate
+	// CacheStats is a snapshot of the engine-wide score cache counters
+	// (Engine.CacheStats).
+	CacheStats = core.CacheStats
+	// CacheReport is one evaluation's score-cache traffic
+	// (Response.Cache).
+	CacheReport = core.CacheReport
+	// FilterReport is one evaluation's filter–refine funnel
+	// (Response.Filter).
+	FilterReport = core.FilterReport
 )
+
+// DefaultCacheBytes is the default byte budget of the engine's shared
+// score cache; tune with Options.CacheBytes.
+const DefaultCacheBytes = core.DefaultCacheBytes
 
 // Evaluation strategies.
 const (
@@ -181,6 +194,18 @@ func WithMonteCarloBudget(samples int, seed int64) RequestOption {
 func WithHittingLimits(maxSteps int, tol float64) RequestOption {
 	return core.WithHittingLimits(maxSteps, tol)
 }
+
+// WithCache toggles the engine's shared score cache for this request
+// (on by default when the engine has one). Repeated and standing
+// queries share backward sweeps through it; Response.Cache reports the
+// traffic. Results are identical either way.
+func WithCache(enabled bool) RequestOption { return core.WithCache(enabled) }
+
+// WithFilterRefine toggles the filter–refine stage for threshold/top-k
+// requests on the exact strategies (on by default): cheap reachability
+// bounds prune objects before any exact evaluation, with byte-identical
+// results. Response.Filter reports the funnel.
+func WithFilterRefine(enabled bool) RequestOption { return core.WithFilterRefine(enabled) }
 
 // NewChain validates m as row-stochastic and wraps it as a motion model.
 func NewChain(m *Matrix) (*Chain, error) { return markov.NewChain(m) }
