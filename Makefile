@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race examples bench clean
+.PHONY: ci fmt-check vet build test race examples serve-smoke bench clean
 
-ci: fmt-check vet build test race examples
+ci: fmt-check vet build test race examples serve-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,6 +30,13 @@ examples:
 		echo "build $$d"; \
 		$(GO) build -o /dev/null "./$$d" || exit 1; \
 	done
+
+# serve-smoke exercises the HTTP serving stack for real: generate a
+# dataset, start ustserve, query it remotely (ustquery -remote must
+# match in-process output byte for byte), run a curl query + subscribe
+# round-trip, scrape /metrics, and shut down gracefully.
+serve-smoke:
+	GO="$(GO)" ./scripts/serve_smoke.sh
 
 # bench writes BENCH.json (machine-readable, via cmd/benchjson) while
 # echoing the usual human-readable lines, so the perf trajectory is

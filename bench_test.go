@@ -26,9 +26,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"ust"
+	"ust/client"
 	"ust/internal/core"
 	"ust/internal/gen"
 	"ust/internal/markov"
@@ -546,4 +549,132 @@ func BenchmarkFilterRefineThreshold(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeHTTPQuery measures the HTTP round-trip overhead of the
+// serving stack: client → wire encode → ustserve handler → service
+// (admission + single-flight) → engine → wire decode, against the
+// in-process Evaluate baseline on the same engine. The delta is the
+// cost of going over the wire.
+func BenchmarkServeHTTPQuery(b *testing.B) {
+	db := benchDB(b, 1000, 10000)
+	q := benchQuery(10000)
+	ctx := context.Background()
+	req := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q), ust.WithTopK(20))
+
+	b.Run("inprocess", func(b *testing.B) {
+		e := ust.NewEngine(db, ust.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Evaluate(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		svc := ust.NewService(ust.ServiceConfig{})
+		defer svc.Close()
+		if err := svc.Create("bench", db, nil); err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(ust.NewServiceHandler(svc))
+		defer ts.Close()
+		c := client.New(ts.URL, ts.Client())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Query(ctx, "bench", req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("http-stream", func(b *testing.B) {
+		svc := ust.NewService(ust.ServiceConfig{})
+		defer svc.Close()
+		if err := svc.Create("bench", db, nil); err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(ust.NewServiceHandler(svc))
+		defer ts.Close()
+		c := client.New(ts.URL, ts.Client())
+		streamReq := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := c.QueryStream(ctx, "bench", streamReq, func(r ust.Result) error {
+				n++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != db.Len() {
+				b.Fatalf("streamed %d of %d", n, db.Len())
+			}
+		}
+	})
+}
+
+// BenchmarkSingleFlightDedup measures what coalescing buys: C identical
+// concurrent requests against a cold-ish engine, with the single-flight
+// layer folding them into one evaluation versus each running its own.
+// The dedup ratio is visible in the reported evaluations/op metric.
+func BenchmarkSingleFlightDedup(b *testing.B) {
+	// The shared request is deliberately expensive (uncached, unfiltered
+	// object-based scan): evaluations must outlive the scheduler's
+	// preemption quantum so concurrent callers genuinely overlap — that
+	// is what single-flight deduplicates.
+	db := benchDB(b, 500, 5000)
+	q := benchQuery(5000)
+	ctx := context.Background()
+	req := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q),
+		ust.WithStrategy(ust.StrategyObjectBased),
+		ust.WithCache(false), ust.WithFilterRefine(false))
+	const clients = 16
+
+	b.Run("coalesced", func(b *testing.B) {
+		svc := ust.NewService(ust.ServiceConfig{})
+		defer svc.Close()
+		if err := svc.Create("bench", db, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for cidx := 0; cidx < clients; cidx++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := svc.Evaluate(ctx, "bench", req); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		st := svc.Stats()
+		if b.N > 0 {
+			b.ReportMetric(float64(st.Evaluations)/float64(b.N), "evaluations/op")
+			b.ReportMetric(float64(st.Coalesced)/float64(b.N), "coalesced/op")
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		e := ust.NewEngine(db, ust.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for cidx := 0; cidx < clients; cidx++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := e.Evaluate(ctx, req); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clients), "evaluations/op")
+	})
 }

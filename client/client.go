@@ -1,0 +1,370 @@
+// Package client is the Go client for a ustserve server: the remote
+// twin of ust.Engine.Evaluate. Requests travel as canonical wire JSON
+// and results decode back to the exact float64 bits the server
+// computed, so a remote Query returns byte-identical results to
+// in-process evaluation of the same request.
+//
+//	c := client.New("http://localhost:8080", nil)
+//	resp, err := c.Query(ctx, "fleet", ust.NewRequest(ust.PredicateExists,
+//		ust.WithStates([]int{100, 101}), ust.WithTimeRange(20, 25)))
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"ust"
+	"ust/internal/wire"
+)
+
+// Client talks to one ustserve base URL. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080"). hc may be nil for http.DefaultClient.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// apiError converts a non-2xx response into an error carrying the
+// server's message.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var eb wire.ErrorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("client: server returned %s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("client: server returned %s", resp.Status)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	resp, err := c.do(ctx, method, path, "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the raw Prometheus exposition from /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", "", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+func toInfo(in wire.DatasetInfo) ust.DatasetInfo {
+	return ust.DatasetInfo{Name: in.Name, Objects: in.Objects, States: in.States, Version: in.Version}
+}
+
+// Datasets lists the server's datasets.
+func (c *Client) Datasets(ctx context.Context) ([]ust.DatasetInfo, error) {
+	var infos []wire.DatasetInfo
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets", nil, &infos); err != nil {
+		return nil, err
+	}
+	out := make([]ust.DatasetInfo, len(infos))
+	for i, in := range infos {
+		out[i] = toInfo(in)
+	}
+	return out, nil
+}
+
+// Dataset describes one named dataset.
+func (c *Client) Dataset(ctx context.Context, name string) (ust.DatasetInfo, error) {
+	var in wire.DatasetInfo
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets/"+name, nil, &in); err != nil {
+		return ust.DatasetInfo{}, err
+	}
+	return toInfo(in), nil
+}
+
+// CreateDataset uploads a database in the binary store format (what
+// ust.SaveDatabase / ustgen write) under the given name.
+func (c *Client) CreateDataset(ctx context.Context, name string, data io.Reader) (ust.DatasetInfo, error) {
+	resp, err := c.do(ctx, http.MethodPut, "/v1/datasets/"+name, "application/octet-stream", data)
+	if err != nil {
+		return ust.DatasetInfo{}, err
+	}
+	defer resp.Body.Close()
+	var in wire.DatasetInfo
+	if derr := json.NewDecoder(resp.Body).Decode(&in); derr != nil {
+		return ust.DatasetInfo{}, fmt.Errorf("client: decoding response: %w", derr)
+	}
+	return toInfo(in), nil
+}
+
+// DropDataset removes the named dataset.
+func (c *Client) DropDataset(ctx context.Context, name string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/datasets/"+name, nil, nil)
+}
+
+// Observe ingests one observation for an existing object.
+func (c *Client) Observe(ctx context.Context, dataset string, objectID int, obs ust.Observation) error {
+	wo, err := toWireObservation(obs)
+	if err != nil {
+		return err
+	}
+	payload := struct {
+		Object int `json:"object"`
+		wire.Observation
+	}{Object: objectID, Observation: wo}
+	return c.doJSON(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/observe", payload, nil)
+}
+
+// Track registers a brand-new object (default motion model; objects
+// with a private chain cannot travel over the wire).
+func (c *Client) Track(ctx context.Context, dataset string, o *ust.Object) error {
+	if o.Chain != nil {
+		return fmt.Errorf("client: objects with a private chain cannot be tracked remotely")
+	}
+	payload := wire.Object{ID: o.ID}
+	for _, obs := range o.Observations {
+		wo, err := toWireObservation(obs)
+		if err != nil {
+			return err
+		}
+		payload.Observations = append(payload.Observations, wo)
+	}
+	return c.doJSON(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/objects", payload, nil)
+}
+
+func toWireObservation(obs ust.Observation) (wire.Observation, error) {
+	if obs.PDF == nil {
+		return wire.Observation{}, fmt.Errorf("client: observation has no pdf")
+	}
+	sup := obs.PDF.Support()
+	probs := make([]float64, len(sup))
+	for i, s := range sup {
+		probs[i] = obs.PDF.P(s)
+	}
+	return wire.Observation{Time: obs.Time, States: sup, Probs: probs}, nil
+}
+
+func queryEnvelope(dataset string, req ust.Request) (*bytes.Reader, error) {
+	wr, err := wire.FromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(wire.QueryEnvelope{Dataset: dataset, Request: wr})
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// Query evaluates one batch request remotely. The returned Response
+// carries the same results, strategy, planner estimates and
+// cache/filter reports as an in-process Evaluate on the server's
+// engine.
+func (c *Client) Query(ctx context.Context, dataset string, req ust.Request) (*ust.Response, error) {
+	body, err := queryEnvelope(dataset, req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/query", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResponse(data)
+}
+
+// QueryStream evaluates one request remotely with NDJSON streaming,
+// calling yield for each result as the server produces it. A yield
+// error stops the stream and is returned. The stream must end with the
+// server's done marker — a connection cut mid-stream is an error, never
+// a silent truncation.
+func (c *Client) QueryStream(ctx context.Context, dataset string, req ust.Request, yield func(ust.Result) error) error {
+	body, err := queryEnvelope(dataset, req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/query/stream", "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, rerr := readLine(br)
+		if len(line) > 0 {
+			var sl wire.StreamLine
+			if err := json.Unmarshal(line, &sl); err != nil {
+				return fmt.Errorf("client: bad stream line: %w", err)
+			}
+			switch {
+			case sl.Error != "":
+				return fmt.Errorf("client: server error mid-stream: %s", sl.Error)
+			case sl.Done:
+				return nil
+			case sl.Result != nil:
+				if err := yield(sl.Result.ToResult()); err != nil {
+					return err
+				}
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				return fmt.Errorf("client: stream: %w", rerr)
+			}
+			return fmt.Errorf("client: stream ended without a done marker")
+		}
+	}
+}
+
+// readLine reads one NDJSON line of arbitrary length (a subscription
+// snapshot is a single line carrying the full result set, so no fixed
+// per-line cap is safe), trimmed of surrounding whitespace.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	return bytes.TrimSpace(line), err
+}
+
+// Subscription is a client-side standing query: updates pushed by the
+// server arrive on Updates(). Close (or cancelling the Subscribe
+// context) ends it.
+type Subscription struct {
+	updates chan ust.Update
+	cancel  context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+// Updates delivers the server's pushes, starting with the full
+// snapshot. Closed when the subscription ends; check Err afterwards.
+func (s *Subscription) Updates() <-chan ust.Update { return s.updates }
+
+// Err reports why the subscription ended (nil on clean close/cancel).
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close terminates the subscription.
+func (s *Subscription) Close() { s.cancel() }
+
+// Subscribe registers a standing query on the server; incremental
+// updates stream back over NDJSON as the dataset ingests observations.
+func (c *Client) Subscribe(ctx context.Context, dataset string, req ust.Request) (*Subscription, error) {
+	body, err := queryEnvelope(dataset, req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/subscribe", "application/json", body)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	sub := &Subscription{updates: make(chan ust.Update), cancel: cancel}
+	go func() {
+		defer close(sub.updates)
+		defer resp.Body.Close()
+		defer cancel()
+		br := bufio.NewReader(resp.Body)
+		for {
+			line, rerr := readLine(br)
+			if len(line) > 0 {
+				var wu wire.Update
+				if err := json.Unmarshal(line, &wu); err != nil {
+					sub.fail(fmt.Errorf("client: bad update line: %w", err))
+					return
+				}
+				if wu.Error != "" {
+					sub.fail(fmt.Errorf("client: subscription error: %s", wu.Error))
+					return
+				}
+				up := ust.Update{
+					Seq:     wu.Seq,
+					Version: wu.Version,
+					Full:    wu.Full,
+					Results: wire.ToResults(wu.Results),
+					Removed: wu.Removed,
+				}
+				select {
+				case sub.updates <- up:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if rerr != nil {
+				if rerr != io.EOF && ctx.Err() == nil {
+					sub.fail(fmt.Errorf("client: subscription stream: %w", rerr))
+				}
+				return
+			}
+		}
+	}()
+	return sub, nil
+}
+
+func (s *Subscription) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}

@@ -7,6 +7,12 @@
 //	ustgen -out data.ustd [-kind synthetic|munich|na]
 //	       [-objects N] [-states N] [-object-spread N] [-state-spread N]
 //	       [-max-step N] [-network-scale N] [-seed N] [-json]
+//
+// -o is shorthand for -out; the emitted binary store format is exactly
+// what `ustserve -dataset name=file.ust` loads and what
+// `PUT /v1/datasets/{name}` accepts, so generated workloads feed the
+// server directly. A .json extension (or -json) selects the JSON
+// interchange form instead.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"ust/internal/core"
 	"ust/internal/gen"
@@ -24,6 +31,7 @@ import (
 
 func main() {
 	out := flag.String("out", "", "output file (required)")
+	flag.StringVar(out, "o", "", "shorthand for -out")
 	kind := flag.String("kind", "synthetic", "synthetic | munich | na")
 	objects := flag.Int("objects", 10000, "|D|: number of objects")
 	states := flag.Int("states", 100000, "|S|: number of states (synthetic only)")
@@ -67,7 +75,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	if *asJSON {
+	if *asJSON || strings.HasSuffix(*out, ".json") {
 		err = store.ExportJSON(f, db)
 	} else {
 		err = store.SaveDatabase(f, db)

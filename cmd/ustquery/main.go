@@ -1,6 +1,8 @@
 // Command ustquery evaluates a probabilistic spatio-temporal query
-// against a stored dataset (see ustgen), through the unified
-// Request/Evaluate API.
+// against a stored dataset (see ustgen) — either in-process through the
+// unified Request/Evaluate API, or against a running ustserve with
+// -remote (results are byte-identical either way; the request travels
+// as canonical wire JSON).
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	         [-strategy auto|qb|ob|mc] [-workers N]
 //	         [-threshold P] [-top N] [-stream] [-json]
 //	         [-no-cache] [-no-filter]
+//	ustquery -remote http://localhost:8080 -dataset fleet
+//	         -states 100-120 -times 20-25 [same query flags]
 //
 // Threshold and top-k queries run through the engine's filter–refine
 // path, and repeated evaluations share backward sweeps via the score
@@ -37,12 +41,15 @@ import (
 	"strings"
 	"syscall"
 
+	"ust/client"
 	"ust/internal/core"
 	"ust/internal/store"
 )
 
 func main() {
-	dbPath := flag.String("db", "", "dataset file written by ustgen (required)")
+	dbPath := flag.String("db", "", "dataset file written by ustgen (required unless -remote)")
+	remote := flag.String("remote", "", "ustserve base URL; query a server instead of a local file")
+	dataset := flag.String("dataset", "default", "dataset name on the server (with -remote)")
 	statesArg := flag.String("states", "", "query region, e.g. 100-120 (required)")
 	timesArg := flag.String("times", "", "query times, e.g. 20-25 (required unless -predicate eventually)")
 	predicate := flag.String("predicate", "exists", "exists | forall | ktimes | eventually")
@@ -57,7 +64,7 @@ func main() {
 	noFilter := flag.Bool("no-filter", false, "disable filter–refine pruning for threshold/top-k")
 	flag.Parse()
 
-	if *dbPath == "" || *statesArg == "" || (*timesArg == "" && *predicate != "eventually") {
+	if (*dbPath == "") == (*remote == "") || *statesArg == "" || (*timesArg == "" && *predicate != "eventually") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,14 +80,18 @@ func main() {
 		}
 	}
 
-	f, err := os.Open(*dbPath)
-	if err != nil {
-		fatal(err)
-	}
-	db, err := store.LoadDatabase(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
+	var engine *core.Engine
+	if *remote == "" {
+		f, ferr := os.Open(*dbPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		db, lerr := store.LoadDatabase(f)
+		f.Close()
+		if lerr != nil {
+			fatal(lerr)
+		}
+		engine = core.NewEngine(db, core.Options{})
 	}
 
 	// Ctrl-C / SIGTERM cancels the evaluation within one work item.
@@ -131,15 +142,23 @@ func main() {
 		opts = append(opts, core.WithTopK(*top))
 	}
 
-	engine := core.NewEngine(db, core.Options{})
 	req := core.NewRequest(pred, opts...)
 
 	if *stream {
-		streamResults(ctx, engine, req, pred, *top, *asJSON)
+		if *remote != "" {
+			streamResults(remoteSeq(ctx, *remote, *dataset, req), pred, *top, *asJSON)
+		} else {
+			streamResults(engine.EvaluateSeq(ctx, req), pred, *top, *asJSON)
+		}
 		return
 	}
 
-	resp, err := engine.Evaluate(ctx, req)
+	var resp *core.Response
+	if *remote != "" {
+		resp, err = client.New(*remote, nil).Query(ctx, *dataset, req)
+	} else {
+		resp, err = engine.Evaluate(ctx, req)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -186,17 +205,38 @@ func main() {
 	}
 }
 
-// streamResults drains EvaluateSeq, printing each result as it is
-// produced: NDJSON with -json, the plain table otherwise. top > 0 caps
-// the output at the first N results in evaluation order (streaming
-// cannot rank).
-func streamResults(ctx context.Context, engine *core.Engine, req core.Request, pred core.Predicate, top int, asJSON bool) {
+// errStopStream signals an early consumer stop through the remote
+// stream callback.
+var errStopStream = fmt.Errorf("stop")
+
+// remoteSeq adapts the client's callback streaming to the same result
+// sequence the local EvaluateSeq yields.
+func remoteSeq(ctx context.Context, remote, dataset string, req core.Request) func(yield func(core.Result, error) bool) {
+	return func(yield func(core.Result, error) bool) {
+		cl := client.New(remote, nil)
+		err := cl.QueryStream(ctx, dataset, req, func(r core.Result) error {
+			if !yield(r, nil) {
+				return errStopStream
+			}
+			return nil
+		})
+		if err != nil && err != errStopStream {
+			yield(core.Result{}, err)
+		}
+	}
+}
+
+// streamResults drains a result sequence (local EvaluateSeq or a remote
+// NDJSON stream), printing each result as it is produced: NDJSON with
+// -json, the plain table otherwise. top > 0 caps the output at the
+// first N results in evaluation order (streaming cannot rank).
+func streamResults(results func(yield func(core.Result, error) bool), pred core.Predicate, top int, asJSON bool) {
 	enc := json.NewEncoder(os.Stdout)
 	if !asJSON && pred != core.PredicateKTimes {
 		fmt.Printf("%-10s  %s\n", "object", "probability")
 	}
 	n := 0
-	for r, err := range engine.EvaluateSeq(ctx, req) {
+	for r, err := range results {
 		if err != nil {
 			fatal(err)
 		}

@@ -1,7 +1,14 @@
 package main
 
 import (
+	"context"
+	"net/http/httptest"
+	"reflect"
 	"testing"
+
+	"ust/internal/core"
+	"ust/internal/markov"
+	"ust/internal/service"
 )
 
 func TestParseIntSet(t *testing.T) {
@@ -41,5 +48,56 @@ func TestParseIntSet(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+// TestRemoteSeqMatchesLocal pins the -remote streaming path: the
+// sequence adapted from a server's NDJSON stream must equal the local
+// EvaluateSeq over the same data.
+func TestRemoteSeqMatchesLocal(t *testing.T) {
+	chain, err := markov.FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkdb := func() *core.Database {
+		db := core.NewDatabase(chain)
+		for id := 0; id < 7; id++ {
+			if err := db.AddSimple(id, markov.PointDistribution(3, id%3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	if err := svc.Create("default", mkdb(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	req := core.NewRequest(core.PredicateExists,
+		core.WithStates([]int{0, 1}), core.WithTimes([]int{2, 3}))
+	engine := core.NewEngine(mkdb(), core.Options{})
+	var local []core.Result
+	for r, serr := range engine.EvaluateSeq(context.Background(), req) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		local = append(local, r)
+	}
+	var remote []core.Result
+	for r, serr := range remoteSeq(context.Background(), ts.URL, "default", req) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		remote = append(remote, r)
+	}
+	if !reflect.DeepEqual(local, remote) {
+		t.Fatalf("remote stream diverged:\n  remote %+v\n  local  %+v", remote, local)
 	}
 }

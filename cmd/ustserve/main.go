@@ -1,0 +1,123 @@
+// Command ustserve serves uncertain-spatio-temporal query evaluation
+// over HTTP: the network face of the library's Service layer. It loads
+// named datasets from the binary store format (see ustgen), then
+// answers batch queries (JSON), streaming scans (NDJSON) and standing
+// subscriptions (NDJSON push), with per-request deadlines, admission
+// control, and single-flight coalescing of identical concurrent
+// requests — observable at /metrics.
+//
+// Usage:
+//
+//	ustserve -addr :8080 -dataset fleet=fleet.ust -dataset bergs=bergs.ust
+//	         [-max-concurrent N] [-timeout 30s] [-cache-bytes N]
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness
+//	GET  /metrics                    Prometheus text format
+//	GET  /v1/datasets                list datasets
+//	PUT  /v1/datasets/{name}         upload a dataset (binary store bytes)
+//	POST /v1/datasets/{name}/observe ingest an observation
+//	POST /v1/datasets/{name}/objects track a new object
+//	POST /v1/query                   batch query
+//	POST /v1/query/stream            streaming query (NDJSON)
+//	POST /v1/subscribe               standing query (NDJSON push)
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: listeners close, active
+// subscriptions terminate, in-flight requests get a drain window.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ust/internal/core"
+	"ust/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", service.DefaultMaxConcurrent, "admission limit on concurrently running evaluations")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+	cacheBytes := flag.Int("cache-bytes", 0, "score-cache budget per dataset (0 = default, negative = disabled)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	var datasets []string
+	flag.Func("dataset", "name=path dataset to load at startup (repeatable)", func(v string) error {
+		datasets = append(datasets, v)
+		return nil
+	})
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Options:        core.Options{CacheBytes: *cacheBytes},
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *timeout,
+	})
+	for _, spec := range datasets {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fatal(fmt.Errorf("bad -dataset %q (want name=path)", spec))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = svc.Load(name, f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("loading dataset %q: %w", name, err))
+		}
+		info, err := svc.Info(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ustserve: dataset %q: %d objects over %d states\n",
+			info.Name, info.Objects, info.States)
+	}
+
+	// No WriteTimeout: streaming and subscription responses are
+	// long-lived by design; the handlers bound each individual write
+	// instead, so a stalled reader is cut without capping stream length.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ustserve: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "ustserve: shutting down")
+	svc.Close() // terminate subscriptions so streaming handlers drain
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "ustserve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ustserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+package ust_test
+
+// Facade coverage for the surfaces PR 3 exported: the persistence
+// codec (SaveDatabase/LoadDatabase), the standing-query Monitor, the
+// Service layer and the wire request codec.
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"ust"
+)
+
+func facadeDB(t testing.TB) *ust.Database {
+	t.Helper()
+	chain, err := ust.ChainFromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ust.NewDatabase(chain)
+	for id := 1; id <= 5; id++ {
+		if err := db.AddSimple(id, ust.PointDistribution(3, id%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestFacadePersistRoundTrip(t *testing.T) {
+	db := facadeDB(t)
+	var bin, js bytes.Buffer
+	if err := ust.SaveDatabase(&bin, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := ust.ExportDatabaseJSON(&js, db); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ust.LoadDatabase(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ust.ImportDatabaseJSON(bytes.NewReader(js.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := ust.NewQuery([]int{0, 1}, []int{2, 3})
+	want, err := ust.NewEngine(db, ust.Options{}).Exists(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, loaded := range map[string]*ust.Database{"binary": fromBin, "json": fromJSON} {
+		got, gerr := ust.NewEngine(loaded, ust.Options{}).Exists(q)
+		if gerr != nil {
+			t.Fatalf("%s: %v", name, gerr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round-trip changed results: %+v vs %+v", name, got, want)
+		}
+	}
+
+	var chainBuf bytes.Buffer
+	if err := ust.SaveChain(&chainBuf, db.DefaultChain()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ust.LoadChain(bytes.NewReader(chainBuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMonitor(t *testing.T) {
+	db := facadeDB(t)
+	engine := ust.NewEngine(db, ust.Options{})
+	q := ust.NewQuery([]int{0, 1}, []int{2, 3})
+	var mon *ust.Monitor = engine.NewMonitor(q)
+	first, err := mon.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Exists(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("monitor %+v != exists %+v", first, want)
+	}
+	if err := mon.Observe(1, ust.Observation{Time: 1, PDF: ust.PointDistribution(3, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := mon.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := engine.Exists(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refreshed, fresh) {
+		t.Fatalf("incremental monitor %+v != fresh %+v", refreshed, fresh)
+	}
+}
+
+func TestFacadeServiceAndWire(t *testing.T) {
+	svc := ust.NewService(ust.ServiceConfig{})
+	defer svc.Close()
+	if err := svc.Create("d", facadeDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	req := ust.NewRequest(ust.PredicateExists,
+		ust.WithStates([]int{0, 1}), ust.WithTimes([]int{2, 3}), ust.WithTopK(3))
+
+	// The wire codec round-trips the request exactly.
+	data, err := ust.MarshalRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ust.UnmarshalRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, req) {
+		t.Fatalf("wire round-trip changed request: %#v vs %#v", back, req)
+	}
+
+	resp, err := svc.Evaluate(context.Background(), "d", back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ust.NewEngine(facadeDB(t), ust.Options{}).Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Results, direct.Results) {
+		t.Fatalf("service %+v != direct %+v", resp.Results, direct.Results)
+	}
+
+	// Subscriptions work through the facade types.
+	sub, err := svc.Subscribe(context.Background(), "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	up := <-sub.Updates()
+	if !up.Full || !reflect.DeepEqual(up.Results, direct.Results) {
+		t.Fatalf("subscription snapshot %+v != direct %+v", up.Results, direct.Results)
+	}
+}

@@ -223,6 +223,71 @@ func WithFilterRefine(enabled bool) RequestOption {
 	return func(r *Request) { r.useFilter = &enabled }
 }
 
+// --- hint accessors -------------------------------------------------------
+//
+// The execution hints are unexported (only the With… options set them),
+// but serialization layers — the wire codec behind the network API —
+// need to read a Request back out field by field. These accessors expose
+// exactly the information the options can set, so encode(decode(x)) can
+// reproduce a Request precisely.
+
+// StrategyHint returns the forced strategy, if WithStrategy set one.
+func (r Request) StrategyHint() (Strategy, bool) {
+	if r.strategy == nil {
+		return 0, false
+	}
+	return *r.strategy, true
+}
+
+// AutoPlanHint reports whether WithAutoPlan was requested.
+func (r Request) AutoPlanHint() bool { return r.autoPlan }
+
+// ThresholdHint returns the threshold, if WithThreshold set one.
+func (r Request) ThresholdHint() (float64, bool) {
+	if r.threshold == nil {
+		return 0, false
+	}
+	return *r.threshold, true
+}
+
+// TopKHint returns k (0 when WithTopK was not used).
+func (r Request) TopKHint() int { return r.topK }
+
+// ParallelismHint returns the requested worker count: 0 when unset, -1
+// for "GOMAXPROCS", a positive count otherwise.
+func (r Request) ParallelismHint() int { return r.parallelism }
+
+// MonteCarloHint returns the per-request sample budget and seed, if
+// WithMonteCarloBudget set them.
+func (r Request) MonteCarloHint() (samples int, seed int64, ok bool) {
+	if r.mcSeed == nil {
+		return 0, 0, false
+	}
+	return r.mcSamples, *r.mcSeed, true
+}
+
+// HittingHint returns the fixed-point limits set by WithHittingLimits
+// (zero values when unset; the evaluator resolves ≤ 0 to defaults
+// either way).
+func (r Request) HittingHint() (maxSteps int, tol float64) { return r.maxSteps, r.tol }
+
+// CacheHint returns the per-request cache toggle, if WithCache set one.
+func (r Request) CacheHint() (enabled, ok bool) {
+	if r.useCache == nil {
+		return false, false
+	}
+	return *r.useCache, true
+}
+
+// FilterRefineHint returns the per-request filter–refine toggle, if
+// WithFilterRefine set one.
+func (r Request) FilterRefineHint() (enabled, ok bool) {
+	if r.useFilter == nil {
+		return false, false
+	}
+	return *r.useFilter, true
+}
+
 // Window resolves the request's spatio-temporal window into a legacy
 // Query value: the union of the raw state ids and the region resolved
 // against the state space. It is the inverse of WithWindow.

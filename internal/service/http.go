@@ -1,0 +1,428 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"strings"
+	"time"
+
+	"ust/internal/core"
+	"ust/internal/markov"
+	"ust/internal/store"
+	"ust/internal/wire"
+)
+
+// The HTTP/NDJSON front end over a Service. Routes (all bodies JSON
+// unless noted):
+//
+//	GET    /healthz                     liveness
+//	GET    /metrics                     Prometheus text format
+//	GET    /v1/datasets                 list datasets
+//	GET    /v1/datasets/{name}          one dataset's info
+//	PUT    /v1/datasets/{name}          create from binary store bytes
+//	DELETE /v1/datasets/{name}          drop
+//	POST   /v1/datasets/{name}/observe  ingest one observation
+//	POST   /v1/datasets/{name}/objects  track a new object
+//	POST   /v1/query                    batch query → wire.Response
+//	POST   /v1/query/stream             query → NDJSON wire.StreamLine
+//	POST   /v1/subscribe                standing query → NDJSON wire.Update
+//
+// Streaming responses flush per line; closing the connection cancels
+// the evaluation (the request context propagates into the engine).
+
+// maxRequestBody bounds JSON request bodies (dataset uploads are
+// allowed maxUploadBody). streamWriteTimeout bounds each single NDJSON
+// write: a client that stops reading gets its connection killed instead
+// of pinning server resources — for /v1/query/stream that matters
+// doubly, because the generator holds the dataset's read lock while
+// streaming and a stalled reader would otherwise block ingest (and,
+// through RWMutex writer priority, every other query on the dataset)
+// indefinitely.
+const (
+	maxRequestBody     = 16 << 20
+	maxUploadBody      = 1 << 30
+	streamWriteTimeout = 30 * time.Second
+)
+
+// lineWriter wraps per-line NDJSON writing with a fresh write deadline
+// per line and an optional flush.
+type lineWriter struct {
+	w   http.ResponseWriter
+	rc  *http.ResponseController
+	enc *json.Encoder
+	fl  http.Flusher
+}
+
+func newLineWriter(w http.ResponseWriter) *lineWriter {
+	lw := &lineWriter{w: w, rc: http.NewResponseController(w), enc: json.NewEncoder(w)}
+	lw.fl, _ = w.(http.Flusher)
+	return lw
+}
+
+// clearDeadline removes the per-line write deadline so a keep-alive
+// connection is not poisoned for its next request.
+func (lw *lineWriter) clearDeadline() {
+	lw.rc.SetWriteDeadline(time.Time{}) //nolint:errcheck
+}
+
+// writeLine encodes one NDJSON line and flushes it, bounded by
+// streamWriteTimeout. Returns false when the client went away (or
+// stalled past the deadline).
+func (lw *lineWriter) writeLine(v any) bool {
+	lw.rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout)) //nolint:errcheck // unsupported writers just stay unbounded
+	if err := lw.enc.Encode(v); err != nil {
+		return false
+	}
+	if lw.fl != nil {
+		lw.fl.Flush()
+	}
+	return true
+}
+
+// NewHandler builds the HTTP front end over svc.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		svc.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		infos := svc.Datasets()
+		out := make([]wire.DatasetInfo, len(infos))
+		for i, in := range infos {
+			out[i] = wireInfo(in)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := svc.Info(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, wireInfo(info))
+	})
+	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := svc.Load(name, io.LimitReader(r.Body, maxUploadBody)); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := svc.Info(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, wireInfo(info))
+	})
+	mux.HandleFunc("DELETE /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Drop(r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/observe", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleObserve(w, r)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/objects", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleTrack(w, r)
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleQuery(w, r)
+	})
+	mux.HandleFunc("POST /v1/query/stream", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleQueryStream(w, r)
+	})
+	mux.HandleFunc("POST /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleSubscribe(w, r)
+	})
+	return mux
+}
+
+func wireInfo(in Info) wire.DatasetInfo {
+	return wire.DatasetInfo{Name: in.Name, Objects: in.Objects, States: in.States, Version: in.Version}
+}
+
+// decodeEnvelope reads and strictly decodes a query envelope body.
+func decodeEnvelope(r *http.Request) (string, core.Request, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		return "", core.Request{}, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err)
+	}
+	var env wire.QueryEnvelope
+	if err := wire.StrictUnmarshal(body, &env); err != nil {
+		return "", core.Request{}, err
+	}
+	req, err := env.Request.ToRequest()
+	if err != nil {
+		return "", core.Request{}, err
+	}
+	return env.Dataset, req, nil
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name, req, err := decodeEnvelope(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Evaluate(r.Context(), name, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := wire.FromResponse(resp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	name, req, err := decodeEnvelope(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Pull the first element before committing the 200/NDJSON header:
+	// request-level failures (unknown dataset, missing resolver,
+	// admission timeout) surface as the stream's first yield and must
+	// map to proper HTTP statuses, not a 200 with an error line.
+	next, stop := iter.Pull2(s.Stream(r.Context(), name, req))
+	defer stop()
+	first, firstErr, ok := next()
+	if ok && firstErr != nil {
+		writeError(w, firstErr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	lw := newLineWriter(w)
+	defer lw.clearDeadline()
+	count := 0
+	emit := func(res core.Result) bool {
+		wr := wire.FromResult(res)
+		if !lw.writeLine(wire.StreamLine{Result: &wr}) {
+			return false // client went away or stalled
+		}
+		count++
+		return true
+	}
+	if ok {
+		if !emit(first) {
+			return
+		}
+		for {
+			res, serr, more := next()
+			if !more {
+				break
+			}
+			if serr != nil {
+				lw.writeLine(wire.StreamLine{Error: serr.Error()})
+				return
+			}
+			if !emit(res) {
+				return
+			}
+		}
+	}
+	lw.writeLine(wire.StreamLine{Done: true, Count: count})
+}
+
+func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	name, req, err := decodeEnvelope(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sub, err := s.Subscribe(r.Context(), name, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	lw := newLineWriter(w)
+	defer lw.clearDeadline()
+	for up := range sub.Updates() {
+		line := wire.Update{
+			Seq:     up.Seq,
+			Version: up.Version,
+			Full:    up.Full,
+			Results: wire.FromResults(up.Results),
+			Removed: up.Removed,
+		}
+		if line.Results == nil {
+			line.Results = []wire.Result{}
+		}
+		if !lw.writeLine(line) {
+			return // client went away or stalled
+		}
+	}
+	if err := sub.Err(); err != nil {
+		lw.writeLine(wire.Update{Error: err.Error()})
+	}
+}
+
+func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err))
+		return
+	}
+	var payload struct {
+		Object int `json:"object"`
+		wire.Observation
+	}
+	if err := wire.StrictUnmarshal(body, &payload); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.Info(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	obs, err := toObservation(info.States, payload.Observation)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.Observe(name, payload.Object, obs); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "observed"})
+}
+
+func (s *Service) handleTrack(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err))
+		return
+	}
+	var payload wire.Object
+	if err := wire.StrictUnmarshal(body, &payload); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.Info(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	obs := make([]core.Observation, 0, len(payload.Observations))
+	for _, wo := range payload.Observations {
+		o, oerr := toObservation(info.States, wo)
+		if oerr != nil {
+			writeError(w, oerr)
+			return
+		}
+		obs = append(obs, o)
+	}
+	obj, err := core.NewObject(payload.ID, nil, obs...)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", wire.ErrDecode, err))
+		return
+	}
+	if err := s.Track(name, obj); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "tracked"})
+}
+
+// toObservation grounds a wire observation against a state-space size
+// (the wire form is a sparse pdf without an explicit dimension).
+func toObservation(numStates int, wo wire.Observation) (core.Observation, error) {
+	pdf, err := markov.WeightedOver(numStates, wo.States, wo.Probs)
+	if err != nil {
+		return core.Observation{}, fmt.Errorf("%w: %v", wire.ErrDecode, err)
+	}
+	return core.Observation{Time: wo.Time, PDF: pdf}, nil
+}
+
+// writeError maps service/wire errors onto HTTP statuses with a JSON
+// error body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDatasetExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, wire.ErrDecode), errors.Is(err, ErrNoResolver),
+		errors.Is(err, ErrBadIngest), errors.Is(err, store.ErrCorrupt):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, wire.ErrorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeMetrics emits the Prometheus text exposition of the service
+// counters — including the single-flight coalescing counter that makes
+// request deduplication observable from the outside.
+func (s *Service) writeMetrics(w http.ResponseWriter) {
+	st := s.Stats()
+	cs := s.CacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	mf := func(name, help, typ string, v any, labels string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s%s %v\n", name, help, name, typ, name, labels, v)
+	}
+	mf("ust_requests_total", "Evaluation requests accepted.", "counter", st.Requests, "")
+	mf("ust_singleflight_coalesced_total", "Requests answered by joining an identical in-flight evaluation.", "counter", st.Coalesced, "")
+	mf("ust_evaluations_total", "Evaluations actually executed.", "counter", st.Evaluations, "")
+	mf("ust_rejected_total", "Requests rejected by admission control.", "counter", st.Rejected, "")
+	mf("ust_ingest_total", "Observation/object mutations.", "counter", st.Ingests, "")
+	mf("ust_subscription_updates_total", "Subscription updates delivered.", "counter", st.Updates, "")
+	mf("ust_subscriptions", "Active subscriptions.", "gauge", st.Subscriptions, "")
+	mf("ust_in_flight", "Evaluations currently holding an admission slot.", "gauge", st.InFlight, "")
+	mf("ust_score_cache_hits_total", "Engine score-cache hits across datasets.", "counter", cs.Hits, "")
+	mf("ust_score_cache_misses_total", "Engine score-cache misses across datasets.", "counter", cs.Misses, "")
+	mf("ust_score_cache_bytes", "Engine score-cache residency across datasets.", "gauge", cs.Bytes, "")
+	for _, info := range s.Datasets() {
+		label := promLabel(info.Name)
+		fmt.Fprintf(w, "ust_dataset_objects{dataset=\"%s\"} %d\n", label, info.Objects)
+		fmt.Fprintf(w, "ust_dataset_version{dataset=\"%s\"} %d\n", label, info.Version)
+	}
+}
+
+// promLabel escapes a label value per the Prometheus text exposition
+// format (only \\, \" and \n are defined; Go's %q would emit escapes
+// scrapers reject). Other control characters are dropped.
+func promLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch {
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r == '"':
+			b.WriteString(`\"`)
+		case r == '\n':
+			b.WriteString(`\n`)
+		case r < 0x20 || r == 0x7f:
+			// undefined in the exposition format; drop
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

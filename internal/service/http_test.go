@@ -1,0 +1,122 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStreamStatusOnBadRequest pins that request-level failures on the
+// streaming endpoint surface as proper HTTP statuses — the handler must
+// not commit a 200/NDJSON header before validation.
+func TestStreamStatusOnBadRequest(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	if err := svc.Create("d", paperDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	cases := map[string]struct {
+		body   string
+		status int
+	}{
+		"unknown dataset":         {`{"dataset":"nope","request":{"predicate":"exists","states":[0],"times":[1]}}`, http.StatusNotFound},
+		"region without resolver": {`{"dataset":"d","request":{"predicate":"exists","region":{"type":"rect","min":[0,0],"max":[1,1]},"times":[1]}}`, http.StatusBadRequest},
+	}
+	for name, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/query/stream", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+// TestMetricsShowCoalescing pins the acceptance criterion end to end:
+// N identical concurrent HTTP requests coalesce into one evaluation,
+// and the dedup is observable in the /metrics single-flight counter.
+func TestMetricsShowCoalescing(t *testing.T) {
+	const followers = 5
+	svc := New(Config{})
+	defer svc.Close()
+	if err := svc.Create("d", widerDB(t, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var enterOnce sync.Once
+	testHookEvalStart = func() {
+		enterOnce.Do(func() { close(entered) })
+		<-release
+	}
+	defer func() { testHookEvalStart = nil }()
+
+	body := `{"dataset":"d","request":{"predicate":"exists","states":[0,1],"times":[2,3]}}`
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("status %s: %s", resp.Status, data)
+		}
+		_, err = io.ReadAll(resp.Body)
+		return err
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := post(); err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	<-entered // leader holds the flight slot inside the evaluation
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := post(); err != nil {
+				t.Errorf("follower: %v", err)
+			}
+		}()
+	}
+	waitFor(t, "followers to coalesce", func() bool {
+		return svc.Stats().Coalesced == followers
+	})
+	close(release)
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("ust_singleflight_coalesced_total %d", followers),
+		"ust_evaluations_total 1\n",
+		fmt.Sprintf("ust_requests_total %d", followers+1),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

@@ -1,0 +1,586 @@
+// Package service is the multi-tenant serving layer over the query
+// engine: named datasets (each a Database/Engine pair), per-request
+// deadlines, an admission limiter bounding concurrent evaluations, and
+// single-flight coalescing of identical in-flight requests on top of
+// the engine's score cache. It is the in-process backbone of the HTTP
+// front end (cmd/ustserve) and of ust.Service in the facade, but is a
+// complete embeddable server on its own.
+//
+// Concurrency model: a Database is safe for concurrent reads but not
+// for mutation concurrent with anything, so each dataset carries an
+// RWMutex — evaluations and subscriptions hold it shared, ingest holds
+// it exclusively. The engine's score cache underneath is already
+// concurrency-safe, so parallel readers share sweeps.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ust/internal/core"
+	"ust/internal/spatial"
+	"ust/internal/store"
+	"ust/internal/wire"
+)
+
+// Sentinel errors. The HTTP layer maps them to status codes.
+var (
+	// ErrUnknownDataset: the named dataset does not exist.
+	ErrUnknownDataset = errors.New("service: unknown dataset")
+	// ErrDatasetExists: create/load would overwrite an existing dataset.
+	ErrDatasetExists = errors.New("service: dataset already exists")
+	// ErrOverloaded: the admission limiter could not grant a slot before
+	// the request's deadline.
+	ErrOverloaded = errors.New("service: overloaded")
+	// ErrClosed: the service has been shut down.
+	ErrClosed = errors.New("service: closed")
+	// ErrNoResolver: the request carries a geometric region but the
+	// dataset has no spatial resolver to ground it.
+	ErrNoResolver = errors.New("service: dataset has no spatial resolver")
+	// ErrBadIngest: an Observe/Track payload failed validation (unknown
+	// object, dimension mismatch, duplicate id/time, …) — a caller
+	// mistake, not a server fault.
+	ErrBadIngest = errors.New("service: bad ingest")
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Options tune the engine built for each dataset (cache budget,
+	// default strategy, Monte-Carlo defaults).
+	Options core.Options
+	// MaxConcurrent bounds concurrently running evaluations service-wide
+	// (admission control). ≤ 0 selects DefaultMaxConcurrent.
+	MaxConcurrent int
+	// DefaultTimeout is applied to requests whose context carries no
+	// deadline of its own. 0 means no implicit deadline.
+	DefaultTimeout time.Duration
+}
+
+// DefaultMaxConcurrent is the default admission-limiter width.
+const DefaultMaxConcurrent = 64
+
+// Info describes one named dataset.
+type Info struct {
+	// Name is the dataset's service-wide identifier.
+	Name string
+	// Objects is the current object count.
+	Objects int
+	// States is the default chain's state-space size.
+	States int
+	// Version is the database mutation generation (advances on ingest).
+	Version uint64
+}
+
+// Stats is a snapshot of the service-wide counters surfaced at /metrics.
+type Stats struct {
+	// Requests counts evaluation requests admitted into Evaluate (batch)
+	// and Stream entry points, including coalesced ones.
+	Requests uint64
+	// Coalesced counts requests answered by joining an identical
+	// in-flight evaluation instead of running their own (single-flight).
+	Coalesced uint64
+	// Evaluations counts evaluations actually executed.
+	Evaluations uint64
+	// Rejected counts requests that gave up waiting for admission.
+	Rejected uint64
+	// Ingests counts observation/object mutations.
+	Ingests uint64
+	// Subscriptions is the number of currently active subscriptions.
+	Subscriptions uint64
+	// Updates counts subscription updates delivered.
+	Updates uint64
+	// InFlight is the number of evaluations currently holding an
+	// admission slot.
+	InFlight uint64
+}
+
+// Service owns named datasets and serves queries, streams and
+// subscriptions over them. Safe for concurrent use.
+type Service struct {
+	cfg    Config
+	sem    chan struct{}
+	flight flightGroup
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+	closed   bool
+
+	requests    atomic.Uint64
+	coalesced   atomic.Uint64
+	evaluations atomic.Uint64
+	rejected    atomic.Uint64
+	ingests     atomic.Uint64
+	subs        atomic.Int64
+	updates     atomic.Uint64
+	inFlight    atomic.Int64
+}
+
+// dataset is one named Database/Engine pair plus its subscribers.
+type dataset struct {
+	name   string
+	mu     sync.RWMutex // shared: evaluate/stream/subscribe; exclusive: ingest
+	db     *core.Database
+	engine *core.Engine
+	// resolver grounds geometric regions for this dataset; nil when the
+	// dataset has no geometry (e.g. loaded from a bare store file).
+	resolver spatial.Resolver
+
+	subMu      sync.Mutex
+	subs       map[*Subscription]struct{}
+	subsClosed bool  // set by closeSubs; rejects late registrations
+	subsErr    error // why (dataset dropped / service closed)
+}
+
+// New builds an empty service.
+func New(cfg Config) *Service {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	s := &Service{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		datasets: map[string]*dataset{},
+	}
+	s.flight = flightGroup{calls: map[string]*flightCall{}, coalesced: &s.coalesced}
+	return s
+}
+
+// Close shuts the service down: every subscription is terminated and
+// subsequent calls fail with ErrClosed. In-flight evaluations finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	dss := make([]*dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		dss = append(dss, ds)
+	}
+	s.mu.Unlock()
+	for _, ds := range dss {
+		ds.closeSubs(ErrClosed)
+	}
+}
+
+// Create registers db under name. The database must not be mutated
+// behind the service's back afterwards; route ingest through Observe
+// and Track. resolver may be nil.
+func (s *Service) Create(name string, db *core.Database, resolver spatial.Resolver) error {
+	if name == "" {
+		return fmt.Errorf("service: empty dataset name")
+	}
+	if db == nil {
+		return fmt.Errorf("service: nil database")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.datasets[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	s.datasets[name] = &dataset{
+		name:     name,
+		db:       db,
+		engine:   core.NewEngine(db, s.cfg.Options),
+		resolver: resolver,
+		subs:     map[*Subscription]struct{}{},
+	}
+	return nil
+}
+
+// Load reads a database in the binary store format and registers it
+// under name.
+func (s *Service) Load(name string, r io.Reader) error {
+	db, err := store.LoadDatabase(r)
+	if err != nil {
+		return err
+	}
+	return s.Create(name, db, nil)
+}
+
+// Save writes the named dataset in the binary store format, under the
+// dataset's read lock so a consistent snapshot is captured even while
+// queries and ingest continue on other datasets.
+func (s *Service) Save(name string, w io.Writer) error {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return err
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return store.SaveDatabase(w, ds.db)
+}
+
+// Drop removes the named dataset and terminates its subscriptions.
+func (s *Service) Drop(name string) error {
+	s.mu.Lock()
+	ds, ok := s.datasets[name]
+	if ok {
+		delete(s.datasets, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	ds.closeSubs(fmt.Errorf("%w: %q", ErrUnknownDataset, name))
+	return nil
+}
+
+// Datasets lists the registered datasets sorted by name.
+func (s *Service) Datasets() []Info {
+	s.mu.RLock()
+	dss := make([]*dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		dss = append(dss, ds)
+	}
+	s.mu.RUnlock()
+	infos := make([]Info, 0, len(dss))
+	for _, ds := range dss {
+		infos = append(infos, ds.info())
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
+	return infos
+}
+
+// Info describes the named dataset.
+func (s *Service) Info(name string) (Info, error) {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return Info{}, err
+	}
+	return ds.info(), nil
+}
+
+// Engine exposes the named dataset's engine for in-process callers that
+// need direct access (experiments, tests). Mutating its database
+// directly bypasses subscription notification — use Observe/Track.
+func (s *Service) Engine(name string) (*core.Engine, error) {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return ds.engine, nil
+}
+
+// CacheStats aggregates engine score-cache counters across datasets.
+func (s *Service) CacheStats() core.CacheStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var agg core.CacheStats
+	for _, ds := range s.datasets {
+		st := ds.engine.CacheStats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Expired += st.Expired
+		agg.Entries += st.Entries
+		agg.Bytes += st.Bytes
+	}
+	return agg
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	subs := s.subs.Load()
+	if subs < 0 {
+		subs = 0
+	}
+	inFlight := s.inFlight.Load()
+	if inFlight < 0 {
+		inFlight = 0
+	}
+	return Stats{
+		Requests:      s.requests.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Evaluations:   s.evaluations.Load(),
+		Rejected:      s.rejected.Load(),
+		Ingests:       s.ingests.Load(),
+		Subscriptions: uint64(subs),
+		Updates:       s.updates.Load(),
+		InFlight:      uint64(inFlight),
+	}
+}
+
+func (s *Service) dataset(name string) (*dataset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ds, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return ds, nil
+}
+
+func (ds *dataset) info() Info {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return Info{
+		Name:    ds.name,
+		Objects: ds.db.Len(),
+		States:  ds.db.DefaultChain().NumStates(),
+		Version: ds.db.Version(),
+	}
+}
+
+// --- ingest ---------------------------------------------------------------
+
+// Observe appends an observation to an existing object of the named
+// dataset and notifies its subscriptions. The observation time must not
+// duplicate an existing one.
+func (s *Service) Observe(name string, objectID int, obs core.Observation) error {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return err
+	}
+	ds.mu.Lock()
+	err = func() error {
+		o := ds.db.Get(objectID)
+		if o == nil {
+			return fmt.Errorf("%w: unknown object %d in dataset %q", ErrBadIngest, objectID, name)
+		}
+		ch := ds.db.ChainOf(o)
+		if obs.PDF == nil || obs.PDF.NumStates() != ch.NumStates() {
+			return fmt.Errorf("%w: observation pdf dimension mismatch for object %d", ErrBadIngest, objectID)
+		}
+		updated, oerr := core.NewObject(o.ID, o.Chain,
+			append(append([]core.Observation(nil), o.Observations...), obs)...)
+		if oerr != nil {
+			return fmt.Errorf("%w: %v", ErrBadIngest, oerr)
+		}
+		if rerr := ds.db.ReplaceObject(updated); rerr != nil {
+			return fmt.Errorf("%w: %v", ErrBadIngest, rerr)
+		}
+		return nil
+	}()
+	ds.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.ingests.Add(1)
+	ds.notifySubs()
+	return nil
+}
+
+// Track adds a brand-new object to the named dataset and notifies its
+// subscriptions.
+func (s *Service) Track(name string, o *core.Object) error {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return err
+	}
+	ds.mu.Lock()
+	err = ds.db.Add(o)
+	ds.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadIngest, err)
+	}
+	s.ingests.Add(1)
+	ds.notifySubs()
+	return nil
+}
+
+// --- evaluation -----------------------------------------------------------
+
+// withDeadline applies the service's default timeout when the caller's
+// context has none.
+func (s *Service) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.DefaultTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, has := ctx.Deadline(); has {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+}
+
+// admit acquires an admission slot, failing with ErrOverloaded when the
+// context expires first.
+func (s *Service) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.rejected.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrOverloaded, context.Cause(ctx))
+		}
+	}
+	s.inFlight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		})
+	}, nil
+}
+
+// resolveRegion attaches the dataset's resolver to region-carrying
+// requests (wire-decoded requests arrive with a nil resolver).
+func (ds *dataset) resolveRegion(req core.Request) (core.Request, error) {
+	if req.Region == nil || req.Resolver != nil {
+		return req, nil
+	}
+	if ds.resolver == nil {
+		return req, fmt.Errorf("%w: %q", ErrNoResolver, ds.name)
+	}
+	req.Resolver = ds.resolver
+	return req, nil
+}
+
+// testHookEvalStart, when set, runs inside every evaluation after
+// admission and locking; tests use it to hold evaluations open while
+// asserting coalescing and admission behavior.
+var testHookEvalStart func()
+
+// Evaluate answers one batch request against the named dataset, with
+// the service deadline, admission control and single-flight coalescing
+// applied. Identical concurrent requests (same dataset, same canonical
+// wire encoding, same database version) share one evaluation; each
+// caller receives its own copy of the result slice. Response.Results
+// entries may share Dist slices across callers — treat them as
+// read-only.
+func (s *Service) Evaluate(ctx context.Context, name string, req core.Request) (*core.Response, error) {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	req, err = ds.resolveRegion(req)
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+
+	run := func(ctx context.Context) (*core.Response, error) {
+		release, aerr := s.admit(ctx)
+		if aerr != nil {
+			return nil, aerr
+		}
+		defer release()
+		s.evaluations.Add(1)
+		ds.mu.RLock()
+		defer ds.mu.RUnlock()
+		if testHookEvalStart != nil {
+			testHookEvalStart()
+		}
+		return ds.engine.Evaluate(ctx, req)
+	}
+
+	key, ok := s.flightKey(ds, req)
+	if !ok {
+		return run(ctx)
+	}
+	// The detached evaluation inherits the leader's effective deadline
+	// (explicit or the applied default) — waiters that outlive it keep
+	// the evaluation alive only until that bound; callers with no
+	// deadline at all leave it bounded by last-waiter cancellation.
+	var timeout time.Duration
+	if dl, has := ctx.Deadline(); has {
+		timeout = time.Until(dl)
+	}
+	resp, err := s.flight.do(ctx, key, timeout, run)
+	if err != nil {
+		return nil, err
+	}
+	return shareResponse(resp), nil
+}
+
+// flightKey derives the single-flight key: dataset identity, database
+// generation and the request's canonical wire bytes. Requests that
+// cannot be canonically encoded (exotic region implementations) simply
+// skip coalescing.
+func (s *Service) flightKey(ds *dataset, req core.Request) (string, bool) {
+	enc, err := wire.EncodeRequest(req)
+	if err != nil {
+		return "", false
+	}
+	ds.mu.RLock()
+	version := ds.db.Version()
+	ds.mu.RUnlock()
+	return fmt.Sprintf("%s\x00%d\x00%s", ds.name, version, enc), true
+}
+
+// shareResponse hands one coalesced result to one caller: the Response
+// struct and the Results/Plans slices are copied so independent callers
+// can sort or truncate freely; Dist payloads stay shared (read-only).
+func shareResponse(resp *core.Response) *core.Response {
+	cp := *resp
+	if resp.Results != nil {
+		cp.Results = append([]core.Result(nil), resp.Results...)
+	}
+	if resp.Plans != nil {
+		cp.Plans = append([]core.CostEstimate(nil), resp.Plans...)
+	}
+	return &cp
+}
+
+// Stream answers one request as a result sequence, holding the
+// dataset's read lock (and one admission slot) for the duration of the
+// iteration — ingest on the same dataset waits until the stream is
+// drained or abandoned. Streams bypass single-flight (each consumer
+// drives its own iteration).
+func (s *Service) Stream(ctx context.Context, name string, req core.Request) iter.Seq2[core.Result, error] {
+	return func(yield func(core.Result, error) bool) {
+		ds, err := s.dataset(name)
+		if err != nil {
+			yield(core.Result{}, err)
+			return
+		}
+		req, err = ds.resolveRegion(req)
+		if err != nil {
+			yield(core.Result{}, err)
+			return
+		}
+		s.requests.Add(1)
+		ctx, cancel := s.withDeadline(ctx)
+		defer cancel()
+		release, err := s.admit(ctx)
+		if err != nil {
+			yield(core.Result{}, err)
+			return
+		}
+		defer release()
+		s.evaluations.Add(1)
+		ds.mu.RLock()
+		defer ds.mu.RUnlock()
+		if testHookEvalStart != nil {
+			testHookEvalStart()
+		}
+		for r, serr := range ds.engine.EvaluateSeq(ctx, req) {
+			if !yield(r, serr) {
+				return
+			}
+			if serr != nil {
+				return
+			}
+		}
+	}
+}
+
+// evaluateLocked runs one evaluation under the dataset's read lock
+// without admission or coalescing — the subscription refresh path (its
+// cost is already bounded by the score cache, and a standing query
+// must not be starved by its own service's load).
+func (s *Service) evaluateLocked(ctx context.Context, ds *dataset, req core.Request) (*core.Response, uint64, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	resp, err := ds.engine.Evaluate(ctx, req)
+	return resp, ds.db.Version(), err
+}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ust/internal/core"
+	"ust/internal/spatial"
+)
+
+// roundTrip encodes and strictly re-decodes one request, failing the
+// test on any mismatch. DeepEqual sees the unexported hint fields, so
+// this pins every option, not just the exported window.
+func roundTrip(t *testing.T, req core.Request) {
+	t.Helper()
+	data, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round-trip mismatch:\n  sent %#v\n  got  %#v\n  wire %s", req, got, data)
+	}
+}
+
+func TestRequestRoundTripEveryOption(t *testing.T) {
+	reqs := []core.Request{
+		core.NewRequest(core.PredicateExists),
+		core.NewRequest(core.PredicateExists,
+			core.WithStates([]int{3, 1, 2}), core.WithTimes([]int{5, 7})),
+		core.NewRequest(core.PredicateForAll,
+			core.WithStates([]int{0}), core.WithTimeRange(2, 9),
+			core.WithStrategy(core.StrategyObjectBased), core.WithParallelism(4)),
+		core.NewRequest(core.PredicateForAll,
+			core.WithStates([]int{0}), core.WithTimes([]int{1}),
+			core.WithParallelism(0)), // "GOMAXPROCS" sentinel
+		core.NewRequest(core.PredicateKTimes,
+			core.WithStates([]int{1, 2}), core.WithTimes([]int{1, 2, 3}),
+			core.WithStrategy(core.StrategyMonteCarlo),
+			core.WithMonteCarloBudget(250, -17)),
+		core.NewRequest(core.PredicateExists,
+			core.WithStates([]int{4}), core.WithTimes([]int{4}),
+			core.WithAutoPlan(), core.WithThreshold(0.25), core.WithCache(false)),
+		core.NewRequest(core.PredicateExists,
+			core.WithStates([]int{4}), core.WithTimes([]int{4}),
+			core.WithTopK(7), core.WithFilterRefine(false), core.WithCache(true)),
+		core.NewRequest(core.PredicateEventually,
+			core.WithStates([]int{9}), core.WithHittingLimits(500, 1e-12)),
+		core.NewRequest(core.PredicateExists,
+			core.WithStates([]int{4}), core.WithTimes([]int{4}),
+			core.WithThreshold(0)), // explicit zero threshold must survive
+	}
+	for _, req := range reqs {
+		roundTrip(t, req)
+	}
+}
+
+func TestRequestRoundTripRegions(t *testing.T) {
+	regions := []spatial.Region{
+		spatial.NewRect(1, 2, 3, 4),
+		spatial.Circle{Center: spatial.Point{X: -1, Y: 2.5}, Radius: 3},
+		mustPolygon(t, []spatial.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 2, Y: 3}}),
+		spatial.Union{
+			spatial.NewRect(0, 0, 1, 1),
+			spatial.Circle{Center: spatial.Point{X: 5, Y: 5}, Radius: 1},
+		},
+		spatial.Difference{
+			Base: spatial.NewRect(0, 0, 10, 10),
+			Sub:  spatial.Circle{Center: spatial.Point{X: 5, Y: 5}, Radius: 2},
+		},
+	}
+	for _, reg := range regions {
+		req := core.NewRequest(core.PredicateExists,
+			core.WithRegion(reg, nil), core.WithTimes([]int{3}))
+		roundTrip(t, req)
+	}
+}
+
+func mustPolygon(t *testing.T, pts []spatial.Point) spatial.Polygon {
+	t.Helper()
+	pg, err := spatial.NewPolygon(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestDecodeRequestStrict(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":       `{"predicate":"exists","bogus":1}`,
+		"unknown predicate":   `{"predicate":"sometimes"}`,
+		"missing predicate":   `{}`,
+		"unknown strategy":    `{"predicate":"exists","strategy":"quantum"}`,
+		"trailing garbage":    `{"predicate":"exists"} {"x":1}`,
+		"negative top_k":      `{"predicate":"exists","top_k":-3}`,
+		"threshold above one": `{"predicate":"exists","threshold":1.5}`,
+		"negative samples":    `{"predicate":"exists","monte_carlo":{"samples":-1,"seed":0}}`,
+		"bad region type":     `{"predicate":"exists","region":{"type":"blob"}}`,
+		"rect without max":    `{"predicate":"exists","region":{"type":"rect","min":[0,0]}}`,
+		"negative radius":     `{"predicate":"exists","region":{"type":"circle","center":[0,0],"radius":-1}}`,
+		"two-point polygon":   `{"predicate":"exists","region":{"type":"polygon","vertices":[[0,0],[1,1]]}}`,
+		"not json":            `hello`,
+		"wrong type":          `{"predicate":17}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeRequest([]byte(body)); err == nil {
+			t.Errorf("%s: decode accepted %s", name, body)
+		}
+	}
+}
+
+func TestDecodeRequestRegionDepthBounded(t *testing.T) {
+	deep := strings.Repeat(`{"type":"difference","sub":{"type":"rect","min":[0,0],"max":[1,1]},"base":`, 80) +
+		`{"type":"rect","min":[0,0],"max":[1,1]}` + strings.Repeat(`}`, 80)
+	if _, err := DecodeRequest([]byte(`{"predicate":"exists","region":` + deep + `}`)); err == nil {
+		t.Fatal("deeply nested region accepted")
+	}
+}
+
+func TestResponseRoundTripExactFloats(t *testing.T) {
+	probs := []float64{0, 1, 0.1 + 0.2, 1e-17, math.Nextafter(0.5, 1), 0.864}
+	resp := &core.Response{Strategy: core.StrategyObjectBased}
+	for i, p := range probs {
+		resp.Results = append(resp.Results, core.Result{ObjectID: i, Prob: p, Dist: []float64{1 - p, p}})
+	}
+	resp.Plans = []core.CostEstimate{{Strategy: core.StrategyQueryBased, Sweeps: 2, Ops: 123.5, FilterOps: 7}}
+	resp.Cache = core.CacheReport{Hits: 3, Misses: 1}
+	resp.Filter = core.FilterReport{Candidates: 6, Pruned: 4, Refined: 2}
+
+	w, err := FromResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("response round-trip mismatch:\n  sent %#v\n  got  %#v", resp, got)
+	}
+}

@@ -1,0 +1,33 @@
+package ust
+
+import (
+	"io"
+
+	"ust/internal/store"
+)
+
+// Persistence entry points: the compact, checksummed binary format that
+// ustgen writes and ustserve loads, plus a verbose JSON interchange
+// form. These wrap internal/store, which was previously unreachable
+// from the public API.
+
+// SaveDatabase writes db (default chain and all objects) in the binary
+// store format.
+func SaveDatabase(w io.Writer, db *Database) error { return store.SaveDatabase(w, db) }
+
+// LoadDatabase reads a database written by SaveDatabase (integrity is
+// CRC-verified before any parsing).
+func LoadDatabase(r io.Reader) (*Database, error) { return store.LoadDatabase(r) }
+
+// SaveChain writes a single motion model in the binary store format.
+func SaveChain(w io.Writer, c *Chain) error { return store.SaveChain(w, c) }
+
+// LoadChain reads a chain written by SaveChain.
+func LoadChain(r io.Reader) (*Chain, error) { return store.LoadChain(r) }
+
+// ExportDatabaseJSON writes db as an indented JSON document — verbose
+// but diffable and readable by non-Go tooling.
+func ExportDatabaseJSON(w io.Writer, db *Database) error { return store.ExportJSON(w, db) }
+
+// ImportDatabaseJSON reads a document written by ExportDatabaseJSON.
+func ImportDatabaseJSON(r io.Reader) (*Database, error) { return store.ImportJSON(r) }

@@ -114,6 +114,11 @@ type (
 	// FilterReport is one evaluation's filter–refine funnel
 	// (Response.Filter).
 	FilterReport = core.FilterReport
+	// Monitor is a continuous (standing) PST∃Q: register a window once
+	// with Engine.NewMonitor, feed observations as they arrive, read
+	// refreshed results incrementally. For a push-based, concurrent
+	// alternative covering every predicate, see Service.Subscribe.
+	Monitor = core.Monitor
 )
 
 // DefaultCacheBytes is the default byte budget of the engine's shared
