@@ -3,9 +3,27 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race examples serve-smoke bench clean
+.PHONY: ci fmt-check vet staticcheck build test race examples serve-smoke fuzz-smoke bench clean
 
-ci: fmt-check vet build test race examples serve-smoke
+ci: fmt-check vet staticcheck build test race examples serve-smoke
+
+# staticcheck runs when the binary is available (CI installs it; local
+# boxes without it skip with a notice instead of failing the build).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# fuzz-smoke gives every fuzz target a short budget: parser (text query
+# language), wire decoder, sparse builder/CSR invariants. CI runs it
+# after make ci.
+fuzz-smoke:
+	$(GO) test ./query -run '^$$' -fuzz FuzzParseQuery -fuzztime 20s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 20s
+	$(GO) test ./internal/sparse -run '^$$' -fuzz FuzzBuilderCSR -fuzztime 15s
+	$(GO) test ./internal/sparse -run '^$$' -fuzz FuzzFromRows -fuzztime 10s
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

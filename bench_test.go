@@ -618,6 +618,94 @@ func BenchmarkServeHTTPQuery(b *testing.B) {
 // concurrent requests against a cold-ish engine, with the single-flight
 // layer folding them into one evaluation versus each running its own.
 // The dedup ratio is visible in the reported evaluations/op metric.
+// --- Batch evaluation: the multi-query optimizer. -----------------------
+//
+// A dashboard-style workload: 32 requests over sliding, heavily
+// overlapping windows of the same region (plus forall/threshold/top-k
+// variants). "sequential" answers them with one Evaluate call each on a
+// cold engine; "batched" hands the same slice to EvaluateBatch, whose
+// optimizer deduplicates shared sweeps and runs the rest through the
+// fused block kernel — one transition-matrix traversal per time step
+// for all requests together. Results are byte-identical; the ratio of
+// the two numbers in BENCH.json is the optimizer's win.
+
+func batchWorkload(numStates int) []ust.Request {
+	var reqs []ust.Request
+	region := benchQuery(numStates).States
+	for i := 0; i < 32; i++ {
+		lo := 5 + i
+		opts := []ust.RequestOption{ust.WithStates(region), ust.WithTimeRange(lo, 64)}
+		pred := ust.PredicateExists
+		switch i % 4 {
+		case 1:
+			pred = ust.PredicateForAll
+		case 2:
+			opts = append(opts, ust.WithThreshold(0.3))
+		case 3:
+			opts = append(opts, ust.WithTopK(10))
+		}
+		reqs = append(reqs, ust.NewRequest(pred, opts...))
+	}
+	return reqs
+}
+
+func BenchmarkEvaluateBatch(b *testing.B) {
+	db := benchDB(b, 500, 10000)
+	reqs := batchWorkload(10000)
+	ctx := context.Background()
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := ust.NewEngine(db, ust.Options{})
+			for _, req := range reqs {
+				if _, err := e.Evaluate(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := ust.NewEngine(db, ust.Options{})
+			if _, err := e.EvaluateBatch(ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExprEvaluate measures the augmented compound-expression
+// sweep against the naive (and incorrect) alternative a client would
+// otherwise run: one request per atom. The compound evaluation pays
+// 2^m vectors per sweep but answers correlations exactly.
+func BenchmarkExprEvaluate(b *testing.B) {
+	db := benchDB(b, 1000, 10000)
+	region := benchQuery(10000).States
+	atomA := ust.ExistsAtom(ust.WithStates(region), ust.WithTimeRange(10, 15))
+	atomB := ust.ForAllAtom(ust.WithStates(region[:len(region)/2]), ust.WithTimeRange(18, 22))
+	expr := ust.And(atomA, ust.Not(atomB))
+	ctx := context.Background()
+
+	b.Run("compound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := ust.NewEngine(db, ust.Options{})
+			if _, err := e.Evaluate(ctx, ust.NewExprRequest(expr)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-atom-naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := ust.NewEngine(db, ust.Options{})
+			for _, x := range []ust.Expr{atomA, atomB} {
+				if _, err := e.Evaluate(ctx, ust.NewExprRequest(x)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 func BenchmarkSingleFlightDedup(b *testing.B) {
 	// The shared request is deliberately expensive (uncached, unfiltered
 	// object-based scan): evaluations must outlive the scheduler's

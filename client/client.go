@@ -202,7 +202,17 @@ func queryEnvelope(dataset string, req ust.Request) (*bytes.Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := json.Marshal(wire.QueryEnvelope{Dataset: dataset, Request: wr})
+	data, err := json.Marshal(wire.QueryEnvelope{Dataset: dataset, Request: &wr})
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// textEnvelope addresses a text-language query (see package ust/query)
+// to a dataset; the server parses it.
+func textEnvelope(dataset, query string) (*bytes.Reader, error) {
+	data, err := json.Marshal(wire.QueryEnvelope{Dataset: dataset, Query: query})
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +228,24 @@ func (c *Client) Query(ctx context.Context, dataset string, req ust.Request) (*u
 	if err != nil {
 		return nil, err
 	}
+	return c.postQuery(ctx, body)
+}
+
+// QueryText evaluates a text-language query (see package ust/query)
+// remotely — the server parses it, so any client that can send a
+// string can ask compound questions:
+//
+//	c.QueryText(ctx, "fleet",
+//		"exists(states(100-120) @ [20,25]) and not forall(states(7) @ [5,9]) where tau=0.3")
+func (c *Client) QueryText(ctx context.Context, dataset, queryText string) (*ust.Response, error) {
+	body, err := textEnvelope(dataset, queryText)
+	if err != nil {
+		return nil, err
+	}
+	return c.postQuery(ctx, body)
+}
+
+func (c *Client) postQuery(ctx context.Context, body io.Reader) (*ust.Response, error) {
 	resp, err := c.do(ctx, http.MethodPost, "/v1/query", "application/json", body)
 	if err != nil {
 		return nil, err

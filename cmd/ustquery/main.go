@@ -11,8 +11,16 @@
 //	         [-strategy auto|qb|ob|mc] [-workers N]
 //	         [-threshold P] [-top N] [-stream] [-json]
 //	         [-no-cache] [-no-filter]
+//	ustquery -db data.ustd -q 'exists(states(100-120) @ [20,25]) and
+//	         not forall(states(7) @ [5,9]) where tau=0.3'
 //	ustquery -remote http://localhost:8080 -dataset fleet
 //	         -states 100-120 -times 20-25 [same query flags]
+//
+// -q takes a complete query in the text query language (see
+// ust/query/README.md), including compound and/or/not/then expressions
+// over per-atom windows — evaluated exactly, correlations included. It
+// replaces the window/predicate/tuning flags; parse errors are reported
+// with a caret under the offending column.
 //
 // Threshold and top-k queries run through the engine's filter–refine
 // path, and repeated evaluations share backward sweeps via the score
@@ -30,8 +38,10 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,10 +54,12 @@ import (
 	"ust/client"
 	"ust/internal/core"
 	"ust/internal/store"
+	"ust/query"
 )
 
 func main() {
 	dbPath := flag.String("db", "", "dataset file written by ustgen (required unless -remote)")
+	queryText := flag.String("q", "", "complete query in the text query language (replaces -states/-times/-predicate/-strategy/... flags)")
 	remote := flag.String("remote", "", "ustserve base URL; query a server instead of a local file")
 	dataset := flag.String("dataset", "default", "dataset name on the server (with -remote)")
 	statesArg := flag.String("states", "", "query region, e.g. 100-120 (required)")
@@ -64,19 +76,39 @@ func main() {
 	noFilter := flag.Bool("no-filter", false, "disable filter–refine pruning for threshold/top-k")
 	flag.Parse()
 
-	if (*dbPath == "") == (*remote == "") || *statesArg == "" || (*timesArg == "" && *predicate != "eventually") {
+	if (*dbPath == "") == (*remote == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	states, err := parseIntSet(*statesArg)
-	if err != nil {
-		fatal(fmt.Errorf("-states: %w", err))
+	if *queryText != "" {
+		// -q carries the whole question; reject conflicting flag usage
+		// instead of silently ignoring it.
+		conflicting := map[string]bool{
+			"states": true, "times": true, "predicate": true, "strategy": true,
+			"workers": true, "threshold": true, "mc-samples": true,
+			"no-cache": true, "no-filter": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] {
+				fatal(fmt.Errorf("-%s conflicts with -q; put it in the query's where-clause", f.Name))
+			}
+		})
+	} else if *statesArg == "" || (*timesArg == "" && *predicate != "eventually") {
+		flag.Usage()
+		os.Exit(2)
 	}
-	var times []int
-	if *timesArg != "" {
-		times, err = parseIntSet(*timesArg)
+	var states, times []int
+	var err error
+	if *queryText == "" {
+		states, err = parseIntSet(*statesArg)
 		if err != nil {
-			fatal(fmt.Errorf("-times: %w", err))
+			fatal(fmt.Errorf("-states: %w", err))
+		}
+		if *timesArg != "" {
+			times, err = parseIntSet(*timesArg)
+			if err != nil {
+				fatal(fmt.Errorf("-times: %w", err))
+			}
 		}
 	}
 
@@ -98,57 +130,71 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := []core.RequestOption{core.WithStates(states), core.WithTimes(times)}
-	switch *strategyArg {
-	case "auto":
-		opts = append(opts, core.WithAutoPlan())
-	case "qb":
-		opts = append(opts, core.WithStrategy(core.StrategyQueryBased))
-	case "ob":
-		opts = append(opts, core.WithStrategy(core.StrategyObjectBased))
-	case "mc":
-		opts = append(opts, core.WithStrategy(core.StrategyMonteCarlo), core.WithMonteCarloBudget(*mcSamples, 0))
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategyArg))
+	var req core.Request
+	if *queryText != "" {
+		req, err = query.Parse(*queryText)
+		if err != nil {
+			fatalParse(*queryText, err)
+		}
+	} else {
+		opts := []core.RequestOption{core.WithStates(states), core.WithTimes(times)}
+		switch *strategyArg {
+		case "auto":
+			opts = append(opts, core.WithAutoPlan())
+		case "qb":
+			opts = append(opts, core.WithStrategy(core.StrategyQueryBased))
+		case "ob":
+			opts = append(opts, core.WithStrategy(core.StrategyObjectBased))
+		case "mc":
+			opts = append(opts, core.WithStrategy(core.StrategyMonteCarlo), core.WithMonteCarloBudget(*mcSamples, 0))
+		default:
+			fatal(fmt.Errorf("unknown strategy %q", *strategyArg))
+		}
+		if *workers != 1 {
+			opts = append(opts, core.WithParallelism(*workers))
+		}
+		if *threshold > 0 {
+			opts = append(opts, core.WithThreshold(*threshold))
+		}
+		if *noCache {
+			opts = append(opts, core.WithCache(false))
+		}
+		if *noFilter {
+			opts = append(opts, core.WithFilterRefine(false))
+		}
+		var pred core.Predicate
+		switch *predicate {
+		case "exists":
+			pred = core.PredicateExists
+		case "forall":
+			pred = core.PredicateForAll
+		case "ktimes":
+			pred = core.PredicateKTimes
+		case "eventually":
+			pred = core.PredicateEventually
+		default:
+			fatal(fmt.Errorf("unknown predicate %q", *predicate))
+		}
+		if *top > 0 && pred != core.PredicateKTimes && !*stream {
+			opts = append(opts, core.WithTopK(*top))
+		}
+		req = core.NewRequest(pred, opts...)
 	}
-	if *workers != 1 {
-		opts = append(opts, core.WithParallelism(*workers))
-	}
-	if *threshold > 0 {
-		opts = append(opts, core.WithThreshold(*threshold))
-	}
-	if *noCache {
-		opts = append(opts, core.WithCache(false))
-	}
-	if *noFilter {
-		opts = append(opts, core.WithFilterRefine(false))
-	}
+	pred := req.Predicate
+	ranked := req.TopKHint() > 0
 
-	var pred core.Predicate
-	switch *predicate {
-	case "exists":
-		pred = core.PredicateExists
-	case "forall":
-		pred = core.PredicateForAll
-	case "ktimes":
-		pred = core.PredicateKTimes
-	case "eventually":
-		pred = core.PredicateEventually
-	default:
-		fatal(fmt.Errorf("unknown predicate %q", *predicate))
-	}
-	ranked := *top > 0 && pred != core.PredicateKTimes && !*stream
-	if ranked {
-		opts = append(opts, core.WithTopK(*top))
-	}
-
-	req := core.NewRequest(pred, opts...)
+	// Buffered stdout: batch output flushes once at the end; -stream
+	// flushes per result so a consumer at the end of a pipe sees each
+	// NDJSON line as it is produced, not when the buffer happens to
+	// fill.
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
 
 	if *stream {
 		if *remote != "" {
-			streamResults(remoteSeq(ctx, *remote, *dataset, req), pred, *top, *asJSON)
+			streamResults(out, remoteSeq(ctx, *remote, *dataset, req), pred, *top, *asJSON)
 		} else {
-			streamResults(engine.EvaluateSeq(ctx, req), pred, *top, *asJSON)
+			streamResults(out, engine.EvaluateSeq(ctx, req), pred, *top, *asJSON)
 		}
 		return
 	}
@@ -185,24 +231,42 @@ func main() {
 		results = results[:*top]
 	}
 	if *asJSON {
-		emitJSON(results)
+		emitJSON(out, results)
 		return
 	}
 	if pred == core.PredicateKTimes {
 		for _, r := range results {
-			fmt.Printf("object %d:\n", r.ObjectID)
+			fmt.Fprintf(out, "object %d:\n", r.ObjectID)
 			for k, p := range r.Dist {
 				if p > 1e-9 {
-					fmt.Printf("  P(%d visits) = %.6f\n", k, p)
+					fmt.Fprintf(out, "  P(%d visits) = %.6f\n", k, p)
 				}
 			}
 		}
 		return
 	}
-	fmt.Printf("%-10s  %s\n", "object", "probability")
+	fmt.Fprintf(out, "%-10s  %s\n", "object", "probability")
 	for _, r := range results {
-		fmt.Printf("%-10d  %.6f\n", r.ObjectID, r.Prob)
+		fmt.Fprintf(out, "%-10d  %.6f\n", r.ObjectID, r.Prob)
 	}
+}
+
+// fatalParse reports a text-query syntax error with a caret under the
+// offending column.
+func fatalParse(q string, err error) {
+	var pe *query.ParseError
+	if errors.As(err, &pe) && pe.Pos <= len(q) {
+		fmt.Fprint(os.Stderr, caretError(q, pe))
+		os.Exit(2)
+	}
+	fatal(err)
+}
+
+// caretError renders a parse error with the query echoed and a caret
+// under the offending column.
+func caretError(q string, pe *query.ParseError) string {
+	return fmt.Sprintf("ustquery: parse error at column %d: %s\n  %s\n  %s^\n",
+		pe.Pos+1, pe.Msg, q, strings.Repeat(" ", pe.Pos))
 }
 
 // errStopStream signals an early consumer stop through the remote
@@ -228,16 +292,20 @@ func remoteSeq(ctx context.Context, remote, dataset string, req core.Request) fu
 
 // streamResults drains a result sequence (local EvaluateSeq or a remote
 // NDJSON stream), printing each result as it is produced: NDJSON with
-// -json, the plain table otherwise. top > 0 caps the output at the
-// first N results in evaluation order (streaming cannot rank).
-func streamResults(results func(yield func(core.Result, error) bool), pred core.Predicate, top int, asJSON bool) {
-	enc := json.NewEncoder(os.Stdout)
+// -json, the plain table otherwise. Every result is flushed through the
+// buffered writer immediately, so a pipe consumer (jq, a dashboard
+// tailer) sees lines as they are computed — stdout being a pipe rather
+// than a terminal must not batch them up. top > 0 caps the output at
+// the first N results in evaluation order (streaming cannot rank).
+func streamResults(out *bufio.Writer, results func(yield func(core.Result, error) bool), pred core.Predicate, top int, asJSON bool) {
+	enc := json.NewEncoder(out)
 	if !asJSON && pred != core.PredicateKTimes {
-		fmt.Printf("%-10s  %s\n", "object", "probability")
+		fmt.Fprintf(out, "%-10s  %s\n", "object", "probability")
 	}
 	n := 0
 	for r, err := range results {
 		if err != nil {
+			out.Flush()
 			fatal(err)
 		}
 		if top > 0 && n == top {
@@ -251,21 +319,24 @@ func streamResults(results func(yield func(core.Result, error) bool), pred core.
 				fatal(err)
 			}
 		case pred == core.PredicateKTimes:
-			fmt.Printf("object %d:\n", r.ObjectID)
+			fmt.Fprintf(out, "object %d:\n", r.ObjectID)
 			for k, p := range r.Dist {
 				if p > 1e-9 {
-					fmt.Printf("  P(%d visits) = %.6f\n", k, p)
+					fmt.Fprintf(out, "  P(%d visits) = %.6f\n", k, p)
 				}
 			}
 		default:
-			fmt.Printf("%-10d  %.6f\n", r.ObjectID, r.Prob)
+			fmt.Fprintf(out, "%-10d  %.6f\n", r.ObjectID, r.Prob)
+		}
+		if err := out.Flush(); err != nil {
+			fatal(err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "ustquery: streamed %d result(s)\n", n)
 }
 
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
+func emitJSON(out *bufio.Writer, v any) {
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		fatal(err)

@@ -2,13 +2,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 
 	"ust/internal/core"
 	"ust/internal/markov"
 	"ust/internal/service"
+	"ust/query"
 )
 
 func TestParseIntSet(t *testing.T) {
@@ -99,5 +102,32 @@ func TestRemoteSeqMatchesLocal(t *testing.T) {
 	}
 	if !reflect.DeepEqual(local, remote) {
 		t.Fatalf("remote stream diverged:\n  remote %+v\n  local  %+v", remote, local)
+	}
+}
+
+// TestCaretError pins the -q parse-error rendering: the caret lands
+// under the offending column.
+func TestCaretError(t *testing.T) {
+	q := "exists(states(1) @ [1,2]) and exsts(states(2) @ [3,4])"
+	_, err := query.Parse(q)
+	if err == nil {
+		t.Fatal("bad query parsed")
+	}
+	var pe *query.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a ParseError", err)
+	}
+	msg := caretError(q, pe)
+	lines := strings.Split(msg, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("caret message too short: %q", msg)
+	}
+	if !strings.Contains(lines[0], "column 31") {
+		t.Errorf("wrong column: %q", lines[0])
+	}
+	caret := strings.Index(lines[2], "^")
+	bad := strings.Index(lines[1], "exsts")
+	if caret != bad {
+		t.Errorf("caret at %d, offending token at %d:\n%s", caret, bad, msg)
 	}
 }

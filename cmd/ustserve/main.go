@@ -23,6 +23,12 @@
 //	POST /v1/query/stream            streaming query (NDJSON)
 //	POST /v1/subscribe               standing query (NDJSON push)
 //
+// The three query endpoints take either a structured request or the
+// text query language in the same envelope — {"dataset":d,"query":
+// "exists(states(1-9) @ [5,15]) and not forall(...) where tau=0.3"} —
+// parsed server-side (see ust/query/README.md). Compound expressions,
+// ranking and strategy hints all travel either way.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: listeners close, active
 // subscriptions terminate, in-flight requests get a drain window.
 package main

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ust/internal/markov"
+)
+
+// Property tests for the compound-expression algebra: the augmented
+// evaluations (query-based family sweep, object-based forward pass)
+// must agree with brute-force possible-worlds enumeration on random
+// tiny instances covering every combinator, including Then sequencing
+// and nested Not.
+
+// randomAtomWindow draws a random window inside [0, horizon].
+func randomAtomWindow(rng *rand.Rand, n, horizon int) (states, times []int) {
+	for s := 0; s < n; s++ {
+		if rng.Float64() < 0.4 {
+			states = append(states, s)
+		}
+	}
+	if len(states) == 0 && rng.Float64() < 0.8 {
+		states = []int{rng.Intn(n)}
+	}
+	for t := 0; t <= horizon; t++ {
+		if rng.Float64() < 0.4 {
+			times = append(times, t)
+		}
+	}
+	if len(times) == 0 && rng.Float64() < 0.8 {
+		times = []int{rng.Intn(horizon + 1)}
+	}
+	return states, times
+}
+
+// randomExpr draws a random expression with at most maxAtoms atoms.
+func randomExpr(rng *rand.Rand, n, horizon, maxAtoms int, depth int) Expr {
+	if maxAtoms <= 1 || depth > 2 || rng.Float64() < 0.35 {
+		states, times := randomAtomWindow(rng, n, horizon)
+		if rng.Float64() < 0.5 {
+			return ForAllAtom(WithStates(states), WithTimes(times))
+		}
+		return ExistsAtom(WithStates(states), WithTimes(times))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Not(randomExpr(rng, n, horizon, maxAtoms, depth+1))
+	case 1:
+		k := 2 + rng.Intn(2)
+		kids := make([]Expr, k)
+		budget := maxAtoms / k
+		if budget < 1 {
+			budget = 1
+		}
+		for i := range kids {
+			kids[i] = randomExpr(rng, n, horizon, budget, depth+1)
+		}
+		return And(kids...)
+	case 2:
+		k := 2 + rng.Intn(2)
+		kids := make([]Expr, k)
+		budget := maxAtoms / k
+		if budget < 1 {
+			budget = 1
+		}
+		for i := range kids {
+			kids[i] = randomExpr(rng, n, horizon, budget, depth+1)
+		}
+		return Or(kids...)
+	default:
+		// Then: split the horizon so the ordering constraint holds.
+		mid := horizon / 2
+		aStates, _ := randomAtomWindow(rng, n, horizon)
+		bStates, _ := randomAtomWindow(rng, n, horizon)
+		a := ExistsAtom(WithStates(aStates), WithTimes([]int{rng.Intn(mid + 1)}))
+		b := ForAllAtom(WithStates(bStates), WithTimes([]int{mid + 1 + rng.Intn(horizon-mid)}))
+		return Then(a, b)
+	}
+}
+
+func TestExprMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(4)
+		horizon := 2 + rng.Intn(5)
+		chain := randomChainN(rng, n, 2+rng.Intn(2))
+		db := NewDatabase(chain)
+		spread := 1 + rng.Intn(2)
+		pdf, err := markov.WeightedOver(n, rng.Perm(n)[:spread], []float64{0.7, 0.3}[:spread])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := rng.Intn(2)
+		db.MustAdd(MustObject(1, nil, Observation{Time: t0, PDF: pdf}))
+		engine := NewEngine(db, Options{})
+
+		x := randomExpr(rng, n, horizon, 4, 0)
+		want, err := BruteForceExpr(chain, db.Get(1), x)
+		if err != nil {
+			t.Fatalf("trial %d: brute force: %v", trial, err)
+		}
+		for _, strat := range []Strategy{StrategyQueryBased, StrategyObjectBased} {
+			resp, err := engine.Evaluate(ctx, NewExprRequest(x, WithStrategy(strat)))
+			if err != nil {
+				t.Fatalf("trial %d (%v): %v\nexpr: %s", trial, strat, err, x)
+			}
+			if len(resp.Results) != 1 {
+				t.Fatalf("trial %d (%v): got %d results", trial, strat, len(resp.Results))
+			}
+			got := resp.Results[0].Prob
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d (%v): got %.12f, brute force %.12f\nexpr: %s",
+					trial, strat, got, want, x)
+			}
+		}
+	}
+}
+
+// TestExprCombinatorsExplicit pins each combinator on the paper's
+// running example chain, including nested Not and Then.
+func TestExprCombinatorsExplicit(t *testing.T) {
+	chain, err := markov.FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(chain)
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(3, 2)}))
+	engine := NewEngine(db, Options{})
+	ctx := context.Background()
+	o := db.Get(1)
+
+	a := ExistsAtom(WithStates([]int{0}), WithTimes([]int{2, 3}))
+	b := ForAllAtom(WithStates([]int{1, 2}), WithTimes([]int{1, 2}))
+	c := ExistsAtom(WithStates([]int{1}), WithTimes([]int{5, 6}))
+
+	exprs := []Expr{
+		a,
+		b,
+		And(a, b),
+		Or(a, b),
+		Not(a),
+		Not(Not(And(a, Not(b)))),
+		Then(a, c),
+		Or(And(a, b), Not(c)),
+	}
+	for i, x := range exprs {
+		want, err := BruteForceExpr(chain, o, x)
+		if err != nil {
+			t.Fatalf("expr %d: %v", i, err)
+		}
+		for _, strat := range []Strategy{StrategyQueryBased, StrategyObjectBased} {
+			resp, err := engine.Evaluate(ctx, NewExprRequest(x, WithStrategy(strat)))
+			if err != nil {
+				t.Fatalf("expr %d (%v): %v", i, strat, err)
+			}
+			if got := resp.Results[0].Prob; math.Abs(got-want) > 1e-12 {
+				t.Errorf("expr %d (%v): got %.15f want %.15f (%s)", i, strat, got, want, x)
+			}
+		}
+	}
+
+	// Single atoms agree with the atomic predicates they wrap.
+	existsResp, err := engine.Evaluate(ctx, NewRequest(PredicateExists,
+		WithStates([]int{0}), WithTimes([]int{2, 3})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomResp, err := engine.Evaluate(ctx, NewExprRequest(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := atomResp.Results[0].Prob, existsResp.Results[0].Prob; math.Abs(got-want) > 1e-12 {
+		t.Errorf("exists atom %.15f != PredicateExists %.15f", got, want)
+	}
+}
+
+// TestExprCorrelation demonstrates the point of the algebra: atoms on
+// one trajectory are correlated, so P(A and not A) must be exactly 0
+// even though P(A)·P(not A) is not.
+func TestExprCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	chain := randomChainN(rng, 5, 3)
+	db := NewDatabase(chain)
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.UniformOver(5, []int{0, 1})}))
+	engine := NewEngine(db, Options{})
+
+	a := ExistsAtom(WithStates([]int{2, 3}), WithTimeRange(1, 4))
+	resp, err := engine.Evaluate(context.Background(), NewExprRequest(And(a, Not(a))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := resp.Results[0].Prob; p != 0 {
+		t.Fatalf("P(A and not A) = %g, want exactly 0", p)
+	}
+	resp, err = engine.Evaluate(context.Background(), NewExprRequest(Or(a, Not(a))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := resp.Results[0].Prob; math.Abs(p-1) > 1e-12 {
+		t.Fatalf("P(A or not A) = %g, want 1", p)
+	}
+}
+
+func TestExprThenValidation(t *testing.T) {
+	a := ExistsAtom(WithStates([]int{0}), WithTimeRange(5, 10))
+	b := ExistsAtom(WithStates([]int{1}), WithTimeRange(8, 12))
+	c := ExistsAtom(WithStates([]int{1}), WithTimeRange(11, 12))
+
+	if err := Then(a, b).validate(); err == nil {
+		t.Fatal("overlapping then-sequence validated")
+	} else if !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := Then(a, c).validate(); err != nil {
+		t.Fatalf("ordered then-sequence rejected: %v", err)
+	}
+	if err := And().validate(); err == nil {
+		t.Fatal("empty and validated")
+	}
+	// Atom budget.
+	atoms := make([]Expr, MaxExprAtoms+1)
+	for i := range atoms {
+		atoms[i] = ExistsAtom(WithStates([]int{0}), WithTimes([]int{i}))
+	}
+	if err := And(atoms...).validate(); err == nil {
+		t.Fatal("oversized expression validated")
+	}
+}
+
+// TestExprRanking pins the filter–refine path: threshold and top-k
+// compound requests must return byte-identical results to the
+// unfiltered evaluation, for both exact strategies.
+func TestExprRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	chain := randomChainN(rng, 12, 3)
+	db := NewDatabase(chain)
+	for id := 1; id <= 40; id++ {
+		s := rng.Intn(12)
+		db.MustAdd(MustObject(id, nil, Observation{Time: 0, PDF: markov.PointDistribution(12, s)}))
+	}
+	engine := NewEngine(db, Options{})
+	ctx := context.Background()
+
+	x := And(
+		ExistsAtom(WithStates([]int{2, 3, 4}), WithTimeRange(2, 6)),
+		Not(ForAllAtom(WithStates([]int{0, 1, 2, 3, 4, 5, 6, 7}), WithTimeRange(1, 3))),
+	)
+	for _, strat := range []Strategy{StrategyQueryBased, StrategyObjectBased} {
+		plain, err := engine.Evaluate(ctx, NewExprRequest(x, WithStrategy(strat), WithThreshold(0.25), WithFilterRefine(false)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := engine.Evaluate(ctx, NewExprRequest(x, WithStrategy(strat), WithThreshold(0.25)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.Results) != len(filtered.Results) {
+			t.Fatalf("%v: threshold filtered %d results, unfiltered %d", strat, len(filtered.Results), len(plain.Results))
+		}
+		for i := range plain.Results {
+			if plain.Results[i].ObjectID != filtered.Results[i].ObjectID || plain.Results[i].Prob != filtered.Results[i].Prob {
+				t.Fatalf("%v: threshold result %d differs: %+v vs %+v", strat, i, plain.Results[i], filtered.Results[i])
+			}
+		}
+
+		plainK, err := engine.Evaluate(ctx, NewExprRequest(x, WithStrategy(strat), WithTopK(5), WithFilterRefine(false)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		filteredK, err := engine.Evaluate(ctx, NewExprRequest(x, WithStrategy(strat), WithTopK(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plainK.Results) != len(filteredK.Results) {
+			t.Fatalf("%v: top-k sizes differ", strat)
+		}
+		for i := range plainK.Results {
+			if plainK.Results[i].ObjectID != filteredK.Results[i].ObjectID || plainK.Results[i].Prob != filteredK.Results[i].Prob {
+				t.Fatalf("%v: top-k result %d differs: %+v vs %+v", strat, i, plainK.Results[i], filteredK.Results[i])
+			}
+		}
+	}
+}
+
+// TestExprMonteCarlo sanity-checks the sampling strategy against the
+// exact answer within statistical error.
+func TestExprMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	chain := randomChainN(rng, 6, 3)
+	db := NewDatabase(chain)
+	db.MustAdd(MustObject(1, nil, Observation{Time: 0, PDF: markov.PointDistribution(6, 0)}))
+	engine := NewEngine(db, Options{})
+	ctx := context.Background()
+
+	x := Or(
+		ExistsAtom(WithStates([]int{1, 2}), WithTimeRange(1, 4)),
+		ForAllAtom(WithStates([]int{0, 1, 2, 3}), WithTimeRange(2, 5)),
+	)
+	exact, err := engine.Evaluate(ctx, NewExprRequest(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := engine.Evaluate(ctx, NewExprRequest(x,
+		WithStrategy(StrategyMonteCarlo), WithMonteCarloBudget(20000, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := exact.Results[0].Prob, mc.Results[0].Prob
+	if sd := MonteCarloStdDev(want, 20000); math.Abs(got-want) > 5*sd+1e-9 {
+		t.Fatalf("Monte-Carlo %.4f vs exact %.4f (5σ = %.4f)", got, want, 5*sd)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	chain, _ := markov.FromDense([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	db := NewDatabase(chain)
+	db.MustAdd(MustObject(1, nil,
+		Observation{Time: 0, PDF: markov.PointDistribution(2, 0)},
+		Observation{Time: 2, PDF: markov.PointDistribution(2, 1)}))
+	engine := NewEngine(db, Options{})
+	ctx := context.Background()
+
+	x := ExistsAtom(WithStates([]int{1}), WithTimeRange(1, 3))
+	for _, strat := range []Strategy{StrategyQueryBased, StrategyObjectBased, StrategyMonteCarlo} {
+		if _, err := engine.Evaluate(ctx, NewExprRequest(x, WithStrategy(strat))); err == nil {
+			t.Errorf("%v: multi-observation object accepted", strat)
+		}
+	}
+	// A request with an expression but the wrong predicate is rejected.
+	req := NewExprRequest(x)
+	req.Predicate = PredicateExists
+	if _, err := engine.Evaluate(ctx, req); err == nil {
+		t.Error("expression under PredicateExists accepted")
+	}
+	// A PredicateExpr request without an expression is rejected.
+	if _, err := engine.Evaluate(ctx, NewRequest(PredicateExpr)); err == nil {
+		t.Error("empty expression request accepted")
+	}
+}
+
+// TestExprVacuous pins the decided-in-the-past semantics: an object
+// observed after every atom window gets the constant value of the
+// all-unfired flag word instead of an error.
+func TestExprVacuous(t *testing.T) {
+	chain, _ := markov.FromDense([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	db := NewDatabase(chain)
+	db.MustAdd(MustObject(1, nil, Observation{Time: 10, PDF: markov.PointDistribution(2, 0)}))
+	engine := NewEngine(db, Options{})
+	ctx := context.Background()
+
+	past := ExistsAtom(WithStates([]int{1}), WithTimeRange(1, 3))
+	for _, tc := range []struct {
+		x    Expr
+		want float64
+	}{
+		{past, 0},      // exists over a passed window: unfired, false
+		{Not(past), 1}, // its negation
+		{ForAllAtom(WithStates([]int{0}), WithTimeRange(1, 3)), 1}, // vacuous forall
+	} {
+		for _, strat := range []Strategy{StrategyQueryBased, StrategyObjectBased, StrategyMonteCarlo} {
+			resp, err := engine.Evaluate(ctx, NewExprRequest(tc.x, WithStrategy(strat)))
+			if err != nil {
+				t.Fatalf("%v: %v", strat, err)
+			}
+			if got := resp.Results[0].Prob; got != tc.want {
+				t.Errorf("%v: %s: got %g want %g", strat, tc.x, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestExprStringRoundTrip spot-checks the canonical rendering.
+func TestExprString(t *testing.T) {
+	x := And(
+		ExistsAtom(WithStates([]int{1, 2, 3, 7}), WithTimeRange(5, 15)),
+		Not(ForAllAtom(WithStates([]int{3, 4}), WithTimes([]int{0, 2, 9}))),
+	)
+	want := "exists(states(1-3,7) @ [5,15]) and not forall(states(3,4) @ {0,2,9})"
+	if got := x.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	y := Or(Then(
+		ExistsAtom(WithStates([]int{0}), WithTimes([]int{1})),
+		ExistsAtom(WithStates([]int{1}), WithTimes([]int{2})),
+	), ForAllAtom(WithStates([]int{5}), WithTimes([]int{4})))
+	wantY := "exists(states(0) @ {1}) then exists(states(1) @ {2}) or forall(states(5) @ {4})"
+	if got := y.String(); got != wantY {
+		t.Errorf("String() = %q, want %q", got, wantY)
+	}
+}

@@ -53,6 +53,7 @@ type Response struct {
 type evalPlan struct {
 	req       Request
 	query     Query
+	expr      *Expr // resolved expression (regions grounded), PredicateExpr only
 	strategy  Strategy
 	plans     []CostEstimate
 	workers   int
@@ -69,17 +70,26 @@ func (e *Engine) prepare(req Request) (*evalPlan, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	q, err := req.Window()
-	if err != nil {
-		return nil, err
+	p := &evalPlan{req: req}
+	if req.Predicate == PredicateExpr {
+		resolved, err := req.expr.resolved()
+		if err != nil {
+			return nil, err
+		}
+		p.expr = &resolved
+	} else {
+		q, err := req.Window()
+		if err != nil {
+			return nil, err
+		}
+		p.query = q
 	}
-	p := &evalPlan{req: req, query: q}
 
 	p.strategy = req.resolveStrategy(e.opts.Strategy)
 	if req.autoPlan {
 		switch req.Predicate {
 		case PredicateExists, PredicateForAll:
-			plans, perr := e.PlanExists(q)
+			plans, perr := e.PlanExists(p.query)
 			if perr != nil {
 				return nil, perr
 			}
@@ -114,7 +124,7 @@ func (e *Engine) prepare(req Request) (*evalPlan, error) {
 	}
 	p.useFilter = req.useFilter == nil || *req.useFilter
 	if p.plans != nil && (req.threshold != nil || req.topK > 0) {
-		annotateFilterOps(p.plans, e, q)
+		annotateFilterOps(p.plans, e, p.query)
 	}
 	return p, nil
 }
@@ -234,6 +244,15 @@ func (e *Engine) stream(ctx context.Context, plan *evalPlan) iter.Seq2[Result, e
 	}
 	var inner iter.Seq2[Result, error]
 	switch plan.req.Predicate {
+	case PredicateExpr:
+		switch plan.strategy {
+		case StrategyObjectBased:
+			inner = e.streamExprOB(ctx, plan)
+		case StrategyMonteCarlo:
+			inner = e.streamExprMC(ctx, plan)
+		default:
+			inner = e.streamExprQB(ctx, plan)
+		}
 	case PredicateEventually:
 		inner = e.streamEventually(ctx, plan)
 	case PredicateKTimes:
@@ -602,12 +621,13 @@ func (e *Engine) streamEventually(ctx context.Context, plan *evalPlan) iter.Seq2
 					yield(Result{}, errEventuallyMultiObs(o))
 					return
 				}
-				init := o.First().PDF.Clone()
-				if init.Vec().Normalize() == 0 {
+				pdf := o.First().PDF.Vec()
+				mass := pdf.Sum()
+				if mass == 0 {
 					yield(Result{}, errZeroMass(o.ID))
 					return
 				}
-				p := init.Vec().Dot(scores)
+				p := pdf.Dot(scores) / mass
 				if p > 1 {
 					p = 1
 				}

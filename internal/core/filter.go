@@ -60,7 +60,7 @@ func (p *evalPlan) filterEligible() bool {
 		return false
 	}
 	switch p.req.Predicate {
-	case PredicateExists, PredicateForAll, PredicateKTimes:
+	case PredicateExists, PredicateForAll, PredicateKTimes, PredicateExpr:
 	default:
 		return false
 	}
@@ -84,11 +84,15 @@ func (p *evalPlan) filterEligible() bool {
 // P∃(complement window), so the bound needs the LOWER bound of the
 // complemented exists-query: the initial mass on the certain-envelope.
 func upperBound(ctx context.Context, plan *evalPlan, k *kern, o *Object) (float64, bool, error) {
-	if plan.req.Predicate == PredicateForAll {
+	switch plan.req.Predicate {
+	case PredicateForAll:
 		lo, ok, err := k.existsLower(ctx, o)
 		return 1 - lo, ok, err
+	case PredicateExpr:
+		return k.exprUpper(ctx, o)
+	default:
+		return k.existsUpper(ctx, o)
 	}
-	return k.existsUpper(ctx, o)
 }
 
 // refineOne evaluates one surviving object exactly, dispatching on the
@@ -104,6 +108,10 @@ func refineOne(ctx context.Context, plan *evalPlan, k *kern, o *Object, bar floa
 		r, err = k.ktimesOBExact(ctx, o)
 	case plan.req.Predicate == PredicateKTimes:
 		r, err = k.ktimesQBExact(ctx, o)
+	case plan.req.Predicate == PredicateExpr && plan.strategy == StrategyObjectBased:
+		r, err = k.exprOBExact(ctx, o)
+	case plan.req.Predicate == PredicateExpr:
+		r, err = k.exprExact(ctx, o)
 	case plan.strategy == StrategyObjectBased:
 		return k.obExistsRefine(ctx, o, forAll, bar)
 	default:
@@ -143,6 +151,17 @@ func (k *kern) obExistsRefine(ctx context.Context, o *Object, forAll bool, bar f
 	return Result{ObjectID: o.ID, Prob: p}, true, nil
 }
 
+// filterGroupKernel builds the group kernel for the filter paths,
+// dispatching on the plan's predicate: compound expressions compile
+// their augmented program, everything else the (possibly complemented)
+// single window.
+func (e *Engine) filterGroupKernel(grp chainGroup, plan *evalPlan, complement bool) (*kern, error) {
+	if plan.req.Predicate == PredicateExpr {
+		return e.exprGroupKernel(grp, plan)
+	}
+	return e.groupKernel(grp, plan, complement)
+}
+
 // streamFilteredThreshold is the filter–refine core for WithThreshold
 // requests without ranking: objects whose upper bound falls below τ are
 // pruned; survivors are refined exactly and post-filtered exactly like
@@ -152,7 +171,7 @@ func (e *Engine) streamFilteredThreshold(ctx context.Context, plan *evalPlan) it
 	forAll := plan.req.Predicate == PredicateForAll
 	return func(yield func(Result, error) bool) {
 		for _, grp := range e.db.groupByChain() {
-			k, err := e.groupKernel(grp, plan, forAll)
+			k, err := e.filterGroupKernel(grp, plan, forAll)
 			if err != nil {
 				yield(Result{}, err)
 				return
@@ -210,7 +229,7 @@ func (e *Engine) topKFiltered(ctx context.Context, plan *evalPlan, h *resultMinH
 	}
 	forAll := plan.req.Predicate == PredicateForAll
 	for _, grp := range e.db.groupByChain() {
-		k, err := e.groupKernel(grp, plan, forAll)
+		k, err := e.filterGroupKernel(grp, plan, forAll)
 		if err != nil {
 			return err
 		}

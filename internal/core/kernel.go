@@ -31,27 +31,52 @@ type kern struct {
 	cache *scoreCache // nil: engine-wide caching disabled for this request
 	rep   *CacheReport
 	pool  *sparse.VecPool
+	// prog/exprTree are set instead of w for compound-expression
+	// requests (plan.go): the compiled augmented program and the
+	// resolved tree the filter bounds fold over.
+	prog     *exprProg
+	exprTree *Expr
 	// local memoizes sweeps within this kern's lifetime (one chain group
-	// of one request, or one Monitor) when the engine cache is bypassed,
-	// preserving the historical one-sweep-per-distinct-time behavior:
-	// WithCache(false) must never degrade QB evaluation to a sweep per
-	// object. Untracked by CacheReport — it is not the shared cache.
+	// of one request, or one Monitor). It serves two purposes: with the
+	// engine cache bypassed it preserves the historical one-sweep-per-
+	// distinct-time behavior (WithCache(false) must never degrade QB
+	// evaluation to a sweep per object), and with the engine cache on it
+	// short-circuits the per-object lookups — a scan over a million
+	// objects takes the engine-wide mutex once per distinct sweep, not
+	// once per object. Untracked by CacheReport, which therefore counts
+	// DISTINCT sweep fetches of the evaluation, not object touches.
 	local map[scoreKey]scoreValue
 }
 
-// lookup consults the engine cache or the request-local memo.
+// lookup consults the request-local memo, then the engine cache.
 func (k *kern) lookup(key scoreKey) (scoreValue, bool) {
-	if k.cache != nil {
-		return k.cache.get(key, k.rep)
+	if v, ok := k.local[key]; ok {
+		return v, ok
 	}
-	v, ok := k.local[key]
+	if k.cache == nil {
+		return scoreValue{}, false
+	}
+	v, ok := k.cache.get(key, k.rep)
+	if ok {
+		k.memo(key, v)
+	}
 	return v, ok
 }
 
-// store records a computed payload in whichever tier lookup consults.
+// store records a computed payload in the local memo and, when enabled,
+// the engine cache.
 func (k *kern) store(key scoreKey, v scoreValue) {
+	k.memo(key, v)
 	if k.cache != nil {
 		k.cache.put(key, v)
+	}
+}
+
+func (k *kern) memo(key scoreKey, v scoreValue) {
+	if key.kind.genSensitive() {
+		// Long-lived kerns (Monitor) would serve such entries across
+		// database generations; only the engine cache knows how to
+		// expire them. Every kind cached today is insensitive.
 		return
 	}
 	if k.local == nil {
@@ -147,11 +172,18 @@ func (k *kern) certainMaskAt(ctx context.Context, t0 int) (*sparse.Bitset, error
 }
 
 func (k *kern) maskAt(ctx context.Context, t0 int, kind scoreKind) (*sparse.Bitset, error) {
-	key := scoreKey{chain: k.chain, kind: kind, sig: k.w.signature(), t0: t0}
+	return k.maskFor(ctx, k.w, t0, kind)
+}
+
+// maskFor is maskAt over an explicit window — the compound-expression
+// bounds need envelopes for each atom's fire window, not the kern's
+// own.
+func (k *kern) maskFor(ctx context.Context, w *window, t0 int, kind scoreKind) (*sparse.Bitset, error) {
+	key := scoreKey{chain: k.chain, kind: kind, sig: w.signature(), t0: t0}
 	if v, ok := k.lookup(key); ok {
 		return v.bits, nil
 	}
-	m, err := supportEnvelope(ctx, k.chain, k.w, t0, kind == kindCertain)
+	m, err := supportEnvelope(ctx, k.chain, w, t0, kind == kindCertain)
 	if err != nil {
 		return nil, err
 	}
@@ -288,22 +320,25 @@ func (k *kern) existsExact(ctx context.Context, o *Object, forAll bool) (Result,
 	return Result{ObjectID: o.ID, Prob: p}, nil
 }
 
-// existsDot is the single-observation QB core: normalize the observation
-// pdf and dot it with the (cached) scoring vector.
+// existsDot is the single-observation QB core: dot the observation pdf
+// with the (cached) scoring vector. Normalization is folded into the
+// result (dot(pdf, s)/mass == dot(pdf/mass, s)) so the per-object cost
+// is O(|supp(pdf)|) — no O(|S|) clone per object per request.
 func (k *kern) existsDot(ctx context.Context, o *Object) (float64, error) {
 	first := o.First()
 	if first.Time > k.w.horizon {
 		return 0, errObservedAfterHorizon(o.ID, first.Time, k.w.horizon)
 	}
-	init := first.PDF.Clone()
-	if init.Vec().Normalize() == 0 {
+	pdf := first.PDF.Vec()
+	mass := pdf.Sum()
+	if mass == 0 {
 		return 0, errZeroMass(o.ID)
 	}
 	score, err := k.existsScoreAt(ctx, first.Time)
 	if err != nil {
 		return 0, err
 	}
-	return init.Vec().Dot(score), nil
+	return pdf.Dot(score) / mass, nil
 }
 
 // obExistsExact answers one object with the object-based strategy (a
@@ -341,13 +376,14 @@ func (k *kern) ktimesQBExact(ctx context.Context, o *Object) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	init := first.PDF.Clone()
-	if init.Vec().Normalize() == 0 {
+	pdf := first.PDF.Vec()
+	mass := pdf.Sum()
+	if mass == 0 {
 		return Result{}, errZeroMass(o.ID)
 	}
 	dist := make([]float64, k.w.k+1)
 	for i := range dist {
-		dist[i] = init.Vec().Dot(backs[i])
+		dist[i] = pdf.Dot(backs[i]) / mass
 	}
 	return kTimesResult(o.ID, dist), nil
 }

@@ -16,9 +16,12 @@ import (
 // serial path while memory stays O(workers) regardless of input size.
 // The first failure — the one at the lowest input index, which makes
 // the returned error deterministic regardless of goroutine scheduling —
-// cancels all remaining work.
-func parallelOrdered(ctx context.Context, n, workers int, fn func(ctx context.Context, idx int) (Result, error)) func(yield func(Result, error) bool) {
-	return func(yield func(Result, error) bool) {
+// cancels all remaining work. It is generic over the work-item result
+// type: the per-object streams instantiate it with Result, the batch
+// entry points (batch.go) with whole Responses.
+func parallelOrdered[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, idx int) (T, error)) func(yield func(T, error) bool) {
+	var zero T
+	return func(yield func(T, error) bool) {
 		if n == 0 {
 			return
 		}
@@ -28,7 +31,7 @@ func parallelOrdered(ctx context.Context, n, workers int, fn func(ctx context.Co
 		ctx, cancel := context.WithCancel(ctx)
 
 		type slot struct {
-			r   Result
+			r   T
 			err error
 		}
 		type job struct {
@@ -84,11 +87,11 @@ func parallelOrdered(ctx context.Context, n, workers int, fn func(ctx context.Co
 			select {
 			case s = <-out:
 			case <-ctx.Done():
-				yield(Result{}, ctx.Err())
+				yield(zero, ctx.Err())
 				return
 			}
 			if s.err != nil {
-				yield(Result{}, s.err)
+				yield(zero, s.err)
 				return
 			}
 			if !yield(s.r, nil) {
@@ -100,7 +103,7 @@ func parallelOrdered(ctx context.Context, n, workers int, fn func(ctx context.Co
 		// without an error slot. A cancelled scan must never look like a
 		// complete one — surface ctx.Err() explicitly.
 		if err := ctx.Err(); err != nil {
-			yield(Result{}, err)
+			yield(zero, err)
 		}
 	}
 }

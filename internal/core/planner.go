@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 
 	"ust/internal/markov"
 )
@@ -135,6 +136,152 @@ func annotateFilterOps(plans []CostEstimate, e *Engine, q Query) {
 			plans[i].FilterOps = ops
 		}
 	}
+}
+
+// --- multi-query optimizer -------------------------------------------------
+//
+// Batch requests (batch.go) are planned together: the optimizer walks
+// every prepared plan, extracts the backward-sweep work each one will
+// need — keyed exactly like the score cache, (chain, window signature,
+// observation time) — deduplicates it across requests, and schedules
+// the distinct sweeps once through the fused block kernel before any
+// request evaluates. Requests that share windows (identical panels,
+// forall-complements, repeated observation times) collapse to one
+// sweep; requests with merely overlapping windows still win because
+// their sweeps advance through the transition matrix together. The
+// results land in the engine's score cache, so the per-request
+// evaluation afterwards is all cache hits and the sequential semantics
+// (ranking, filtering, streaming, reports) are untouched.
+
+// sweepUnit is one deduplicated unit of backward-sweep work.
+type sweepUnit struct {
+	key scoreKey
+	w   *window
+	t0  int
+}
+
+// warmBatch pre-computes the distinct sweep work the plans will need:
+// float scoring sweeps for query-based exists/forall plans (fused in
+// state-major blocks) and boolean reachability envelopes for
+// filter-eligible threshold/top-k plans (fused 64 to the machine word).
+// The other predicates' sweeps (ktimes families, hitting fixed points,
+// expression families) still deduplicate across the batch through the
+// score cache, they just run at first use. A nil cache disables warming
+// entirely.
+func (e *Engine) warmBatch(ctx context.Context, plans []*evalPlan) error {
+	if e.cache == nil {
+		return nil
+	}
+	seen := map[scoreKey]bool{}
+	type chainUnits struct {
+		exists, possible, certain []sweepUnit
+	}
+	perChain := map[*markov.Chain]*chainUnits{}
+	chains := []*markov.Chain{}
+	add := func(chain *markov.Chain, key scoreKey, w *window, t0 int) {
+		if seen[key] || e.cache.contains(key) {
+			return
+		}
+		seen[key] = true
+		cu := perChain[chain]
+		if cu == nil {
+			cu = &chainUnits{}
+			perChain[chain] = cu
+			chains = append(chains, chain)
+		}
+		u := sweepUnit{key: key, w: w, t0: t0}
+		switch key.kind {
+		case kindPossible:
+			cu.possible = append(cu.possible, u)
+		case kindCertain:
+			cu.certain = append(cu.certain, u)
+		default:
+			cu.exists = append(cu.exists, u)
+		}
+	}
+	for _, plan := range plans {
+		if plan == nil || !plan.useCache {
+			continue
+		}
+		forAll := plan.req.Predicate == PredicateForAll
+		if plan.req.Predicate != PredicateExists && !forAll {
+			continue
+		}
+		needFloat := plan.strategy == StrategyQueryBased
+		// The filter's upper bound reads one envelope per object: the
+		// possible-mask for exists, the certain-mask (of the complemented
+		// window the kernel evaluates) for forall.
+		maskKind, needMask := kindPossible, plan.filterEligible()
+		if forAll {
+			maskKind = kindCertain
+		}
+		if !needFloat && !needMask {
+			continue
+		}
+		for _, grp := range e.db.groupByChain() {
+			w, err := compile(plan.query, grp.chain.NumStates())
+			if err != nil {
+				continue // the request's own evaluation surfaces this
+			}
+			if forAll {
+				w = w.complemented()
+			}
+			if w.k == 0 {
+				continue
+			}
+			for _, o := range grp.objects {
+				if len(o.Observations) != 1 {
+					continue // multi-observation objects use the forward kernel
+				}
+				t0 := o.First().Time
+				if t0 > w.horizon {
+					continue
+				}
+				if needFloat {
+					add(grp.chain, scoreKey{chain: grp.chain, kind: kindExists, sig: w.signature(), t0: t0}, w, t0)
+				}
+				if needMask {
+					add(grp.chain, scoreKey{chain: grp.chain, kind: maskKind, sig: w.signature(), t0: t0}, w, t0)
+				}
+			}
+		}
+	}
+	// Descending horizon keeps the fused float block's live columns a
+	// prefix; ties broken deterministically regardless of map iteration
+	// order. Mask blocks use the same schedule for determinism.
+	byHorizon := func(units []sweepUnit) {
+		sort.Slice(units, func(a, b int) bool {
+			if units[a].w.horizon != units[b].w.horizon {
+				return units[a].w.horizon > units[b].w.horizon
+			}
+			if units[a].key.sig != units[b].key.sig {
+				return units[a].key.sig < units[b].key.sig
+			}
+			return units[a].t0 < units[b].t0
+		})
+	}
+	for _, chain := range chains {
+		cu := perChain[chain]
+		byHorizon(cu.exists)
+		width := fusedWidth(chain.NumStates())
+		for start := 0; start < len(cu.exists); start += width {
+			end := min(start+width, len(cu.exists))
+			if err := e.fusedExistsSweeps(ctx, chain, cu.exists[start:end]); err != nil {
+				return err
+			}
+		}
+		for _, masks := range [][]sweepUnit{cu.possible, cu.certain} {
+			byHorizon(masks)
+			for start := 0; start < len(masks); start += 64 {
+				end := min(start+64, len(masks))
+				certain := len(masks) > 0 && masks[0].key.kind == kindCertain
+				if err := e.fusedMaskSweeps(ctx, chain, masks[start:end], certain); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // ExistsAuto evaluates the PST∃Q with the strategy the planner

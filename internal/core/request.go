@@ -32,6 +32,12 @@ const (
 	// (the chain-theoretic hitting probability). The temporal predicate
 	// is ignored; tune convergence with WithHittingLimits.
 	PredicateEventually
+	// PredicateExpr is a compound expression over exists/forall atoms
+	// (algebra.go), each with its own window, combined with And/Or/Not/
+	// Then and evaluated exactly by flag-bit state-space augmentation.
+	// Set the expression with WithExpr or build the request with
+	// NewExprRequest; the top-level States/Times/Region are unused.
+	PredicateExpr
 )
 
 func (p Predicate) String() string {
@@ -44,6 +50,8 @@ func (p Predicate) String() string {
 		return "ktimes"
 	case PredicateEventually:
 		return "eventually"
+	case PredicateExpr:
+		return "expr"
 	default:
 		return fmt.Sprintf("Predicate(%d)", int(p))
 	}
@@ -70,6 +78,10 @@ type Request struct {
 	// state space, or a Grid/LineSpace directly). Required when Region
 	// is set.
 	Resolver spatial.Resolver
+
+	// expr is the compound expression of a PredicateExpr request, set
+	// via WithExpr / NewExprRequest.
+	expr *Expr
 
 	// Execution hints, set via options. nil/zero means "engine default".
 	strategy    *Strategy
@@ -138,6 +150,24 @@ func WithRegion(region spatial.Region, resolver spatial.Resolver) RequestOption 
 		r.Region = region
 		r.Resolver = resolver
 	}
+}
+
+// WithExpr turns the request into a compound-expression query: the
+// predicate becomes PredicateExpr and x replaces the request's own
+// window (each atom carries its own). Build expressions with
+// ExistsAtom/ForAllAtom and And/Or/Not/Then.
+func WithExpr(x Expr) RequestOption {
+	return func(r *Request) {
+		r.Predicate = PredicateExpr
+		r.expr = &x
+	}
+}
+
+// NewExprRequest builds a compound-expression request: NewRequest
+// (PredicateExpr, WithExpr(x), opts...). Ranking, strategy, caching and
+// filter–refine options apply exactly as for atomic requests.
+func NewExprRequest(x Expr, opts ...RequestOption) Request {
+	return NewRequest(PredicateExpr, append([]RequestOption{WithExpr(x)}, opts...)...)
 }
 
 // WithStrategy forces the evaluation strategy for this request,
@@ -279,6 +309,38 @@ func (r Request) CacheHint() (enabled, ok bool) {
 	return *r.useCache, true
 }
 
+// ExprHint returns the compound expression, if WithExpr set one.
+func (r Request) ExprHint() (Expr, bool) {
+	if r.expr == nil {
+		return Expr{}, false
+	}
+	return *r.expr, true
+}
+
+// NeedsResolver reports whether the request carries a geometric region
+// — top-level or inside an expression atom — with no resolver attached
+// to ground it. The serving layer uses this to attach its dataset's
+// spatial index to wire-decoded requests.
+func (r Request) NeedsResolver() bool {
+	if r.Region != nil && r.Resolver == nil {
+		return true
+	}
+	return r.expr != nil && r.expr.needsResolver()
+}
+
+// AttachResolver returns a copy of the request with res attached to
+// every region that lacks a resolver, including expression atoms.
+func (r Request) AttachResolver(res spatial.Resolver) Request {
+	if r.Region != nil && r.Resolver == nil {
+		r.Resolver = res
+	}
+	if r.expr != nil && r.expr.needsResolver() {
+		attached := r.expr.attachResolver(res)
+		r.expr = &attached
+	}
+	return r
+}
+
 // FilterRefineHint returns the per-request filter–refine toggle, if
 // WithFilterRefine set one.
 func (r Request) FilterRefineHint() (enabled, ok bool) {
@@ -324,6 +386,16 @@ func (r Request) resolveStrategy(def Strategy) Strategy {
 func (r Request) validate() error {
 	switch r.Predicate {
 	case PredicateExists, PredicateForAll, PredicateKTimes, PredicateEventually:
+		if r.expr != nil {
+			return fmt.Errorf("core: WithExpr requires PredicateExpr, got %v", r.Predicate)
+		}
+	case PredicateExpr:
+		if r.expr == nil {
+			return fmt.Errorf("core: expression request without an expression (use WithExpr or NewExprRequest)")
+		}
+		if err := r.expr.validate(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("core: unknown predicate %v", r.Predicate)
 	}

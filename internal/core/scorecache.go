@@ -46,6 +46,9 @@ const (
 	kindPossible
 	// kindCertain: the "hits with certainty" envelope.
 	kindCertain
+	// kindExpr: the 2^m augmented backward family of a compound
+	// expression (plan.go); sig is the expression signature.
+	kindExpr
 )
 
 // genSensitive reports whether entries of this kind depend on object
@@ -56,7 +59,7 @@ const (
 // future cache user is safe by default.
 func (k scoreKind) genSensitive() bool {
 	switch k {
-	case kindExists, kindKTimes, kindHitting, kindPossible, kindCertain:
+	case kindExists, kindKTimes, kindHitting, kindPossible, kindCertain, kindExpr:
 		return false
 	}
 	return true
@@ -209,6 +212,22 @@ func (c *scoreCache) put(key scoreKey, val scoreValue) {
 		c.removeLocked(c.ll.Back())
 		c.stats.Evictions++
 	}
+}
+
+// contains reports whether key is present and current, without touching
+// LRU order or the hit/miss counters — the batch optimizer's peek for
+// "does this sweep still need computing".
+func (c *scoreCache) contains(key scoreKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	if key.kind.genSensitive() && el.Value.(*scoreEntry).gen != c.gen() {
+		return false
+	}
+	return true
 }
 
 // invalidate drops every entry immediately.

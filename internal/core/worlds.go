@@ -30,6 +30,78 @@ type WorldStats struct {
 // test run.
 const maxBruteForceWorlds = 5_000_000
 
+// BruteForceExpr evaluates a compound expression (algebra.go) for one
+// object by exhaustive possible-worlds enumeration: every trajectory of
+// positive probability is walked, each atom's fired-flag tracked along
+// it, and the expression's truth table applied to the final flag word.
+// This is the ground truth the augmented evaluations (plan.go) are
+// pinned against; like BruteForce it is intentionally exponential.
+// Atoms carrying geometric regions must have resolvers attached.
+func BruteForceExpr(chain *markov.Chain, o *Object, x Expr) (float64, error) {
+	resolved, err := x.resolved()
+	if err != nil {
+		return 0, err
+	}
+	prog, err := compileExpr(resolved, chain.NumStates())
+	if err != nil {
+		return 0, err
+	}
+	first := o.First()
+	end := prog.horizon
+	if last := o.Last().Time; last > end {
+		end = last
+	}
+	if end < first.Time {
+		end = first.Time
+	}
+
+	obsAt := map[int]*markov.Distribution{}
+	for _, ob := range o.Observations[1:] {
+		obsAt[ob.Time] = ob.PDF
+	}
+
+	var acceptMass, totalMass float64
+	worlds := 0
+	var walk func(t, state int, prob float64, bits int)
+	walk = func(t, state int, prob float64, bits int) {
+		if d := prog.deltas[t]; d != nil {
+			bits |= int(d[state])
+		}
+		if pdf, ok := obsAt[t]; ok {
+			prob *= pdf.P(state)
+			if prob == 0 {
+				return
+			}
+		}
+		if t == end {
+			worlds++
+			if worlds > maxBruteForceWorlds {
+				panic(fmt.Sprintf("core: brute force exceeded %d worlds", maxBruteForceWorlds))
+			}
+			totalMass += prob
+			if prog.accept[bits] {
+				acceptMass += prob
+			}
+			return
+		}
+		chain.Successors(state, func(next int, p float64) {
+			walk(t+1, next, prob*p, bits)
+		})
+	}
+
+	init := first.PDF.Clone()
+	if init.Vec().Normalize() == 0 {
+		return 0, errZeroMass(o.ID)
+	}
+	init.Vec().Range(func(s int, p float64) {
+		walk(first.Time, s, p, 0)
+	})
+	if totalMass == 0 {
+		return 0, fmt.Errorf("core: observations are mutually impossible under the motion model")
+	}
+	return acceptMass / totalMass, nil
+}
+
 // BruteForce enumerates every trajectory of positive probability from
 // the object's first observation to the query horizon (or last
 // observation if later), weights each by its path probability times the

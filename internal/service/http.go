@@ -14,6 +14,7 @@ import (
 	"ust/internal/markov"
 	"ust/internal/store"
 	"ust/internal/wire"
+	"ust/query"
 )
 
 // The HTTP/NDJSON front end over a Service. Routes (all bodies JSON
@@ -150,7 +151,10 @@ func wireInfo(in Info) wire.DatasetInfo {
 	return wire.DatasetInfo{Name: in.Name, Objects: in.Objects, States: in.States, Version: in.Version}
 }
 
-// decodeEnvelope reads and strictly decodes a query envelope body.
+// decodeEnvelope reads and strictly decodes a query envelope body. The
+// request may arrive in either form: the structured wire shape
+// ("request") or the text query language ("query"), parsed server-side
+// — the same compound queries, rankings and strategy hints either way.
 func decodeEnvelope(r *http.Request) (string, core.Request, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
 	if err != nil {
@@ -160,11 +164,24 @@ func decodeEnvelope(r *http.Request) (string, core.Request, error) {
 	if err := wire.StrictUnmarshal(body, &env); err != nil {
 		return "", core.Request{}, err
 	}
-	req, err := env.Request.ToRequest()
-	if err != nil {
-		return "", core.Request{}, err
+	switch {
+	case env.Request != nil && env.Query != "":
+		return "", core.Request{}, fmt.Errorf("%w: envelope carries both request and query", wire.ErrDecode)
+	case env.Request != nil:
+		req, err := env.Request.ToRequest()
+		if err != nil {
+			return "", core.Request{}, err
+		}
+		return env.Dataset, req, nil
+	case env.Query != "":
+		req, err := query.Parse(env.Query)
+		if err != nil {
+			return "", core.Request{}, fmt.Errorf("%w: %v", wire.ErrDecode, err)
+		}
+		return env.Dataset, req, nil
+	default:
+		return "", core.Request{}, fmt.Errorf("%w: envelope carries neither request nor query", wire.ErrDecode)
 	}
-	return env.Dataset, req, nil
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {

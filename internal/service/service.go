@@ -431,16 +431,16 @@ func (s *Service) admit(ctx context.Context) (release func(), err error) {
 }
 
 // resolveRegion attaches the dataset's resolver to region-carrying
-// requests (wire-decoded requests arrive with a nil resolver).
+// requests — top-level regions and compound-expression atoms alike
+// (wire-decoded and text-parsed requests arrive with nil resolvers).
 func (ds *dataset) resolveRegion(req core.Request) (core.Request, error) {
-	if req.Region == nil || req.Resolver != nil {
+	if !req.NeedsResolver() {
 		return req, nil
 	}
 	if ds.resolver == nil {
 		return req, fmt.Errorf("%w: %q", ErrNoResolver, ds.name)
 	}
-	req.Resolver = ds.resolver
-	return req, nil
+	return req.AttachResolver(ds.resolver), nil
 }
 
 // testHookEvalStart, when set, runs inside every evaluation after

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ust/internal/core"
+	"ust/internal/markov"
+	"ust/internal/wire"
+	"ust/query"
+)
+
+// The acceptance path for the text query language: the SAME query
+// string must be accepted by the HTTP /v1/query envelope, by
+// Service.Subscribe (via query.Parse), and must produce results
+// identical to the structured wire form of the same request.
+
+const compoundText = "exists(states(0) @ [2,3]) and not forall(states(1,2) @ [1,2])"
+
+func textTestService(t *testing.T) *Service {
+	t.Helper()
+	svc := New(Config{})
+	t.Cleanup(svc.Close)
+	if err := svc.Create("d", paperDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestTextQueryOverHTTP(t *testing.T) {
+	svc := textTestService(t)
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	// Text envelope.
+	body := `{"dataset":"d","query":"` + compoundText + `"}`
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text query: status %d", resp.StatusCode)
+	}
+	var textResp wire.Response
+	if err := json.NewDecoder(resp.Body).Decode(&textResp); err != nil {
+		t.Fatal(err)
+	}
+
+	// The equivalent structured envelope.
+	req, err := query.Parse(compoundText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := wire.FromRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := json.Marshal(wire.QueryEnvelope{Dataset: "d", Request: &wr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(string(env)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var structResp wire.Response
+	if err := json.NewDecoder(resp2.Body).Decode(&structResp); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(textResp.Results) == 0 || len(textResp.Results) != len(structResp.Results) {
+		t.Fatalf("results differ: text %d, structured %d", len(textResp.Results), len(structResp.Results))
+	}
+	for i := range textResp.Results {
+		if textResp.Results[i].Object != structResp.Results[i].Object ||
+			textResp.Results[i].Prob != structResp.Results[i].Prob {
+			t.Fatalf("result %d differs: %+v vs %+v", i, textResp.Results[i], structResp.Results[i])
+		}
+	}
+
+	// Bad text queries are 400s, not 500s.
+	for _, bad := range []string{
+		`{"dataset":"d","query":"exsts(states(1) @ [1,2])"}`,
+		`{"dataset":"d"}`,
+		`{"dataset":"d","query":"exists(states(0) @ [1,2])","request":{"predicate":"exists"}}`,
+	} {
+		r, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad envelope %s: status %d, want 400", bad, r.StatusCode)
+		}
+	}
+}
+
+func TestTextQuerySubscribe(t *testing.T) {
+	svc := textTestService(t)
+
+	// In-process: Service.Subscribe accepts the parsed text query.
+	req, err := query.Parse(compoundText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := svc.Subscribe(context.Background(), "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	first := <-sub.Updates()
+	if !first.Full {
+		t.Fatal("first update not a full snapshot")
+	}
+	fresh, err := svc.Evaluate(context.Background(), "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Results) != len(fresh.Results) {
+		t.Fatalf("snapshot %d results, fresh %d", len(first.Results), len(fresh.Results))
+	}
+	for i := range fresh.Results {
+		if math.Abs(first.Results[i].Prob-fresh.Results[i].Prob) != 0 {
+			t.Fatalf("snapshot result %d differs", i)
+		}
+	}
+
+	// Over HTTP: the subscribe endpoint takes the same text envelope and
+	// pushes the snapshot as its first NDJSON line.
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	body := `{"dataset":"d","query":"` + compoundText + `"}`
+	httpReq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/subscribe", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe: status %d", resp.StatusCode)
+	}
+	line, err := bufio.NewReader(resp.Body).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up wire.Update
+	if err := json.Unmarshal(line, &up); err != nil {
+		t.Fatalf("bad first update line %q: %v", line, err)
+	}
+	if !up.Full || len(up.Results) != len(fresh.Results) {
+		t.Fatalf("HTTP snapshot: full=%v results=%d want %d", up.Full, len(up.Results), len(fresh.Results))
+	}
+}
+
+// TestCompoundCoalescing pins that single-flight keying works unchanged
+// for compound queries: the expression round-trips through the wire
+// encoding the flight key is derived from.
+func TestCompoundCoalescing(t *testing.T) {
+	svc := textTestService(t)
+	req, err := query.Parse("exists(states(0) @ [2,3]) and exists(states(1) @ [1,3])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := req.ExprHint(); !ok {
+		t.Fatal("not a compound request")
+	}
+	ds, err := svc.dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1, ok1 := svc.flightKey(ds, req)
+	key2, ok2 := svc.flightKey(ds, req)
+	if !ok1 || !ok2 || key1 != key2 {
+		t.Fatalf("compound flight keys unstable: %v %v", ok1, ok2)
+	}
+	// And a subscription over the compound query updates on ingest.
+	sub, err := svc.Subscribe(context.Background(), "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	<-sub.Updates() // snapshot
+	obj, err := core.NewObject(99, nil, core.Observation{Time: 0, PDF: markov.PointDistribution(3, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Track("d", obj); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case up, open := <-sub.Updates():
+		if !open {
+			t.Fatalf("subscription closed unexpectedly: %v", sub.Err())
+		}
+		_ = up // any refresh is fine; correctness of diffs is pinned elsewhere
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update after ingest")
+	}
+}

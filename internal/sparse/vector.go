@@ -44,6 +44,14 @@ func NewVec(n int) *Vec {
 	return &Vec{data: make([]float64, n)}
 }
 
+// AdoptDense wraps data — taking ownership, no copy — as a dense-mode
+// vector: the O(1) constructor for bulk-computed payloads (the fused
+// batch sweeps gather whole columns at once). The caller must not
+// touch data afterwards.
+func AdoptDense(data []float64) *Vec {
+	return &Vec{data: data, dense: true}
+}
+
 // NewVecFrom returns a vector with a copy of the given dense data.
 func NewVecFrom(data []float64) *Vec {
 	v := NewVec(len(data))
@@ -151,7 +159,12 @@ func (v *Vec) CopyFrom(w *Vec) {
 }
 
 // Range calls fn for every non-zero entry. Order is unspecified in sparse
-// mode and ascending in dense mode. fn must not mutate v.
+// mode and ascending in dense mode. The one mutation fn may perform on v
+// is zeroing entries it has been handed (Set(i, 0)): zero-writes never
+// touch the support list, and both iteration modes tolerate them — the
+// mass-moving kernels (sweepHits, shiftDown, the augmented expression
+// forward pass) rely on exactly this, followed by a Compact. Any other
+// mutation from fn is forbidden.
 func (v *Vec) Range(fn func(i int, x float64)) {
 	if v.dense {
 		for i, x := range v.data {

@@ -23,6 +23,11 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"predicate":"exists","region":{"type":"difference","base":{"type":"rect","min":[0,0],"max":[9,9]},"sub":{"type":"polygon","vertices":[[0,0],[1,0],[0,1]]}}}`,
 		`{"predicate":"exists","states":[18446744073709551615]}`,
 		`{"predicate":"exists","threshold":1e308}`,
+		`{"predicate":"expr","expr":{"op":"atom","states":[1,2],"times":[3,4]}}`,
+		`{"predicate":"expr","expr":{"op":"and","operands":[{"op":"atom","states":[1],"times":[2]},{"op":"not","operands":[{"op":"atom","forall":true,"states":[3],"times":[4]}]}]},"threshold":0.5}`,
+		`{"predicate":"expr","expr":{"op":"then","operands":[{"op":"atom","states":[1],"times":[2]},{"op":"atom","region":{"type":"circle","center":[1,1],"radius":2},"times":[5]}]}}`,
+		`{"predicate":"expr","expr":{"op":"or","operands":[]}}`,
+		`{"predicate":"exists","expr":{"op":"atom"}}`,
 		`[]`, `null`, `{}`, `{{`, "\x00\xff", `{"predicate":"exists"}{"predicate":"exists"}`,
 	}
 	for _, s := range seeds {

@@ -34,6 +34,7 @@ type Request struct {
 	States       []int       `json:"states,omitempty"`
 	Times        []int       `json:"times,omitempty"`
 	Region       *Region     `json:"region,omitempty"`
+	Expr         *Expr       `json:"expr,omitempty"`
 	Strategy     string      `json:"strategy,omitempty"`
 	AutoPlan     bool        `json:"auto_plan,omitempty"`
 	Threshold    *float64    `json:"threshold,omitempty"`
@@ -43,6 +44,21 @@ type Request struct {
 	Hitting      *Hitting    `json:"hitting,omitempty"`
 	Cache        *bool       `json:"cache,omitempty"`
 	FilterRefine *bool       `json:"filter_refine,omitempty"`
+}
+
+// Expr is the JSON shape of a core.Expr: a tagged tree over exists/
+// forall atoms.
+//
+//	{"op":"atom","forall":true,"states":[3,4],"times":[0,9]}
+//	{"op":"and","operands":[...]}   (also "or", "then")
+//	{"op":"not","operands":[{...}]}
+type Expr struct {
+	Op       string  `json:"op"`
+	ForAll   bool    `json:"forall,omitempty"`
+	States   []int   `json:"states,omitempty"`
+	Times    []int   `json:"times,omitempty"`
+	Region   *Region `json:"region,omitempty"`
+	Operands []Expr  `json:"operands,omitempty"`
 }
 
 // MonteCarlo is the sampling budget of a Request.
@@ -114,11 +130,14 @@ type Response struct {
 	Filter   FilterReport   `json:"filter,omitzero"`
 }
 
-// QueryEnvelope is the body of POST /v1/query and /v1/query/stream: a
-// request addressed to a named dataset.
+// QueryEnvelope is the body of POST /v1/query, /v1/query/stream and
+// /v1/subscribe: a request addressed to a named dataset. Exactly one of
+// Request (structured wire form) or Query (the compact text query
+// language of package ust/query, parsed server-side) must be set.
 type QueryEnvelope struct {
-	Dataset string  `json:"dataset"`
-	Request Request `json:"request"`
+	Dataset string   `json:"dataset"`
+	Request *Request `json:"request,omitempty"`
+	Query   string   `json:"query,omitempty"`
 }
 
 // StreamLine is one NDJSON line of a /v1/query/stream response: exactly
@@ -185,6 +204,8 @@ func predicateName(p core.Predicate) (string, error) {
 		return "ktimes", nil
 	case core.PredicateEventually:
 		return "eventually", nil
+	case core.PredicateExpr:
+		return "expr", nil
 	default:
 		return "", fmt.Errorf("wire: unknown predicate %v", p)
 	}
@@ -200,8 +221,105 @@ func parsePredicate(s string) (core.Predicate, error) {
 		return core.PredicateKTimes, nil
 	case "eventually":
 		return core.PredicateEventually, nil
+	case "expr":
+		return core.PredicateExpr, nil
 	default:
 		return 0, fmt.Errorf("%w: unknown predicate %q", ErrDecode, s)
+	}
+}
+
+// --- Expr codec -----------------------------------------------------------
+
+func fromExpr(x core.Expr) (Expr, error) {
+	if a, ok := x.Atom(); ok {
+		w := Expr{Op: "atom", ForAll: a.ForAll, States: a.States, Times: a.Times}
+		if a.Region != nil {
+			reg, err := fromRegion(a.Region)
+			if err != nil {
+				return Expr{}, err
+			}
+			w.Region = &reg
+		}
+		return w, nil
+	}
+	var op string
+	switch x.Op() {
+	case core.ExprAnd:
+		op = "and"
+	case core.ExprOr:
+		op = "or"
+	case core.ExprNot:
+		op = "not"
+	case core.ExprThen:
+		op = "then"
+	default:
+		return Expr{}, fmt.Errorf("wire: unknown expression op %v", x.Op())
+	}
+	kids := x.Operands()
+	w := Expr{Op: op, Operands: make([]Expr, len(kids))}
+	for i, kid := range kids {
+		enc, err := fromExpr(kid)
+		if err != nil {
+			return Expr{}, err
+		}
+		w.Operands[i] = enc
+	}
+	return w, nil
+}
+
+// maxExprDepth bounds expression nesting so hostile input cannot drive
+// unbounded recursion. (The atom budget is enforced by the engine's own
+// validation; depth is the decoder's concern.)
+const maxExprDepth = 64
+
+func (w Expr) toExpr(depth int) (core.Expr, error) {
+	if depth > maxExprDepth {
+		return core.Expr{}, fmt.Errorf("%w: expression nesting deeper than %d", ErrDecode, maxExprDepth)
+	}
+	switch w.Op {
+	case "atom":
+		if len(w.States) > maxWireInts || len(w.Times) > maxWireInts {
+			return core.Expr{}, fmt.Errorf("%w: atom window too large", ErrDecode)
+		}
+		a := core.ExprAtom{ForAll: w.ForAll, States: w.States, Times: w.Times}
+		if w.Region != nil {
+			reg, err := w.Region.toRegion(0)
+			if err != nil {
+				return core.Expr{}, err
+			}
+			a.Region = reg
+		}
+		if len(w.Operands) != 0 {
+			return core.Expr{}, fmt.Errorf("%w: atom with operands", ErrDecode)
+		}
+		return core.NewAtom(a), nil
+	case "and", "or", "not", "then":
+		if w.ForAll || w.States != nil || w.Times != nil || w.Region != nil {
+			return core.Expr{}, fmt.Errorf("%w: %s node with atom fields", ErrDecode, w.Op)
+		}
+		kids := make([]core.Expr, len(w.Operands))
+		for i, kw := range w.Operands {
+			kid, err := kw.toExpr(depth + 1)
+			if err != nil {
+				return core.Expr{}, err
+			}
+			kids[i] = kid
+		}
+		switch w.Op {
+		case "and":
+			return core.And(kids...), nil
+		case "or":
+			return core.Or(kids...), nil
+		case "then":
+			return core.Then(kids...), nil
+		default: // not
+			if len(kids) != 1 {
+				return core.Expr{}, fmt.Errorf("%w: not takes exactly one operand, got %d", ErrDecode, len(kids))
+			}
+			return core.Not(kids[0]), nil
+		}
+	default:
+		return core.Expr{}, fmt.Errorf("%w: unknown expression op %q", ErrDecode, w.Op)
 	}
 }
 
@@ -253,6 +371,13 @@ func FromRequest(r core.Request) (Request, error) {
 			return Request{}, rerr
 		}
 		w.Region = &reg
+	}
+	if x, ok := r.ExprHint(); ok {
+		enc, xerr := fromExpr(x)
+		if xerr != nil {
+			return Request{}, xerr
+		}
+		w.Expr = &enc
 	}
 	if s, ok := r.StrategyHint(); ok {
 		name, serr := strategyName(s)
@@ -308,6 +433,16 @@ func (w Request) ToRequest() (core.Request, error) {
 			return core.Request{}, rerr
 		}
 		opts = append(opts, core.WithRegion(reg, nil))
+	}
+	if (pred == core.PredicateExpr) != (w.Expr != nil) {
+		return core.Request{}, fmt.Errorf("%w: predicate %q and expr field must come together", ErrDecode, w.Predicate)
+	}
+	if w.Expr != nil {
+		x, xerr := w.Expr.toExpr(0)
+		if xerr != nil {
+			return core.Request{}, xerr
+		}
+		opts = append(opts, core.WithExpr(x))
 	}
 	if w.AutoPlan {
 		opts = append(opts, core.WithAutoPlan())

@@ -55,9 +55,35 @@ func TestRequestRoundTripEveryOption(t *testing.T) {
 		core.NewRequest(core.PredicateExists,
 			core.WithStates([]int{4}), core.WithTimes([]int{4}),
 			core.WithThreshold(0)), // explicit zero threshold must survive
+		core.NewExprRequest(core.And(
+			core.ExistsAtom(core.WithStates([]int{1, 2}), core.WithTimeRange(5, 15)),
+			core.Not(core.ForAllAtom(core.WithStates([]int{3, 4}), core.WithTimes([]int{0, 9}))),
+		), core.WithThreshold(0.3)),
+		core.NewExprRequest(core.Or(
+			core.Then(
+				core.ExistsAtom(core.WithStates([]int{7}), core.WithTimes([]int{2})),
+				core.ExistsAtom(core.WithRegion(spatial.Circle{Center: spatial.Point{X: 1, Y: 2}, Radius: 3}, nil), core.WithTimes([]int{8})),
+			),
+			core.ForAllAtom(core.WithStates([]int{5}), core.WithTimes([]int{4})),
+		), core.WithTopK(3), core.WithStrategy(core.StrategyObjectBased)),
 	}
 	for _, req := range reqs {
 		roundTrip(t, req)
+	}
+}
+
+func TestDecodeRequestExprValidation(t *testing.T) {
+	bad := []string{
+		`{"predicate":"expr"}`,                                                             // expr predicate without a tree
+		`{"predicate":"exists","expr":{"op":"atom"}}`,                                      // tree without the expr predicate
+		`{"predicate":"expr","expr":{"op":"nand","operands":[]}}`,                          // unknown op
+		`{"predicate":"expr","expr":{"op":"atom","operands":[{"op":"atom"}]}}`,             // atom with operands
+		`{"predicate":"expr","expr":{"op":"not","states":[1],"operands":[{"op":"atom"}]}}`, // combinator with atom fields
+	}
+	for _, s := range bad {
+		if _, err := DecodeRequest([]byte(s)); err == nil {
+			t.Errorf("DecodeRequest(%s) succeeded", s)
+		}
 	}
 }
 

@@ -1,0 +1,201 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"ust/internal/core"
+	"ust/internal/spatial"
+)
+
+// Format renders a request in the text query language, canonically:
+// sorted deduped windows with contiguous runs collapsed, settings in a
+// fixed order. Format(Parse(s)) is a fixed point. It fails on requests
+// the language cannot express — geometric regions outside the
+// rect/circle vocabulary (polygons, unions, differences travel over
+// the structured wire form instead).
+func Format(req core.Request) (string, error) {
+	var b strings.Builder
+	switch req.Predicate {
+	case core.PredicateExpr:
+		x, ok := req.ExprHint()
+		if !ok {
+			return "", fmt.Errorf("query: expression request without an expression")
+		}
+		if err := checkExprRegions(x); err != nil {
+			return "", err
+		}
+		b.WriteString(x.String())
+	case core.PredicateExists, core.PredicateForAll, core.PredicateKTimes, core.PredicateEventually:
+		b.WriteString(req.Predicate.String())
+		b.WriteByte('(')
+		if err := formatSpace(&b, req.States, req.Region); err != nil {
+			return "", err
+		}
+		if req.Predicate != core.PredicateEventually || len(req.Times) > 0 {
+			b.WriteString(" @ ")
+			formatTimes(&b, req.Times)
+		}
+		b.WriteByte(')')
+	default:
+		return "", fmt.Errorf("query: unknown predicate %v", req.Predicate)
+	}
+	settings := formatSettings(req)
+	if settings != "" {
+		b.WriteString(" where ")
+		b.WriteString(settings)
+	}
+	return b.String(), nil
+}
+
+func checkExprRegions(x core.Expr) error {
+	if a, ok := x.Atom(); ok {
+		return checkRegion(a.Region)
+	}
+	for _, kid := range x.Operands() {
+		if err := checkExprRegions(kid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRegion(r spatial.Region) error {
+	switch r.(type) {
+	case nil, spatial.Rect, spatial.Circle:
+		return nil
+	default:
+		return fmt.Errorf("query: region type %T has no text form; use the structured wire request", r)
+	}
+}
+
+func formatSpace(b *strings.Builder, states []int, region spatial.Region) error {
+	if err := checkRegion(region); err != nil {
+		return err
+	}
+	switch {
+	case region != nil && len(states) > 0:
+		formatRegion(b, region)
+		b.WriteByte('+')
+		formatStates(b, states)
+	case region != nil:
+		formatRegion(b, region)
+	default:
+		formatStates(b, states)
+	}
+	return nil
+}
+
+func formatRegion(b *strings.Builder, r spatial.Region) {
+	switch v := r.(type) {
+	case spatial.Rect:
+		fmt.Fprintf(b, "region(%g,%g,%g,%g)", v.MinX, v.MinY, v.MaxX, v.MaxY)
+	case spatial.Circle:
+		fmt.Fprintf(b, "circle(%g,%g,%g)", v.Center.X, v.Center.Y, v.Radius)
+	}
+}
+
+func formatStates(b *strings.Builder, ids []int) {
+	b.WriteString("states(")
+	formatIntSet(b, normalize(ids))
+	b.WriteByte(')')
+}
+
+func formatTimes(b *strings.Builder, times []int) {
+	times = normalize(times)
+	if n := len(times); n > 1 && times[n-1]-times[0] == n-1 {
+		fmt.Fprintf(b, "[%d,%d]", times[0], times[n-1])
+		return
+	}
+	b.WriteByte('{')
+	formatIntSet(b, times)
+	b.WriteByte('}')
+}
+
+// normalize sorts and dedupes, matching what NewQuery does at
+// evaluation time — the canonical form the fixed point relies on.
+func normalize(ids []int) []int {
+	q := core.NewQuery(ids, nil)
+	return q.States
+}
+
+// formatIntSet renders a sorted id set with contiguous runs of three or
+// more collapsed to lo-hi ranges.
+func formatIntSet(b *strings.Builder, ids []int) {
+	for i := 0; i < len(ids); {
+		j := i
+		for j+1 < len(ids) && ids[j+1] == ids[j]+1 {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch {
+		case j == i:
+			fmt.Fprintf(b, "%d", ids[i])
+		case j == i+1:
+			fmt.Fprintf(b, "%d,%d", ids[i], ids[j])
+		default:
+			fmt.Fprintf(b, "%d-%d", ids[i], ids[j])
+		}
+		i = j + 1
+	}
+}
+
+// formatSettings emits the where-clause in canonical key order, only
+// for non-default hints.
+func formatSettings(req core.Request) string {
+	var parts []string
+	if tau, ok := req.ThresholdHint(); ok {
+		parts = append(parts, fmt.Sprintf("tau=%g", tau))
+	}
+	if k := req.TopKHint(); k > 0 {
+		parts = append(parts, fmt.Sprintf("top=%d", k))
+	}
+	if req.AutoPlanHint() {
+		parts = append(parts, "strategy=auto")
+	} else if s, ok := req.StrategyHint(); ok {
+		name := "qb"
+		switch s {
+		case core.StrategyObjectBased:
+			name = "ob"
+		case core.StrategyMonteCarlo:
+			name = "mc"
+		}
+		parts = append(parts, "strategy="+name)
+	}
+	if w := req.ParallelismHint(); w != 0 {
+		if w < 0 {
+			w = 0 // "all cores" round-trips as workers=0
+		}
+		parts = append(parts, fmt.Sprintf("workers=%d", w))
+	}
+	if samples, seed, ok := req.MonteCarloHint(); ok {
+		if samples > 0 {
+			parts = append(parts, fmt.Sprintf("samples=%d", samples))
+		}
+		parts = append(parts, fmt.Sprintf("seed=%d", seed))
+	}
+	if enabled, ok := req.CacheHint(); ok {
+		parts = append(parts, "cache="+onOff(enabled))
+	}
+	if enabled, ok := req.FilterRefineHint(); ok {
+		parts = append(parts, "filter="+onOff(enabled))
+	}
+	if steps, tol := req.HittingHint(); steps != 0 || tol != 0 {
+		if steps != 0 {
+			parts = append(parts, fmt.Sprintf("steps=%d", steps))
+		}
+		if tol != 0 {
+			parts = append(parts, fmt.Sprintf("tol=%g", tol))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}

@@ -1,0 +1,671 @@
+// Package query implements the compact text query language of the ust
+// engine: a one-line, human-writable form of a core.Request, accepted
+// everywhere a structured request is — `ustquery -q`, the HTTP API's
+// "query" envelope field, and Service.Subscribe via ParseQuery in the
+// facade.
+//
+//	exists(states(100-120) @ [20,25]) where tau=0.3 strategy=auto
+//	exists(region(10,20,0,30) @ [5,15]) and not forall(states(3,4) @ [0,9])
+//	exists(states(7) @ [5,10]) then exists(states(9) @ [20,30]) where top=5
+//	eventually(states(40,41)) where steps=500 tol=1e-9
+//
+// A single atom parses to the corresponding atomic predicate request;
+// any use of and/or/not/then parses to a compound-expression request
+// (evaluated exactly, correlations included — see ust.Expr). The
+// ktimes and eventually predicates are not boolean and are only valid
+// as the whole query. Format is the inverse of Parse and emits a
+// canonical form: Format(Parse(s)) is a fixed point, which the parser
+// fuzz test pins.
+//
+// See README.md in this directory for the full grammar.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ust/internal/core"
+	"ust/internal/spatial"
+)
+
+// ParseError is a syntax error with its byte offset in the query
+// string. Column is 1-based; CLI front ends print a caret under it.
+type ParseError struct {
+	Pos int // 0-based byte offset into the query string
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("column %d: %s", e.Pos+1, e.Msg)
+}
+
+// Parse compiles a text query into a core.Request. Geometric regions
+// are left unresolved (nil resolver); the serving layer attaches its
+// dataset's spatial index, exactly as with wire-decoded requests.
+func Parse(input string) (core.Request, error) {
+	p := &parser{}
+	if err := p.lex(input); err != nil {
+		return core.Request{}, err
+	}
+	root, err := p.parseExpr()
+	if err != nil {
+		return core.Request{}, err
+	}
+	opts, err := p.parseSettings()
+	if err != nil {
+		return core.Request{}, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return core.Request{}, p.errAt(tok.pos, "unexpected %q", tok.text)
+	}
+	req, err := root.toRequest()
+	if err != nil {
+		return core.Request{}, err
+	}
+	return req.With(opts...), nil
+}
+
+// --- AST -------------------------------------------------------------------
+
+// node is the parse tree: leaves carry a predicate name and window,
+// inner nodes a combinator.
+type node struct {
+	op     core.ExprOp
+	pred   string // leaf only: exists | forall | ktimes | eventually
+	states []int
+	region spatial.Region
+	times  []int
+	kids   []*node
+	pos    int
+}
+
+// toRequest converts the root: a lone atom becomes an atomic request,
+// anything else a compound-expression request.
+func (n *node) toRequest() (core.Request, error) {
+	if n.op == core.ExprLeaf {
+		var pred core.Predicate
+		switch n.pred {
+		case "exists":
+			pred = core.PredicateExists
+		case "forall":
+			pred = core.PredicateForAll
+		case "ktimes":
+			pred = core.PredicateKTimes
+		case "eventually":
+			pred = core.PredicateEventually
+		}
+		opts := []core.RequestOption{core.WithStates(n.states), core.WithTimes(n.times)}
+		if n.region != nil {
+			opts = append(opts, core.WithRegion(n.region, nil))
+		}
+		return core.NewRequest(pred, opts...), nil
+	}
+	x, err := n.toExpr()
+	if err != nil {
+		return core.Request{}, err
+	}
+	return core.NewExprRequest(x), nil
+}
+
+func (n *node) toExpr() (core.Expr, error) {
+	if n.op == core.ExprLeaf {
+		if n.pred != "exists" && n.pred != "forall" {
+			return core.Expr{}, &ParseError{Pos: n.pos, Msg: fmt.Sprintf("%s is not boolean and cannot be combined; only exists/forall atoms may appear in compound expressions", n.pred)}
+		}
+		return core.NewAtom(core.ExprAtom{
+			ForAll: n.pred == "forall",
+			States: n.states,
+			Times:  n.times,
+			Region: n.region,
+		}), nil
+	}
+	kids := make([]core.Expr, len(n.kids))
+	for i, kid := range n.kids {
+		x, err := kid.toExpr()
+		if err != nil {
+			return core.Expr{}, err
+		}
+		kids[i] = x
+	}
+	switch n.op {
+	case core.ExprAnd:
+		return core.And(kids...), nil
+	case core.ExprOr:
+		return core.Or(kids...), nil
+	case core.ExprThen:
+		return core.Then(kids...), nil
+	default:
+		return core.Not(kids[0]), nil
+	}
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	toks []token
+	ti   int
+}
+
+func (p *parser) errAt(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentRune(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (p *parser) lex(in string) error {
+	i := 0
+	for i < len(in) {
+		c := in[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentRune(c):
+			start := i
+			for i < len(in) && (isIdentRune(in[i]) || isDigit(in[i])) {
+				i++
+			}
+			p.toks = append(p.toks, token{kind: tokIdent, text: strings.ToLower(in[start:i]), pos: start})
+		case isDigit(c) || c == '.' && i+1 < len(in) && isDigit(in[i+1]):
+			start := i
+			for i < len(in) && (isDigit(in[i]) || in[i] == '.') {
+				i++
+			}
+			// Exponent: 1e9, 2.5e-3. The sign belongs to the number.
+			if i < len(in) && (in[i] == 'e' || in[i] == 'E') {
+				j := i + 1
+				if j < len(in) && (in[j] == '+' || in[j] == '-') {
+					j++
+				}
+				if j < len(in) && isDigit(in[j]) {
+					i = j
+					for i < len(in) && isDigit(in[i]) {
+						i++
+					}
+				}
+			}
+			p.toks = append(p.toks, token{kind: tokNumber, text: in[start:i], pos: start})
+		case strings.IndexByte("()[]{},@+-=", c) >= 0:
+			p.toks = append(p.toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		default:
+			return &ParseError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	p.toks = append(p.toks, token{kind: tokEOF, text: "end of query", pos: len(in)})
+	return nil
+}
+
+func (p *parser) peek() token { return p.toks[p.ti] }
+
+func (p *parser) next() token {
+	t := p.toks[p.ti]
+	if t.kind != tokEOF {
+		p.ti++
+	}
+	return t
+}
+
+func (p *parser) accept(punct string) bool {
+	if t := p.peek(); t.kind == tokPunct && t.text == punct {
+		p.ti++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptIdent(word string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == word {
+		p.ti++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(punct string) (token, error) {
+	t := p.next()
+	if t.kind != tokPunct || t.text != punct {
+		return t, p.errAt(t.pos, "expected %q, got %q", punct, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errAt(t.pos, "expected a number, got %q", t.text)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errAt(t.pos, "expected an integer, got %q", t.text)
+	}
+	if v < 0 {
+		return 0, p.errAt(t.pos, "negative value %d", v)
+	}
+	return v, nil
+}
+
+// expectFloat parses a number with an optional leading minus (region
+// coordinates may be negative).
+func (p *parser) expectFloat() (float64, error) {
+	neg := p.accept("-")
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errAt(t.pos, "expected a number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errAt(t.pos, "bad number %q", t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// --- grammar ---------------------------------------------------------------
+
+// parseExpr: or-expression (lowest precedence).
+func (p *parser) parseExpr() (*node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*node{left}
+	pos := left.pos
+	for p.acceptIdent("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &node{op: core.ExprOr, kids: kids, pos: pos}, nil
+}
+
+func (p *parser) parseAnd() (*node, error) {
+	left, err := p.parseThen()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*node{left}
+	for p.acceptIdent("and") {
+		right, err := p.parseThen()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &node{op: core.ExprAnd, kids: kids, pos: left.pos}, nil
+}
+
+func (p *parser) parseThen() (*node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*node{left}
+	for p.acceptIdent("then") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &node{op: core.ExprThen, kids: kids, pos: left.pos}, nil
+}
+
+func (p *parser) parseUnary() (*node, error) {
+	if t := p.peek(); t.kind == tokIdent && t.text == "not" {
+		p.ti++
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &node{op: core.ExprNot, kids: []*node{kid}, pos: t.pos}, nil
+	}
+	if p.accept("(") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (*node, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errAt(t.pos, "expected a predicate (exists/forall/ktimes/eventually), got %q", t.text)
+	}
+	switch t.text {
+	case "exists", "forall", "ktimes", "eventually":
+	default:
+		return nil, p.errAt(t.pos, "unknown predicate %q", t.text)
+	}
+	n := &node{op: core.ExprLeaf, pred: t.text, pos: t.pos}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.parseSpace(n); err != nil {
+		return nil, err
+	}
+	if p.accept("@") {
+		times, err := p.parseTimes()
+		if err != nil {
+			return nil, err
+		}
+		n.times = times
+	} else if n.pred != "eventually" {
+		// The other predicates need a temporal window; an empty one is
+		// expressible explicitly as "@ {}".
+		if tok := p.peek(); tok.kind == tokPunct && tok.text == ")" {
+			return nil, p.errAt(tok.pos, "%s needs a time window: %s(... @ [lo,hi])", n.pred, n.pred)
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// parseSpace: one or more '+'-joined spatial terms (raw states, a rect,
+// a circle).
+func (p *parser) parseSpace(n *node) error {
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return p.errAt(t.pos, "expected states(...), region(...) or circle(...), got %q", t.text)
+		}
+		switch t.text {
+		case "states":
+			if _, err := p.expect("("); err != nil {
+				return err
+			}
+			ids, err := p.parseIntSet(")")
+			if err != nil {
+				return err
+			}
+			n.states = append(n.states, ids...)
+		case "region":
+			if n.region != nil {
+				return p.errAt(t.pos, "at most one geometric region per atom")
+			}
+			if _, err := p.expect("("); err != nil {
+				return err
+			}
+			var c [4]float64
+			for i := range c {
+				if i > 0 {
+					if _, err := p.expect(","); err != nil {
+						return err
+					}
+				}
+				v, err := p.expectFloat()
+				if err != nil {
+					return err
+				}
+				c[i] = v
+			}
+			if _, err := p.expect(")"); err != nil {
+				return err
+			}
+			n.region = spatial.NewRect(c[0], c[1], c[2], c[3])
+		case "circle":
+			if n.region != nil {
+				return p.errAt(t.pos, "at most one geometric region per atom")
+			}
+			if _, err := p.expect("("); err != nil {
+				return err
+			}
+			var c [3]float64
+			for i := range c {
+				if i > 0 {
+					if _, err := p.expect(","); err != nil {
+						return err
+					}
+				}
+				v, err := p.expectFloat()
+				if err != nil {
+					return err
+				}
+				c[i] = v
+			}
+			if _, err := p.expect(")"); err != nil {
+				return err
+			}
+			if c[2] < 0 {
+				return p.errAt(t.pos, "negative circle radius %g", c[2])
+			}
+			n.region = spatial.Circle{Center: spatial.Point{X: c[0], Y: c[1]}, Radius: c[2]}
+		default:
+			return p.errAt(t.pos, "expected states(...), region(...) or circle(...), got %q", t.text)
+		}
+		if !p.accept("+") {
+			return nil
+		}
+	}
+}
+
+// parseTimes: "[lo,hi]" interval sugar or "{a,b,c-d}" explicit set.
+func (p *parser) parseTimes() ([]int, error) {
+	if p.accept("[") {
+		lo, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(","); err != nil {
+			return nil, err
+		}
+		hiTok := p.peek()
+		hi, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, p.errAt(hiTok.pos, "inverted interval [%d,%d]", lo, hi)
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return core.Interval(lo, hi), nil
+	}
+	if p.accept("{") {
+		return p.parseIntSet("}")
+	}
+	t := p.peek()
+	return nil, p.errAt(t.pos, "expected a time window: [lo,hi] or {t1,t2,...}, got %q", t.text)
+}
+
+// parseIntSet: comma-separated ints and lo-hi ranges up to the closing
+// token (consumed). The empty set is allowed.
+func (p *parser) parseIntSet(closing string) ([]int, error) {
+	var out []int
+	if p.accept(closing) {
+		return out, nil
+	}
+	for {
+		lo, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("-") {
+			hiTok := p.peek()
+			hi, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, p.errAt(hiTok.pos, "inverted range %d-%d", lo, hi)
+			}
+			out = append(out, core.Interval(lo, hi)...)
+		} else {
+			out = append(out, lo)
+		}
+		if p.accept(closing) {
+			return out, nil
+		}
+		if _, err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// --- where clause ----------------------------------------------------------
+
+func (p *parser) parseSettings() ([]core.RequestOption, error) {
+	if !p.acceptIdent("where") {
+		return nil, nil
+	}
+	var opts []core.RequestOption
+	var mcSamples int
+	var mcSeed int64
+	haveMC := false
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			break
+		}
+		p.ti++
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "tau":
+			v, err := p.expectFloat()
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, core.WithThreshold(v))
+		case "top":
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, core.WithTopK(v))
+		case "strategy":
+			s := p.next()
+			switch s.text {
+			case "auto":
+				opts = append(opts, core.WithAutoPlan())
+			case "qb":
+				opts = append(opts, core.WithStrategy(core.StrategyQueryBased))
+			case "ob":
+				opts = append(opts, core.WithStrategy(core.StrategyObjectBased))
+			case "mc":
+				opts = append(opts, core.WithStrategy(core.StrategyMonteCarlo))
+			default:
+				return nil, p.errAt(s.pos, "unknown strategy %q (auto|qb|ob|mc)", s.text)
+			}
+		case "workers":
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, core.WithParallelism(v))
+		case "samples":
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			mcSamples, haveMC = v, true
+		case "seed":
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			mcSeed, haveMC = int64(v), true
+		case "cache":
+			v, err := p.parseOnOff(t.text)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, core.WithCache(v))
+		case "filter":
+			v, err := p.parseOnOff(t.text)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, core.WithFilterRefine(v))
+		case "steps":
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, hittingSteps(v))
+		case "tol":
+			v, err := p.expectFloat()
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, hittingTol(v))
+		default:
+			return nil, p.errAt(t.pos, "unknown setting %q (tau, top, strategy, workers, samples, seed, cache, filter, steps, tol)", t.text)
+		}
+		p.accept(",")
+	}
+	if haveMC {
+		opts = append(opts, core.WithMonteCarloBudget(mcSamples, mcSeed))
+	}
+	return opts, nil
+}
+
+func (p *parser) parseOnOff(key string) (bool, error) {
+	t := p.next()
+	switch t.text {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	default:
+		return false, p.errAt(t.pos, "%s wants on/off, got %q", key, t.text)
+	}
+}
+
+// hittingSteps/hittingTol compose into one WithHittingLimits without
+// clobbering the other half.
+func hittingSteps(v int) core.RequestOption {
+	return func(r *core.Request) {
+		_, tol := r.HittingHint()
+		core.WithHittingLimits(v, tol)(r)
+	}
+}
+
+func hittingTol(v float64) core.RequestOption {
+	return func(r *core.Request) {
+		steps, _ := r.HittingHint()
+		core.WithHittingLimits(steps, v)(r)
+	}
+}

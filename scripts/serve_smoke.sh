@@ -50,6 +50,19 @@ echo "serve-smoke: curl query"
 curl -fsS "$BASE/v1/query" -d '{"dataset":"smoke","request":{"predicate":"exists","states":[100,120,140],"times":[10,14],"top_k":3}}' \
     | grep -q '"strategy":"qb"'
 
+echo "serve-smoke: the same text query end-to-end (-q local, -q remote, curl)"
+TQ='exists(states(100-140) @ [10,14]) and not forall(states(100-140) @ [10,12]) where top=5'
+"$TMP/ustquery" -db "$TMP/smoke.ust" -q "$TQ" >"$TMP/text-local.out"
+"$TMP/ustquery" -remote "$BASE" -dataset smoke -q "$TQ" >"$TMP/text-remote.out"
+diff "$TMP/text-local.out" "$TMP/text-remote.out"
+curl -fsS "$BASE/v1/query" -d "{\"dataset\":\"smoke\",\"query\":\"$TQ\"}" | grep -q '"results"'
+
+echo "serve-smoke: -q parse errors carry a caret"
+if "$TMP/ustquery" -db "$TMP/smoke.ust" -q 'exsts(states(1) @ [1,2])' >/dev/null 2>"$TMP/parse-err.out"; then
+    echo "serve-smoke: bad -q query was accepted"; exit 1
+fi
+grep -q '\^' "$TMP/parse-err.out"
+
 echo "serve-smoke: subscribe round-trip (snapshot line + pushed update)"
 curl -fsSN --no-buffer "$BASE/v1/subscribe" \
     -d '{"dataset":"smoke","request":{"predicate":"exists","states":[100,120,140],"times":[10,14]}}' \

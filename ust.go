@@ -50,6 +50,7 @@ import (
 	"ust/internal/core"
 	"ust/internal/markov"
 	"ust/internal/sparse"
+	"ust/query"
 )
 
 // Re-exported core types. The implementation lives in internal packages;
@@ -119,6 +120,17 @@ type (
 	// refreshed results incrementally. For a push-based, concurrent
 	// alternative covering every predicate, see Service.Subscribe.
 	Monitor = core.Monitor
+	// Expr is a composable predicate expression: exists/forall atoms,
+	// each with its own window, combined with And/Or/Not/Then and
+	// evaluated exactly (correlations included) via NewExprRequest.
+	Expr = core.Expr
+	// ExprAtom is the leaf payload of an Expr.
+	ExprAtom = core.ExprAtom
+	// ExprOp identifies an Expr node kind.
+	ExprOp = core.ExprOp
+	// BatchItem is one request's outcome within Engine.EvaluateBatch /
+	// EvaluateBatchSeq.
+	BatchItem = core.BatchItem
 )
 
 // DefaultCacheBytes is the default byte budget of the engine's shared
@@ -211,6 +223,80 @@ func WithCache(enabled bool) RequestOption { return core.WithCache(enabled) }
 // bounds prune objects before any exact evaluation, with byte-identical
 // results. Response.Filter reports the funnel.
 func WithFilterRefine(enabled bool) RequestOption { return core.WithFilterRefine(enabled) }
+
+// --- compound expressions -------------------------------------------------
+//
+// The predicate algebra: atoms are exists/forall predicates with their
+// own windows; And/Or/Not/Then combine them. A compound request is
+// evaluated EXACTLY — the atoms share one trajectory distribution, so
+// their correlations are handled by flag-bit state-space augmentation
+// rather than naive probability arithmetic. Express one as a Request
+// with NewExprRequest (all ranking/strategy/caching options apply), or
+// parse it from the text query language with ParseQuery.
+
+// ExistsAtom is a PST∃Q leaf for compound expressions: inside the
+// region at SOME window timestamp. Use the window options (WithStates,
+// WithTimes, WithTimeRange, WithRegion) to define it.
+func ExistsAtom(opts ...RequestOption) Expr { return core.ExistsAtom(opts...) }
+
+// ForAllAtom is a PST∀Q leaf for compound expressions: inside the
+// region at EVERY window timestamp.
+func ForAllAtom(opts ...RequestOption) Expr { return core.ForAllAtom(opts...) }
+
+// And is the conjunction of expressions.
+func And(operands ...Expr) Expr { return core.And(operands...) }
+
+// Or is the disjunction of expressions.
+func Or(operands ...Expr) Expr { return core.Or(operands...) }
+
+// Not negates an expression.
+func Not(operand Expr) Expr { return core.Not(operand) }
+
+// Then is temporal sequencing: every operand must hold, and each
+// operand's window must end strictly before the next one's begins.
+func Then(operands ...Expr) Expr { return core.Then(operands...) }
+
+// NewExprRequest builds a compound-expression request; evaluate it with
+// Engine.Evaluate like any other (threshold/top-k ranking, strategy
+// overrides, caching and filter–refine pruning all apply).
+func NewExprRequest(x Expr, opts ...RequestOption) Request {
+	return core.NewExprRequest(x, opts...)
+}
+
+// WithExpr turns a request into a compound-expression query.
+func WithExpr(x Expr) RequestOption { return core.WithExpr(x) }
+
+// MaxExprAtoms bounds the atoms of one expression (augmented evaluation
+// cost doubles per atom).
+const MaxExprAtoms = core.MaxExprAtoms
+
+// PredicateExpr marks a compound-expression Request (set via WithExpr /
+// NewExprRequest).
+const PredicateExpr = core.PredicateExpr
+
+// BruteForceExpr evaluates a compound expression for one object by
+// exhaustive possible-worlds enumeration (exponential; validation and
+// tiny instances only).
+func BruteForceExpr(chain *Chain, o *Object, x Expr) (float64, error) {
+	return core.BruteForceExpr(chain, o, x)
+}
+
+// ParseQuery compiles a text-language query (package ust/query) into a
+// Request:
+//
+//	req, err := ust.ParseQuery(
+//		"exists(states(100-120) @ [20,25]) and not forall(states(7) @ [5,9]) where tau=0.3")
+//
+// The same strings are accepted by ustquery -q, the HTTP API's "query"
+// envelope field and the Go client's QueryText; parsed requests work
+// everywhere a Request does, including Service.Subscribe. Errors are
+// *query.ParseError values carrying the offending column.
+func ParseQuery(text string) (Request, error) { return query.Parse(text) }
+
+// FormatQuery renders a Request in the text query language's canonical
+// form (the inverse of ParseQuery, for every request the language can
+// express).
+func FormatQuery(req Request) (string, error) { return query.Format(req) }
 
 // NewChain validates m as row-stochastic and wraps it as a motion model.
 func NewChain(m *Matrix) (*Chain, error) { return markov.NewChain(m) }
