@@ -766,3 +766,56 @@ func BenchmarkSingleFlightDedup(b *testing.B) {
 		b.ReportMetric(float64(clients), "evaluations/op")
 	})
 }
+
+// BenchmarkShardedEvaluate is the scale-out headline: the |D|=1000,
+// |S|=10000 scan answered by one engine vs the 8-shard router over the
+// same database. The object-based scan is the parallel workload — per-
+// object forward passes fan out across shards, so wall clock approaches
+// single/min(shards, GOMAXPROCS) on multi-core hardware (on a 1-CPU
+// runner the concurrency cannot help and the two are expected to tie).
+// The query-based pair measures the router's overhead floor: one sweep
+// computed once fleet-wide through the shared cache plus the merge, so
+// sharded QB must stay within noise of the single engine.
+func BenchmarkShardedEvaluate(b *testing.B) {
+	db := benchDB(b, 1000, 10000)
+	q := benchQuery(10000)
+	ctx := context.Background()
+	scanOB := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q),
+		ust.WithStrategy(ust.StrategyObjectBased))
+	scanQB := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q),
+		ust.WithStrategy(ust.StrategyQueryBased))
+
+	run := func(b *testing.B, eval ust.Evaluator, req ust.Request) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := eval.Evaluate(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Results) != 1000 {
+				b.Fatalf("scan returned %d results", len(resp.Results))
+			}
+		}
+	}
+	b.Run("ob/single", func(b *testing.B) {
+		run(b, ust.NewEngine(db, ust.Options{}), scanOB)
+	})
+	b.Run("ob/shards=8", func(b *testing.B) {
+		r, err := ust.NewShardedEngine(db, 8, ust.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, r, scanOB)
+	})
+	b.Run("qb/single", func(b *testing.B) {
+		run(b, ust.NewEngine(db, ust.Options{}), scanQB)
+	})
+	b.Run("qb/shards=8", func(b *testing.B) {
+		r, err := ust.NewShardedEngine(db, 8, ust.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, r, scanQB)
+	})
+}

@@ -9,7 +9,13 @@
 // Usage:
 //
 //	ustserve -addr :8080 -dataset fleet=fleet.ust -dataset bergs=bergs.ust
-//	         [-max-concurrent N] [-timeout 30s] [-cache-bytes N]
+//	         [-max-concurrent N] [-timeout 30s] [-cache-bytes N] [-shards N]
+//
+// -shards N backs every dataset with the consistent-hash shard router:
+// objects partition across N shard engines sharing one score cache,
+// queries fan out and merge with byte-identical results — single-process
+// scale-out over the same wire contract a multi-process deployment will
+// speak.
 //
 // Endpoints:
 //
@@ -54,6 +60,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", service.DefaultMaxConcurrent, "admission limit on concurrently running evaluations")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
 	cacheBytes := flag.Int("cache-bytes", 0, "score-cache budget per dataset (0 = default, negative = disabled)")
+	shards := flag.Int("shards", 1, "shard engines per dataset (>1 = consistent-hash scale-out, byte-identical results)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	var datasets []string
 	flag.Func("dataset", "name=path dataset to load at startup (repeatable)", func(v string) error {
@@ -62,10 +69,14 @@ func main() {
 	})
 	flag.Parse()
 
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
+	}
 	svc := service.New(service.Config{
 		Options:        core.Options{CacheBytes: *cacheBytes},
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *timeout,
+		Shards:         *shards,
 	})
 	for _, spec := range datasets {
 		name, path, ok := strings.Cut(spec, "=")

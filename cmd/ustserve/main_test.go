@@ -2,14 +2,18 @@ package main
 
 // End-to-end tests of the HTTP front end: a ustserve handler mounted on
 // httptest, driven through the public client package. The central
-// invariant is remote ≡ in-process: for every predicate × strategy, a
-// remote Query must return byte-identical results (same float64 bits)
-// to evaluating the same Request on a local engine over the same data.
+// invariant is remote ≡ in-process: the shared conformance suite
+// (internal/conformance) runs its full predicate × strategy × ranking
+// × region × expr table against the HTTP stack — unsharded and sharded
+// — and requires byte-identical results (same float64 bits) to a local
+// engine over the same data.
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -20,6 +24,8 @@ import (
 
 	"ust"
 	"ust/client"
+	"ust/internal/conformance"
+	"ust/internal/core"
 	"ust/internal/service"
 )
 
@@ -61,80 +67,76 @@ func newServer(t testing.TB, objects int) (*client.Client, *ust.Engine, *service
 	return client.New(ts.URL, ts.Client()), local, svc
 }
 
-// queryMatrix enumerates predicate × strategy requests (plus ranking
-// variants) whose remote answers must be byte-identical to local ones.
-func queryMatrix() map[string]ust.Request {
-	states := ust.WithStates([]int{0, 1})
-	times := ust.WithTimes([]int{2, 3})
-	m := map[string]ust.Request{}
-	preds := map[string]ust.Predicate{
-		"exists": ust.PredicateExists,
-		"forall": ust.PredicateForAll,
-		"ktimes": ust.PredicateKTimes,
-	}
-	strats := map[string]ust.RequestOption{
-		"qb": ust.WithStrategy(ust.StrategyQueryBased),
-		"ob": ust.WithStrategy(ust.StrategyObjectBased),
-		"mc": ust.WithStrategy(ust.StrategyMonteCarlo),
-	}
-	for pn, p := range preds {
-		for sn, s := range strats {
-			m[pn+"/"+sn] = ust.NewRequest(p, states, times, s)
-		}
-	}
-	m["eventually/qb"] = ust.NewRequest(ust.PredicateEventually, states)
-	m["exists/auto"] = ust.NewRequest(ust.PredicateExists, states, times, ust.WithAutoPlan())
-	m["exists/topk"] = ust.NewRequest(ust.PredicateExists, states, times, ust.WithTopK(3))
-	m["exists/threshold"] = ust.NewRequest(ust.PredicateExists, states, times, ust.WithThreshold(0.5))
-	m["exists/parallel"] = ust.NewRequest(ust.PredicateExists, states, times,
-		ust.WithStrategy(ust.StrategyObjectBased), ust.WithParallelism(3))
-	m["exists/mc-budget"] = ust.NewRequest(ust.PredicateExists, states, times,
-		ust.WithStrategy(ust.StrategyMonteCarlo), ust.WithMonteCarloBudget(64, 7))
-	return m
+// remoteEvaluator adapts the HTTP client to the conformance suite's
+// Evaluator surface: Evaluate via /v1/query, EvaluateSeq via the NDJSON
+// stream, EvaluateBatch as sequential queries (the wire API is
+// per-request; the contract under test is result identity).
+type remoteEvaluator struct {
+	c    *client.Client
+	name string
 }
 
-func TestRemoteMatchesInProcess(t *testing.T) {
-	c, local, _ := newServer(t, 9)
-	for name, req := range queryMatrix() {
-		t.Run(name, func(t *testing.T) {
-			want, err := local.Evaluate(context.Background(), req)
-			if err != nil {
-				t.Fatalf("local: %v", err)
-			}
-			got, err := c.Query(context.Background(), "d", req)
-			if err != nil {
-				t.Fatalf("remote: %v", err)
-			}
-			if !reflect.DeepEqual(got.Results, want.Results) {
-				t.Fatalf("remote results diverge:\n  remote %+v\n  local  %+v", got.Results, want.Results)
-			}
-			if got.Strategy != want.Strategy {
-				t.Fatalf("strategy: remote %v, local %v", got.Strategy, want.Strategy)
-			}
-			if !reflect.DeepEqual(got.Plans, want.Plans) {
-				t.Fatalf("plans: remote %+v, local %+v", got.Plans, want.Plans)
-			}
+var errStopStream = errors.New("consumer stopped")
 
-			// Streaming must deliver the same results in the same order
-			// (ranked requests materialize first, like EvaluateSeq).
-			var streamed []ust.Result
-			err = c.QueryStream(context.Background(), "d", req, func(r ust.Result) error {
-				streamed = append(streamed, r)
-				return nil
+func (r remoteEvaluator) Evaluate(ctx context.Context, req core.Request) (*core.Response, error) {
+	return r.c.Query(ctx, r.name, req)
+}
+
+func (r remoteEvaluator) EvaluateSeq(ctx context.Context, req core.Request) iter.Seq2[core.Result, error] {
+	return func(yield func(core.Result, error) bool) {
+		err := r.c.QueryStream(ctx, r.name, req, func(res ust.Result) error {
+			if !yield(res, nil) {
+				return errStopStream
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopStream) {
+			yield(core.Result{}, err)
+		}
+	}
+}
+
+func (r remoteEvaluator) EvaluateBatch(ctx context.Context, reqs []core.Request) ([]*core.Response, error) {
+	out := make([]*core.Response, len(reqs))
+	for i, req := range reqs {
+		resp, err := r.c.Query(ctx, r.name, req)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// TestRemoteConformance runs the shared conformance table against the
+// full HTTP stack — requests wire-encoded, regions re-grounded
+// server-side, results decoded back — for both an unsharded service and
+// a 4-shard one. Every case must be byte-identical to a local engine
+// over the same dataset.
+func TestRemoteConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  service.Config
+		opts conformance.Options
+	}{
+		{"unsharded", service.Config{}, conformance.Options{}},
+		// The router documents per-object MC seeding, hence SkipSerialMC.
+		{"shards=4", service.Config{Shards: 4}, conformance.Options{SkipSerialMC: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, res := conformance.NewDataset()
+			svc := service.New(tc.cfg)
+			if err := svc.Create("conf", db, res); err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(service.NewHandler(svc))
+			t.Cleanup(func() {
+				svc.Close()
+				ts.Close()
 			})
-			if err != nil {
-				t.Fatalf("stream: %v", err)
-			}
-			if len(streamed) == 0 {
-				streamed = nil
-			}
-			wantStreamed := want.Results
-			if len(wantStreamed) == 0 {
-				wantStreamed = nil
-			}
-			if !reflect.DeepEqual(streamed, wantStreamed) {
-				t.Fatalf("streamed results diverge:\n  remote %+v\n  local  %+v", streamed, wantStreamed)
-			}
+			ref := ust.NewEngine(db, ust.Options{})
+			remote := remoteEvaluator{c: client.New(ts.URL, ts.Client()), name: "conf"}
+			conformance.Verify(t, res, ref, remote, tc.opts)
 		})
 	}
 }

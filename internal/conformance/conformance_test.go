@@ -1,0 +1,51 @@
+package conformance
+
+import (
+	"testing"
+
+	"ust/internal/core"
+)
+
+// TestTableAgainstEngineTwin is the suite's own smoke check: two
+// independent engines over the same dataset must agree on every case —
+// it proves each case is well-formed (no errors), deterministic across
+// engine instances, and exercises the full table before the real
+// candidates (shard router, remote stack) instantiate it.
+func TestTableAgainstEngineTwin(t *testing.T) {
+	db, res := NewDataset()
+	ref := core.NewEngine(db, core.Options{})
+	got := core.NewEngine(db, core.Options{})
+	Verify(t, res, ref, got, Options{})
+}
+
+// TestTableCoversShapes pins the table's breadth so a future edit
+// cannot silently drop a dimension.
+func TestTableCoversShapes(t *testing.T) {
+	_, res := NewDataset()
+	var mc, ranked, region, expr, eventually int
+	for _, c := range Cases(res) {
+		if s, ok := c.Req.StrategyHint(); ok && s == core.StrategyMonteCarlo {
+			mc++
+		}
+		if _, ok := c.Req.ThresholdHint(); ok || c.Req.TopKHint() > 0 {
+			ranked++
+		}
+		if c.Req.NeedsResolver() || c.Req.Region != nil {
+			region++
+		}
+		if c.Req.Predicate == core.PredicateExpr {
+			expr++
+		}
+		if c.Req.Predicate == core.PredicateEventually {
+			eventually++
+		}
+	}
+	for name, n := range map[string]int{"mc": mc, "ranked": ranked, "expr": expr, "eventually": eventually} {
+		if n < 2 {
+			t.Errorf("table has only %d %s cases", n, name)
+		}
+	}
+	if region < 2 {
+		t.Errorf("table has only %d region cases", region)
+	}
+}

@@ -58,6 +58,11 @@ type Options struct {
 	// disables engine-side caching entirely. Individual requests can opt
 	// out with WithCache(false).
 	CacheBytes int
+	// Cache, when set, replaces the engine's private score cache with a
+	// shared one (NewSharedCache) so several engines — the shards of a
+	// router, or independent engines over related databases — compute
+	// each distinct sweep once between them. Overrides CacheBytes.
+	Cache *SharedCache
 }
 
 func (o Options) withDefaults() Options {
@@ -89,7 +94,11 @@ func NewEngine(db *Database, opts Options) *Engine {
 		panic("core: nil database")
 	}
 	e := &Engine{db: db, opts: opts.withDefaults(), pool: &sparse.VecPool{}}
-	if e.opts.CacheBytes > 0 {
+	switch {
+	case e.opts.Cache != nil:
+		e.opts.Cache.attach(db)
+		e.cache = e.opts.Cache.cache
+	case e.opts.CacheBytes > 0:
 		e.cache = newScoreCache(e.opts.CacheBytes, db.Version)
 	}
 	return e

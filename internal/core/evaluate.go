@@ -25,6 +25,23 @@ func errEventuallyMultiObs(o *Object) error {
 // (threshold / top-k) is expressed through a Request. The legacy
 // per-variant Engine methods are thin wrappers over these two.
 
+// Evaluator is the query surface every engine implementation serves:
+// the in-process Engine, the shard router, and (shape-wise) the remote
+// client. The conformance suite (internal/conformance) pins all of them
+// to byte-identical results through exactly this interface.
+type Evaluator interface {
+	// Evaluate answers the request in one batch.
+	Evaluate(ctx context.Context, req Request) (*Response, error)
+	// EvaluateSeq streams the same results one object at a time.
+	EvaluateSeq(ctx context.Context, req Request) iter.Seq2[Result, error]
+	// EvaluateBatch answers many requests as one optimized unit.
+	EvaluateBatch(ctx context.Context, reqs []Request) ([]*Response, error)
+	// EvaluateBatchSeq streams batch outcomes with per-item errors.
+	EvaluateBatchSeq(ctx context.Context, reqs []Request) iter.Seq[BatchItem]
+}
+
+var _ Evaluator = (*Engine)(nil)
+
 // Response is the batch answer to a Request.
 type Response struct {
 	// Results holds one entry per qualifying object. Without ranking
@@ -101,13 +118,7 @@ func (e *Engine) prepare(req Request) (*evalPlan, error) {
 		}
 	}
 
-	p.workers = 1
-	switch {
-	case req.parallelism > 0:
-		p.workers = req.parallelism
-	case req.parallelism < 0:
-		p.workers = runtime.GOMAXPROCS(0)
-	}
+	p.workers = ResolveWorkers(req.parallelism)
 
 	p.samples = e.opts.MonteCarloSamples
 	if req.mcSamples > 0 {
@@ -127,6 +138,22 @@ func (e *Engine) prepare(req Request) (*evalPlan, error) {
 		annotateFilterOps(p.plans, e, p.query)
 	}
 	return p, nil
+}
+
+// ResolveWorkers maps a WithParallelism hint to the worker count the
+// engine runs with: 0 (unset) and 1 are serial, negative selects
+// GOMAXPROCS. Exported so layered engines (the shard router's
+// Monte-Carlo seeding rule) apply the identical resolution instead of
+// a drifting copy.
+func ResolveWorkers(hint int) int {
+	switch {
+	case hint > 0:
+		return hint
+	case hint < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
 }
 
 // Evaluate answers the request in one batch. Cancelling ctx aborts the

@@ -48,28 +48,51 @@ type kern struct {
 	local map[scoreKey]scoreValue
 }
 
-// lookup consults the request-local memo, then the engine cache.
-func (k *kern) lookup(key scoreKey) (scoreValue, bool) {
+// fetch returns the payload for key, computing it at most once per
+// distinct key across every engine sharing the cache: the request-local
+// memo answers first, then — under the cache's per-key single-flight
+// lock — the engine cache, then compute. Concurrent evaluations that
+// miss the same key serialize on it, so exactly one runs compute and
+// the rest observe a hit; holders of different keys never contend, and
+// a waiter whose own context ends while queued behind another caller's
+// sweep returns ctx.Err() instead of overstaying its deadline. A
+// compute failure (typically the caller's context cancelling mid-sweep)
+// releases the key so the next waiter computes with its own context.
+func (k *kern) fetch(ctx context.Context, key scoreKey, compute func() (scoreValue, error)) (scoreValue, error) {
 	if v, ok := k.local[key]; ok {
-		return v, ok
+		return v, nil
 	}
 	if k.cache == nil {
-		return scoreValue{}, false
-	}
-	v, ok := k.cache.get(key, k.rep)
-	if ok {
+		v, err := compute()
+		if err != nil {
+			return scoreValue{}, err
+		}
 		k.memo(key, v)
+		return v, nil
 	}
-	return v, ok
-}
-
-// store records a computed payload in the local memo and, when enabled,
-// the engine cache.
-func (k *kern) store(key scoreKey, v scoreValue) {
+	// Optimistic read first: warm keys answer with one cache-mutex
+	// acquisition and no per-key serialization. A miss here is
+	// uncounted — the locked get below records the real outcome.
+	if v, ok := k.cache.tryGet(key, k.rep); ok {
+		k.memo(key, v)
+		return v, nil
+	}
+	unlock, err := k.cache.lock(ctx, key)
+	if err != nil {
+		return scoreValue{}, err
+	}
+	defer unlock()
+	if v, ok := k.cache.get(key, k.rep); ok {
+		k.memo(key, v)
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return scoreValue{}, err
+	}
 	k.memo(key, v)
-	if k.cache != nil {
-		k.cache.put(key, v)
-	}
+	k.cache.put(key, v)
+	return v, nil
 }
 
 func (k *kern) memo(key scoreKey, v scoreValue) {
@@ -105,30 +128,34 @@ func (e *Engine) kernel(chain *markov.Chain, w *window, plan *evalPlan) *kern {
 // The returned vector is shared and must not be mutated.
 func (k *kern) existsScoreAt(ctx context.Context, t0 int) (*sparse.Vec, error) {
 	key := scoreKey{chain: k.chain, kind: kindExists, sig: k.w.signature(), t0: t0}
-	if v, ok := k.lookup(key); ok {
-		return v.vecs[0], nil
-	}
-	score, err := hitScores(ctx, k.chain, k.w, t0, k.pool)
+	v, err := k.fetch(ctx, key, func() (scoreValue, error) {
+		score, serr := hitScores(ctx, k.chain, k.w, t0, k.pool)
+		if serr != nil {
+			return scoreValue{}, serr
+		}
+		return scoreValue{vecs: []*sparse.Vec{score}}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	k.store(key, scoreValue{vecs: []*sparse.Vec{score}})
-	return score, nil
+	return v.vecs[0], nil
 }
 
 // ktimesBacksAt returns the |T□|+1 PSTkQ backward vectors at time t0.
 // The returned vectors are shared and must not be mutated.
 func (k *kern) ktimesBacksAt(ctx context.Context, t0 int) ([]*sparse.Vec, error) {
 	key := scoreKey{chain: k.chain, kind: kindKTimes, sig: k.w.signature(), t0: t0}
-	if v, ok := k.lookup(key); ok {
-		return v.vecs, nil
-	}
-	backs, err := kTimesBackward(ctx, k.chain, k.w, t0, k.pool)
+	v, err := k.fetch(ctx, key, func() (scoreValue, error) {
+		backs, berr := kTimesBackward(ctx, k.chain, k.w, t0, k.pool)
+		if berr != nil {
+			return scoreValue{}, berr
+		}
+		return scoreValue{vecs: backs}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	k.store(key, scoreValue{vecs: backs})
-	return backs, nil
+	return v.vecs, nil
 }
 
 // hittingFor returns the unbounded-horizon hitting-probability vector
@@ -145,15 +172,17 @@ func (k *kern) hittingFor(ctx context.Context, region []int, maxSteps int, tol f
 	h = fnvMix(h, uint64(maxSteps))
 	h = fnvMix(h, math.Float64bits(tol))
 	key := scoreKey{chain: k.chain, kind: kindHitting, sig: h}
-	if v, ok := k.lookup(key); ok {
-		return v.vecs[0], nil
-	}
-	scores, _, err := hittingScores(ctx, k.chain, region, maxSteps, tol)
+	v, err := k.fetch(ctx, key, func() (scoreValue, error) {
+		scores, _, serr := hittingScores(ctx, k.chain, region, maxSteps, tol)
+		if serr != nil {
+			return scoreValue{}, serr
+		}
+		return scoreValue{vecs: []*sparse.Vec{scores}}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	k.store(key, scoreValue{vecs: []*sparse.Vec{scores}})
-	return scores, nil
+	return v.vecs[0], nil
 }
 
 // possibleMaskAt returns the backward reachability envelope at t0: the
@@ -180,15 +209,17 @@ func (k *kern) maskAt(ctx context.Context, t0 int, kind scoreKind) (*sparse.Bits
 // own.
 func (k *kern) maskFor(ctx context.Context, w *window, t0 int, kind scoreKind) (*sparse.Bitset, error) {
 	key := scoreKey{chain: k.chain, kind: kind, sig: w.signature(), t0: t0}
-	if v, ok := k.lookup(key); ok {
-		return v.bits, nil
-	}
-	m, err := supportEnvelope(ctx, k.chain, w, t0, kind == kindCertain)
+	v, err := k.fetch(ctx, key, func() (scoreValue, error) {
+		m, merr := supportEnvelope(ctx, k.chain, w, t0, kind == kindCertain)
+		if merr != nil {
+			return scoreValue{}, merr
+		}
+		return scoreValue{bits: m}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	k.store(key, scoreValue{bits: m})
-	return m, nil
+	return v.bits, nil
 }
 
 // supportEnvelope runs the boolean shadow of the backward sweep: the

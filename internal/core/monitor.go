@@ -65,7 +65,7 @@ func (m *Monitor) Observe(objectID int, obs Observation) error {
 	if obs.PDF == nil || obs.PDF.NumStates() != ch.NumStates() {
 		return fmt.Errorf("core: observation pdf dimension mismatch for object %d", objectID)
 	}
-	updated, err := NewObject(o.ID, o.Chain, append(append([]Observation(nil), o.Observations...), obs)...)
+	updated, err := o.WithObservation(obs)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ust/internal/markov"
 )
@@ -60,6 +61,15 @@ func MustObject(id int, chain *markov.Chain, obs ...Observation) *Object {
 	return o
 }
 
+// WithObservation returns a copy of the object with one more
+// observation appended, re-validated and re-sorted — the single place
+// the "append a sighting to an immutable object" sequence lives (used
+// by Monitor, the service ingest path and the shard router).
+func (o *Object) WithObservation(obs Observation) (*Object, error) {
+	return NewObject(o.ID, o.Chain,
+		append(append([]Observation(nil), o.Observations...), obs)...)
+}
+
 // First returns the earliest observation.
 func (o *Object) First() Observation { return o.Observations[0] }
 
@@ -79,8 +89,11 @@ type Database struct {
 	// they were computed and lazily expires entries from older
 	// generations — the generation-based invalidation that keeps cached
 	// sweeps and standing queries honest across updates. Databases are
-	// not safe for concurrent mutation (reads may be concurrent).
-	version uint64
+	// not safe for concurrent mutation (reads may be concurrent); the
+	// version itself is atomic so generation checks — including a
+	// SharedCache polling several databases — race-freely observe
+	// mutations made to OTHER databases under their own locks.
+	version atomic.Uint64
 }
 
 // NewDatabase creates a database with the given default chain.
@@ -109,7 +122,7 @@ func (db *Database) Add(o *Object) error {
 	}
 	db.objects = append(db.objects, o)
 	db.byID[o.ID] = o
-	db.version++
+	db.version.Add(1)
 	return nil
 }
 
@@ -117,7 +130,7 @@ func (db *Database) Add(o *Object) error {
 // every insert and observation update; caches keyed on derived state
 // (the engine's score cache, a Monitor's per-object results) compare
 // generations to decide staleness.
-func (db *Database) Version() uint64 { return db.version }
+func (db *Database) Version() uint64 { return db.version.Load() }
 
 // ReplaceObject swaps in a new version of an existing object (same ID),
 // preserving database order, and advances the generation. It is the
@@ -144,7 +157,7 @@ func (db *Database) ReplaceObject(updated *Object) error {
 		}
 	}
 	db.byID[updated.ID] = updated
-	db.version++
+	db.version.Add(1)
 	return nil
 }
 

@@ -432,15 +432,17 @@ func (e *Engine) exprKernel(chain *markov.Chain, plan *evalPlan) (*kern, error) 
 // must not be mutated.
 func (k *kern) exprScoresAt(ctx context.Context, t0 int) ([]*sparse.Vec, error) {
 	key := scoreKey{chain: k.chain, kind: kindExpr, sig: k.prog.sig, t0: t0}
-	if v, ok := k.lookup(key); ok {
-		return v.vecs, nil
-	}
-	family, err := exprBackward(ctx, k.chain, k.prog, t0, k.pool)
+	v, err := k.fetch(ctx, key, func() (scoreValue, error) {
+		family, ferr := exprBackward(ctx, k.chain, k.prog, t0, k.pool)
+		if ferr != nil {
+			return scoreValue{}, ferr
+		}
+		return scoreValue{vecs: family}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	k.store(key, scoreValue{vecs: family})
-	return family, nil
+	return v.vecs, nil
 }
 
 // exprExact answers one object with the query-based augmented sweep.

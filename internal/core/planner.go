@@ -284,6 +284,37 @@ func (e *Engine) warmBatch(ctx context.Context, plans []*evalPlan) error {
 	return nil
 }
 
+// PlanRequest resolves the strategy Evaluate would run req with —
+// engine default, per-request override, or the cost planner's choice
+// for WithAutoPlan — plus the planner's estimates when auto-planning
+// engaged (annotated with filter costs for ranked requests, exactly as
+// Response.Plans reports them). It validates the request and resolves
+// its window, so a nil error here means the request is well-formed.
+// The shard router uses it to plan once, over the full database, and
+// pin every shard to the same strategy.
+func (e *Engine) PlanRequest(req Request) (Strategy, []CostEstimate, error) {
+	plan, err := e.prepare(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	return plan.strategy, plan.plans, nil
+}
+
+// WarmBatch precomputes and publishes to the score cache every backward
+// sweep the requests' query-based evaluations and filter stages will
+// need, using the fused state-major kernels — EvaluateBatch's warm
+// phase as a standalone entry point. The shard router calls it once on
+// a full-database engine so that the per-shard batch evaluations all
+// hit the shared cache instead of warming per shard. Malformed requests
+// are skipped (their own evaluation surfaces the error).
+func (e *Engine) WarmBatch(ctx context.Context, reqs []Request) error {
+	plans := make([]*evalPlan, len(reqs))
+	for i, req := range reqs {
+		plans[i], _ = e.prepare(req)
+	}
+	return e.warmBatch(ctx, plans)
+}
+
 // ExistsAuto evaluates the PST∃Q with the strategy the planner
 // predicts to be cheaper. It returns the results and the chosen
 // strategy. Thin wrapper over Evaluate with WithAutoPlan.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"ust/internal/markov"
@@ -140,6 +141,54 @@ type scoreCache struct {
 	items    map[scoreKey]*list.Element
 	gen      func() uint64 // live generation source (Database.Version)
 	stats    CacheStats
+	// locks single-flights sweep computation per key: concurrent
+	// evaluations (shards of one router, parallel requests on one
+	// engine) that miss on the same key serialize, so exactly one
+	// computes and the rest hit. Entries are reference-counted and
+	// removed when the last holder releases.
+	locks map[scoreKey]*keyLock
+}
+
+// keyLock is a context-aware mutex: the 1-buffered channel is the lock
+// token, so a waiter can abandon the acquisition when its own context
+// expires instead of stalling behind another caller's slow sweep.
+type keyLock struct {
+	ch   chan struct{}
+	refs int
+}
+
+// lock acquires the per-key computation lock and returns its release
+// function, or ctx.Err() if the caller's context ends while waiting.
+// Callers hold it across the lookup-compute-insert sequence of one
+// sweep; holders of DIFFERENT keys never contend (beyond the map access
+// itself).
+func (c *scoreCache) lock(ctx context.Context, key scoreKey) (unlock func(), err error) {
+	c.mu.Lock()
+	kl := c.locks[key]
+	if kl == nil {
+		kl = &keyLock{ch: make(chan struct{}, 1)}
+		c.locks[key] = kl
+	}
+	kl.refs++
+	c.mu.Unlock()
+	release := func() {
+		c.mu.Lock()
+		kl.refs--
+		if kl.refs == 0 {
+			delete(c.locks, key)
+		}
+		c.mu.Unlock()
+	}
+	select {
+	case kl.ch <- struct{}{}:
+	case <-ctx.Done():
+		release()
+		return nil, ctx.Err()
+	}
+	return func() {
+		<-kl.ch
+		release()
+	}, nil
 }
 
 type scoreEntry struct {
@@ -156,11 +205,26 @@ func newScoreCache(capacity int, gen func() uint64) *scoreCache {
 		ll:       list.New(),
 		items:    map[scoreKey]*list.Element{},
 		gen:      gen,
+		locks:    map[scoreKey]*keyLock{},
 	}
+}
+
+// tryGet is the optimistic, lock-free-of-keyLock read: a hit counts
+// (and refreshes LRU) exactly like get, but a miss counts NOTHING —
+// the caller is about to retry under the per-key single-flight lock,
+// and that locked get is the one that records the outcome. This keeps
+// warm-path readers of the same key fully concurrent (no keyLock
+// acquisition) without double-counting cold lookups.
+func (c *scoreCache) tryGet(key scoreKey, rep *CacheReport) (scoreValue, bool) {
+	return c.lookup(key, rep, false)
 }
 
 // get returns the cached payload for key if present and current.
 func (c *scoreCache) get(key scoreKey, rep *CacheReport) (scoreValue, bool) {
+	return c.lookup(key, rep, true)
+}
+
+func (c *scoreCache) lookup(key scoreKey, rep *CacheReport, countMiss bool) (scoreValue, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -173,8 +237,10 @@ func (c *scoreCache) get(key scoreKey, rep *CacheReport) (scoreValue, bool) {
 				// fall through to a miss.
 				c.removeLocked(el)
 				c.stats.Expired++
-				c.stats.Misses++
-				rep.miss()
+				if countMiss {
+					c.stats.Misses++
+					rep.miss()
+				}
 				return scoreValue{}, false
 			}
 			// Generation-independent payload: provably still valid,
@@ -186,8 +252,10 @@ func (c *scoreCache) get(key scoreKey, rep *CacheReport) (scoreValue, bool) {
 		rep.hit()
 		return ent.val, true
 	}
-	c.stats.Misses++
-	rep.miss()
+	if countMiss {
+		c.stats.Misses++
+		rep.miss()
+	}
 	return scoreValue{}, false
 }
 

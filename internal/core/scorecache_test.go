@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -342,5 +343,41 @@ func TestMonitorSharedCacheIdentical(t *testing.T) {
 		if m.Dirty() != 1 {
 			t.Fatalf("round %d: Dirty = %d, want 1", round, m.Dirty())
 		}
+	}
+}
+
+// TestKeyLockHonorsWaiterContext pins the single-flight lock's
+// context-awareness: a caller queued behind another holder of the same
+// key gives up with ctx.Err() when its own context ends, instead of
+// stalling for the leader's sweep; and the abandoned reservation does
+// not leak the lock entry.
+func TestKeyLockHonorsWaiterContext(t *testing.T) {
+	c := newScoreCache(1<<20, func() uint64 { return 0 })
+	key := scoreKey{kind: kindExists, sig: 1, t0: 0}
+
+	unlock, err := c.lock(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, werr := c.lock(ctx, key); werr == nil {
+		t.Fatal("waiter acquired a held key with a dead context")
+	} else if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", werr)
+	}
+	unlock()
+
+	// The abandoned waiter must not have leaked its refcount: the key
+	// re-acquires immediately and the lock table is empty when released.
+	unlock2, err := c.lock(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock2()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.locks) != 0 {
+		t.Fatalf("lock table leaked %d entries", len(c.locks))
 	}
 }

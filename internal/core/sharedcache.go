@@ -1,0 +1,71 @@
+package core
+
+import "sync"
+
+// SharedCache is a score cache shared by several engines — the handle a
+// shard router passes to its per-shard engines (Options.Cache) so that
+// backward sweeps, which depend only on (chain, window, observation
+// time) and never on which objects a shard holds, are computed once per
+// distinct key across the whole fleet. The per-key single-flight inside
+// the cache (scoreCache.lock) makes "once" literal even under
+// concurrent shard fan-out: the first engine to need a sweep computes
+// it while the others block on the key and then hit.
+//
+// Generation-based invalidation generalizes from one database to many:
+// the shared generation is the sum of every attached database's
+// Version(), so any mutation anywhere advances it. As in the
+// single-engine cache, every kind cached today is generation-
+// insensitive (pure function of immutable chain + window + time) and
+// merely revalidates; the machinery is the correctness rail for future
+// observation-dependent kinds.
+type SharedCache struct {
+	cache *scoreCache
+
+	mu  sync.Mutex
+	dbs []*Database
+}
+
+// NewSharedCache builds a cache bounded to roughly capacityBytes of
+// payload (0 selects DefaultCacheBytes). Pass it to every engine that
+// should share sweeps via Options.Cache.
+func NewSharedCache(capacityBytes int) *SharedCache {
+	if capacityBytes <= 0 {
+		capacityBytes = DefaultCacheBytes
+	}
+	s := &SharedCache{}
+	s.cache = newScoreCache(capacityBytes, s.generation)
+	return s
+}
+
+// attach registers a database as a generation source. Idempotent per
+// database; called by NewEngine when Options.Cache is set.
+func (s *SharedCache) attach(db *Database) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.dbs {
+		if d == db {
+			return
+		}
+	}
+	s.dbs = append(s.dbs, db)
+}
+
+// generation sums the attached databases' mutation generations:
+// versions only ever increase, so any mutation anywhere changes the
+// sum.
+func (s *SharedCache) generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var g uint64
+	for _, db := range s.dbs {
+		g += db.Version()
+	}
+	return g
+}
+
+// Stats snapshots the shared cache's lifetime counters.
+func (s *SharedCache) Stats() CacheStats { return s.cache.snapshot() }
+
+// Invalidate drops every cached sweep immediately — the manual override
+// for callers mutating state the attached databases cannot see.
+func (s *SharedCache) Invalidate() { s.cache.invalidate() }

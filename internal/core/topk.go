@@ -35,6 +35,11 @@ func better(a, b Result) bool {
 	return a.ObjectID < b.ObjectID
 }
 
+// BetterRanked is the engine's ranking order (WithTopK's sort and
+// tie-break), exported so merging layers — the shard router's k-way
+// heap — use the one comparator instead of a drifting copy.
+func BetterRanked(a, b Result) bool { return better(a, b) }
+
 // resultMinHeap keeps the current top-k with the weakest entry on top.
 type resultMinHeap []Result
 

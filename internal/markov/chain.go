@@ -8,6 +8,7 @@ package markov
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ust/internal/sparse"
 )
@@ -24,8 +25,9 @@ const DefaultTolerance = 1e-9
 //
 // Chains are immutable after construction and safe for concurrent use.
 type Chain struct {
-	m  *sparse.CSR
-	mt *sparse.CSR // lazily built transpose, guarded by tOnce
+	m     *sparse.CSR
+	mt    *sparse.CSR // lazily built transpose, guarded by tOnce
+	tOnce sync.Once
 }
 
 // NewChain validates m as a row-stochastic square matrix and wraps it.
@@ -60,12 +62,13 @@ func (c *Chain) Matrix() *sparse.CSR { return c.m }
 
 // Transposed returns Mᵀ, building and caching it on first use. The
 // query-based evaluation walks the chain backward through the transpose.
-// Transposed is not safe for concurrent first call; warm it before
-// sharing a chain across goroutines (the engine does).
+// Safe for concurrent use, including the first call: shard fan-out runs
+// concurrent sweeps over shared chains with no warm-up point, so the
+// lazy build is once-guarded rather than a caller convention. (The
+// engine's parallel paths still pre-warm to keep the build off the
+// per-object critical path.)
 func (c *Chain) Transposed() *sparse.CSR {
-	if c.mt == nil {
-		c.mt = c.m.Transpose()
-	}
+	c.tOnce.Do(func() { c.mt = c.m.Transpose() })
 	return c.mt
 }
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ust/internal/core"
+	"ust/internal/shard"
 	"ust/internal/spatial"
 	"ust/internal/store"
 	"ust/internal/wire"
@@ -61,6 +62,13 @@ type Config struct {
 	// DefaultTimeout is applied to requests whose context carries no
 	// deadline of its own. 0 means no implicit deadline.
 	DefaultTimeout time.Duration
+	// Shards, when > 1, backs every dataset with a sharded engine
+	// (internal/shard): objects partitioned across that many shard
+	// engines by consistent hashing, requests fanned out and merged
+	// with byte-identical results. The wire surface is unchanged —
+	// single-process scale-out today, and the contract for the
+	// multi-process deployment later.
+	Shards int
 }
 
 // DefaultMaxConcurrent is the default admission-limiter width.
@@ -122,12 +130,35 @@ type Service struct {
 	inFlight    atomic.Int64
 }
 
-// dataset is one named Database/Engine pair plus its subscribers.
+// evaluator is the engine surface a dataset serves queries through —
+// satisfied by both *core.Engine and *shard.Router (core.Evaluator,
+// minus the batch entry points the service does not use).
+type evaluator interface {
+	Evaluate(ctx context.Context, req core.Request) (*core.Response, error)
+	EvaluateSeq(ctx context.Context, req core.Request) iter.Seq2[core.Result, error]
+	CacheStats() core.CacheStats
+}
+
+// ingester is the mutation surface behind a dataset: the database
+// itself, or the shard router — which routes the one changed object to
+// its owning shard immediately (O(1)) instead of leaving the next
+// evaluation to rescan the whole database under the router's exclusive
+// lock.
+type ingester interface {
+	Add(*core.Object) error
+	ReplaceObject(*core.Object) error
+}
+
+// dataset is one named Database/engine pair plus its subscribers.
 type dataset struct {
 	name   string
 	mu     sync.RWMutex // shared: evaluate/stream/subscribe; exclusive: ingest
 	db     *core.Database
-	engine *core.Engine
+	engine evaluator
+	ing    ingester
+	// single is the unsharded engine when the dataset is not sharded
+	// (nil otherwise); Service.Engine exposes it to in-process callers.
+	single *core.Engine
 	// resolver grounds geometric regions for this dataset; nil when the
 	// dataset has no geometry (e.g. loaded from a bare store file).
 	resolver spatial.Resolver
@@ -189,13 +220,25 @@ func (s *Service) Create(name string, db *core.Database, resolver spatial.Resolv
 	if _, dup := s.datasets[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	s.datasets[name] = &dataset{
+	ds := &dataset{
 		name:     name,
 		db:       db,
-		engine:   core.NewEngine(db, s.cfg.Options),
 		resolver: resolver,
 		subs:     map[*Subscription]struct{}{},
 	}
+	if s.cfg.Shards > 1 {
+		router, err := shard.New(db, s.cfg.Shards, s.cfg.Options)
+		if err != nil {
+			return err
+		}
+		ds.engine = router
+		ds.ing = router
+	} else {
+		ds.single = core.NewEngine(db, s.cfg.Options)
+		ds.engine = ds.single
+		ds.ing = db
+	}
+	s.datasets[name] = ds
 	return nil
 }
 
@@ -265,12 +308,17 @@ func (s *Service) Info(name string) (Info, error) {
 // Engine exposes the named dataset's engine for in-process callers that
 // need direct access (experiments, tests). Mutating its database
 // directly bypasses subscription notification — use Observe/Track.
+// Sharded datasets (Config.Shards > 1) have no single engine and return
+// an error.
 func (s *Service) Engine(name string) (*core.Engine, error) {
 	ds, err := s.dataset(name)
 	if err != nil {
 		return nil, err
 	}
-	return ds.engine, nil
+	if ds.single == nil {
+		return nil, fmt.Errorf("service: dataset %q is sharded; no single engine to expose", name)
+	}
+	return ds.single, nil
 }
 
 // CacheStats aggregates engine score-cache counters across datasets.
@@ -356,12 +404,11 @@ func (s *Service) Observe(name string, objectID int, obs core.Observation) error
 		if obs.PDF == nil || obs.PDF.NumStates() != ch.NumStates() {
 			return fmt.Errorf("%w: observation pdf dimension mismatch for object %d", ErrBadIngest, objectID)
 		}
-		updated, oerr := core.NewObject(o.ID, o.Chain,
-			append(append([]core.Observation(nil), o.Observations...), obs)...)
+		updated, oerr := o.WithObservation(obs)
 		if oerr != nil {
 			return fmt.Errorf("%w: %v", ErrBadIngest, oerr)
 		}
-		if rerr := ds.db.ReplaceObject(updated); rerr != nil {
+		if rerr := ds.ing.ReplaceObject(updated); rerr != nil {
 			return fmt.Errorf("%w: %v", ErrBadIngest, rerr)
 		}
 		return nil
@@ -383,7 +430,7 @@ func (s *Service) Track(name string, o *core.Object) error {
 		return err
 	}
 	ds.mu.Lock()
-	err = ds.db.Add(o)
+	err = ds.ing.Add(o)
 	ds.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadIngest, err)

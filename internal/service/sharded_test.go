@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ust/internal/core"
+	"ust/internal/markov"
+)
+
+// TestShardedServiceEndToEnd wires Config.Shards through the service
+// layer: evaluation and streaming answer byte-identically to a single
+// engine, ingest through Observe/Track reaches the owning shard (the
+// router resyncs lazily on the next evaluation), subscriptions refresh
+// through the sharded backend, and Engine() refuses to pretend a
+// sharded dataset has a single engine.
+func TestShardedServiceEndToEnd(t *testing.T) {
+	db := widerDB(t, 12)
+	s := New(Config{Shards: 3})
+	defer s.Close()
+	if err := s.Create("d", db, nil); err != nil {
+		t.Fatal(err)
+	}
+	single := core.NewEngine(widerDB(t, 12), core.Options{})
+	ctx := context.Background()
+
+	want, err := single.Evaluate(ctx, existsReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Evaluate(ctx, "d", existsReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("sharded service diverged:\n  got  %+v\n  want %+v", got.Results, want.Results)
+	}
+
+	var streamed []core.Result
+	for r, serr := range s.Stream(ctx, "d", existsReq()) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		streamed = append(streamed, r)
+	}
+	if !reflect.DeepEqual(streamed, want.Results) {
+		t.Fatalf("sharded stream diverged:\n  got  %+v\n  want %+v", streamed, want.Results)
+	}
+
+	if _, err := s.Engine("d"); err == nil {
+		t.Fatal("Engine() returned a single engine for a sharded dataset")
+	}
+
+	// A standing query must see ingest through the sharded backend.
+	sub, err := s.Subscribe(ctx, "d", existsReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	first := <-sub.Updates()
+	if !first.Full || len(first.Results) != len(want.Results) {
+		t.Fatalf("snapshot: %+v", first)
+	}
+	if err := s.Observe("d", 1, core.Observation{Time: 1, PDF: markov.PointDistribution(3, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	up := <-sub.Updates()
+	fresh, err := s.Evaluate(ctx, "d", existsReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := map[int]core.Result{}
+	for _, r := range first.Results {
+		state[r.ObjectID] = r
+	}
+	for _, r := range up.Results {
+		state[r.ObjectID] = r
+	}
+	for _, id := range up.Removed {
+		delete(state, id)
+	}
+	for _, r := range fresh.Results {
+		if !reflect.DeepEqual(state[r.ObjectID], r) {
+			t.Fatalf("subscription state stale for object %d: %+v vs %+v", r.ObjectID, state[r.ObjectID], r)
+		}
+	}
+
+	// Track a new object; the next evaluation must include it.
+	o, err := core.NewObject(500, nil, core.Observation{Time: 0, PDF: markov.PointDistribution(3, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Track("d", o); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Evaluate(ctx, "d", existsReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Results) != len(want.Results)+1 {
+		t.Fatalf("tracked object missing: %d results, want %d", len(after.Results), len(want.Results)+1)
+	}
+}

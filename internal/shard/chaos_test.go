@@ -1,0 +1,384 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ust/internal/conformance"
+	"ust/internal/core"
+	"ust/internal/markov"
+)
+
+func paperChain(t testing.TB) *markov.Chain {
+	t.Helper()
+	chain, err := markov.FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain
+}
+
+// TestIngestDuringShardedQuery hammers the router with concurrent
+// evaluations, streams and ingest (Add + Observe). Run under -race in
+// CI; the assertion here is consistency — every evaluation observes a
+// complete generation, never a half-synced shard set.
+func TestIngestDuringShardedQuery(t *testing.T) {
+	db, _ := conformance.NewDataset()
+	base := db.Len()
+	router, err := New(db, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.NewRequest(core.PredicateExists,
+		core.WithStates(core.Interval(40, 55)), core.WithTimes(core.Interval(5, 8)))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if g == 0 {
+					n := 0
+					for _, serr := range router.EvaluateSeq(ctx, req) {
+						if serr != nil {
+							t.Errorf("stream during ingest: %v", serr)
+							return
+						}
+						n++
+					}
+					if n < base {
+						t.Errorf("stream saw %d objects, fewer than the initial %d", n, base)
+						return
+					}
+					continue
+				}
+				resp, qerr := router.Evaluate(ctx, req)
+				if qerr != nil {
+					t.Errorf("query during ingest: %v", qerr)
+					return
+				}
+				if len(resp.Results) < base {
+					t.Errorf("evaluation saw %d objects, fewer than the initial %d", len(resp.Results), base)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		id := 5000 + i
+		o, oerr := core.NewObject(id, nil, core.Observation{Time: 0, PDF: markov.PointDistribution(64, i%64)})
+		if oerr != nil {
+			t.Fatal(oerr)
+		}
+		if err := router.Add(o); err != nil {
+			t.Fatal(err)
+		}
+		// Re-sight the object where it started: the lazy walk's self-loop
+		// keeps the pair of observations always consistent.
+		if err := router.Observe(id, core.Observation{Time: 2, PDF: markov.PointDistribution(64, i%64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	resp, err := router.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != base+20 {
+		t.Fatalf("final scan saw %d objects, want %d", len(resp.Results), base+20)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (plus slack for runtime helpers), failing after the
+// deadline — the leak check for cancelled merges.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMidStreamCancellationCleansUp cancels a sharded stream two ways —
+// consumer break and context cancellation — and verifies every shard
+// goroutine exits (leak-checked) and a context-cancelled scan never
+// reads as complete.
+func TestMidStreamCancellationCleansUp(t *testing.T) {
+	db, _ := conformance.NewDataset()
+	router, err := New(db, 8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.NewRequest(core.PredicateExists,
+		core.WithStates(core.Interval(40, 55)), core.WithTimes(core.Interval(5, 8)))
+	baseline := runtime.NumGoroutine()
+
+	// Consumer break after 3 results.
+	n := 0
+	for _, serr := range router.EvaluateSeq(context.Background(), req) {
+		if serr != nil {
+			t.Fatalf("stream: %v", serr)
+		}
+		if n++; n == 3 {
+			break
+		}
+	}
+	waitForGoroutines(t, baseline)
+
+	// Context cancellation mid-stream: the sequence must surface the
+	// cancellation, not end as if complete.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n = 0
+	var last error
+	for _, serr := range router.EvaluateSeq(ctx, req) {
+		last = serr
+		if serr != nil {
+			break
+		}
+		if n++; n == 2 {
+			cancel()
+		}
+	}
+	if !errors.Is(last, context.Canceled) {
+		t.Fatalf("cancelled stream ended with %v, want context.Canceled", last)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestColdRouterConcurrentFirstSweep evaluates through a router whose
+// chains have never been touched by any engine: the concurrent shard
+// sweeps all race to the chains' lazy transpose build on first use
+// (distinct observation times → distinct sweep keys, so the cache's
+// per-key single-flight does NOT serialize them). Run under -race; the
+// regression this pins is the once-guarded Chain.Transposed — without
+// it this is a data race.
+func TestColdRouterConcurrentFirstSweep(t *testing.T) {
+	db, _ := conformance.NewDataset() // fresh chains, observation times 0..3
+	router, err := New(db, 8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.NewRequest(core.PredicateExists,
+		core.WithStates(core.Interval(40, 55)), core.WithTimes(core.Interval(5, 8)))
+	resp, err := router.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != db.Len() {
+		t.Fatalf("cold sharded scan returned %d results, want %d", len(resp.Results), db.Len())
+	}
+}
+
+// TestShardErrorDeterministic plants one poisoned object (observed
+// after the query horizon) in a database big enough to spread over all
+// shards, and requires: the sharded error equals the single-engine
+// error byte for byte, on Evaluate, EvaluateSeq and the batch items,
+// across repeated runs (scheduling independence); and the failure
+// leaves no shard goroutines behind (siblings cancelled).
+func TestShardErrorDeterministic(t *testing.T) {
+	chain := paperChain(t)
+	db := core.NewDatabase(chain)
+	for id := 0; id < 40; id++ {
+		db.MustAdd(core.MustObject(id, nil, core.Observation{Time: 0, PDF: markov.PointDistribution(3, id%3)}))
+	}
+	// Observed at t=50, beyond the window horizon below: the QB dot
+	// errors on exactly this object.
+	db.MustAdd(core.MustObject(99, nil, core.Observation{Time: 50, PDF: markov.PointDistribution(3, 1)}))
+
+	req := core.NewRequest(core.PredicateExists, core.WithStates([]int{0, 1}), core.WithTimes([]int{2, 3}))
+	single := core.NewEngine(db, core.Options{})
+	_, wantErr := single.Evaluate(context.Background(), req)
+	if wantErr == nil {
+		t.Fatal("single engine accepted the poisoned object")
+	}
+
+	router, err := New(db, 8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	for run := 0; run < 10; run++ {
+		if _, gotErr := router.Evaluate(context.Background(), req); gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Fatalf("run %d: sharded error %v, single engine %v", run, gotErr, wantErr)
+		}
+		var streamErr error
+		for _, serr := range router.EvaluateSeq(context.Background(), req) {
+			if serr != nil {
+				streamErr = serr
+				break
+			}
+		}
+		if streamErr == nil || streamErr.Error() != wantErr.Error() {
+			t.Fatalf("run %d: sharded stream error %v, single engine %v", run, streamErr, wantErr)
+		}
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestShardErrorDeterministicMultiChain is the regression test for the
+// merge's error anchoring: with several chains, a shard's emission
+// ranks are not monotonic in global rank, so an error must anchor at
+// the shard's MINIMUM undecided rank — anchoring at the next emission
+// position leaves a smaller rank permanently unknown and the merge
+// would stall instead of surfacing the real error.
+func TestShardErrorDeterministicMultiChain(t *testing.T) {
+	chainA := paperChain(t)
+	chainB, err := markov.FromDense([][]float64{
+		{0.5, 0.5, 0},
+		{0, 0.5, 0.5},
+		{0.5, 0, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase(chainA)
+	for id := 0; id < 30; id++ {
+		var ch *markov.Chain
+		if id%2 == 1 {
+			ch = chainB
+		}
+		db.MustAdd(core.MustObject(id, ch, core.Observation{Time: 0, PDF: markov.PointDistribution(3, id%3)}))
+	}
+	// Poisoned: observed after the query horizon, on the second chain.
+	db.MustAdd(core.MustObject(100, chainB, core.Observation{Time: 50, PDF: markov.PointDistribution(3, 1)}))
+
+	req := core.NewRequest(core.PredicateExists, core.WithStates([]int{0, 1}), core.WithTimes([]int{2, 3}))
+	single := core.NewEngine(db, core.Options{})
+	_, wantErr := single.Evaluate(context.Background(), req)
+	if wantErr == nil {
+		t.Fatal("single engine accepted the poisoned object")
+	}
+	for _, shards := range []int{2, 3, 4, 8} {
+		router, rerr := New(db, shards, core.Options{})
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		for run := 0; run < 5; run++ {
+			var streamErr error
+			for _, serr := range router.EvaluateSeq(context.Background(), req) {
+				if serr != nil {
+					streamErr = serr
+					break
+				}
+			}
+			if streamErr == nil || streamErr.Error() != wantErr.Error() {
+				t.Fatalf("shards=%d run %d: stream error %v, single engine %v",
+					shards, run, streamErr, wantErr)
+			}
+			if _, gotErr := router.Evaluate(context.Background(), req); gotErr == nil || gotErr.Error() != wantErr.Error() {
+				t.Fatalf("shards=%d run %d: batch error %v, single engine %v",
+					shards, run, gotErr, wantErr)
+			}
+		}
+	}
+}
+
+// TestTwoShardErrorsDeterministic plants TWO poisoned objects that land
+// on different shards: whichever shard fails first cancels the other
+// mid-evaluation, so the raw fan-out error is scheduling-dependent.
+// Router.Evaluate must still surface the single engine's error — the
+// poisoned object at the lowest emission rank — on every run (the
+// canonicalError path).
+func TestTwoShardErrorsDeterministic(t *testing.T) {
+	chain := paperChain(t)
+	db := core.NewDatabase(chain)
+	for id := 0; id < 40; id++ {
+		db.MustAdd(core.MustObject(id, nil, core.Observation{Time: 0, PDF: markov.PointDistribution(3, id%3)}))
+	}
+	db.MustAdd(core.MustObject(97, nil, core.Observation{Time: 50, PDF: markov.PointDistribution(3, 1)}))
+	db.MustAdd(core.MustObject(98, nil, core.Observation{Time: 60, PDF: markov.PointDistribution(3, 2)}))
+
+	req := core.NewRequest(core.PredicateExists, core.WithStates([]int{0, 1}), core.WithTimes([]int{2, 3}))
+	single := core.NewEngine(db, core.Options{})
+	_, wantErr := single.Evaluate(context.Background(), req)
+	if wantErr == nil {
+		t.Fatal("single engine accepted the poisoned objects")
+	}
+
+	router, err := New(db, 8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := router.ring.Owner(97), router.ring.Owner(98); a == b {
+		t.Fatalf("test setup: both poisoned objects landed on shard %d; pick other ids", a)
+	}
+	for run := 0; run < 20; run++ {
+		_, gotErr := router.Evaluate(context.Background(), req)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Fatalf("run %d: sharded error %v, single engine %v", run, gotErr, wantErr)
+		}
+	}
+}
+
+// TestBatchPerItemErrorRouting pins EvaluateBatchSeq's contract on the
+// router: a failing request yields its own item error while its
+// neighbours still answer, in input order.
+func TestBatchPerItemErrorRouting(t *testing.T) {
+	db, _ := conformance.NewDataset()
+	router, err := New(db, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := core.NewRequest(core.PredicateExists,
+		core.WithStates(core.Interval(40, 55)), core.WithTimes(core.Interval(5, 8)))
+	bad := core.NewRequest(core.PredicateExists,
+		core.WithStates(core.Interval(40, 55)), core.WithTimes(core.Interval(5, 8)),
+		core.WithThreshold(1.5)) // threshold outside [0,1]: validation error
+
+	var items []core.BatchItem
+	for item := range router.EvaluateBatchSeq(context.Background(), []core.Request{good, bad, good}) {
+		items = append(items, item)
+	}
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3", len(items))
+	}
+	for i, item := range items {
+		if item.Index != i {
+			t.Fatalf("item %d carries index %d", i, item.Index)
+		}
+	}
+	if items[0].Err != nil || items[2].Err != nil {
+		t.Fatalf("good items errored: %v / %v", items[0].Err, items[2].Err)
+	}
+	if items[1].Err == nil {
+		t.Fatal("bad item did not error")
+	}
+	single := core.NewEngine(db, core.Options{})
+	_, wantErr := single.Evaluate(context.Background(), bad)
+	if wantErr == nil || items[1].Err.Error() != wantErr.Error() {
+		t.Fatalf("bad item error %v, single engine %v", items[1].Err, wantErr)
+	}
+	if fmt.Sprint(items[0].Response.Results) != fmt.Sprint(items[2].Response.Results) {
+		t.Fatal("identical good requests diverged inside one batch")
+	}
+}

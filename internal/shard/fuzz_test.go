@@ -1,0 +1,96 @@
+package shard
+
+import "testing"
+
+// FuzzRing pins the hash ring's three contracts over arbitrary id
+// populations: determinism (same ids → same shards, across ring
+// instances), balance (max/min load ratio bounded at 10k ids), and
+// minimal movement (growing an N-shard ring moves at most ⌈n/N⌉ ids —
+// the consistent-hashing guarantee, with ⌈n/N⌉ − n/(N+1) of slack over
+// the expectation — and every moved id lands on the new shard;
+// shrinking moves exactly the removed shard's ids).
+func FuzzRing(f *testing.F) {
+	f.Add(uint64(1), uint8(8))
+	f.Add(uint64(42), uint8(3))
+	f.Add(uint64(0xdeadbeef), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8) {
+		const population = 10000
+		n := int(nRaw%8) + 1 // 1..8 shards, the PR's deployment range
+		ids := make([]int, population)
+		x := seed
+		for i := range ids {
+			// splitmix64 stream: arbitrary, possibly adversarial ids.
+			x += 0x9e3779b97f4a7c15
+			ids[i] = int(mix(x, 0))
+		}
+
+		ring, err := NewRing(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin, _ := NewRing(n)
+		counts := make(map[int]int, n)
+		owners := make([]int, population)
+		for i, id := range ids {
+			owners[i] = ring.Owner(id)
+			if owners[i] < 0 || owners[i] >= n {
+				t.Fatalf("owner %d outside [0,%d)", owners[i], n)
+			}
+			if twin.Owner(id) != owners[i] {
+				t.Fatalf("assignment not deterministic for id %d", id)
+			}
+			counts[owners[i]]++
+		}
+		if n > 1 {
+			lo, hi := population, 0
+			for s := 0; s < n; s++ {
+				lo, hi = min(lo, counts[s]), max(hi, counts[s])
+			}
+			if lo == 0 || float64(hi)/float64(lo) > 1.5 {
+				t.Fatalf("unbalanced: min %d max %d over %d shards", lo, hi, n)
+			}
+		}
+
+		// Growing moves at most ⌈n/N⌉ ids, all onto the new shard.
+		grown := ring.Grown()
+		moved := 0
+		for i, id := range ids {
+			o := grown.Owner(id)
+			if o == owners[i] {
+				continue
+			}
+			if o != n {
+				t.Fatalf("id %d moved to shard %d, not the new shard %d", id, o, n)
+			}
+			moved++
+		}
+		if bound := (population + n - 1) / n; moved > bound {
+			t.Fatalf("grow moved %d ids, bound %d", moved, bound)
+		}
+
+		// Shrinking moves exactly the removed shard's ids.
+		victim := int(seed % uint64(n))
+		shrunk, err := ring.Shrunk(victim)
+		if n == 1 {
+			if err == nil {
+				t.Fatal("removing the last shard accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			o := shrunk.Owner(id)
+			if owners[i] == victim {
+				if o == victim {
+					t.Fatalf("id %d still owned by removed shard", id)
+				}
+				continue
+			}
+			if o != owners[i] {
+				t.Fatalf("id %d moved (%d→%d) though its shard survived", id, owners[i], o)
+			}
+		}
+	})
+}

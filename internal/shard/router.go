@@ -1,0 +1,541 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"ust/internal/core"
+)
+
+// Router is a sharded engine: it implements the same Evaluate /
+// EvaluateSeq / EvaluateBatch surface as core.Engine (core.Evaluator)
+// over N shard engines, each owning the slice of the database the
+// consistent-hash ring assigns it. Requests fan out concurrently —
+// bounded by WithParallelism, with context cancellation propagating to
+// every shard — and the result streams merge back into exactly the
+// single-engine output: rank-ordered merge for scans, k-way heap merge
+// with the engine's tie-break order for top-k.
+//
+// All shards share one score cache (core.SharedCache), so a chain's
+// backward sweep — which depends only on (chain, window, observation
+// time), never on which objects a shard holds — is computed once per
+// distinct key across the fleet and every other shard hits.
+//
+// Semantics relative to a single engine over the same database:
+//
+//   - Results are byte-identical (same float64 bits, same order) for
+//     every predicate, strategy and ranking, with one exception: the
+//     Monte-Carlo strategy always uses per-object seeding (as if
+//     WithParallelism(≥2)), because the serial variant's shared rng
+//     stream is inherently a whole-database sequence. Sharded MC is
+//     therefore deterministic and independent of the shard count, and
+//     matches any single engine run with WithParallelism(≥2).
+//   - Response.Cache and Response.Filter sum the shard responses; the
+//     shared cache's single-flight keeps the summed Misses equal to
+//     the single-engine count (each distinct sweep computes once).
+//   - Auto-planned requests are planned once against the full database,
+//     so every shard runs the strategy a single engine would have
+//     picked; Response.Plans carries those full-database estimates.
+//   - Per-object evaluation failures surface deterministically
+//     (schedule-independent), and — when a single shard fails — as the
+//     single engine's exact error value. With failures on SEVERAL
+//     shards the surfaced error is the one anchored at the lowest
+//     undecided merge rank, which can name a different poisoned object
+//     than the single engine's first-in-emission-order pick. A FAILING
+//     EvaluateSeq may also stream fewer results before the error than
+//     a single engine would (the failing shard's uncomputed objects
+//     cannot be yielded); the prefix is still deterministic for a
+//     given shard count.
+//
+// Ingest goes through Add / ReplaceObject / Observe, which keep the
+// full database and the owning shard in step while excluding queries.
+// Mutating the underlying database directly is permitted only while no
+// query is in flight; the router adopts such out-of-band mutations
+// lazily (generation check) before the next evaluation.
+type Router struct {
+	full    *core.Database
+	planner *core.Engine // full-database engine: planning + batch warming
+	ring    *Ring
+	opts    core.Options
+	cache   *core.SharedCache
+
+	// mu serializes ingest/resync (exclusive) against evaluation
+	// (shared), mirroring the service layer's per-dataset lock.
+	mu      sync.RWMutex
+	members []*member
+	synced  uint64
+
+	ordMu  sync.Mutex
+	orders map[bool]*orderIndex // emission orders, keyed by "insertion order"
+}
+
+var _ core.Evaluator = (*Router)(nil)
+
+// member is one shard: its slice of the database plus the engine over
+// it. Shard databases share object and chain pointers with the full
+// database — objects are immutable, chains are shared by design (score
+// cache keys are chain-identity).
+type member struct {
+	db     *core.Database
+	engine *core.Engine
+}
+
+// New builds a router over db with the given shard count. Engine
+// options apply to every shard; unless opts disables caching
+// (CacheBytes < 0) or supplies a shared cache, the router creates one
+// SharedCache for the fleet.
+func New(db *core.Database, shards int, opts core.Options) (*Router, error) {
+	if db == nil {
+		return nil, fmt.Errorf("shard: nil database")
+	}
+	ring, err := NewRing(shards)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Cache == nil && opts.CacheBytes >= 0 {
+		opts.Cache = core.NewSharedCache(opts.CacheBytes)
+	}
+	r := &Router{
+		full:    db,
+		planner: core.NewEngine(db, opts),
+		ring:    ring,
+		opts:    opts,
+		cache:   opts.Cache,
+		orders:  map[bool]*orderIndex{},
+	}
+	for s := 0; s < shards; s++ {
+		mdb := core.NewDatabase(db.DefaultChain())
+		r.members = append(r.members, &member{db: mdb, engine: core.NewEngine(mdb, opts)})
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r, r.syncLocked()
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.members) }
+
+// Database returns the full (unsharded) database the router serves.
+func (r *Router) Database() *core.Database { return r.full }
+
+// CacheStats snapshots the fleet-wide shared score cache counters.
+func (r *Router) CacheStats() core.CacheStats {
+	if r.cache == nil {
+		return core.CacheStats{}
+	}
+	return r.cache.Stats()
+}
+
+// syncLocked brings every shard up to the full database's generation:
+// each object is routed to its ring owner and added or swapped when its
+// pointer changed. Requires r.mu held exclusively.
+func (r *Router) syncLocked() error {
+	v := r.full.Version()
+	if r.synced == v {
+		return nil
+	}
+	for _, o := range r.full.Objects() {
+		m := r.members[r.ring.Owner(o.ID)]
+		switch cur := m.db.Get(o.ID); {
+		case cur == o: // unchanged
+		case cur == nil:
+			if err := m.db.Add(o); err != nil {
+				return err
+			}
+		default:
+			if err := m.db.ReplaceObject(o); err != nil {
+				return err
+			}
+		}
+	}
+	r.synced = v
+	r.ordMu.Lock()
+	r.orders = map[bool]*orderIndex{}
+	r.ordMu.Unlock()
+	return nil
+}
+
+// acquire takes the evaluation (shared) lock, first adopting any
+// out-of-band database mutations under the exclusive lock.
+func (r *Router) acquire() (release func(), err error) {
+	for {
+		r.mu.RLock()
+		if r.synced == r.full.Version() {
+			return r.mu.RUnlock, nil
+		}
+		r.mu.RUnlock()
+		r.mu.Lock()
+		err := r.syncLocked()
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// --- ingest ---------------------------------------------------------------
+
+// applyLocked routes one just-mutated object to its owning shard and
+// stamps the router synced — the O(1) ingest path, sparing the full
+// syncLocked rescan when the caller knows exactly what changed.
+// Requires r.mu held exclusively and r.synced current BEFORE the full-
+// database mutation.
+func (r *Router) applyLocked(o *core.Object) error {
+	m := r.members[r.ring.Owner(o.ID)]
+	var err error
+	if m.db.Get(o.ID) == nil {
+		err = m.db.Add(o)
+	} else {
+		err = m.db.ReplaceObject(o)
+	}
+	if err != nil {
+		return err
+	}
+	r.synced = r.full.Version()
+	r.ordMu.Lock()
+	r.orders = map[bool]*orderIndex{}
+	r.ordMu.Unlock()
+	return nil
+}
+
+// Add inserts a new object, routing it to its owning shard. Queries are
+// excluded for the duration (ingest is exclusive, as in the service
+// layer).
+func (r *Router) Add(o *core.Object) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.syncLocked(); err != nil {
+		return err
+	}
+	if err := r.full.Add(o); err != nil {
+		return err
+	}
+	return r.applyLocked(o)
+}
+
+// ReplaceObject swaps in a new version of an existing object on both
+// the full database and its owning shard.
+func (r *Router) ReplaceObject(o *core.Object) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.syncLocked(); err != nil {
+		return err
+	}
+	if err := r.full.ReplaceObject(o); err != nil {
+		return err
+	}
+	return r.applyLocked(o)
+}
+
+// Observe appends an observation to an existing object — the standing
+// ingest primitive, mirroring Monitor.Observe and Service.Observe.
+func (r *Router) Observe(objectID int, obs core.Observation) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.syncLocked(); err != nil {
+		return err
+	}
+	o := r.full.Get(objectID)
+	if o == nil {
+		return fmt.Errorf("shard: unknown object %d", objectID)
+	}
+	updated, err := o.WithObservation(obs)
+	if err != nil {
+		return err
+	}
+	if err := r.full.ReplaceObject(updated); err != nil {
+		return err
+	}
+	return r.applyLocked(updated)
+}
+
+// --- evaluation -----------------------------------------------------------
+
+// prep is one request resolved against the router: the strategy a
+// single engine would run (planned once, over the full database), the
+// request to forward to shards, the emission-order index the merge
+// needs, and the fan-out width.
+type prep struct {
+	req      core.Request
+	strategy core.Strategy
+	plans    []core.CostEstimate
+	// mcOrder selects insertion-order emission (Monte-Carlo) for the
+	// merge's order index, fetched lazily by the scan paths — top-k
+	// merges never need it.
+	mcOrder bool
+	topK    int
+	workers int
+}
+
+// prepareLocked validates and plans the request. Requires the shared
+// lock. Request-level errors (malformed predicates, bad windows) are
+// returned here, before any fan-out, so they surface exactly as a
+// single engine would report them.
+func (r *Router) prepareLocked(req core.Request) (*prep, error) {
+	st, plans, err := r.planner.PlanRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	p := &prep{req: req, strategy: st, plans: plans, topK: req.TopKHint()}
+	if req.AutoPlanHint() {
+		// Pin every shard to the full-database planner's choice: a
+		// shard planning over its own slice could pick differently.
+		p.req = p.req.With(core.WithStrategy(st))
+	}
+	p.mcOrder = st == core.StrategyMonteCarlo
+	// An explicit WithParallelism(w) is a total budget, not a per-layer
+	// one: it caps the shard fan-out at w and divides the remainder
+	// among the shards' own workers, so the router never runs ~w² work
+	// at once. Unset (0) and GOMAXPROCS (-1) hints forward unchanged —
+	// the fan-out defaults to all shards and the runtime bounds actual
+	// parallelism.
+	p.workers = len(r.members)
+	shardPar := req.ParallelismHint()
+	if shardPar > 0 {
+		if shardPar < p.workers {
+			p.workers = shardPar
+		}
+		shardPar = max(1, shardPar/p.workers)
+		p.req = p.req.With(core.WithParallelism(shardPar))
+	}
+	if st == core.StrategyMonteCarlo && core.ResolveWorkers(shardPar) < 2 {
+		// Per-object seeding (see the Router doc comment): the serial
+		// sampler's shared rng stream cannot be partitioned. Shard
+		// widths that already resolve to ≥2 workers keep their width —
+		// they are per-object-seeded either way.
+		p.req = p.req.With(core.WithParallelism(2))
+		if w := req.ParallelismHint(); w > 0 {
+			// Each shard now runs 2 samplers; shrink the fan-out so the
+			// caller's total budget still holds (within the documented
+			// MC minimum of 2).
+			p.workers = max(1, w/2)
+		}
+	}
+	return p, nil
+}
+
+// orderFor returns (building lazily) the emission-order index for the
+// current generation. Monte-Carlo streams emit in database insertion
+// order; every other strategy emits in chain-group order.
+func (r *Router) orderFor(insertion bool) *orderIndex {
+	r.ordMu.Lock()
+	defer r.ordMu.Unlock()
+	if ord := r.orders[insertion]; ord != nil {
+		return ord
+	}
+	ord := buildOrder(r.full, r.members, insertion)
+	r.orders[insertion] = ord
+	return ord
+}
+
+// Evaluate answers the request in one batch: concurrent shard fan-out,
+// then a deterministic merge. See the Router doc comment for the exact
+// single-engine equivalences.
+func (r *Router) Evaluate(ctx context.Context, req core.Request) (*core.Response, error) {
+	release, err := r.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	p, err := r.prepareLocked(req)
+	if err != nil {
+		return nil, err
+	}
+	return r.evaluateLocked(ctx, p)
+}
+
+func (r *Router) evaluateLocked(ctx context.Context, p *prep) (*core.Response, error) {
+	resps, err := r.fanout(ctx, p)
+	if err != nil {
+		return nil, r.canonicalError(ctx, p, err)
+	}
+	resp := &core.Response{Strategy: p.strategy, Plans: p.plans}
+	for _, sr := range resps {
+		resp.Cache.Hits += sr.Cache.Hits
+		resp.Cache.Misses += sr.Cache.Misses
+		resp.Filter.Candidates += sr.Filter.Candidates
+		resp.Filter.Pruned += sr.Filter.Pruned
+		resp.Filter.Refined += sr.Filter.Refined
+	}
+	if p.topK > 0 {
+		lists := make([][]core.Result, len(resps))
+		for s, sr := range resps {
+			lists[s] = sr.Results
+		}
+		resp.Results = mergeTopK(p.topK, lists)
+	} else {
+		resp.Results, err = mergeByRank(r.orderFor(p.mcOrder), resps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// canonicalError turns a fan-out failure into THE deterministic error
+// for this request: with several shards failing (or one failure
+// cancelling siblings mid-evaluation), fanout's surviving error depends
+// on which shard's evaluation got further before the cancel landed.
+// Re-deriving the error through the rank-anchored streaming merge —
+// whose shard evaluations are never cross-cancelled before their own
+// failure surfaces — yields the error at the lowest global emission
+// rank, the same one a single engine (and EvaluateSeq) reports. The
+// request is re-run without ranking (ranking never changes which
+// object errors first); the cost is paid only on the failure path.
+func (r *Router) canonicalError(ctx context.Context, p *prep, err error) error {
+	if ctx.Err() != nil {
+		// Caller-cancelled (or deadline): nothing canonical to derive.
+		return err
+	}
+	scan := *p
+	scan.topK = 0
+	scan.req = p.req.With(core.WithTopK(0))
+	for _, serr := range r.mergeScan(ctx, &scan) {
+		if serr != nil {
+			return serr
+		}
+	}
+	return err
+}
+
+// fanout runs the prepared request on every shard, at most p.workers
+// concurrently. A failing shard cancels its siblings; the error it
+// returns is canonicalized by the caller (canonicalError) — here the
+// first real failure by shard index wins, with cancellation-induced
+// errors losing to any real one.
+func (r *Router) fanout(ctx context.Context, p *prep) ([]*core.Response, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resps := make([]*core.Response, len(r.members))
+	errs := make([]error, len(r.members))
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for s, m := range r.members {
+		wg.Add(1)
+		go func(s int, eng *core.Engine) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[s] = ctx.Err()
+				return
+			}
+			resps[s], errs[s] = eng.Evaluate(ctx, p.req)
+			if errs[s] != nil {
+				cancel()
+			}
+		}(s, m.engine)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return resps, nil
+}
+
+// EvaluateSeq streams the merged results one object at a time, in the
+// single engine's emission order. Breaking out of the loop cancels
+// every shard stream.
+func (r *Router) EvaluateSeq(ctx context.Context, req core.Request) iter.Seq2[core.Result, error] {
+	return func(yield func(core.Result, error) bool) {
+		release, err := r.acquire()
+		if err != nil {
+			yield(core.Result{}, err)
+			return
+		}
+		defer release()
+		p, err := r.prepareLocked(req)
+		if err != nil {
+			yield(core.Result{}, err)
+			return
+		}
+		if p.topK > 0 {
+			// Ranked requests need the full pass anyway; materialize
+			// like Engine.EvaluateSeq does, then stream the ranked tail.
+			resp, rerr := r.evaluateLocked(ctx, p)
+			if rerr != nil {
+				yield(core.Result{}, rerr)
+				return
+			}
+			for _, res := range resp.Results {
+				if !yield(res, nil) {
+					return
+				}
+			}
+			return
+		}
+		r.mergeScan(ctx, p)(yield)
+	}
+}
+
+// EvaluateBatch answers every request, one merged Response per request
+// in input order, aborting on the first per-request error (lowest index
+// wins) — the Engine.EvaluateBatch contract.
+func (r *Router) EvaluateBatch(ctx context.Context, reqs []core.Request) ([]*core.Response, error) {
+	out := make([]*core.Response, len(reqs))
+	for item := range r.EvaluateBatchSeq(ctx, reqs) {
+		if item.Err != nil {
+			return nil, item.Err
+		}
+		out[item.Index] = item.Response
+	}
+	return out, nil
+}
+
+// EvaluateBatchSeq streams batch outcomes in input order with per-item
+// error routing: one malformed request does not poison the rest. The
+// batch's distinct sweeps are warmed ONCE, by the fused kernels of a
+// full-database engine publishing into the shared cache, so the
+// per-shard evaluations all hit instead of warming N times.
+func (r *Router) EvaluateBatchSeq(ctx context.Context, reqs []core.Request) iter.Seq[core.BatchItem] {
+	return func(yield func(core.BatchItem) bool) {
+		release, err := r.acquire()
+		if err != nil {
+			for i := range reqs {
+				if !yield(core.BatchItem{Index: i, Err: err}) {
+					return
+				}
+			}
+			return
+		}
+		defer release()
+		preps := make([]*prep, len(reqs))
+		errs := make([]error, len(reqs))
+		for i, req := range reqs {
+			preps[i], errs[i] = r.prepareLocked(req)
+		}
+		if werr := r.planner.WarmBatch(ctx, reqs); werr != nil {
+			for i := range reqs {
+				if !yield(core.BatchItem{Index: i, Err: werr}) {
+					return
+				}
+			}
+			return
+		}
+		for i := range reqs {
+			item := core.BatchItem{Index: i, Err: errs[i]}
+			if errs[i] == nil {
+				item.Response, item.Err = r.evaluateLocked(ctx, preps[i])
+			}
+			if !yield(item) {
+				return
+			}
+		}
+	}
+}

@@ -23,7 +23,10 @@ $GO build -o "$TMP/ustquery" ./cmd/ustquery
 echo "serve-smoke: generating dataset"
 "$TMP/ustgen" -o "$TMP/smoke.ust" -objects 200 -states 2000 -seed 7 >/dev/null
 
-"$TMP/ustserve" -addr "127.0.0.1:$PORT" -dataset smoke="$TMP/smoke.ust" 2>"$TMP/server.log" &
+# -shards 4: the server runs the consistent-hash shard router, so every
+# remote≡local diff below doubles as an end-to-end conformance check of
+# sharded evaluation against the single-engine ustquery output.
+"$TMP/ustserve" -addr "127.0.0.1:$PORT" -shards 4 -dataset smoke="$TMP/smoke.ust" 2>"$TMP/server.log" &
 SRV_PID=$!
 BASE="http://127.0.0.1:$PORT"
 

@@ -1,0 +1,60 @@
+package ust_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ust"
+)
+
+// The public sharded-engine surface: NewShardedEngine answers
+// identically to NewEngine over the same data, satisfies the shared
+// Evaluator interface, and NewSharedCache lets independent engines
+// reuse each other's sweeps.
+func TestShardedEngineFacade(t *testing.T) {
+	p := ust.DefaultSyntheticParams(7)
+	p.NumObjects, p.NumStates = 60, 500
+	db, err := ust.GenerateSyntheticDatabase(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ust.NewQuery(ust.Interval(40, 80), ust.Interval(12, 17))
+	req := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q), ust.WithTopK(10))
+
+	single := ust.NewEngine(db, ust.Options{})
+	sharded, err := ust.NewShardedEngine(db, 4, ust.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evals []ust.Evaluator = []ust.Evaluator{single, sharded}
+
+	ctx := context.Background()
+	want, err := evals[0].Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := evals[1].Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("sharded facade diverged:\n  got  %+v\n  want %+v", got.Results, want.Results)
+	}
+
+	// Two engines over the same database sharing one cache: the second
+	// engine's sweep is served from the first engine's work.
+	shared := ust.NewSharedCache(0)
+	a := ust.NewEngine(db, ust.Options{Cache: shared})
+	b := ust.NewEngine(db, ust.Options{Cache: shared})
+	if _, err := a.Evaluate(ctx, ust.NewRequest(ust.PredicateExists, ust.WithWindow(q))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.Evaluate(ctx, ust.NewRequest(ust.PredicateExists, ust.WithWindow(q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache.Hits == 0 || resp.Cache.Misses != 0 {
+		t.Fatalf("shared cache not shared across engines: %+v", resp.Cache)
+	}
+}

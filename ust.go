@@ -49,6 +49,7 @@ package ust
 import (
 	"ust/internal/core"
 	"ust/internal/markov"
+	"ust/internal/shard"
 	"ust/internal/sparse"
 	"ust/query"
 )
@@ -131,6 +132,20 @@ type (
 	// BatchItem is one request's outcome within Engine.EvaluateBatch /
 	// EvaluateBatchSeq.
 	BatchItem = core.BatchItem
+	// Evaluator is the query surface every engine implementation
+	// serves: Engine and ShardedEngine both satisfy it, and the
+	// conformance machinery pins implementations to byte-identical
+	// results through it.
+	Evaluator = core.Evaluator
+	// ShardedEngine partitions a database's objects across N shard
+	// engines by consistent hashing and serves the same Evaluate/
+	// EvaluateSeq/EvaluateBatch surface with byte-identical results;
+	// see NewShardedEngine.
+	ShardedEngine = shard.Router
+	// SharedCache is a score cache shared across engines (the shard
+	// fleet's, or any group of engines the caller wires together); see
+	// NewSharedCache and Options.Cache.
+	SharedCache = core.SharedCache
 )
 
 // DefaultCacheBytes is the default byte budget of the engine's shared
@@ -315,6 +330,27 @@ func NewObject(id int, chain *Chain, obs ...Observation) (*Object, error) {
 
 // NewEngine builds a query engine over db.
 func NewEngine(db *Database, opts Options) *Engine { return core.NewEngine(db, opts) }
+
+// NewShardedEngine builds a sharded engine over db: objects partition
+// across `shards` engines by consistent hashing on object id, requests
+// fan out concurrently (bounded by WithParallelism, cancellation
+// propagating to every shard), and result streams merge back into
+// byte-identical single-engine output — ordered merge for scans, k-way
+// heap merge with the exact tie-break order for top-k. All shards share
+// one score cache, so each distinct backward sweep is computed once
+// fleet-wide. The one documented divergence: the Monte-Carlo strategy
+// always uses per-object seeding (the behaviour of WithParallelism(≥2)
+// on a single engine). Ingest goes through the router's Add /
+// ReplaceObject / Observe.
+func NewShardedEngine(db *Database, shards int, opts Options) (*ShardedEngine, error) {
+	return shard.New(db, shards, opts)
+}
+
+// NewSharedCache builds a score cache that several engines can share
+// via Options.Cache (0 selects DefaultCacheBytes). NewShardedEngine
+// wires one up automatically; explicit construction is for callers
+// composing their own fleets.
+func NewSharedCache(capacityBytes int) *SharedCache { return core.NewSharedCache(capacityBytes) }
 
 // NewQuery builds a query window from state ids and timestamps (each
 // copied, sorted, deduped).
