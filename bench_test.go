@@ -32,6 +32,7 @@ import (
 
 	"ust"
 	"ust/client"
+	"ust/internal/agg"
 	"ust/internal/core"
 	"ust/internal/gen"
 	"ust/internal/markov"
@@ -817,5 +818,72 @@ func BenchmarkShardedEvaluate(b *testing.B) {
 			b.Fatal(err)
 		}
 		run(b, r, scanQB)
+	})
+}
+
+// BenchmarkAggregateCount is the aggregate-subsystem headline at the
+// |D|=1000, |S|=10000 scale of Fig 8(b): the count-distribution query
+// count(exists(...)) answered four ways. "naive" folds the per-object
+// factors left to right with no certificate pruning — the O(|D|²)
+// textbook construction of the Poisson-binomial PMF. "engine" is the
+// shipped path: filter–refine certificates bound each factor before the
+// exact kernel runs, and the balanced divide-and-conquer fold keeps the
+// convolution near O(|D| log²|D|). The sharded pair pins the router's
+// merge cost: factors are pooled across shards and re-folded through
+// the identical canonical tree, so shards=8 must match single up to the
+// fan-out overhead (and beat it on multi-core hardware).
+func BenchmarkAggregateCount(b *testing.B) {
+	db := benchDB(b, 1000, 10000)
+	q := benchQuery(10000)
+	ctx := context.Background()
+	req := ust.NewAggRequest(ust.PredicateExists,
+		ust.AggSpec{Kind: ust.AggCount}, ust.WithWindow(q))
+
+	b.Run("naive-loop", func(b *testing.B) {
+		e := core.NewEngine(db, core.Options{})
+		raw := core.NewAggRequest(core.PredicateExists,
+			core.AggSpec{Kind: core.AggCount},
+			core.WithWindow(q), core.WithFilterRefine(false))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs, err := e.AggregateFactors(ctx, raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pmf := agg.NaiveCountPMF(fs.Factors)
+			if len(pmf) != 1001 {
+				b.Fatalf("pmf has %d entries", len(pmf))
+			}
+		}
+	})
+	run := func(b *testing.B, eval ust.Evaluator) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := eval.Evaluate(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Agg == nil || len(resp.Agg.PMF) != 1001 {
+				b.Fatalf("bad aggregate: %+v", resp.Agg)
+			}
+		}
+	}
+	b.Run("engine", func(b *testing.B) {
+		run(b, ust.NewEngine(db, ust.Options{}))
+	})
+	b.Run("shards=1", func(b *testing.B) {
+		r, err := ust.NewShardedEngine(db, 1, ust.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, r)
+	})
+	b.Run("shards=8", func(b *testing.B) {
+		r, err := ust.NewShardedEngine(db, 8, ust.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, r)
 	})
 }

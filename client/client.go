@@ -264,6 +264,12 @@ func (c *Client) postQuery(ctx context.Context, body io.Reader) (*ust.Response, 
 // server's done marker — a connection cut mid-stream is an error, never
 // a silent truncation.
 func (c *Client) QueryStream(ctx context.Context, dataset string, req ust.Request, yield func(ust.Result) error) error {
+	if _, isAgg := req.AggregateHint(); isAgg {
+		// The server would answer with a single distribution line the
+		// per-result yield cannot deliver; fail fast with the same
+		// sentinel the in-process streaming entry points use.
+		return fmt.Errorf("client: aggregate requests answer as one distribution; use Query: %w", ust.ErrAggregateStream)
+	}
 	body, err := queryEnvelope(dataset, req)
 	if err != nil {
 		return err

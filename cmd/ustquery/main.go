@@ -22,6 +22,15 @@
 // replaces the window/predicate/tuning flags; parse errors are reported
 // with a caret under the offending column.
 //
+// Aggregate queries — count(...) and occupancy(...) — answer with one
+// distribution instead of per-object rows:
+//
+//	ustquery -db data.ustd -q 'count(exists(states(100-120) @ [20,25])) where min=10'
+//
+// prints the exact count PMF with its moments (and P(count ≥ 10)); with
+// -stream the PMF arrives as NDJSON rows {"count":k,"p":…} (occupancy:
+// one row per timestep), with -json as a single document.
+//
 // Threshold and top-k queries run through the engine's filter–refine
 // path, and repeated evaluations share backward sweeps via the score
 // cache; the per-query cache/filter statistics are reported on stderr.
@@ -190,6 +199,25 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
+	if spec, isAgg := req.AggregateHint(); isAgg {
+		// count(...)/occupancy(...) answer with one distribution, so
+		// they go through the batch entry point even under -stream;
+		// -stream only changes the rendering (NDJSON rows per count or
+		// timestep instead of one document).
+		var resp *core.Response
+		if *remote != "" {
+			resp, err = client.New(*remote, nil).Query(ctx, *dataset, req)
+		} else {
+			resp, err = engine.Evaluate(ctx, req)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ustquery: strategy %s, aggregate %s\n", resp.Strategy, spec.Kind)
+		emitAggregate(out, resp.Agg, spec, *stream, *asJSON)
+		return
+	}
+
 	if *stream {
 		if *remote != "" {
 			streamResults(out, remoteSeq(ctx, *remote, *dataset, req), pred, *top, *asJSON)
@@ -333,6 +361,76 @@ func streamResults(out *bufio.Writer, results func(yield func(core.Result, error
 		}
 	}
 	fmt.Fprintf(os.Stderr, "ustquery: streamed %d result(s)\n", n)
+}
+
+// emitAggregate renders an aggregate answer. -stream emits one NDJSON
+// row per PMF entry ({"count":k,"p":…}) or occupancy timestep; -json
+// emits the aggregate as a single document; the default is a table with
+// the moments summarized first.
+func emitAggregate(out *bufio.Writer, a *core.AggResult, spec core.AggSpec, stream, asJSON bool) {
+	if a == nil {
+		fatal(fmt.Errorf("aggregate request returned no aggregate"))
+	}
+	if stream {
+		enc := json.NewEncoder(out)
+		if a.Kind == core.AggOccupancy {
+			for _, pt := range a.Profile {
+				row := struct {
+					Time     int     `json:"time"`
+					Mean     float64 `json:"mean"`
+					Variance float64 `json:"variance"`
+					Tail     float64 `json:"tail,omitempty"`
+				}{pt.Time, pt.Mean, pt.Variance, pt.Tail}
+				if err := enc.Encode(row); err != nil {
+					fatal(err)
+				}
+				out.Flush()
+			}
+			fmt.Fprintf(os.Stderr, "ustquery: streamed %d timestep(s)\n", len(a.Profile))
+			return
+		}
+		for k, p := range a.PMF {
+			row := struct {
+				Count int     `json:"count"`
+				P     float64 `json:"p"`
+			}{k, p}
+			if err := enc.Encode(row); err != nil {
+				fatal(err)
+			}
+			out.Flush()
+		}
+		fmt.Fprintf(os.Stderr, "ustquery: streamed %d count(s)\n", len(a.PMF))
+		return
+	}
+	if asJSON {
+		emitJSON(out, a)
+		return
+	}
+	if a.Kind == core.AggOccupancy {
+		fmt.Fprintf(out, "%-8s  %-12s  %-12s", "time", "mean", "variance")
+		if spec.MinCount > 0 {
+			fmt.Fprintf(out, "  P(count>=%d)", spec.MinCount)
+		}
+		fmt.Fprintln(out)
+		for _, pt := range a.Profile {
+			fmt.Fprintf(out, "%-8d  %-12.6f  %-12.6f", pt.Time, pt.Mean, pt.Variance)
+			if spec.MinCount > 0 {
+				fmt.Fprintf(out, "  %.6f", pt.Tail)
+			}
+			fmt.Fprintln(out)
+		}
+		return
+	}
+	fmt.Fprintf(out, "E[count] = %.6f  Var = %.6f  mode = %d\n", a.Mean, a.Variance, a.ModeCount)
+	if spec.MinCount > 0 {
+		fmt.Fprintf(out, "P(count >= %d) = %.6f\n", spec.MinCount, a.Tail)
+	}
+	fmt.Fprintf(out, "%-8s  %s\n", "count", "probability")
+	for k, p := range a.PMF {
+		if p > 1e-9 {
+			fmt.Fprintf(out, "%-8d  %.6f\n", k, p)
+		}
+	}
 }
 
 func emitJSON(out *bufio.Writer, v any) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ust/client"
 	"ust/internal/core"
 	"ust/internal/markov"
 	"ust/internal/service"
@@ -102,6 +103,56 @@ func TestRemoteSeqMatchesLocal(t *testing.T) {
 	}
 	if !reflect.DeepEqual(local, remote) {
 		t.Fatalf("remote stream diverged:\n  remote %+v\n  local  %+v", remote, local)
+	}
+}
+
+// TestRemoteAggregateMatchesLocal pins the -q "count(...)" path the CLI
+// routes through Query: the remote aggregate must carry the exact PMF
+// bits of a local evaluation.
+func TestRemoteAggregateMatchesLocal(t *testing.T) {
+	chain, err := markov.FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkdb := func() *core.Database {
+		db := core.NewDatabase(chain)
+		for id := 0; id < 7; id++ {
+			if err := db.AddSimple(id, markov.PointDistribution(3, id%3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	if err := svc.Create("default", mkdb(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	req, err := query.Parse("count(exists(states(0,1) @ [2,3])) where min=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := core.NewEngine(mkdb(), core.Options{})
+	want, err := engine.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.New(ts.URL, nil).Query(context.Background(), "default", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Agg == nil || got.Agg == nil {
+		t.Fatalf("missing aggregate: local %v, remote %v", want.Agg, got.Agg)
+	}
+	if !reflect.DeepEqual(got.Agg, want.Agg) {
+		t.Fatalf("remote aggregate diverged:\n  remote %+v\n  local  %+v", got.Agg, want.Agg)
 	}
 }
 

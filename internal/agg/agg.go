@@ -1,0 +1,379 @@
+// Package agg evaluates probabilistic count aggregates by generating
+// functions (Züfle's technique): each database object i contributes an
+// independent factor polynomial fᵢ(x) whose coefficient j is the
+// probability that the object contributes j to the count — the
+// Bernoulli [1−pᵢ, pᵢ·x] for predicate satisfaction, or the full
+// visit-count distribution for PSTkQ — and the product ∏ᵢ fᵢ(x) is the
+// exact generating function of the database-level count: coefficient k
+// of the product is P(count = k), the Poisson-binomial distribution in
+// the Bernoulli case.
+//
+// The package has one hard obligation beyond correctness: the engine,
+// the shard router (any shard count) and the remote service must all
+// produce BYTE-IDENTICAL distributions. Floating-point multiplication
+// of polynomials is not associative, so the product is defined as ONE
+// canonical algorithm — a fixed balanced divide-and-conquer tree over
+// the factors sorted by ascending object id, with Neumaier-compensated
+// coefficient sums — that every caller runs over the same sorted factor
+// sequence. A shard merge therefore does not fold "per-shard
+// polynomials" left to right; it pools the per-object factors and
+// re-runs the canonical tree, whose internal combine steps ARE the
+// per-shard polynomial multiplications whenever a subtree happens to
+// coincide with a shard — and are well-defined even when it does not.
+//
+// Value-based fast paths keep certificate-pruned objects O(1) without
+// breaking bit-identity: a factor [1] (p = 0, the object certainly does
+// not count) multiplies as a copy, and a factor [0, 1] (p = 1, the
+// object certainly counts) multiplies as a coefficient shift. Both
+// shortcuts produce bit-for-bit the coefficients the general compensated
+// convolution would, because x·1.0 = x and a two-term compensated sum
+// with one exact-zero addend is exact.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Factor is one object's generating polynomial: Coeffs[j] is the
+// probability the object contributes exactly j to the count. A
+// predicate factor is the Bernoulli pair [1−p, p]; a PSTkQ factor is
+// the object's visit-count distribution. In occupancy mode the same
+// struct transports a per-timestep probability row instead (Coeffs[ti]
+// is the probability at times[ti]); see Occupancy.
+type Factor struct {
+	ID     int
+	Coeffs []float64
+}
+
+// Bernoulli is the factor of one object under a boolean predicate:
+// (1−p) + p·x.
+func Bernoulli(id int, p float64) Factor {
+	return Factor{ID: id, Coeffs: []float64{1 - p, p}}
+}
+
+// CountResult is the canonical aggregate of one factor set.
+type CountResult struct {
+	// PMF[k] = P(count = k), k = 0..Σᵢ deg(fᵢ).
+	PMF []float64
+	// Mean and Variance of the count, computed from the PMF with
+	// compensated summation.
+	Mean, Variance float64
+	// Mode is the most likely count (smallest index on ties).
+	Mode int
+	// Tail is P(count ≥ minCount) when minCount > 0, else 0.
+	Tail float64
+}
+
+// Count runs the canonical aggregation: factors sorted by ascending id,
+// the fixed divide-and-conquer product, compensated moments, and the
+// iceberg tail when minCount > 0. The input slice is not mutated.
+func Count(factors []Factor, minCount int) (CountResult, error) {
+	pmf, err := CountPMF(factors)
+	if err != nil {
+		return CountResult{}, err
+	}
+	mean, variance, mode := Stats(pmf)
+	out := CountResult{PMF: pmf, Mean: mean, Variance: variance, Mode: mode}
+	if minCount > 0 {
+		out.Tail = TailGE(pmf, minCount)
+	}
+	return out, nil
+}
+
+// CountPMF multiplies the factor polynomials with the canonical
+// algorithm and returns the count PMF, padded with exact zeros to the
+// full degree Σᵢ (len(Coeffs)−1) so the result length is partition- and
+// value-independent. An empty factor set yields the empty product [1]
+// (the count of an empty database is certainly zero).
+func CountPMF(factors []Factor) ([]float64, error) {
+	sorted, err := sortByID(factors)
+	if err != nil {
+		return nil, err
+	}
+	full := 1
+	polys := make([][]float64, len(sorted))
+	for i, f := range sorted {
+		coeffs, err := sanitize(f)
+		if err != nil {
+			return nil, err
+		}
+		full += len(f.Coeffs) - 1
+		// Trim exact trailing zeros (value-based, hence deterministic):
+		// a Bernoulli with p = 0 becomes the identity [1], keeping
+		// certificate-pruned objects O(1) in every combine they touch.
+		trimmed := trimZeros(coeffs)
+		if len(trimmed) == 0 {
+			return nil, fmt.Errorf("agg: factor for object %d is identically zero", f.ID)
+		}
+		polys[i] = trimmed
+	}
+	pmf := product(polys)
+	for len(pmf) < full {
+		pmf = append(pmf, 0)
+	}
+	return pmf, nil
+}
+
+// sortByID returns the factors sorted by ascending object id — the
+// canonical multiplication order — rejecting duplicates, which would
+// silently double-count an object merged from two shards.
+func sortByID(factors []Factor) ([]Factor, error) {
+	sorted := make([]Factor, len(factors))
+	copy(sorted, factors)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].ID == sorted[i-1].ID {
+			return nil, fmt.Errorf("agg: duplicate factor for object %d", sorted[i].ID)
+		}
+	}
+	return sorted, nil
+}
+
+// negRoundoff bounds how far below zero a coefficient may sit and still
+// be treated as floating-point roundoff rather than invalid input: the
+// exact kernels report probabilities like 1 + 2⁻⁵² (a dot product over a
+// distribution whose mass rounds past one), whose Bernoulli complement
+// is a few ulps negative.
+const negRoundoff = 1e-9
+
+// sanitize validates one factor and returns its coefficients with tiny
+// negative roundoff snapped to exact zero. The snap is value-based —
+// the same coefficient bits snap the same way on every caller — so it
+// preserves the cross-topology byte-identity guarantee. The returned
+// slice is a copy whenever it differs from the input.
+func sanitize(f Factor) ([]float64, error) {
+	if len(f.Coeffs) == 0 {
+		return nil, fmt.Errorf("agg: factor for object %d has no coefficients", f.ID)
+	}
+	coeffs := f.Coeffs
+	for j, c := range coeffs {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < -negRoundoff {
+			return nil, fmt.Errorf("agg: factor for object %d has invalid coefficient %g", f.ID, c)
+		}
+		if c < 0 {
+			if &coeffs[0] == &f.Coeffs[0] {
+				coeffs = append([]float64(nil), f.Coeffs...)
+			}
+			coeffs[j] = 0
+		}
+	}
+	return coeffs, nil
+}
+
+func trimZeros(coeffs []float64) []float64 {
+	end := len(coeffs)
+	for end > 0 && coeffs[end-1] == 0 {
+		end--
+	}
+	return coeffs[:end]
+}
+
+// product multiplies the polynomials over the fixed balanced binary
+// tree: split at mid = len/2, recurse, convolve. The tree shape depends
+// only on the number of factors, never on their values, so every
+// evaluation topology that feeds the same sorted factor sequence gets
+// the same floating-point operation order.
+func product(polys [][]float64) []float64 {
+	switch len(polys) {
+	case 0:
+		return []float64{1}
+	case 1:
+		out := make([]float64, len(polys[0]))
+		copy(out, polys[0])
+		return out
+	}
+	mid := len(polys) / 2
+	return convolve(product(polys[:mid]), product(polys[mid:]))
+}
+
+// convolve returns the coefficient-wise product a·b, each output
+// coefficient a Neumaier-compensated sum over the diagonal, with
+// value-based O(1) shortcuts for the identity [1] and the shift [0, 1].
+// The shortcuts are bit-identical to the general path (see the package
+// comment), so pruned and refined evaluations cannot drift apart.
+func convolve(a, b []float64) []float64 {
+	if isIdentity(a) {
+		return b
+	}
+	if isIdentity(b) {
+		return a
+	}
+	if isShift(a) {
+		return shift(b)
+	}
+	if isShift(b) {
+		return shift(a)
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for j := range out {
+		var s neumaier
+		lo := j - len(b) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := j
+		if hi > len(a)-1 {
+			hi = len(a) - 1
+		}
+		for i := lo; i <= hi; i++ {
+			s.add(a[i] * b[j-i])
+		}
+		out[j] = s.value()
+	}
+	return out
+}
+
+func isIdentity(p []float64) bool { return len(p) == 1 && p[0] == 1 }
+func isShift(p []float64) bool    { return len(p) == 2 && p[0] == 0 && p[1] == 1 }
+
+func shift(p []float64) []float64 {
+	out := make([]float64, len(p)+1)
+	copy(out[1:], p)
+	return out
+}
+
+// NaiveCountPMF is the reference product: factors folded left to right
+// in the order GIVEN (no sorting), each fold a plain uncompensated
+// convolution. It is deliberately a different algorithm — tests compare
+// it against CountPMF within float tolerance, and benchmarks use it as
+// the naive per-object loop baseline. Invalid factors panic; use
+// CountPMF for validated input.
+func NaiveCountPMF(factors []Factor) []float64 {
+	pmf := []float64{1}
+	for _, f := range factors {
+		if len(f.Coeffs) == 0 {
+			panic(fmt.Sprintf("agg: factor for object %d has no coefficients", f.ID))
+		}
+		out := make([]float64, len(pmf)+len(f.Coeffs)-1)
+		for i, a := range pmf {
+			for j, b := range f.Coeffs {
+				out[i+j] += a * b
+			}
+		}
+		pmf = out
+	}
+	return pmf
+}
+
+// Stats returns the compensated mean, variance (clamped at 0) and mode
+// (smallest index on ties) of a count PMF.
+func Stats(pmf []float64) (mean, variance float64, mode int) {
+	var m1, m2 neumaier
+	best := math.Inf(-1)
+	for j, p := range pmf {
+		m1.add(float64(j) * p)
+		m2.add(float64(j) * float64(j) * p)
+		if p > best {
+			best, mode = p, j
+		}
+	}
+	mean = m1.value()
+	variance = m2.value() - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, mode
+}
+
+// TailGE returns P(count ≥ k): the compensated sum of pmf[k:], in
+// ascending index order. k ≤ 0 sums the whole PMF.
+func TailGE(pmf []float64, k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(pmf) {
+		return 0
+	}
+	var s neumaier
+	for _, p := range pmf[k:] {
+		s.add(p)
+	}
+	return s.value()
+}
+
+// CDF returns the running P(count ≤ k), one compensated prefix sum.
+func CDF(pmf []float64) []float64 {
+	out := make([]float64, len(pmf))
+	var s neumaier
+	for j, p := range pmf {
+		s.add(p)
+		out[j] = s.value()
+	}
+	return out
+}
+
+// OccPoint is one timestep of an occupancy profile: the distribution of
+// how many objects are inside the spatial predicate at that instant,
+// summarized by its exact Poisson-binomial mean and variance, plus the
+// iceberg tail P(occupancy ≥ minCount) when requested.
+type OccPoint struct {
+	Time           int
+	Mean, Variance float64
+	Tail           float64
+}
+
+// Occupancy computes the per-timestep profile from probability rows:
+// rows[i].Coeffs[ti] is object rows[i].ID's probability of being inside
+// the spatial predicate at times[ti]. Rows are sorted by ascending id
+// (the canonical summation and convolution order); the tail is computed
+// from the full per-timestep count PMF only when minCount > 0.
+func Occupancy(rows []Factor, times []int, minCount int) ([]OccPoint, error) {
+	sorted, err := sortByID(rows)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range sorted {
+		if len(r.Coeffs) != len(times) {
+			return nil, fmt.Errorf("agg: occupancy row for object %d has %d probabilities for %d timesteps", r.ID, len(r.Coeffs), len(times))
+		}
+	}
+	out := make([]OccPoint, len(times))
+	factors := make([]Factor, len(sorted))
+	for ti, t := range times {
+		var mean, variance neumaier
+		for i, r := range sorted {
+			p := r.Coeffs[ti]
+			if math.IsNaN(p) || p < -negRoundoff || p > 1+negRoundoff {
+				return nil, fmt.Errorf("agg: occupancy probability %g for object %d outside [0, 1]", p, r.ID)
+			}
+			// Snap kernel roundoff (value-based, deterministic).
+			if p < 0 {
+				p = 0
+			} else if p > 1 {
+				p = 1
+			}
+			mean.add(p)
+			variance.add(p * (1 - p))
+			factors[i] = Bernoulli(r.ID, p)
+		}
+		pt := OccPoint{Time: t, Mean: mean.value(), Variance: variance.value()}
+		if minCount > 0 {
+			pmf, perr := CountPMF(factors)
+			if perr != nil {
+				return nil, perr
+			}
+			pt.Tail = TailGE(pmf, minCount)
+		}
+		out[ti] = pt
+	}
+	return out, nil
+}
+
+// neumaier is Neumaier's improved Kahan–Babuška compensated summation:
+// the running compensation also captures the case where the incoming
+// term is larger than the running sum.
+type neumaier struct{ sum, comp float64 }
+
+func (n *neumaier) add(x float64) {
+	t := n.sum + x
+	if math.Abs(n.sum) >= math.Abs(x) {
+		n.comp += (n.sum - t) + x
+	} else {
+		n.comp += (x - t) + n.sum
+	}
+	n.sum = t
+}
+
+func (n *neumaier) value() float64 { return n.sum + n.comp }

@@ -1,0 +1,280 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomFactors(rng *rand.Rand, n int) []Factor {
+	factors := make([]Factor, n)
+	for i := range factors {
+		if rng.Intn(4) == 0 {
+			// A multi-coefficient (PSTkQ-style) distribution factor.
+			k := 1 + rng.Intn(4)
+			coeffs := make([]float64, k+1)
+			sum := 0.0
+			for j := range coeffs {
+				coeffs[j] = rng.Float64()
+				sum += coeffs[j]
+			}
+			for j := range coeffs {
+				coeffs[j] /= sum
+			}
+			factors[i] = Factor{ID: i*7 + 3, Coeffs: coeffs}
+			continue
+		}
+		p := rng.Float64()
+		switch rng.Intn(5) {
+		case 0:
+			p = 0
+		case 1:
+			p = 1
+		}
+		factors[i] = Bernoulli(i*7+3, p)
+	}
+	return factors
+}
+
+// TestCountPMFAgainstNaive pins the canonical divide-and-conquer product
+// against the independent left-fold reference on randomized factor sets.
+func TestCountPMFAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		factors := randomFactors(rng, rng.Intn(20))
+		pmf, err := CountPMF(factors)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := NaiveCountPMF(factors)
+		if len(pmf) != len(want) {
+			t.Fatalf("trial %d: PMF length %d, naive %d", trial, len(pmf), len(want))
+		}
+		for j := range pmf {
+			if !almostEqual(pmf[j], want[j], 1e-12) {
+				t.Fatalf("trial %d: PMF[%d] = %g, naive %g", trial, j, pmf[j], want[j])
+			}
+		}
+	}
+}
+
+// TestCountProperties: the PMF is a distribution (sums to 1, entries in
+// [0,1]), its mean equals Σ E[factor] and its variance Σ Var[factor]
+// (independence), CDF ends at the total mass, and the tail identities
+// hold.
+func TestCountProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		factors := randomFactors(rng, 1+rng.Intn(30))
+		res, err := Count(factors, 2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sum := 0.0
+		var wantMean, wantVar float64
+		for _, f := range factors {
+			m, m2 := 0.0, 0.0
+			for j, c := range f.Coeffs {
+				m += float64(j) * c
+				m2 += float64(j) * float64(j) * c
+			}
+			wantMean += m
+			wantVar += m2 - m*m
+		}
+		for j, p := range res.PMF {
+			if p < -1e-15 || p > 1+1e-12 {
+				t.Fatalf("trial %d: PMF[%d] = %g outside [0,1]", trial, j, p)
+			}
+			sum += p
+		}
+		if !almostEqual(sum, 1, 1e-10) {
+			t.Fatalf("trial %d: PMF sums to %g", trial, sum)
+		}
+		if !almostEqual(res.Mean, wantMean, 1e-9) {
+			t.Fatalf("trial %d: mean %g, want Σμ = %g", trial, res.Mean, wantMean)
+		}
+		if !almostEqual(res.Variance, wantVar, 1e-9) {
+			t.Fatalf("trial %d: variance %g, want Σσ² = %g", trial, res.Variance, wantVar)
+		}
+		if !almostEqual(res.Tail, TailGE(res.PMF, 2), 0) {
+			t.Fatalf("trial %d: tail mismatch", trial)
+		}
+		cdf := CDF(res.PMF)
+		if !almostEqual(cdf[len(cdf)-1], sum, 1e-12) {
+			t.Fatalf("trial %d: CDF ends at %g, mass %g", trial, cdf[len(cdf)-1], sum)
+		}
+		// P(count ≥ k) + P(count ≤ k−1) = total mass.
+		if !almostEqual(TailGE(res.PMF, 2)+cdf[1], sum, 1e-10) {
+			t.Fatalf("trial %d: tail + cdf = %g, mass %g", trial, TailGE(res.PMF, 2)+cdf[1], sum)
+		}
+	}
+}
+
+// TestCountPMFOrderIndependence: the canonical product must not depend
+// on the input order — shuffled (shard-merged) factor sets produce
+// byte-identical PMFs.
+func TestCountPMFOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 50; trial++ {
+		factors := randomFactors(rng, 2+rng.Intn(25))
+		want, err := CountPMF(factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shuffled := make([]Factor, len(factors))
+		copy(shuffled, factors)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := CountPMF(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d vs %d", trial, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: PMF[%d] differs bitwise: %v vs %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestFastPathsBitwiseNeutral: replacing a p∈{0,1} Bernoulli factor's
+// convolution by the identity/shift shortcut must give bit-for-bit the
+// coefficients of the general compensated path, so certificate-pruned
+// and exactly-refined evaluations cannot drift apart.
+func TestFastPathsBitwiseNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		b := make([]float64, n)
+		for j := range b {
+			b[j] = rng.Float64()
+		}
+		general := func(a []float64) []float64 {
+			out := make([]float64, len(a)+len(b)-1)
+			for j := range out {
+				var s neumaier
+				for i := range a {
+					if j-i >= 0 && j-i < len(b) {
+						s.add(a[i] * b[j-i])
+					}
+				}
+				out[j] = s.value()
+			}
+			return out
+		}
+		id := convolve([]float64{1}, b)
+		wantID := general([]float64{1})
+		sh := convolve([]float64{0, 1}, b)
+		wantSh := general([]float64{0, 1})
+		for j := range wantID {
+			if id[j] != wantID[j] {
+				t.Fatalf("identity shortcut drifts at %d: %v vs %v", j, id[j], wantID[j])
+			}
+		}
+		for j := range wantSh {
+			if sh[j] != wantSh[j] {
+				t.Fatalf("shift shortcut drifts at %d: %v vs %v", j, sh[j], wantSh[j])
+			}
+		}
+	}
+}
+
+func TestCountPMFEdgeCases(t *testing.T) {
+	pmf, err := CountPMF(nil)
+	if err != nil || len(pmf) != 1 || pmf[0] != 1 {
+		t.Fatalf("empty product: %v %v", pmf, err)
+	}
+	if _, err := CountPMF([]Factor{Bernoulli(1, 0.5), Bernoulli(1, 0.2)}); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+	if _, err := CountPMF([]Factor{{ID: 1, Coeffs: []float64{0.5, math.NaN()}}}); err == nil {
+		t.Fatal("NaN coefficient accepted")
+	}
+	if _, err := CountPMF([]Factor{{ID: 1, Coeffs: []float64{0, 0}}}); err == nil {
+		t.Fatal("zero polynomial accepted")
+	}
+	if _, err := CountPMF([]Factor{{ID: 1, Coeffs: []float64{1.5, -0.5}}}); err == nil {
+		t.Fatal("genuinely negative coefficient accepted")
+	}
+	// Kernel roundoff a few ulps below zero snaps to exact zero without
+	// mutating the caller's factor.
+	eps := -2.220446049250313e-16
+	in := []float64{eps, 1 - eps}
+	pmf, err = CountPMF([]Factor{{ID: 1, Coeffs: in}})
+	if err != nil {
+		t.Fatalf("roundoff coefficient rejected: %v", err)
+	}
+	if pmf[0] != 0 || pmf[1] != 1-eps {
+		t.Fatalf("roundoff snap: PMF %v", pmf)
+	}
+	if in[0] != eps {
+		t.Fatal("sanitize mutated the caller's coefficients")
+	}
+	if _, err := CountPMF([]Factor{{ID: 1}}); err == nil {
+		t.Fatal("empty factor accepted")
+	}
+	// All-certain factors: PMF is a point mass at the number of p=1
+	// objects, at full length.
+	pmf, err = CountPMF([]Factor{Bernoulli(1, 1), Bernoulli(2, 0), Bernoulli(3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 1, 0}
+	if len(pmf) != len(want) {
+		t.Fatalf("PMF %v, want %v", pmf, want)
+	}
+	for j := range want {
+		if pmf[j] != want[j] {
+			t.Fatalf("PMF %v, want %v", pmf, want)
+		}
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	rows := []Factor{
+		{ID: 2, Coeffs: []float64{0.5, 1}},
+		{ID: 1, Coeffs: []float64{0.25, 0}},
+	}
+	pts, err := Occupancy(rows, []int{7, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Time != 7 || pts[1].Time != 8 {
+		t.Fatalf("profile %+v", pts)
+	}
+	if !almostEqual(pts[0].Mean, 0.75, 1e-15) || !almostEqual(pts[1].Mean, 1, 1e-15) {
+		t.Fatalf("means %g %g", pts[0].Mean, pts[1].Mean)
+	}
+	if !almostEqual(pts[0].Variance, 0.25*0.75+0.5*0.5, 1e-15) {
+		t.Fatalf("variance %g", pts[0].Variance)
+	}
+	// P(both inside at t=7) = 0.25·0.5; at t=8 one object is certain,
+	// the other impossible.
+	if !almostEqual(pts[0].Tail, 0.125, 1e-15) || pts[1].Tail != 0 {
+		t.Fatalf("tails %g %g", pts[0].Tail, pts[1].Tail)
+	}
+
+	if _, err := Occupancy([]Factor{{ID: 1, Coeffs: []float64{0.5}}}, []int{1, 2}, 0); err == nil {
+		t.Fatal("row length mismatch accepted")
+	}
+	if _, err := Occupancy([]Factor{{ID: 1, Coeffs: []float64{1.5}}}, []int{1}, 0); err == nil {
+		t.Fatal("probability outside [0,1] accepted")
+	}
+}
+
+// TestNeumaierCompensation: the compensated sum recovers a classically
+// catastrophic sequence a plain fold gets wrong.
+func TestNeumaierCompensation(t *testing.T) {
+	var s neumaier
+	s.add(1)
+	s.add(1e100)
+	s.add(1)
+	s.add(-1e100)
+	if s.value() != 2 {
+		t.Fatalf("compensated sum %g, want 2", s.value())
+	}
+}

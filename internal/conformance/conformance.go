@@ -15,6 +15,7 @@ package conformance
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"reflect"
@@ -219,6 +220,35 @@ func Cases(res spatial.Resolver) []Case {
 		core.WithStrategy(core.StrategyMonteCarlo),
 		core.WithMonteCarloBudget(32, 23), core.WithParallelism(2)))
 
+	// Probabilistic aggregates: the count distribution IS the answer, so
+	// these cases compare Response.Agg bit for bit — the PMF must come
+	// out byte-identical whether the factors were folded by one engine,
+	// pooled across shards, or carried over the wire.
+	count := core.AggSpec{Kind: core.AggCount}
+	add("agg/count-qb", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithStrategy(core.StrategyQueryBased)))
+	add("agg/count-ob", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithStrategy(core.StrategyObjectBased)))
+	add("agg/count-forall", core.NewAggRequest(core.PredicateForAll, count, inRegion, window))
+	add("agg/count-ktimes", core.NewAggRequest(core.PredicateKTimes, count, inRegion, window))
+	add("agg/count-min", core.NewAggRequest(core.PredicateExists,
+		core.AggSpec{Kind: core.AggCount, MinCount: 4}, inRegion, window))
+	add("agg/count-auto", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithAutoPlan()))
+	add("agg/count-no-filter", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithFilterRefine(false)))
+	add("agg/count-mc", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithStrategy(core.StrategyMonteCarlo),
+		core.WithMonteCarloBudget(48, 11), core.WithParallelism(2)))
+	add("agg/count-expr", core.NewExprRequest(core.And(atomA, core.Not(atomB)),
+		core.WithAggregate(count)))
+	add("agg/count-eventually", core.NewAggRequest(core.PredicateEventually, count,
+		core.WithStates(small)))
+	add("agg/count-region", core.NewAggRequest(core.PredicateExists, count,
+		core.WithRegion(spatial.NewRect(4.5, 1.5, 7.5, 5.5), res), window))
+	add("agg/occupancy", core.NewAggRequest(core.PredicateExists,
+		core.AggSpec{Kind: core.AggOccupancy, MinCount: 2}, inRegion, window))
+
 	return cases
 }
 
@@ -247,6 +277,11 @@ func Verify(t *testing.T, res spatial.Resolver, ref, got Evaluator, opts Options
 			if !reflect.DeepEqual(normalize(have.Results), normalize(want.Results)) {
 				t.Fatalf("results diverge:\n  candidate %+v\n  reference %+v", have.Results, want.Results)
 			}
+			// Aggregate answers compare bit for bit — DeepEqual over the
+			// PMF/profile float64s is the byte-identity pin.
+			if !reflect.DeepEqual(have.Agg, want.Agg) {
+				t.Fatalf("aggregate diverges:\n  candidate %+v\n  reference %+v", have.Agg, want.Agg)
+			}
 			if have.Strategy != want.Strategy {
 				t.Fatalf("strategy: candidate %v, reference %v", have.Strategy, want.Strategy)
 			}
@@ -254,6 +289,25 @@ func Verify(t *testing.T, res spatial.Resolver, ref, got Evaluator, opts Options
 				t.Fatalf("plans: candidate %+v, reference %+v", have.Plans, want.Plans)
 			}
 
+			if _, isAgg := c.Req.AggregateHint(); isAgg {
+				// Streaming an aggregate must refuse with the sentinel on
+				// every implementation, not hang or fabricate rows.
+				sawSentinel := false
+				for _, serr := range got.EvaluateSeq(ctx, c.Req) {
+					if serr == nil {
+						t.Fatal("candidate streamed a result for an aggregate request")
+					}
+					if !errors.Is(serr, core.ErrAggregateStream) {
+						t.Fatalf("candidate stream error %v, want ErrAggregateStream", serr)
+					}
+					sawSentinel = true
+					break
+				}
+				if !sawSentinel {
+					t.Fatal("candidate stream for an aggregate request yielded nothing")
+				}
+				return
+			}
 			var streamed []core.Result
 			for r, serr := range got.EvaluateSeq(ctx, c.Req) {
 				if serr != nil {
@@ -294,6 +348,10 @@ func Verify(t *testing.T, res spatial.Resolver, ref, got Evaluator, opts Options
 			if !reflect.DeepEqual(normalize(have[i].Results), normalize(want[i].Results)) {
 				t.Errorf("%s: batch results diverge:\n  candidate %+v\n  reference %+v",
 					names[i], have[i].Results, want[i].Results)
+			}
+			if !reflect.DeepEqual(have[i].Agg, want[i].Agg) {
+				t.Errorf("%s: batch aggregate diverges:\n  candidate %+v\n  reference %+v",
+					names[i], have[i].Agg, want[i].Agg)
 			}
 		}
 	})

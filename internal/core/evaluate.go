@@ -63,6 +63,9 @@ type Response struct {
 	// Candidates considered, Pruned excluded by cheap bounds alone,
 	// Refined evaluated exactly. Zero when the filter did not engage.
 	Filter FilterReport
+	// Agg is the aggregate answer for WithAggregate requests (Results is
+	// empty then: the aggregate IS the answer); nil otherwise.
+	Agg *AggResult
 }
 
 // evalPlan is a Request resolved against an engine: window materialized,
@@ -170,6 +173,16 @@ func (e *Engine) Evaluate(ctx context.Context, req Request) (*Response, error) {
 func (e *Engine) evaluatePlan(ctx context.Context, plan *evalPlan) (*Response, error) {
 	resp := &Response{Strategy: plan.strategy, Plans: plan.plans}
 
+	if spec, ok := plan.req.AggregateHint(); ok {
+		a, err := e.aggregate(ctx, plan, spec)
+		if err != nil {
+			return nil, err
+		}
+		resp.Agg = a
+		resp.Cache, resp.Filter = plan.cacheRep, plan.filterRep
+		return resp, nil
+	}
+
 	if plan.req.topK > 0 {
 		out, err := e.topK(ctx, plan)
 		if err != nil {
@@ -243,6 +256,9 @@ func (e *Engine) EvaluateSeq(ctx context.Context, req Request) iter.Seq2[Result,
 	plan, err := e.prepare(req)
 	if err != nil {
 		return func(yield func(Result, error) bool) { yield(Result{}, err) }
+	}
+	if _, ok := req.AggregateHint(); ok {
+		return func(yield func(Result, error) bool) { yield(Result{}, ErrAggregateStream) }
 	}
 	if req.topK > 0 {
 		return func(yield func(Result, error) bool) {

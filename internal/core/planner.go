@@ -330,15 +330,20 @@ func (e *Engine) ExistsAuto(q Query) ([]Result, Strategy, error) {
 // ExpectedCount returns the expected number of database objects
 // satisfying the PST∃Q — Σ_o P∃(o). This is the paper's "predict the
 // number of cars that will be in a congested road segment after 10-15
-// minutes" aggregate. It accumulates over the streaming path, so no
-// result slice is materialized.
+// minutes" aggregate. It rides the aggregate subsystem's factor
+// decomposition (aggregate.go): each object's Bernoulli factor carries
+// the same bit-exact P∃ the per-object stream emits, and the plain sum
+// over factors in emission order reproduces the historical accumulation
+// exactly — one counting code path, pinned by TestExpectedCountAggPin.
 func (e *Engine) ExpectedCount(q Query) (float64, error) {
+	fs, err := e.AggregateFactors(context.Background(),
+		NewAggRequest(PredicateExists, AggSpec{Kind: AggCount}, WithWindow(q)))
+	if err != nil {
+		return 0, err
+	}
 	sum := 0.0
-	for r, err := range e.EvaluateSeq(context.Background(), NewRequest(PredicateExists, WithWindow(q))) {
-		if err != nil {
-			return 0, err
-		}
-		sum += r.Prob
+	for _, f := range fs.Factors {
+		sum += f.Coeffs[1]
 	}
 	return sum, nil
 }

@@ -83,6 +83,11 @@ type Request struct {
 	// via WithExpr / NewExprRequest.
 	expr *Expr
 
+	// agg turns the request into a database-level aggregate (count
+	// distribution or occupancy profile) over the predicate, set via
+	// WithAggregate / NewAggRequest.
+	agg *AggSpec
+
 	// Execution hints, set via options. nil/zero means "engine default".
 	strategy    *Strategy
 	autoPlan    bool
@@ -168,6 +173,25 @@ func WithExpr(x Expr) RequestOption {
 // filter–refine options apply exactly as for atomic requests.
 func NewExprRequest(x Expr, opts ...RequestOption) Request {
 	return NewRequest(PredicateExpr, append([]RequestOption{WithExpr(x)}, opts...)...)
+}
+
+// WithAggregate turns the request into a database-level aggregate: the
+// answer is no longer one Result per object but the exact distribution
+// of how many objects satisfy the predicate (or, for PSTkQ, of the
+// total visit count), reported on Response.Agg. The per-object
+// probabilities come from the same exact kernels the plain request
+// would run — strategy, auto-planning, caching and parallelism options
+// apply unchanged — so the aggregate is consistent with the per-object
+// answers to the ulp. Ranking options (WithTopK / WithThreshold) do not
+// combine with aggregates.
+func WithAggregate(spec AggSpec) RequestOption {
+	return func(r *Request) { r.agg = &spec }
+}
+
+// NewAggRequest builds an aggregate request over the given predicate:
+// NewRequest(p, WithAggregate(spec), opts...).
+func NewAggRequest(p Predicate, spec AggSpec, opts ...RequestOption) Request {
+	return NewRequest(p, append([]RequestOption{WithAggregate(spec)}, opts...)...)
 }
 
 // WithStrategy forces the evaluation strategy for this request,
@@ -309,6 +333,14 @@ func (r Request) CacheHint() (enabled, ok bool) {
 	return *r.useCache, true
 }
 
+// AggregateHint returns the aggregate spec, if WithAggregate set one.
+func (r Request) AggregateHint() (AggSpec, bool) {
+	if r.agg == nil {
+		return AggSpec{}, false
+	}
+	return *r.agg, true
+}
+
 // ExprHint returns the compound expression, if WithExpr set one.
 func (r Request) ExprHint() (Expr, bool) {
 	if r.expr == nil {
@@ -411,6 +443,22 @@ func (r Request) validate() error {
 	if r.Predicate == PredicateEventually {
 		if r.strategy != nil && *r.strategy == StrategyMonteCarlo {
 			return fmt.Errorf("core: eventually-queries have no Monte-Carlo strategy")
+		}
+	}
+	if r.agg != nil {
+		if err := r.agg.validate(); err != nil {
+			return err
+		}
+		if r.topK > 0 || r.threshold != nil {
+			return fmt.Errorf("core: aggregates answer the whole database; WithTopK/WithThreshold do not apply")
+		}
+		if r.agg.Kind == AggOccupancy {
+			if r.Predicate != PredicateExists {
+				return fmt.Errorf("core: occupancy profiles require PredicateExists, got %v", r.Predicate)
+			}
+			if r.strategy != nil && *r.strategy == StrategyMonteCarlo {
+				return fmt.Errorf("core: occupancy profiles have no Monte-Carlo strategy")
+			}
 		}
 	}
 	return nil

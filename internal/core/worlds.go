@@ -185,3 +185,51 @@ func BruteForce(chain *markov.Chain, o *Object, q Query) (*WorldStats, error) {
 	}
 	return stats, nil
 }
+
+// BruteForceCountPMF is the world-enumeration oracle for the aggregate
+// subsystem (aggregate.go): the exact database-level count PMF, computed
+// WITHOUT the canonical generating-function machinery. Objects are
+// independent, so the joint world space factorizes — each object's
+// contribution distribution comes from exhaustive per-object enumeration
+// (BruteForce / BruteForceExpr), and the factors combine by a plain
+// left-to-right convolution in database order. Like its siblings it is
+// intentionally exponential per object and exists only for tiny test
+// instances. x is consulted for PredicateExpr only.
+func BruteForceCountPMF(db *Database, pred Predicate, q Query, x Expr) ([]float64, error) {
+	pmf := []float64{1}
+	for _, o := range db.Objects() {
+		chain := db.ChainOf(o)
+		var coeffs []float64
+		switch pred {
+		case PredicateExists, PredicateForAll, PredicateKTimes:
+			ws, err := BruteForce(chain, o, q)
+			if err != nil {
+				return nil, err
+			}
+			switch pred {
+			case PredicateExists:
+				coeffs = []float64{1 - ws.PExists, ws.PExists}
+			case PredicateForAll:
+				coeffs = []float64{1 - ws.PForAll, ws.PForAll}
+			default:
+				coeffs = ws.KDist
+			}
+		case PredicateExpr:
+			p, err := BruteForceExpr(chain, o, x)
+			if err != nil {
+				return nil, err
+			}
+			coeffs = []float64{1 - p, p}
+		default:
+			return nil, fmt.Errorf("core: no brute-force count oracle for predicate %v", pred)
+		}
+		out := make([]float64, len(pmf)+len(coeffs)-1)
+		for i, a := range pmf {
+			for j, b := range coeffs {
+				out[i+j] += a * b
+			}
+		}
+		pmf = out
+	}
+	return pmf, nil
+}

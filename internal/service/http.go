@@ -209,6 +209,29 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// An aggregate request's answer is one distribution, not a result
+	// stream; serve it on this endpoint anyway (curl-friendly NDJSON) as
+	// exactly one agg line followed by the done marker, going through
+	// Evaluate so admission and single-flight coalescing apply.
+	if _, isAgg := req.AggregateHint(); isAgg {
+		resp, aerr := s.Evaluate(r.Context(), name, req)
+		if aerr != nil {
+			writeError(w, aerr)
+			return
+		}
+		out, aerr := wire.FromResponse(resp)
+		if aerr != nil {
+			writeError(w, aerr)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		lw := newLineWriter(w)
+		defer lw.clearDeadline()
+		if lw.writeLine(wire.StreamLine{Agg: out.Agg}) {
+			lw.writeLine(wire.StreamLine{Done: true})
+		}
+		return
+	}
 	// Pull the first element before committing the 200/NDJSON header:
 	// request-level failures (unknown dataset, missing resolver,
 	// admission timeout) surface as the stream's first yield and must
@@ -382,7 +405,8 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, wire.ErrDecode), errors.Is(err, ErrNoResolver),
-		errors.Is(err, ErrBadIngest), errors.Is(err, store.ErrCorrupt):
+		errors.Is(err, ErrBadIngest), errors.Is(err, store.ErrCorrupt),
+		errors.Is(err, core.ErrAggregateStream):
 		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, wire.ErrorBody{Error: err.Error()})

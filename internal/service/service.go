@@ -575,6 +575,10 @@ func shareResponse(resp *core.Response) *core.Response {
 	if resp.Plans != nil {
 		cp.Plans = append([]core.CostEstimate(nil), resp.Plans...)
 	}
+	if resp.Agg != nil {
+		a := *resp.Agg
+		cp.Agg = &a // PMF/Profile slices stay shared (read-only), like Dist
+	}
 	return &cp
 }
 

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"slices"
 	"sync"
 
@@ -68,6 +69,11 @@ func (s *Service) Subscribe(ctx context.Context, name string, req core.Request) 
 	req, err = ds.resolveRegion(req)
 	if err != nil {
 		return nil, err
+	}
+	if _, isAgg := req.AggregateHint(); isAgg {
+		// Updates carry per-object result deltas; a count distribution
+		// has no incremental form. Poll Evaluate instead.
+		return nil, fmt.Errorf("service: aggregate requests have no subscription form: %w", core.ErrAggregateStream)
 	}
 	sub := &Subscription{
 		svc:     s,

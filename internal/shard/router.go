@@ -348,6 +348,9 @@ func (r *Router) Evaluate(ctx context.Context, req core.Request) (*core.Response
 }
 
 func (r *Router) evaluateLocked(ctx context.Context, p *prep) (*core.Response, error) {
+	if spec, ok := p.req.AggregateHint(); ok {
+		return r.aggregateLocked(ctx, p, spec)
+	}
 	resps, err := r.fanout(ctx, p)
 	if err != nil {
 		return nil, r.canonicalError(ctx, p, err)
@@ -373,6 +376,94 @@ func (r *Router) evaluateLocked(ctx context.Context, p *prep) (*core.Response, e
 		}
 	}
 	return resp, nil
+}
+
+// aggregateLocked answers an aggregate request: every shard contributes
+// its objects' per-object factors (not a shard-local PMF!), the pooled
+// factor set is folded by the same canonical convolution tree a single
+// engine uses — core.FoldFactors sorts by object ID before folding — so
+// the resulting distribution is byte-identical to the unsharded answer
+// regardless of shard count. Convolving per-shard PMFs instead would be
+// mathematically equal but change the tree shape, and with it the
+// float64 rounding.
+func (r *Router) aggregateLocked(ctx context.Context, p *prep, spec core.AggSpec) (*core.Response, error) {
+	sets, err := r.fanoutFactors(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	resp := &core.Response{Strategy: p.strategy, Plans: p.plans}
+	pooled := &core.FactorSet{Strategy: p.strategy}
+	for _, fs := range sets {
+		pooled.Factors = append(pooled.Factors, fs.Factors...)
+		if len(fs.Times) > 0 {
+			pooled.Times = fs.Times // identical on every shard: derived from the query window
+		}
+		resp.Cache.Hits += fs.Cache.Hits
+		resp.Cache.Misses += fs.Cache.Misses
+		resp.Filter.Candidates += fs.Filter.Candidates
+		resp.Filter.Pruned += fs.Filter.Pruned
+		resp.Filter.Refined += fs.Filter.Refined
+	}
+	a, err := core.FoldFactors(spec, pooled)
+	if err != nil {
+		return nil, err
+	}
+	resp.Agg = a
+	return resp, nil
+}
+
+// fanoutFactors collects per-shard aggregate factor sets, at most
+// p.workers concurrently — the aggregate twin of fanout. Factors never
+// leave the process here; the router's members are in-process engines,
+// and remote topologies aggregate behind their own engine instead.
+func (r *Router) fanoutFactors(ctx context.Context, p *prep) ([]*core.FactorSet, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sets := make([]*core.FactorSet, len(r.members))
+	errs := make([]error, len(r.members))
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for s, m := range r.members {
+		wg.Add(1)
+		go func(s int, eng *core.Engine) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[s] = ctx.Err()
+				return
+			}
+			sets[s], errs[s] = eng.AggregateFactors(ctx, p.req)
+			if errs[s] != nil {
+				cancel()
+			}
+		}(s, m.engine)
+	}
+	wg.Wait()
+	if err := firstRealError(errs); err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// firstRealError picks the surfaced fan-out error: the first real
+// failure by shard index wins, with cancellation-induced errors losing
+// to any real one.
+func firstRealError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return first
 }
 
 // canonicalError turns a fan-out failure into THE deterministic error
@@ -431,20 +522,8 @@ func (r *Router) fanout(ctx context.Context, p *prep) ([]*core.Response, error) 
 		}(s, m.engine)
 	}
 	wg.Wait()
-	var first error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if first == nil {
-			first = err
-		}
-		if !errors.Is(err, context.Canceled) {
-			return nil, err
-		}
-	}
-	if first != nil {
-		return nil, first
+	if err := firstRealError(errs); err != nil {
+		return nil, err
 	}
 	return resps, nil
 }
@@ -463,6 +542,12 @@ func (r *Router) EvaluateSeq(ctx context.Context, req core.Request) iter.Seq2[co
 		p, err := r.prepareLocked(req)
 		if err != nil {
 			yield(core.Result{}, err)
+			return
+		}
+		if _, ok := req.AggregateHint(); ok {
+			// Same sentinel as Engine.EvaluateSeq: one distribution is
+			// not a result stream.
+			yield(core.Result{}, core.ErrAggregateStream)
 			return
 		}
 		if p.topK > 0 {

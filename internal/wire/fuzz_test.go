@@ -28,6 +28,12 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"predicate":"expr","expr":{"op":"then","operands":[{"op":"atom","states":[1],"times":[2]},{"op":"atom","region":{"type":"circle","center":[1,1],"radius":2},"times":[5]}]}}`,
 		`{"predicate":"expr","expr":{"op":"or","operands":[]}}`,
 		`{"predicate":"exists","expr":{"op":"atom"}}`,
+		`{"predicate":"exists","states":[2],"times":[3],"aggregate":{"kind":"count","min_count":3}}`,
+		`{"predicate":"exists","states":[1],"times":[0,5],"aggregate":{"kind":"occupancy"}}`,
+		`{"predicate":"ktimes","states":[4],"times":[1,2],"aggregate":{"kind":"count"},"strategy":"ob"}`,
+		`{"predicate":"expr","expr":{"op":"atom","states":[1],"times":[2]},"aggregate":{"kind":"count","min_count":1}}`,
+		`{"predicate":"exists","aggregate":{"kind":"median"}}`,
+		`{"predicate":"exists","aggregate":{"kind":"count","min_count":-1}}`,
 		`[]`, `null`, `{}`, `{{`, "\x00\xff", `{"predicate":"exists"}{"predicate":"exists"}`,
 	}
 	for _, s := range seeds {

@@ -44,6 +44,37 @@ type Request struct {
 	Hitting      *Hitting    `json:"hitting,omitempty"`
 	Cache        *bool       `json:"cache,omitempty"`
 	FilterRefine *bool       `json:"filter_refine,omitempty"`
+	Aggregate    *Aggregate  `json:"aggregate,omitempty"`
+}
+
+// Aggregate is the JSON shape of a core.AggSpec: it turns the request
+// into a database-level aggregate over its predicate.
+//
+//	{"predicate":"exists","states":[2],"times":[3],"aggregate":{"kind":"count","min_count":3}}
+type Aggregate struct {
+	Kind     string `json:"kind"`
+	MinCount int    `json:"min_count,omitempty"`
+}
+
+// AggPoint is the JSON shape of one occupancy-profile timestep.
+type AggPoint struct {
+	Time     int     `json:"time"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	Tail     float64 `json:"tail,omitempty"`
+}
+
+// AggResult is the JSON shape of a core.AggResult, carried on Response
+// (and on the single agg line of a streamed aggregate).
+type AggResult struct {
+	Kind     string     `json:"kind"`
+	MinCount int        `json:"min_count,omitempty"`
+	PMF      []float64  `json:"pmf,omitempty"`
+	Mean     float64    `json:"mean,omitempty"`
+	Variance float64    `json:"variance,omitempty"`
+	Mode     int        `json:"mode,omitempty"`
+	Tail     float64    `json:"tail,omitempty"`
+	Profile  []AggPoint `json:"profile,omitempty"`
 }
 
 // Expr is the JSON shape of a core.Expr: a tagged tree over exists/
@@ -128,6 +159,7 @@ type Response struct {
 	Plans    []CostEstimate `json:"plans,omitempty"`
 	Cache    CacheReport    `json:"cache,omitzero"`
 	Filter   FilterReport   `json:"filter,omitzero"`
+	Agg      *AggResult     `json:"agg,omitempty"`
 }
 
 // QueryEnvelope is the body of POST /v1/query, /v1/query/stream and
@@ -141,14 +173,17 @@ type QueryEnvelope struct {
 }
 
 // StreamLine is one NDJSON line of a /v1/query/stream response: exactly
-// one of Result, Error or Done is set. The Done line closes a
+// one of Result, Agg, Error or Done is set. The Done line closes a
 // successful stream and carries the delivered-result count so clients
-// can detect truncation.
+// can detect truncation. An aggregate request streams as exactly one
+// Agg line followed by Done (the distribution is one answer, not a
+// per-object sequence).
 type StreamLine struct {
-	Result *Result `json:"result,omitempty"`
-	Error  string  `json:"error,omitempty"`
-	Done   bool    `json:"done,omitempty"`
-	Count  int     `json:"count,omitempty"`
+	Result *Result    `json:"result,omitempty"`
+	Agg    *AggResult `json:"agg,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Done   bool       `json:"done,omitempty"`
+	Count  int        `json:"count,omitempty"`
 }
 
 // Update is one NDJSON line of a /v1/subscribe response: an incremental
@@ -323,6 +358,28 @@ func (w Expr) toExpr(depth int) (core.Expr, error) {
 	}
 }
 
+func aggKindName(k core.AggKind) (string, error) {
+	switch k {
+	case core.AggCount:
+		return "count", nil
+	case core.AggOccupancy:
+		return "occupancy", nil
+	default:
+		return "", fmt.Errorf("wire: unknown aggregate kind %v", k)
+	}
+}
+
+func parseAggKind(s string) (core.AggKind, error) {
+	switch s {
+	case "count":
+		return core.AggCount, nil
+	case "occupancy":
+		return core.AggOccupancy, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown aggregate kind %q", ErrDecode, s)
+	}
+}
+
 func strategyName(s core.Strategy) (string, error) {
 	switch s {
 	case core.StrategyQueryBased:
@@ -400,6 +457,13 @@ func FromRequest(r core.Request) (Request, error) {
 	}
 	if enabled, ok := r.FilterRefineHint(); ok {
 		w.FilterRefine = &enabled
+	}
+	if spec, ok := r.AggregateHint(); ok {
+		kind, kerr := aggKindName(spec.Kind)
+		if kerr != nil {
+			return Request{}, kerr
+		}
+		w.Aggregate = &Aggregate{Kind: kind, MinCount: spec.MinCount}
 	}
 	return w, nil
 }
@@ -490,6 +554,16 @@ func (w Request) ToRequest() (core.Request, error) {
 	}
 	if w.FilterRefine != nil {
 		opts = append(opts, core.WithFilterRefine(*w.FilterRefine))
+	}
+	if w.Aggregate != nil {
+		kind, kerr := parseAggKind(w.Aggregate.Kind)
+		if kerr != nil {
+			return core.Request{}, kerr
+		}
+		if w.Aggregate.MinCount < 0 {
+			return core.Request{}, fmt.Errorf("%w: negative aggregate min_count %d", ErrDecode, w.Aggregate.MinCount)
+		}
+		opts = append(opts, core.WithAggregate(core.AggSpec{Kind: kind, MinCount: w.Aggregate.MinCount}))
 	}
 	return core.NewRequest(pred, opts...), nil
 }
@@ -667,6 +741,66 @@ func ToResults(rs []Result) []core.Result {
 	return out
 }
 
+// fromAggResult converts a core.AggResult to its wire shape.
+func fromAggResult(a *core.AggResult) (*AggResult, error) {
+	kind, err := aggKindName(a.Kind)
+	if err != nil {
+		return nil, err
+	}
+	w := &AggResult{
+		Kind:     kind,
+		MinCount: a.MinCount,
+		PMF:      a.PMF,
+		Mean:     a.Mean,
+		Variance: a.Variance,
+		Mode:     a.ModeCount,
+		Tail:     a.Tail,
+	}
+	for _, p := range a.Profile {
+		w.Profile = append(w.Profile, AggPoint{Time: p.Time, Mean: p.Mean, Variance: p.Variance, Tail: p.Tail})
+	}
+	return w, nil
+}
+
+// toAggResult converts a wire AggResult back, with the decoder's usual
+// strictness: unknown kinds, non-finite or negative probability mass and
+// absurd sizes are errors.
+func (w *AggResult) toAggResult() (*core.AggResult, error) {
+	kind, err := parseAggKind(w.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if w.MinCount < 0 {
+		return nil, fmt.Errorf("%w: negative aggregate min_count %d", ErrDecode, w.MinCount)
+	}
+	if len(w.PMF) > maxWireInts || len(w.Profile) > maxWireInts {
+		return nil, fmt.Errorf("%w: aggregate result too large", ErrDecode)
+	}
+	for _, p := range w.PMF {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return nil, fmt.Errorf("%w: aggregate pmf entry %v", ErrDecode, p)
+		}
+	}
+	a := &core.AggResult{
+		Kind:      kind,
+		MinCount:  w.MinCount,
+		PMF:       w.PMF,
+		Mean:      w.Mean,
+		Variance:  w.Variance,
+		ModeCount: w.Mode,
+		Tail:      w.Tail,
+	}
+	for _, p := range w.Profile {
+		if math.IsNaN(p.Mean) || math.IsInf(p.Mean, 0) ||
+			math.IsNaN(p.Variance) || math.IsInf(p.Variance, 0) ||
+			math.IsNaN(p.Tail) || math.IsInf(p.Tail, 0) {
+			return nil, fmt.Errorf("%w: non-finite occupancy point at t=%d", ErrDecode, p.Time)
+		}
+		a.Profile = append(a.Profile, core.AggPoint{Time: p.Time, Mean: p.Mean, Variance: p.Variance, Tail: p.Tail})
+	}
+	return a, nil
+}
+
 // FromResponse converts a core.Response to its wire shape.
 func FromResponse(resp *core.Response) (Response, error) {
 	strat, err := strategyName(resp.Strategy)
@@ -689,6 +823,13 @@ func FromResponse(resp *core.Response) (Response, error) {
 		}
 		w.Plans = append(w.Plans, CostEstimate{Strategy: ps, Sweeps: p.Sweeps, Ops: p.Ops, FilterOps: p.FilterOps})
 	}
+	if resp.Agg != nil {
+		a, aerr := fromAggResult(resp.Agg)
+		if aerr != nil {
+			return Response{}, aerr
+		}
+		w.Agg = a
+	}
 	return w, nil
 }
 
@@ -710,6 +851,13 @@ func (w Response) ToResponse() (*core.Response, error) {
 			return nil, perr
 		}
 		resp.Plans = append(resp.Plans, core.CostEstimate{Strategy: ps, Sweeps: p.Sweeps, Ops: p.Ops, FilterOps: p.FilterOps})
+	}
+	if w.Agg != nil {
+		a, aerr := w.Agg.toAggResult()
+		if aerr != nil {
+			return nil, aerr
+		}
+		resp.Agg = a
 	}
 	return resp, nil
 }

@@ -72,6 +72,113 @@ func TestRequestRoundTripEveryOption(t *testing.T) {
 	}
 }
 
+func TestRequestRoundTripAggregate(t *testing.T) {
+	reqs := []core.Request{
+		core.NewAggRequest(core.PredicateExists, core.AggSpec{Kind: core.AggCount},
+			core.WithStates([]int{2, 3}), core.WithTimeRange(1, 4)),
+		core.NewAggRequest(core.PredicateExists, core.AggSpec{Kind: core.AggCount, MinCount: 3},
+			core.WithStates([]int{2, 3}), core.WithTimeRange(1, 4),
+			core.WithStrategy(core.StrategyQueryBased)),
+		core.NewAggRequest(core.PredicateForAll, core.AggSpec{Kind: core.AggCount},
+			core.WithStates([]int{0}), core.WithTimes([]int{3}),
+			core.WithFilterRefine(false)),
+		core.NewAggRequest(core.PredicateKTimes, core.AggSpec{Kind: core.AggCount, MinCount: 2},
+			core.WithStates([]int{5}), core.WithTimes([]int{1, 3, 5}),
+			core.WithStrategy(core.StrategyObjectBased), core.WithParallelism(2)),
+		core.NewAggRequest(core.PredicateExists, core.AggSpec{Kind: core.AggOccupancy},
+			core.WithStates([]int{7, 8, 9}), core.WithTimeRange(0, 10)),
+		core.NewAggRequest(core.PredicateExists, core.AggSpec{Kind: core.AggCount},
+			core.WithStates([]int{1}), core.WithTimes([]int{2}), core.WithAutoPlan()),
+	}
+	reqs = append(reqs, core.NewRequest(core.PredicateExpr,
+		core.WithExpr(core.And(
+			core.ExistsAtom(core.WithStates([]int{1}), core.WithTimes([]int{2})),
+			core.Not(core.ForAllAtom(core.WithStates([]int{3}), core.WithTimes([]int{0, 2}))),
+		)),
+		core.WithAggregate(core.AggSpec{Kind: core.AggCount, MinCount: 1})))
+	for _, req := range reqs {
+		roundTrip(t, req)
+	}
+}
+
+func TestDecodeRequestAggregateStrict(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":       `{"predicate":"exists","aggregate":{"kind":"median"}}`,
+		"empty kind":         `{"predicate":"exists","aggregate":{}}`,
+		"negative min_count": `{"predicate":"exists","aggregate":{"kind":"count","min_count":-1}}`,
+		"unknown agg field":  `{"predicate":"exists","aggregate":{"kind":"count","max_count":4}}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeRequest([]byte(body)); err == nil {
+			t.Errorf("%s: decode accepted %s", name, body)
+		}
+	}
+}
+
+func TestResponseRoundTripAggregate(t *testing.T) {
+	// Exact float bits must survive the trip: the conformance suite
+	// compares PMFs across topologies with DeepEqual.
+	counts := &core.Response{
+		Results:  []core.Result{},
+		Strategy: core.StrategyQueryBased,
+		Agg: &core.AggResult{
+			Kind:      core.AggCount,
+			MinCount:  2,
+			PMF:       []float64{0.1 + 0.2, 1e-17, math.Nextafter(0.5, 1), 0, 0.864},
+			Mean:      1.25,
+			Variance:  0.4375,
+			ModeCount: 1,
+			Tail:      math.Nextafter(0.25, 0),
+		},
+		Cache:  core.CacheReport{Hits: 2, Misses: 5},
+		Filter: core.FilterReport{Candidates: 5, Pruned: 3, Refined: 2},
+	}
+	occ := &core.Response{
+		Results:  []core.Result{},
+		Strategy: core.StrategyObjectBased,
+		Agg: &core.AggResult{
+			Kind:     core.AggOccupancy,
+			MinCount: 1,
+			Profile: []core.AggPoint{
+				{Time: 1, Mean: 0.5, Variance: 0.25, Tail: 0.5},
+				{Time: 4, Mean: 0.1 + 0.2, Variance: 1e-17, Tail: math.Nextafter(0.3, 1)},
+			},
+		},
+	}
+	for _, resp := range []*core.Response{counts, occ} {
+		w, err := FromResponse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResponse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("aggregate response round-trip mismatch:\n  sent %#v\n  got  %#v\n  wire %s", resp.Agg, got.Agg, data)
+		}
+	}
+}
+
+func TestDecodeResponseAggregateStrict(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":       `{"agg":{"kind":"median"}}`,
+		"negative min_count": `{"agg":{"kind":"count","min_count":-1}}`,
+		"negative pmf entry": `{"agg":{"kind":"count","pmf":[0.5,-0.1,0.6]}}`,
+		"bad variance type":  `{"agg":{"kind":"count","pmf":[1],"variance":"x"}}`,
+		"inf profile":        `{"agg":{"kind":"occupancy","profile":[{"time":1,"mean":1e999}]}}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeResponse([]byte(body)); err == nil {
+			t.Errorf("%s: decode accepted %s", name, body)
+		}
+	}
+}
+
 func TestDecodeRequestExprValidation(t *testing.T) {
 	bad := []string{
 		`{"predicate":"expr"}`,                                                             // expr predicate without a tree

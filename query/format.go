@@ -16,6 +16,16 @@ import (
 // the structured wire form instead).
 func Format(req core.Request) (string, error) {
 	var b strings.Builder
+	if spec, ok := req.AggregateHint(); ok {
+		switch spec.Kind {
+		case core.AggCount:
+			b.WriteString("count(")
+		case core.AggOccupancy:
+			b.WriteString("occupancy(")
+		default:
+			return "", fmt.Errorf("query: aggregate kind %v has no text form", spec.Kind)
+		}
+	}
 	switch req.Predicate {
 	case core.PredicateExpr:
 		x, ok := req.ExprHint()
@@ -39,6 +49,9 @@ func Format(req core.Request) (string, error) {
 		b.WriteByte(')')
 	default:
 		return "", fmt.Errorf("query: unknown predicate %v", req.Predicate)
+	}
+	if _, ok := req.AggregateHint(); ok {
+		b.WriteByte(')')
 	}
 	settings := formatSettings(req)
 	if settings != "" {
@@ -146,6 +159,9 @@ func formatIntSet(b *strings.Builder, ids []int) {
 // for non-default hints.
 func formatSettings(req core.Request) string {
 	var parts []string
+	if spec, ok := req.AggregateHint(); ok && spec.MinCount > 0 {
+		parts = append(parts, fmt.Sprintf("min=%d", spec.MinCount))
+	}
 	if tau, ok := req.ThresholdHint(); ok {
 		parts = append(parts, fmt.Sprintf("tau=%g", tau))
 	}

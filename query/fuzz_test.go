@@ -15,7 +15,14 @@ func FuzzParseQuery(f *testing.F) {
 		"ktimes(states(5) @ {1,3,5}) where strategy=ob workers=4",
 		"not (exists(circle(1,2,3) @ {1}) or forall(states() @ {}))",
 		"exists(states(1)+region(0,0,1,1) @ {2}) where samples=10 seed=3 cache=off filter=on",
+		"count(exists(states(2,3) @ [1,4])) where min=3 strategy=qb",
+		"count(exists(states(1) @ [1,2]) and not forall(states(3) @ [0,2]))",
+		"count(ktimes(states(5) @ {1,3,5})) where workers=2",
+		"occupancy(exists(states(7-9) @ [0,10])) where min=2 filter=off",
+		"count(forall(region(0,0,5,5) @ {3}))",
 		"e(", "where", "exists(states(1) @ [1,2]) where tau=..5",
+		"count(", "occupancy(ktimes(states(1) @ {1}))",
+		"exists(states(1) @ [1,2]) where min=1",
 	} {
 		f.Add(seed)
 	}

@@ -48,9 +48,21 @@ func Parse(input string) (core.Request, error) {
 	if err := p.lex(input); err != nil {
 		return core.Request{}, err
 	}
+	aggPos, err := p.parseAggHead()
+	if err != nil {
+		return core.Request{}, err
+	}
 	root, err := p.parseExpr()
 	if err != nil {
 		return core.Request{}, err
+	}
+	if p.agg != nil {
+		if _, err := p.expect(")"); err != nil {
+			return core.Request{}, err
+		}
+		if p.agg.Kind == core.AggOccupancy && (root.op != core.ExprLeaf || root.pred != "exists") {
+			return core.Request{}, p.errAt(aggPos, "occupancy(...) takes a single exists(...) atom")
+		}
 	}
 	opts, err := p.parseSettings()
 	if err != nil {
@@ -63,7 +75,30 @@ func Parse(input string) (core.Request, error) {
 	if err != nil {
 		return core.Request{}, err
 	}
+	if p.agg != nil {
+		opts = append(opts, core.WithAggregate(*p.agg))
+	}
 	return req.With(opts...), nil
+}
+
+// parseAggHead consumes a leading count( / occupancy( aggregate wrapper,
+// recording the spec on the parser; the matching ")" is consumed by
+// Parse after the inner query. Returns the wrapper's position.
+func (p *parser) parseAggHead() (int, error) {
+	t := p.peek()
+	if t.kind != tokIdent || (t.text != "count" && t.text != "occupancy") {
+		return 0, nil
+	}
+	p.ti++
+	if _, err := p.expect("("); err != nil {
+		return 0, err
+	}
+	kind := core.AggCount
+	if t.text == "occupancy" {
+		kind = core.AggOccupancy
+	}
+	p.agg = &core.AggSpec{Kind: kind}
+	return t.pos, nil
 }
 
 // --- AST -------------------------------------------------------------------
@@ -160,6 +195,9 @@ type token struct {
 type parser struct {
 	toks []token
 	ti   int
+	// agg is the aggregate wrapper (count/occupancy), when present; its
+	// MinCount is filled by the where-clause "min" setting.
+	agg *core.AggSpec
 }
 
 func (p *parser) errAt(pos int, format string, args ...any) error {
@@ -631,8 +669,17 @@ func (p *parser) parseSettings() ([]core.RequestOption, error) {
 				return nil, err
 			}
 			opts = append(opts, hittingTol(v))
+		case "min":
+			if p.agg == nil {
+				return nil, p.errAt(t.pos, "min applies to count(...)/occupancy(...) queries only")
+			}
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			p.agg.MinCount = v
 		default:
-			return nil, p.errAt(t.pos, "unknown setting %q (tau, top, strategy, workers, samples, seed, cache, filter, steps, tol)", t.text)
+			return nil, p.errAt(t.pos, "unknown setting %q (min, tau, top, strategy, workers, samples, seed, cache, filter, steps, tol)", t.text)
 		}
 		p.accept(",")
 	}

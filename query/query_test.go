@@ -119,6 +119,39 @@ func TestParseCompound(t *testing.T) {
 	}
 }
 
+func TestParseAggregate(t *testing.T) {
+	req := mustParse(t, "count(exists(states(2,3) @ [1,4])) where min=3 strategy=qb")
+	spec, ok := req.AggregateHint()
+	if !ok || spec.Kind != core.AggCount || spec.MinCount != 3 {
+		t.Fatalf("aggregate hint %+v %v", spec, ok)
+	}
+	if req.Predicate != core.PredicateExists {
+		t.Fatalf("predicate %v", req.Predicate)
+	}
+	if s, sok := req.StrategyHint(); !sok || s != core.StrategyQueryBased {
+		t.Fatalf("strategy %v %v", s, sok)
+	}
+
+	// A compound body turns into an expr request with the aggregate riding on top.
+	req = mustParse(t, "count(exists(states(1) @ [1,2]) and not forall(states(3) @ [0,2]))")
+	if req.Predicate != core.PredicateExpr {
+		t.Fatalf("predicate %v", req.Predicate)
+	}
+	if spec, ok = req.AggregateHint(); !ok || spec.Kind != core.AggCount || spec.MinCount != 0 {
+		t.Fatalf("aggregate hint %+v %v", spec, ok)
+	}
+
+	req = mustParse(t, "occupancy(exists(states(7-9) @ [0,10])) where min=2")
+	if spec, ok = req.AggregateHint(); !ok || spec.Kind != core.AggOccupancy || spec.MinCount != 2 {
+		t.Fatalf("aggregate hint %+v %v", spec, ok)
+	}
+
+	req = mustParse(t, "count(ktimes(states(5) @ {1,3,5})) where workers=2")
+	if req.Predicate != core.PredicateKTimes {
+		t.Fatalf("predicate %v", req.Predicate)
+	}
+}
+
 func TestParseErrorsCarryPositions(t *testing.T) {
 	cases := []struct {
 		in     string
@@ -137,6 +170,12 @@ func TestParseErrorsCarryPositions(t *testing.T) {
 		{"exists(states(1) @ [1,2]) where strategy=warp", "unknown strategy"},
 		{"", "expected a predicate"},
 		{"exists(states(1) @ [1,2]) ??", "unexpected character"},
+		{"occupancy(ktimes(states(1) @ {1}))", "single exists"},
+		{"occupancy(exists(states(1) @ {1}) and exists(states(2) @ {1}))", "single exists"},
+		{"exists(states(1) @ [1,2]) where min=1", "min applies to count"},
+		{"count(exists(states(1) @ [1,2])) where min=-2", "expected a number"},
+		{"count(exists(states(1) @ [1,2])", "expected"},
+		{"count(", "expected a predicate"},
 	}
 	for _, tc := range cases {
 		_, err := Parse(tc.in)
@@ -177,6 +216,10 @@ func TestFormatRoundTrip(t *testing.T) {
 		"exists(circle(5,5,2.5) @ [1,3]) where workers=0",
 		"not (exists(states(1) @ [1,2]) or forall(states(2) @ [1,2]))",
 		"exists(states() @ {})",
+		"count(exists(states(2,3) @ [1,4])) where min=3 strategy=qb",
+		"count(exists(states(1) @ [1,2]) and not forall(states(3) @ [0,2]))",
+		"occupancy(exists(states(7-9) @ [0,10])) where min=2 filter=off",
+		"count(ktimes(states(5) @ {1,3,5})) where workers=2",
 	}
 	for _, in := range cases {
 		req := mustParse(t, in)

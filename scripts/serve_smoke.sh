@@ -60,6 +60,20 @@ TQ='exists(states(100-140) @ [10,14]) and not forall(states(100-140) @ [10,12]) 
 diff "$TMP/text-local.out" "$TMP/text-remote.out"
 curl -fsS "$BASE/v1/query" -d "{\"dataset\":\"smoke\",\"query\":\"$TQ\"}" | grep -q '"results"'
 
+echo "serve-smoke: count(...) aggregate end-to-end (local = sharded remote = curl)"
+AQ='count(exists(states(100-140) @ [10,14])) where min=3'
+"$TMP/ustquery" -db "$TMP/smoke.ust" -q "$AQ" >"$TMP/agg-local.out"
+grep -q 'E\[count\]' "$TMP/agg-local.out"
+# The remote side answers through the 4-shard router: a byte-identical
+# diff here is the live proof that pooled factors re-folded through the
+# canonical tree reproduce the single-engine PMF exactly.
+"$TMP/ustquery" -remote "$BASE" -dataset smoke -q "$AQ" >"$TMP/agg-remote.out"
+diff "$TMP/agg-local.out" "$TMP/agg-remote.out"
+curl -fsS "$BASE/v1/query" -d "{\"dataset\":\"smoke\",\"query\":\"$AQ\"}" | grep -q '"pmf"'
+# The NDJSON stream endpoint answers an aggregate as one agg line + done.
+curl -fsS "$BASE/v1/query/stream" -d "{\"dataset\":\"smoke\",\"query\":\"$AQ\"}" \
+    | head -n 1 | grep -q '"agg"'
+
 echo "serve-smoke: -q parse errors carry a caret"
 if "$TMP/ustquery" -db "$TMP/smoke.ust" -q 'exsts(states(1) @ [1,2])' >/dev/null 2>"$TMP/parse-err.out"; then
     echo "serve-smoke: bad -q query was accepted"; exit 1

@@ -146,6 +146,18 @@ type (
 	// fleet's, or any group of engines the caller wires together); see
 	// NewSharedCache and Options.Cache.
 	SharedCache = core.SharedCache
+	// AggSpec asks for a probabilistic aggregate over the whole result
+	// set: the exact count distribution (AggCount) or a per-timestep
+	// occupancy profile (AggOccupancy); see NewAggRequest.
+	AggSpec = core.AggSpec
+	// AggKind selects the aggregate form of an AggSpec.
+	AggKind = core.AggKind
+	// AggResult is the answer to an aggregate request (Response.Agg):
+	// the count PMF with its moments and iceberg tail, or the occupancy
+	// profile.
+	AggResult = core.AggResult
+	// AggPoint is one timestep of an occupancy profile.
+	AggPoint = core.AggPoint
 )
 
 // DefaultCacheBytes is the default byte budget of the engine's shared
@@ -174,6 +186,39 @@ const (
 	// PredicateEventually: unbounded-horizon hitting probability.
 	PredicateEventually = core.PredicateEventually
 )
+
+// Aggregate kinds.
+const (
+	// AggCount: the exact distribution of HOW MANY objects satisfy the
+	// predicate, computed via generating functions (∏ᵢ(1−pᵢ+pᵢx)).
+	AggCount = core.AggCount
+	// AggOccupancy: per-timestep mean/variance (and iceberg tail) of the
+	// number of objects inside the region at each window timestamp.
+	AggOccupancy = core.AggOccupancy
+)
+
+// ErrAggregateStream is returned by the streaming entry points for
+// aggregate requests: the answer is one distribution, not a per-object
+// result stream — use Evaluate (or client.Query) instead.
+var ErrAggregateStream = core.ErrAggregateStream
+
+// NewAggRequest builds an aggregate request: evaluate the predicate
+// over every object, then aggregate the per-object satisfaction
+// probabilities into the spec's distribution. The count PMF in
+// Response.Agg is exact and byte-identical across engine, sharded and
+// remote evaluation:
+//
+//	resp, _ := engine.Evaluate(ctx, ust.NewAggRequest(ust.PredicateExists,
+//		ust.AggSpec{Kind: ust.AggCount, MinCount: 10},
+//		ust.WithStates([]int{100, 101}), ust.WithTimeRange(20, 25)))
+//	// resp.Agg.PMF[k] = P(exactly k objects inside), resp.Agg.Tail = P(≥ 10)
+func NewAggRequest(p Predicate, spec AggSpec, opts ...RequestOption) Request {
+	return core.NewAggRequest(p, spec, opts...)
+}
+
+// WithAggregate turns any request (including compound-expression ones)
+// into an aggregate request; see NewAggRequest.
+func WithAggregate(spec AggSpec) RequestOption { return core.WithAggregate(spec) }
 
 // NewRequest builds a Request for the given predicate; see the With…
 // options for windows, strategies, ranking and budgets. Evaluate it
