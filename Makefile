@@ -8,12 +8,12 @@ GO ?= go
 # 74.8%; keep a small buffer for flaky branches).
 COVER_FLOOR ?= 73.0
 
-.PHONY: ci fmt-check vet staticcheck build test race examples serve-smoke fuzz-smoke bench cover clean
+.PHONY: ci fmt-check vet staticcheck build test race examples serve-smoke fuzz-smoke bench alloc-gate cover clean
 
 # cover runs the full (shuffled) suite with a coverage profile, so ci
 # does not also run the plain `test` target — that would execute the
 # identical suite twice. `race` is a separate instrumented build.
-ci: fmt-check vet staticcheck build cover race examples serve-smoke
+ci: fmt-check vet staticcheck build cover race examples alloc-gate serve-smoke
 
 # staticcheck runs when the binary is available (CI installs it; local
 # boxes without it skip with a notice instead of failing the build).
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sparse -run '^$$' -fuzz FuzzBuilderCSR -fuzztime 15s
 	$(GO) test ./internal/sparse -run '^$$' -fuzz FuzzFromRows -fuzztime 10s
 	$(GO) test ./internal/shard -run '^$$' -fuzz FuzzRing -fuzztime 15s
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeStoreV2 -fuzztime 15s
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -89,9 +90,19 @@ serve-smoke:
 # trackable commit over commit. Two-step through a temp file so a
 # benchmark failure fails the target (a pipe would mask go test's exit).
 bench:
-	@$(GO) test -bench=. -benchtime=1x -run '^$$' -json . > .bench.jsonl || { cat .bench.jsonl; rm -f .bench.jsonl; exit 1; }
+	@$(GO) test -bench=. -benchtime=20x -benchmem -run '^$$' -json . ./internal/core ./internal/store > .bench.jsonl || { cat .bench.jsonl; rm -f .bench.jsonl; exit 1; }
 	@$(GO) run ./cmd/benchjson -o BENCH.json < .bench.jsonl
 	@rm -f .bench.jsonl
+
+# alloc-gate re-runs the ingest benchmark and fails ci when its
+# allocs/op regresses more than 20% past the BENCH.json baseline — the
+# single-copy WithObservation + column-reuse ingest path stays cheap by
+# construction, not by convention. Missing baseline entries (fresh
+# checkout, renamed benchmark) pass with a notice.
+alloc-gate:
+	@$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkIngest' -benchmem -benchtime=100x -json > .gate.jsonl || { cat .gate.jsonl; rm -f .gate.jsonl; exit 1; }
+	@$(GO) run ./cmd/benchjson -o '' -baseline BENCH.json -gate BenchmarkIngest < .gate.jsonl
+	@rm -f .gate.jsonl
 
 clean:
 	$(GO) clean ./...

@@ -13,6 +13,19 @@
 //	 "metrics": {"B/op": ..., "allocs/op": ..., ...}}
 //
 // entries, one per benchmark result.
+//
+// With -baseline and -gate, benchjson doubles as a regression gate:
+//
+//	go test -run '^$' -bench 'BenchmarkIngest' -benchmem -benchtime=100x -json ./internal/core |
+//	    benchjson -o '' -baseline BENCH.json -gate BenchmarkIngest
+//
+// compares the gated benchmarks' allocs/op (see -gate-metric) against
+// the matching entries of the baseline summary and exits nonzero when a
+// result regresses past -tolerance. A missing baseline file, baseline
+// entry or gated benchmark is a notice, not a failure, so the gate is
+// safe on fresh checkouts. -o ” suppresses the summary artifact (a
+// gate run is usually a narrow benchmark selection that should not
+// clobber the full BENCH.json).
 package main
 
 import (
@@ -49,7 +62,11 @@ type Result struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
-	out := flag.String("o", "BENCH.json", "output path for the JSON summary")
+	out := flag.String("o", "BENCH.json", "output path for the JSON summary ('' = don't write)")
+	baseline := flag.String("baseline", "", "prior summary to gate against")
+	gate := flag.String("gate", "", "benchmark name (prefix) whose results must not regress vs -baseline")
+	gateMetric := flag.String("gate-metric", "allocs/op", "metric compared by the gate")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression before the gate fails")
 	flag.Parse()
 
 	var results []Result
@@ -106,20 +123,104 @@ func main() {
 		}
 		return results[a].Name < results[b].Name
 	})
-	f, err := os.Create(*out)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d result(s) to %s\n", len(results), *out)
+	}
+	if *gate != "" {
+		if err := runGate(results, *baseline, *gate, *gateMetric, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// gated reports whether a result name belongs to the gated benchmark:
+// the name itself, a sub-benchmark, or either with a -GOMAXPROCS
+// suffix.
+func gated(name, gate string) bool {
+	if !strings.HasPrefix(name, gate) {
+		return false
+	}
+	rest := name[len(gate):]
+	return rest == "" || rest[0] == '/' || rest[0] == '-'
+}
+
+// runGate compares the gated results' metric against the baseline
+// summary. Missing pieces (no baseline file, no baseline entry, no
+// gated result, no metric) produce notices and pass; a metric exceeding
+// baseline·(1+tolerance) fails.
+func runGate(results []Result, baselinePath, gate, metric string, tolerance float64) error {
+	if baselinePath == "" {
+		return fmt.Errorf("-gate requires -baseline")
+	}
+	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
-		fatal(err)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchjson: gate skipped: baseline %s does not exist\n", baselinePath)
+			return nil
+		}
+		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		f.Close()
-		fatal(err)
+	var base []Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
+	byKey := map[string]Result{}
+	for _, r := range base {
+		byKey[r.Package+" "+r.Name] = r
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d result(s) to %s\n", len(results), *out)
+
+	checked := 0
+	var failures []string
+	for _, r := range results {
+		if !gated(r.Name, gate) {
+			continue
+		}
+		got, ok := r.Metrics[metric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate notice: %s has no %q metric (run with -benchmem?)\n", r.Name, metric)
+			continue
+		}
+		b, ok := byKey[r.Package+" "+r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate notice: %s not in baseline, skipped\n", r.Name)
+			continue
+		}
+		want, ok := b.Metrics[metric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate notice: baseline %s has no %q metric, skipped\n", r.Name, metric)
+			continue
+		}
+		checked++
+		limit := want * (1 + tolerance)
+		if got > limit {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %.6g exceeds baseline %.6g by more than %.0f%%",
+					r.Name, metric, got, want, tolerance*100))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s %s %.6g (baseline %.6g, limit %.6g)\n",
+			r.Name, metric, got, want, limit)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate notice: no %s results compared (benchmark or baseline missing)\n", gate)
+	}
+	return nil
 }
 
 // parseBench parses one benchmark result line into a Result.

@@ -6,7 +6,7 @@
 //
 //	ustgen -out data.ustd [-kind synthetic|munich|na]
 //	       [-objects N] [-states N] [-object-spread N] [-state-spread N]
-//	       [-max-step N] [-network-scale N] [-seed N] [-json]
+//	       [-max-step N] [-network-scale N] [-seed N] [-json] [-format v1|v2]
 //
 // -o is shorthand for -out; the emitted binary store format is exactly
 // what `ustserve -dataset name=file.ust` loads and what
@@ -41,6 +41,7 @@ func main() {
 	netScale := flag.Int("network-scale", 10, "divide network node/edge counts by this factor")
 	seed := flag.Int64("seed", 42, "generator seed")
 	asJSON := flag.Bool("json", false, "write JSON instead of binary")
+	format := flag.String("format", "v2", "binary store version: v2 (columnar, zero-copy loadable) or v1 (legacy row-oriented)")
 	flag.Parse()
 
 	if *out == "" {
@@ -75,10 +76,15 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	if *asJSON || strings.HasSuffix(*out, ".json") {
+	switch {
+	case *asJSON || strings.HasSuffix(*out, ".json"):
 		err = store.ExportJSON(f, db)
-	} else {
+	case *format == "v1":
+		err = store.SaveDatabaseV1(f, db)
+	case *format == "v2":
 		err = store.SaveDatabase(f, db)
+	default:
+		err = fmt.Errorf("unknown -format %q (v1 or v2)", *format)
 	}
 	if err != nil {
 		fatal(err)

@@ -141,6 +141,42 @@ func TestRemoteConformance(t *testing.T) {
 	}
 }
 
+// TestRemoteMultiObsConformance runs the multi-observation table over
+// the HTTP stack, unsharded and sharded, including the
+// ingest-during-query pass: observations appended through
+// Client.Observe (the wire ingest path) must land in the served dataset
+// before the table replays against the local reference.
+func TestRemoteMultiObsConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  service.Config
+		opts conformance.Options
+	}{
+		{"unsharded", service.Config{}, conformance.Options{}},
+		{"shards=4", service.Config{Shards: 4}, conformance.Options{SkipSerialMC: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, res := conformance.NewMultiObsDataset()
+			svc := service.New(tc.cfg)
+			if err := svc.Create("conf", db, res); err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(service.NewHandler(svc))
+			t.Cleanup(func() {
+				svc.Close()
+				ts.Close()
+			})
+			ref := ust.NewEngine(db, ust.Options{})
+			c := client.New(ts.URL, ts.Client())
+			remote := remoteEvaluator{c: c, name: "conf"}
+			ingest := func(id int, obs core.Observation) error {
+				return c.Observe(context.Background(), "conf", id, obs)
+			}
+			conformance.VerifyMultiObs(t, db, res, ref, remote, ingest, tc.opts)
+		})
+	}
+}
+
 func TestParallelClients(t *testing.T) {
 	c, local, _ := newServer(t, 12)
 	want, err := local.Evaluate(context.Background(), ust.NewRequest(ust.PredicateExists,

@@ -89,6 +89,101 @@ func NewDataset() (*core.Database, spatial.Resolver) {
 	return db, grid
 }
 
+// NewMultiObsDataset builds the multi-observation variant of the
+// canonical dataset: the same grid, chain mix, scattered ids and
+// initial pdfs, but every object carries three or four observations.
+// Each later observation is drawn from the states the motion model can
+// actually reach from the previous one (evolve, then keep a spread of
+// the reachable support), so the joint mass is never zero and the
+// interpolating multi-observation kernels — not the extrapolating
+// single-observation sweeps — answer every query.
+func NewMultiObsDataset() (*core.Database, spatial.Resolver) {
+	grid := spatial.NewGrid(8, 8)
+	walk := gridChain(grid, false)
+	drift := gridChain(grid, true)
+	db := core.NewDatabase(walk)
+	for i := 0; i < 24; i++ {
+		id := (i*37 + 5) % 211
+		chain := walk
+		var own *markov.Chain
+		if i%3 == 1 {
+			own = drift
+			chain = drift
+		}
+		t0 := i % 4
+		s := (i * 13) % 64
+		var pdf *markov.Distribution
+		if i%5 == 0 {
+			pdf = markov.UniformOver(64, []int{s, (s + 9) % 64, (s + 27) % 64})
+		} else {
+			pdf = markov.PointDistribution(64, s)
+		}
+		obs := []core.Observation{{Time: t0, PDF: pdf}}
+		cur := pdf.Clone().Vec()
+		cur.Normalize()
+		t := t0
+		for k := 1; k < 3+i%2; k++ {
+			dt := 2 + (i+k)%2
+			cur = chain.Evolve(cur, dt)
+			t += dt
+			// Keep half to three-quarters of the reachable support:
+			// narrow enough that fusion genuinely reshapes the
+			// posterior, wide enough that Monte-Carlo rejection
+			// sampling keeps a workable acceptance rate.
+			supp := cur.Support()
+			next := reachableSpread(supp, max(2, len(supp)*(2+(i+k)%2)/4))
+			opdf := markov.UniformOver(64, next)
+			obs = append(obs, core.Observation{Time: t, PDF: opdf})
+			cur = opdf.Clone().Vec()
+			cur.Normalize()
+		}
+		db.MustAdd(core.MustObject(id, own, obs...))
+	}
+	return db, grid
+}
+
+// reachableSpread deterministically picks up to want states spread
+// across a reachable support (ascending, as UniformOver expects).
+func reachableSpread(supp []int, want int) []int {
+	if want < 1 {
+		want = 1
+	}
+	if want > len(supp) {
+		want = len(supp)
+	}
+	picked := make([]int, 0, want)
+	for k := 0; k < want; k++ {
+		picked = append(picked, supp[k*(len(supp)-1)/max(want-1, 1)])
+	}
+	out := picked[:1]
+	for _, s := range picked[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NextObservation derives a fresh, motion-model-consistent sighting for
+// an object: two steps past its last observation, over a spread of the
+// states reachable from it. The ingest-during-query conformance pass
+// feeds these through each implementation's ingest surface.
+func NextObservation(db *core.Database, o *core.Object) core.Observation {
+	ch := db.ChainOf(o)
+	cur := o.Last().PDF.Clone().Vec()
+	cur.Normalize()
+	const dt = 2
+	evolved := ch.Evolve(cur, dt)
+	supp := evolved.Support()
+	// Half the reachable support, like the dataset's own observations:
+	// narrower picks (the support's extremes are the least likely
+	// states) would starve Monte-Carlo rejection sampling.
+	return core.Observation{
+		Time: o.Last().Time + dt,
+		PDF:  markov.UniformOver(ch.NumStates(), reachableSpread(supp, max(2, len(supp)/2))),
+	}
+}
+
 // gridChain builds a row-stochastic motion model over the grid: a lazy
 // random walk (equal mass on self and the 4-neighbourhood), or a
 // right-drifting variant that weights the +x neighbour triple.
@@ -252,6 +347,88 @@ func Cases(res spatial.Resolver) []Case {
 	return cases
 }
 
+// MultiObsCases returns the conformance table for the multi-observation
+// dataset. It spans the same dimensions as Cases — predicate × strategy,
+// ranking, planner, cache/filter toggles, geometric regions, count
+// aggregates — minus the surfaces that document single-observation-only
+// semantics (ktimes, eventually, compound expressions) and so error on
+// every object of a multi-observation database.
+func MultiObsCases(res spatial.Resolver) []Case {
+	region := core.Interval(40, 55)
+	window := core.WithTimes(core.Interval(5, 8))
+	inRegion := core.WithStates(region)
+
+	var cases []Case
+	add := func(name string, req core.Request) {
+		cases = append(cases, Case{Name: name, Req: req})
+	}
+
+	for _, p := range []struct {
+		name string
+		pred core.Predicate
+	}{
+		{"exists", core.PredicateExists},
+		{"forall", core.PredicateForAll},
+	} {
+		add(p.name+"/qb", core.NewRequest(p.pred, inRegion, window,
+			core.WithStrategy(core.StrategyQueryBased)))
+		add(p.name+"/ob", core.NewRequest(p.pred, inRegion, window,
+			core.WithStrategy(core.StrategyObjectBased)))
+		add(p.name+"/mc", core.NewRequest(p.pred, inRegion, window,
+			core.WithStrategy(core.StrategyMonteCarlo),
+			core.WithMonteCarloBudget(192, 11), core.WithParallelism(2)))
+	}
+	cases = append(cases, Case{
+		Name: "exists/mc-serial",
+		Req: core.NewRequest(core.PredicateExists, inRegion, window,
+			core.WithStrategy(core.StrategyMonteCarlo), core.WithMonteCarloBudget(192, 11)),
+		SerialMC: true,
+	})
+
+	add("exists/auto", core.NewRequest(core.PredicateExists, inRegion, window, core.WithAutoPlan()))
+	add("exists/auto-topk", core.NewRequest(core.PredicateExists, inRegion, window,
+		core.WithAutoPlan(), core.WithTopK(7)))
+
+	add("exists/threshold", core.NewRequest(core.PredicateExists, inRegion, window,
+		core.WithThreshold(0.25)))
+	add("exists/threshold-ob", core.NewRequest(core.PredicateExists, inRegion, window,
+		core.WithThreshold(0.25), core.WithStrategy(core.StrategyObjectBased)))
+	add("exists/topk", core.NewRequest(core.PredicateExists, inRegion, window, core.WithTopK(5)))
+	add("forall/topk", core.NewRequest(core.PredicateForAll, inRegion, window, core.WithTopK(9)))
+
+	add("exists/no-cache", core.NewRequest(core.PredicateExists, inRegion, window,
+		core.WithCache(false)))
+	add("exists/topk-no-filter", core.NewRequest(core.PredicateExists, inRegion, window,
+		core.WithTopK(5), core.WithFilterRefine(false)))
+	add("exists/ob-parallel", core.NewRequest(core.PredicateExists, inRegion, window,
+		core.WithStrategy(core.StrategyObjectBased), core.WithParallelism(3)))
+
+	add("exists/region", core.NewRequest(core.PredicateExists,
+		core.WithRegion(spatial.NewRect(4.5, 1.5, 7.5, 5.5), res), window))
+
+	count := core.AggSpec{Kind: core.AggCount}
+	add("agg/count-qb", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithStrategy(core.StrategyQueryBased)))
+	add("agg/count-ob", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithStrategy(core.StrategyObjectBased)))
+	add("agg/count-forall", core.NewAggRequest(core.PredicateForAll, count, inRegion, window))
+	add("agg/count-min", core.NewAggRequest(core.PredicateExists,
+		core.AggSpec{Kind: core.AggCount, MinCount: 4}, inRegion, window))
+	add("agg/count-auto", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithAutoPlan()))
+	add("agg/count-no-filter", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithFilterRefine(false)))
+	add("agg/count-mc", core.NewAggRequest(core.PredicateExists, count, inRegion, window,
+		core.WithStrategy(core.StrategyMonteCarlo),
+		core.WithMonteCarloBudget(192, 11), core.WithParallelism(2)))
+	add("agg/count-region", core.NewAggRequest(core.PredicateExists, count,
+		core.WithRegion(spatial.NewRect(4.5, 1.5, 7.5, 5.5), res), window))
+	add("agg/occupancy", core.NewAggRequest(core.PredicateExists,
+		core.AggSpec{Kind: core.AggOccupancy, MinCount: 2}, inRegion, window))
+
+	return cases
+}
+
 // Verify answers every case through ref and got and requires
 // byte-identical Results (and the same resolved Strategy and planner
 // estimates) from Evaluate, the same sequence from EvaluateSeq, and —
@@ -259,8 +436,44 @@ func Cases(res spatial.Resolver) []Case {
 // from one EvaluateBatch over the whole table.
 func Verify(t *testing.T, res spatial.Resolver, ref, got Evaluator, opts Options) {
 	t.Helper()
+	verifyCases(t, Cases(res), ref, got, opts)
+}
+
+// VerifyMultiObs runs the multi-observation table, then — when an
+// ingest hook is supplied — appends a fresh consistent sighting to
+// several objects through the candidate's own ingest surface and
+// replays the table. db must be the database both evaluators serve;
+// ingest routes an observation the way the implementation's callers
+// would (ReplaceObject on the engine, Router.Observe across shards,
+// Client.Observe over HTTP).
+func VerifyMultiObs(t *testing.T, db *core.Database, res spatial.Resolver, ref, got Evaluator,
+	ingest func(objectID int, obs core.Observation) error, opts Options) {
+	t.Helper()
+	cases := MultiObsCases(res)
+	t.Run("initial", func(t *testing.T) {
+		verifyCases(t, cases, ref, got, opts)
+	})
+	if ingest == nil {
+		return
+	}
+	t.Run("ingest-during-query", func(t *testing.T) {
+		objs := db.Objects()
+		for i := 0; i < len(objs); i += 7 {
+			o := objs[i]
+			if err := ingest(o.ID, NextObservation(db, o)); err != nil {
+				t.Fatalf("ingest for object %d: %v", o.ID, err)
+			}
+			if cur := db.Get(o.ID); len(cur.Observations) != len(o.Observations)+1 {
+				t.Fatalf("ingest for object %d did not reach the shared database", o.ID)
+			}
+		}
+		verifyCases(t, cases, ref, got, opts)
+	})
+}
+
+func verifyCases(t *testing.T, cases []Case, ref, got Evaluator, opts Options) {
+	t.Helper()
 	ctx := context.Background()
-	cases := Cases(res)
 	for _, c := range cases {
 		t.Run(c.Name, func(t *testing.T) {
 			if c.SerialMC && opts.SkipSerialMC {

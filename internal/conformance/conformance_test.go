@@ -18,6 +18,44 @@ func TestTableAgainstEngineTwin(t *testing.T) {
 	Verify(t, res, ref, got, Options{})
 }
 
+// TestMultiObsTableAgainstEngineTwin runs the multi-observation table —
+// every object carries three or four sightings, so the interpolating
+// kernels answer every case — through two engines over the shared
+// database, then ingests further observations at the database level and
+// replays the table.
+func TestMultiObsTableAgainstEngineTwin(t *testing.T) {
+	db, res := NewMultiObsDataset()
+	ref := core.NewEngine(db, core.Options{})
+	got := core.NewEngine(db, core.Options{})
+	ingest := func(id int, obs core.Observation) error {
+		upd, err := db.Get(id).WithObservation(obs)
+		if err != nil {
+			return err
+		}
+		return db.ReplaceObject(upd)
+	}
+	VerifyMultiObs(t, db, res, ref, got, ingest, Options{})
+}
+
+// TestMultiObsDatasetShape pins the variant's defining property: no
+// object may degrade to the single-observation fast paths.
+func TestMultiObsDatasetShape(t *testing.T) {
+	db, _ := NewMultiObsDataset()
+	if db.Len() != 24 {
+		t.Fatalf("dataset has %d objects, want 24", db.Len())
+	}
+	for _, o := range db.Objects() {
+		if len(o.Observations) < 3 {
+			t.Errorf("object %d has %d observations, want ≥3", o.ID, len(o.Observations))
+		}
+		for k := 1; k < len(o.Observations); k++ {
+			if o.Observations[k].Time <= o.Observations[k-1].Time {
+				t.Errorf("object %d observation times not strictly increasing", o.ID)
+			}
+		}
+	}
+}
+
 // TestTableCoversShapes pins the table's breadth so a future edit
 // cannot silently drop a dimension.
 func TestTableCoversShapes(t *testing.T) {

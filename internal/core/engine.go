@@ -83,9 +83,11 @@ type Engine struct {
 	db   *Database
 	opts Options
 	// cache shares backward-sweep results engine-wide (nil when
-	// disabled); pool recycles sweep scratch buffers.
+	// disabled); pool recycles sweep scratch buffers and fpool the flat
+	// lane blocks of the columnar multi-observation kernels.
 	cache *scoreCache
 	pool  *sparse.VecPool
+	fpool *sparse.FloatPool
 }
 
 // NewEngine builds an engine over db with the given options.
@@ -93,7 +95,7 @@ func NewEngine(db *Database, opts Options) *Engine {
 	if db == nil {
 		panic("core: nil database")
 	}
-	e := &Engine{db: db, opts: opts.withDefaults(), pool: &sparse.VecPool{}}
+	e := &Engine{db: db, opts: opts.withDefaults(), pool: &sparse.VecPool{}, fpool: &sparse.FloatPool{}}
 	switch {
 	case e.opts.Cache != nil:
 		e.opts.Cache.attach(db)

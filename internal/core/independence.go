@@ -109,7 +109,9 @@ func regionMass(v *sparse.Vec, w *window) float64 {
 func (e *Engine) Marginal(o *Object, t int) (*markov.Distribution, error) {
 	ch := e.db.ChainOf(o)
 	if len(o.Observations) > 1 {
-		return PosteriorAt(ch, o.Observations, t)
+		// Columnar + cached: repeat marginals of an unchanged object are
+		// served from the score cache under its construction serial.
+		return e.kernel(ch, nil, nil).posteriorOf(o, t)
 	}
 	first := o.First()
 	if t < first.Time {

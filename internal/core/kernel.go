@@ -31,6 +31,14 @@ type kern struct {
 	cache *scoreCache // nil: engine-wide caching disabled for this request
 	rep   *CacheReport
 	pool  *sparse.VecPool
+	fpool *sparse.FloatPool
+	// cols is the owning database's columnar observation plane; the
+	// multi-observation and posterior kernels consume its column blocks
+	// directly instead of walking boxed pdfs.
+	cols *ObsColumns
+	// pins lazily materializes the window's region states for the flat
+	// transfer step of the columnar multi-observation pass.
+	pins []int32
 	// prog/exprTree are set instead of w for compound-expression
 	// requests (plan.go): the compiled augmented program and the
 	// resolved tree the filter bounds fold over.
@@ -112,7 +120,7 @@ func (k *kern) memo(key scoreKey, v scoreValue) {
 // plan. plan may be nil (Monitor, legacy wrappers): caching is then on
 // whenever the engine has a cache, and traffic goes unreported.
 func (e *Engine) kernel(chain *markov.Chain, w *window, plan *evalPlan) *kern {
-	k := &kern{chain: chain, w: w, pool: e.pool}
+	k := &kern{chain: chain, w: w, pool: e.pool, fpool: e.fpool, cols: e.db.cols}
 	if e.cache != nil && (plan == nil || plan.useCache) {
 		k.cache = e.cache
 		if plan != nil {
@@ -338,7 +346,7 @@ func (k *kern) existsExact(ctx context.Context, o *Object, forAll bool) (Result,
 	case k.w.k == 0:
 		p = 0
 	case len(o.Observations) > 1:
-		p, err = existsMultiObs(ctx, k.chain, o.Observations, k.w)
+		p, err = k.multiObsExists(ctx, o)
 	default:
 		p, err = k.existsDot(ctx, o)
 	}
@@ -380,7 +388,17 @@ func (k *kern) obExistsExact(ctx context.Context, o *Object, forAll bool) (Resul
 	if forAll && k.w.k == 0 {
 		return Result{ObjectID: o.ID, Prob: 1}, nil
 	}
-	p, err := existsOBOne(ctx, k.chain, o, k.w, k.pool)
+	var p float64
+	var err error
+	if k.w.k > 0 && len(o.Observations) > 1 {
+		// Multi-observation conditioning has no separate OB form — both
+		// strategies run the same doubled-space pass (existsOBOne routes
+		// here too), so the kern intercepts to consume the columnar
+		// plane and share cached per-object results across strategies.
+		p, err = k.multiObsExists(ctx, o)
+	} else {
+		p, err = existsOBOne(ctx, k.chain, o, k.w, k.pool)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -427,4 +445,56 @@ func (k *kern) ktimesOBExact(ctx context.Context, o *Object) (Result, error) {
 		return Result{}, err
 	}
 	return kTimesResult(o.ID, dist), nil
+}
+
+// regionPins returns the window's region state list, materialized once
+// per kern for the columnar transfer step.
+func (k *kern) regionPins() []int32 {
+	if k.pins == nil {
+		k.pins = regionPins(k.w)
+		if k.pins == nil {
+			k.pins = []int32{} // distinguish "built, empty" from "unbuilt"
+		}
+	}
+	return k.pins
+}
+
+// multiObsExists answers one multi-observation object through the
+// columnar doubled-space kernel, caching the scalar under a key derived
+// from the object's construction serial + window signature: repeat
+// queries over an unchanged object hit, ingest mints a new serial and
+// naturally misses, and entries for superseded objects age out of the
+// LRU without any invalidation traffic.
+func (k *kern) multiObsExists(ctx context.Context, o *Object) (float64, error) {
+	key := scoreKey{chain: k.chain, kind: kindMultiObs, sig: fnvMix(k.w.signature(), o.serial)}
+	v, err := k.fetch(ctx, key, func() (scoreValue, error) {
+		p, perr := existsMultiObsSeg(ctx, k.chain, segForObject(k.cols, o), k.w, k.regionPins(), k.fpool)
+		if perr != nil {
+			return scoreValue{}, perr
+		}
+		return scoreValue{scalars: []float64{p}}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.scalars[0], nil
+}
+
+// posteriorOf returns the object's smoothed posterior at time t through
+// the columnar kernel, cached per (object serial, t). The cached vector
+// is shared; the returned distribution wraps a clone so callers may
+// Fuse/mutate it like the historical PosteriorAt result.
+func (k *kern) posteriorOf(o *Object, t int) (*markov.Distribution, error) {
+	key := scoreKey{chain: k.chain, kind: kindPosterior, sig: fnvMix(fnvOffset, o.serial), t0: t}
+	v, err := k.fetch(context.Background(), key, func() (scoreValue, error) {
+		d, derr := posteriorAtSeg(k.chain, segForObject(k.cols, o), t, k.fpool)
+		if derr != nil {
+			return scoreValue{}, derr
+		}
+		return scoreValue{vecs: []*sparse.Vec{d.Vec()}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return markov.FromVec(v.vecs[0].Clone()), nil
 }

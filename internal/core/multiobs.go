@@ -27,8 +27,20 @@ import (
 
 // existsMultiObs computes P∃ for an object with ≥ 1 observations.
 // Observation list must be sorted by time (Object guarantees this).
-// Checks ctx once per forward step.
+// Checks ctx once per forward step. It delegates to the columnar kernel
+// (colkernel.go) through a transient row→column conversion; callers with
+// access to the database's columnar plane (the kern layer) skip the
+// conversion and add per-object caching on top.
 func existsMultiObs(ctx context.Context, chain *markov.Chain, obs []Observation, w *window) (float64, error) {
+	if len(obs) == 0 {
+		return 0, fmt.Errorf("core: no observations")
+	}
+	return existsMultiObsSeg(ctx, chain, segFromObservations(obs), w, nil, nil)
+}
+
+// existsMultiObsRow is the historical Vec-based pass, kept as the
+// cross-validation and benchmark baseline for the columnar kernel.
+func existsMultiObsRow(ctx context.Context, chain *markov.Chain, obs []Observation, w *window) (float64, error) {
 	if len(obs) == 0 {
 		return 0, fmt.Errorf("core: no observations")
 	}
@@ -114,6 +126,17 @@ func transferHits(pNot, pHit *sparse.Vec, w *window) {
 // at times ≤ max(t, last observation) and evolves/fuses in order, which
 // matches the paper's forward treatment.
 func PosteriorAt(chain *markov.Chain, obs []Observation, t int) (*markov.Distribution, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("core: no observations")
+	}
+	return posteriorAtSeg(chain, segFromObservations(obs), t, nil)
+}
+
+// posteriorAtRow is the historical Vec-based smoothing pass, kept as the
+// cross-validation and benchmark baseline for the columnar kernel: it
+// allocates a fresh vector per backward step, which is exactly the GC
+// pressure posteriorAtSeg removes.
+func posteriorAtRow(chain *markov.Chain, obs []Observation, t int) (*markov.Distribution, error) {
 	if len(obs) == 0 {
 		return nil, fmt.Errorf("core: no observations")
 	}

@@ -24,7 +24,17 @@ type Object struct {
 	ID           int
 	Chain        *markov.Chain // nil means "use the database default"
 	Observations []Observation // sorted by Time, unique times
+	// serial is a process-unique construction counter. Objects are
+	// immutable after construction (ingest replaces the whole object),
+	// so the serial is a content handle: caches key observation-derived
+	// payloads (per-object posteriors, multi-observation sweep results)
+	// on it and entries for superseded objects simply stop being asked
+	// for, aging out of the LRU instead of needing invalidation.
+	serial uint64
 }
+
+// objectSerials issues Object.serial values.
+var objectSerials atomic.Uint64
 
 // NewObject builds an object with the given id and observations, sorting
 // them by time. chain may be nil when the object follows the database
@@ -49,7 +59,34 @@ func NewObject(id int, chain *markov.Chain, obs ...Observation) (*Object, error)
 			return nil, fmt.Errorf("core: object %d has duplicate observation time %d", id, o.Time)
 		}
 	}
-	return &Object{ID: id, Chain: chain, Observations: sorted}, nil
+	return &Object{ID: id, Chain: chain, Observations: sorted, serial: objectSerials.Add(1)}, nil
+}
+
+// NewObjectSorted wraps an already-sorted observation slice without
+// copying or re-sorting — the bulk-load entry point used by the store's
+// columnar decoder, which materializes observation slices from shared
+// arenas. It runs the same validation as NewObject (the input is a file,
+// not a trusted caller) but adopts the slice: the caller must not touch
+// obs afterwards.
+func NewObjectSorted(id int, chain *markov.Chain, obs []Observation) (*Object, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("core: object %d needs at least one observation", id)
+	}
+	for i, o := range obs {
+		if o.Time < 0 {
+			return nil, fmt.Errorf("core: object %d has negative observation time %d", id, o.Time)
+		}
+		if o.PDF == nil {
+			return nil, fmt.Errorf("core: object %d observation %d has nil pdf", id, i)
+		}
+		if o.PDF.Mass() <= 0 {
+			return nil, fmt.Errorf("core: object %d observation at t=%d carries no mass", id, o.Time)
+		}
+		if i > 0 && obs[i-1].Time >= o.Time {
+			return nil, fmt.Errorf("core: object %d observations not sorted by unique times", id)
+		}
+	}
+	return &Object{ID: id, Chain: chain, Observations: obs, serial: objectSerials.Add(1)}, nil
 }
 
 // MustObject is NewObject that panics on error.
@@ -62,12 +99,34 @@ func MustObject(id int, chain *markov.Chain, obs ...Observation) *Object {
 }
 
 // WithObservation returns a copy of the object with one more
-// observation appended, re-validated and re-sorted — the single place
-// the "append a sighting to an immutable object" sequence lives (used
-// by Monitor, the service ingest path and the shard router).
+// observation added, keeping the time order — the single place the
+// "append a sighting to an immutable object" sequence lives (used by
+// Monitor, the service ingest path and the shard router). Only the new
+// observation is validated (the existing ones were validated when o was
+// built) and the observation slice is copied exactly once, into its
+// sorted position; historically this path copied the slice twice and
+// re-sorted/re-validated the whole history on every ingest.
 func (o *Object) WithObservation(obs Observation) (*Object, error) {
-	return NewObject(o.ID, o.Chain,
-		append(append([]Observation(nil), o.Observations...), obs)...)
+	if obs.Time < 0 {
+		return nil, fmt.Errorf("core: object %d has negative observation time %d", o.ID, obs.Time)
+	}
+	if obs.PDF == nil {
+		return nil, fmt.Errorf("core: object %d observation %d has nil pdf", o.ID, len(o.Observations))
+	}
+	if obs.PDF.Mass() <= 0 {
+		return nil, fmt.Errorf("core: object %d observation at t=%d carries no mass", o.ID, obs.Time)
+	}
+	at := sort.Search(len(o.Observations), func(i int) bool {
+		return o.Observations[i].Time >= obs.Time
+	})
+	if at < len(o.Observations) && o.Observations[at].Time == obs.Time {
+		return nil, fmt.Errorf("core: object %d has duplicate observation time %d", o.ID, obs.Time)
+	}
+	merged := make([]Observation, len(o.Observations)+1)
+	copy(merged, o.Observations[:at])
+	merged[at] = obs
+	copy(merged[at+1:], o.Observations[at:])
+	return &Object{ID: o.ID, Chain: o.Chain, Observations: merged, serial: objectSerials.Add(1)}, nil
 }
 
 // First returns the earliest observation.
@@ -84,6 +143,12 @@ type Database struct {
 	chain   *markov.Chain
 	objects []*Object
 	byID    map[int]*Object
+	pos     map[int]int // object id → index into objects
+	// cols is the columnar twin of objects: per-object observation
+	// segments the vectorized kernels and the store's v2 writer consume.
+	// Maintained by Add/ReplaceObject; pre-seeded by the store's mapped
+	// load path.
+	cols *ObsColumns
 	// version counts mutations (inserts and observation updates). The
 	// engine's score cache tags entries with the version current when
 	// they were computed and lazily expires entries from older
@@ -101,7 +166,7 @@ func NewDatabase(defaultChain *markov.Chain) *Database {
 	if defaultChain == nil {
 		panic("core: nil default chain")
 	}
-	return &Database{chain: defaultChain, byID: map[int]*Object{}}
+	return &Database{chain: defaultChain, byID: map[int]*Object{}, pos: map[int]int{}, cols: NewObsColumns()}
 }
 
 // DefaultChain returns the database's default motion model.
@@ -122,6 +187,8 @@ func (db *Database) Add(o *Object) error {
 	}
 	db.objects = append(db.objects, o)
 	db.byID[o.ID] = o
+	db.pos[o.ID] = len(db.objects) - 1
+	db.cols.add(o)
 	db.version.Add(1)
 	return nil
 }
@@ -150,13 +217,9 @@ func (db *Database) ReplaceObject(updated *Object) error {
 				updated.ID, obs.PDF.NumStates(), ch.NumStates())
 		}
 	}
-	for i, cur := range db.objects {
-		if cur.ID == updated.ID {
-			db.objects[i] = updated
-			break
-		}
-	}
+	db.objects[db.pos[updated.ID]] = updated
 	db.byID[updated.ID] = updated
+	db.cols.replace(old, updated)
 	db.version.Add(1)
 	return nil
 }

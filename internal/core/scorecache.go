@@ -22,14 +22,16 @@ import (
 // generation (Database.Version) current when it was computed; lookups
 // compare against the live generation and lazily expire mismatched
 // entries of generation-SENSITIVE kinds — payloads whose inputs include
-// object observations. Every kind cached today (exists/ktimes sweeps,
-// hitting vectors, boolean envelopes) is a pure function of the
-// immutable chain, the window and the observation time, so mutations
-// can never make it wrong: such entries are revalidated in place
-// instead of recomputed, which keeps standing queries and ingest loops
-// (Observe/Add, then Evaluate) fully cached. The generation machinery
-// is the correctness rail for future kinds that DO depend on mutable
-// state (cached posteriors, per-object results); Engine.InvalidateCache
+// mutable state their keys cannot see. The sweep/envelope kinds are
+// pure functions of the immutable chain, the window and the observation
+// time, so mutations can never make them wrong; the per-object kinds
+// (multi-observation results, posteriors) depend on observations but
+// key themselves on the object's construction serial, which ingest
+// replaces — so both families are revalidated in place instead of
+// recomputed, which keeps standing queries and ingest loops
+// (Observe/Add, then Evaluate) fully cached for everything that did not
+// change. The generation machinery remains the correctness rail for
+// future kinds whose keys DO have a blind spot; Engine.InvalidateCache
 // remains the manual override.
 
 // scoreKind discriminates what a cache entry holds.
@@ -50,17 +52,32 @@ const (
 	// kindExpr: the 2^m augmented backward family of a compound
 	// expression (plan.go); sig is the expression signature.
 	kindExpr
+	// kindMultiObs: one multi-observation P∃ scalar. The key sig folds
+	// the OBJECT SERIAL together with the window signature, so the entry
+	// is content-addressed: replacing the object mints a new serial (and
+	// thus a new key) and the old entry simply ages out of the LRU.
+	kindMultiObs
+	// kindPosterior: one cached per-object posterior distribution
+	// (multiobs.go); sig is serial-based like kindMultiObs, t0 is the
+	// query time.
+	kindPosterior
 )
 
-// genSensitive reports whether entries of this kind depend on object
-// observations (or other mutable database state) and must therefore
+// genSensitive reports whether entries of this kind depend on mutable
+// database state THROUGH THEIR KEY's blind spot and must therefore
 // expire when the database generation advances. Sweeps and envelopes
-// depend only on the immutable chain + window + time, so none of the
-// built-in kinds is sensitive; unknown kinds default to sensitive so a
-// future cache user is safe by default.
+// depend only on the immutable chain + window + time; the per-object
+// kinds (kindMultiObs, kindPosterior) DO depend on observations, but
+// their keys fold in the object's construction serial, which changes on
+// every ingest — the key itself is the invalidation, so generation
+// expiry would only throw away entries for objects that did not change
+// (precisely the recomputation ingest-during-query workloads must
+// avoid). Unknown kinds default to sensitive so a future cache user is
+// safe by default.
 func (k scoreKind) genSensitive() bool {
 	switch k {
-	case kindExists, kindKTimes, kindHitting, kindPossible, kindCertain, kindExpr:
+	case kindExists, kindKTimes, kindHitting, kindPossible, kindCertain, kindExpr,
+		kindMultiObs, kindPosterior:
 		return false
 	}
 	return true
@@ -77,16 +94,18 @@ type scoreKey struct {
 }
 
 // scoreValue is the payload of one entry: float vectors for exact
-// sweeps, bitsets for envelopes. Cached payloads are shared and must be
-// treated as immutable by every reader.
+// sweeps, bitsets for envelopes, bare scalars for per-object results.
+// Cached payloads are shared and must be treated as immutable by every
+// reader.
 type scoreValue struct {
-	vecs []*sparse.Vec
-	bits *sparse.Bitset
+	vecs    []*sparse.Vec
+	bits    *sparse.Bitset
+	scalars []float64
 }
 
 // bytes approximates the resident size of the payload.
 func (v scoreValue) bytes() int {
-	b := 0
+	b := 8 * len(v.scalars)
 	for _, vec := range v.vecs {
 		b += 8 * vec.Len()
 	}

@@ -200,8 +200,24 @@ func TestCacheSurvivesObservationUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Cache.Misses != 0 {
+	// The sweep must survive the update untouched; the single allowed
+	// miss is object 0's first multi-observation evaluation, cached
+	// per-object under its new construction serial.
+	if resp.Cache.Misses > 1 {
 		t.Fatalf("observation update needlessly expired observation-independent sweeps: %+v", resp.Cache)
+	}
+	if resp.Cache.Hits == 0 {
+		t.Fatalf("sweep was not served from cache after the update: %+v", resp.Cache)
+	}
+
+	// A repeat evaluation is fully cached: the updated object's
+	// multi-observation scalar now lives under its serial.
+	again, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cache.Misses != 0 {
+		t.Fatalf("repeat after update not fully cached: %+v", again.Cache)
 	}
 
 	// Ground truth from a cold engine over the same database.

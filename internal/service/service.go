@@ -245,7 +245,15 @@ func (s *Service) Create(name string, db *core.Database, resolver spatial.Resolv
 // Load reads a database in the binary store format and registers it
 // under name.
 func (s *Service) Load(name string, r io.Reader) error {
-	db, err := store.LoadDatabase(r)
+	// Buffer the image and decode through the mapped path: for v2
+	// uploads the dataset adopts the probability column straight out of
+	// the request body instead of re-allocating per observation. The
+	// buffer is owned by the dataset from here on.
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	db, err := store.LoadDatabaseMapped(data)
 	if err != nil {
 		return err
 	}

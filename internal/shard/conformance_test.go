@@ -28,6 +28,27 @@ func TestShardedConformance(t *testing.T) {
 	}
 }
 
+// TestShardedMultiObsConformance runs the multi-observation table — all
+// objects carry ≥3 sightings, so the interpolating kernels answer every
+// case — against the router at each shard count, including the
+// ingest-during-query pass: observations appended through
+// Router.Observe must reach every shard replica before the table
+// replays.
+func TestShardedMultiObsConformance(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db, res := conformance.NewMultiObsDataset()
+			ref := core.NewEngine(db, core.Options{})
+			router, err := New(db, shards, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			conformance.VerifyMultiObs(t, db, res, ref, router, router.Observe,
+				conformance.Options{SkipSerialMC: true})
+		})
+	}
+}
+
 // TestShardedCounterAggregation pins the Response bookkeeping across
 // shards: Filter funnel counters and the planner estimates must equal
 // the single-engine run's exactly, and — because the shared cache's

@@ -47,3 +47,44 @@ func (p *VecPool) poolFor(n int) *sync.Pool {
 	}
 	return sp
 }
+
+// FloatPool recycles flat float64 blocks: the scratch of the columnar
+// multi-observation/posterior kernels, which work on raw state-major
+// lanes instead of Vecs. Like VecPool it keeps one free list per length
+// and hands out zeroed slices; the zero value is ready to use and a nil
+// *FloatPool degrades to plain allocation.
+type FloatPool struct {
+	mu    sync.Mutex
+	pools map[int]*sync.Pool
+}
+
+// Get returns a zeroed block of length n.
+func (p *FloatPool) Get(n int) []float64 {
+	if p == nil {
+		return make([]float64, n)
+	}
+	return *p.blockFor(n).Get().(*[]float64)
+}
+
+// Put returns b to the pool. b must not be used afterwards.
+func (p *FloatPool) Put(b []float64) {
+	if p == nil || b == nil {
+		return
+	}
+	clear(b)
+	p.blockFor(len(b)).Put(&b)
+}
+
+func (p *FloatPool) blockFor(n int) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pools == nil {
+		p.pools = map[int]*sync.Pool{}
+	}
+	sp, ok := p.pools[n]
+	if !ok {
+		sp = &sync.Pool{New: func() any { b := make([]float64, n); return &b }}
+		p.pools[n] = sp
+	}
+	return sp
+}

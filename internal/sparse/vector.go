@@ -52,6 +52,19 @@ func AdoptDense(data []float64) *Vec {
 	return &Vec{data: data, dense: true}
 }
 
+// AdoptSparse wraps a dense backing array and its support list — taking
+// ownership of both, no copy — as a sparse-mode vector: the O(1)
+// constructor for column-materialized payloads (the store's mapped load
+// path carves pdf backings and support lists out of shared arenas). The
+// caller warrants that supp lists exactly the non-zero indices of data
+// (stale zero entries are tolerated, duplicates are not) and must not
+// touch either slice afterwards. Vectors whose support exceeds the
+// DenseThreshold stay in sparse mode; that is a performance statement,
+// not a correctness one.
+func AdoptSparse(data []float64, supp []int) *Vec {
+	return &Vec{data: data, supp: supp}
+}
+
 // NewVecFrom returns a vector with a copy of the given dense data.
 func NewVecFrom(data []float64) *Vec {
 	v := NewVec(len(data))

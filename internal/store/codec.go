@@ -53,8 +53,21 @@ func LoadChain(r io.Reader) (*markov.Chain, error) {
 	return chain, nil
 }
 
-// SaveDatabase writes the default chain and all objects.
+// SaveDatabase writes the default chain and all objects in the current
+// (columnar, version-2) format.
 func SaveDatabase(w io.Writer, db *core.Database) error {
+	out := newWriter(w)
+	out.write(magic[:])
+	out.u32(formatVersion2)
+	out.u32(2)
+	writeChainSection(out, db.DefaultChain())
+	writeColumnarSection(out, db)
+	return out.finish()
+}
+
+// SaveDatabaseV1 writes the database in the legacy row-oriented
+// version-1 format, for interchange with older readers.
+func SaveDatabaseV1(w io.Writer, db *core.Database) error {
 	out := newWriter(w)
 	out.write(magic[:])
 	out.u32(formatVersion)
@@ -64,14 +77,20 @@ func SaveDatabase(w io.Writer, db *core.Database) error {
 	return out.finish()
 }
 
-// LoadDatabase reads a file written by SaveDatabase.
+// LoadDatabase reads a file written by SaveDatabase (either version).
 func LoadDatabase(r io.Reader) (*core.Database, error) {
-	in, sections, err := openFile(r)
+	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	return LoadDatabaseMapped(data)
+}
+
+// loadV1 decodes the sections of a version-1 body.
+func loadV1(in *reader, sections uint32) (*core.Database, error) {
 	var chain *markov.Chain
 	var pending func(*core.Database) error
+	var err error
 	for i := uint32(0); i < sections; i++ {
 		tag, terr := readTag(in)
 		if terr != nil {
@@ -107,45 +126,47 @@ func LoadDatabase(r io.Reader) (*core.Database, error) {
 	return db, nil
 }
 
-// openFile buffers the entire stream, verifies the footer guard and CRC
-// *before* any parsing (so corrupt length prefixes can never reach an
-// allocation), then returns a reader positioned after the header.
+// envelope verifies the footer guard and CRC of a complete in-memory
+// file image *before* any parsing (so corrupt length prefixes can never
+// reach an allocation) and returns the version, section count and body
+// (everything before the footer, header included — offsets into body are
+// file offsets).
+func envelope(data []byte) (version, sections uint32, body []byte, err error) {
+	const headerLen = 4 + 4 + 4 // magic + version + section count
+	if len(data) < headerLen+8 {
+		return 0, 0, nil, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, footer := data[:len(data)-8], data[len(data)-8:]
+	guard := binary.LittleEndian.Uint32(footer[:4])
+	if guard != footerGuard {
+		return 0, 0, nil, fmt.Errorf("%w: bad footer guard %#x", ErrCorrupt, guard)
+	}
+	if got, want := binary.LittleEndian.Uint32(footer[4:]), crc32.ChecksumIEEE(body); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: CRC mismatch: file %#x, computed %#x", ErrCorrupt, got, want)
+	}
+	if *(*[4]byte)(body[:4]) != magic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, body[:4])
+	}
+	version = binary.LittleEndian.Uint32(body[4:8])
+	sections = binary.LittleEndian.Uint32(body[8:12])
+	return version, sections, body, nil
+}
+
+// openFile buffers the entire stream, verifies the envelope, and returns
+// a version-1 reader positioned after the header.
 func openFile(r io.Reader) (*reader, uint32, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	const headerLen = 4 + 4 + 4 // magic + version + section count
-	if len(data) < headerLen+8 {
-		return nil, 0, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, len(data))
-	}
-	body, footer := data[:len(data)-8], data[len(data)-8:]
-	guard := binary.LittleEndian.Uint32(footer[:4])
-	if guard != footerGuard {
-		return nil, 0, fmt.Errorf("%w: bad footer guard %#x", ErrCorrupt, guard)
-	}
-	if got, want := binary.LittleEndian.Uint32(footer[4:]), crc32.ChecksumIEEE(body); got != want {
-		return nil, 0, fmt.Errorf("%w: CRC mismatch: file %#x, computed %#x", ErrCorrupt, got, want)
-	}
-	in := newReader(bytes.NewReader(body))
-	var m [4]byte
-	if !in.read(m[:]) {
-		return nil, 0, fmt.Errorf("%w: short header: %v", ErrCorrupt, in.err)
-	}
-	if m != magic {
-		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
-	}
-	version := in.u32()
-	if in.err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, in.err)
+	version, sections, body, err := envelope(data)
+	if err != nil {
+		return nil, 0, err
 	}
 	if version != formatVersion {
 		return nil, 0, fmt.Errorf("store: unsupported version %d (supported: %d)", version, formatVersion)
 	}
-	sections := in.u32()
-	if in.err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, in.err)
-	}
+	in := newReader(bytes.NewReader(body[12:]))
 	return in, sections, nil
 }
 

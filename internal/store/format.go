@@ -1,24 +1,36 @@
 // Package store persists chains and object databases in a compact,
 // checksummed binary format, plus a JSON export for interoperability.
 //
-// Binary layout (all integers little-endian):
+// Binary envelope, shared by both format versions (all integers
+// little-endian):
 //
 //	magic    [4]byte  "USTD"
-//	version  uint32   currently 1
-//	sections          repeated until EOF-8:
-//	  tag    [4]byte  "CHN0" | "OBJ0"
-//	  length uint64   payload byte length
-//	  payload
+//	version  uint32   1 or 2
+//	count    uint32   number of sections
+//	sections          repeated count times:
+//	  tag    [4]byte  "CHN0" | "OBJ0" | "OBC0"
+//	  payload          tag-specific encoding
 //	footer   uint32   0xC5C5C5C5 guard
 //	crc      uint32   CRC-32 (IEEE) over everything before the footer
 //
-// The CHN0 payload is a CSR transition matrix; OBJ0 holds the object set
-// (ids, observation times, sparse pdfs). Sparse vectors are stored as
-// (count, idx..., val...).
+// The CHN0 payload is a CSR transition matrix. Version 1 stores objects
+// row-wise in OBJ0 (ids, observation times, sparse pdfs as
+// (count, idx..., val...) with every integer a full uint64). Version 2
+// stores them columnar in OBC0: the observation set as delta-encoded
+// parallel arrays — object ids, observation counts, times, support
+// lengths, support state ids — in varint blocks, followed by one raw
+// little-endian float64 probability column padded to an 8-aligned file
+// offset. The columnar layout is both smaller (varints + deltas) and
+// the unit of the zero-copy load path: LoadDatabaseMapped adopts the
+// probability column and carves per-object segments out of shared
+// arenas instead of allocating per observation. Writers emit version 2
+// (SaveDatabase) unless asked for 1 (SaveDatabaseV1); readers accept
+// both.
 package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,14 +42,16 @@ import (
 
 // Format constants.
 var (
-	magic      = [4]byte{'U', 'S', 'T', 'D'}
-	tagChain   = [4]byte{'C', 'H', 'N', '0'}
-	tagObjects = [4]byte{'O', 'B', 'J', '0'}
+	magic       = [4]byte{'U', 'S', 'T', 'D'}
+	tagChain    = [4]byte{'C', 'H', 'N', '0'}
+	tagObjects  = [4]byte{'O', 'B', 'J', '0'}
+	tagColumnar = [4]byte{'O', 'B', 'C', '0'}
 )
 
 const (
-	formatVersion = 1
-	footerGuard   = 0xC5C5C5C5
+	formatVersion  = 1
+	formatVersion2 = 2
+	footerGuard    = 0xC5C5C5C5
 )
 
 // ErrCorrupt is wrapped by all integrity failures.
@@ -79,6 +93,49 @@ func (w *writer) u64(v uint64) {
 }
 
 func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) u8(v byte) { w.write([]byte{v}) }
+
+// uvarint writes v in LEB128 — the building block of the v2 columnar
+// blocks, where deltas are small and full uint64s would waste 7 bytes
+// each.
+func (w *writer) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	w.write(b[:binary.PutUvarint(b[:], v)])
+}
+
+// svarint writes v zigzag-encoded (object-id deltas may be negative:
+// insertion order is not id order).
+func (w *writer) svarint(v int64) {
+	var b [binary.MaxVarintLen64]byte
+	w.write(b[:binary.PutVarint(b[:], v)])
+}
+
+// offset returns the number of bytes written so far — the file offset of
+// the next write, used to pad the v2 probability column to 8 alignment.
+func (w *writer) offset() int64 { return w.n }
+
+// block buffers f's output and emits it as a u64-length-prefixed block —
+// the v2 sub-section framing that lets readers slice without parsing and
+// bound every allocation by a checked length.
+func (w *writer) block(f func(*writer)) {
+	if w.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	sub := newWriter(&buf)
+	f(sub)
+	if sub.err != nil {
+		w.err = sub.err
+		return
+	}
+	if err := sub.w.Flush(); err != nil {
+		w.err = err
+		return
+	}
+	w.u64(uint64(buf.Len()))
+	w.write(buf.Bytes())
+}
 
 func (w *writer) ints(vs []int) {
 	w.u64(uint64(len(vs)))
@@ -122,6 +179,13 @@ type reader struct {
 
 func newReader(r io.Reader) *reader {
 	return &reader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+}
+
+// newRawReader wraps r without buffering, so the caller can measure
+// exactly how many bytes a nested decode consumed (the v2 loader parses
+// the chain section in place).
+func newRawReader(r io.Reader) *reader {
+	return &reader{r: r, crc: crc32.NewIEEE()}
 }
 
 func (r *reader) read(p []byte) bool {

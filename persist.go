@@ -12,12 +12,25 @@ import (
 // from the public API.
 
 // SaveDatabase writes db (default chain and all objects) in the binary
-// store format.
+// store format — the columnar version 2, whose delta-encoded observation
+// blocks both shrink the file and enable the zero-copy load path.
 func SaveDatabase(w io.Writer, db *Database) error { return store.SaveDatabase(w, db) }
 
-// LoadDatabase reads a database written by SaveDatabase (integrity is
-// CRC-verified before any parsing).
+// SaveDatabaseV1 writes db in the legacy row-oriented version-1 format,
+// for interchange with older readers.
+func SaveDatabaseV1(w io.Writer, db *Database) error { return store.SaveDatabaseV1(w, db) }
+
+// LoadDatabase reads a database written by SaveDatabase — either format
+// version (integrity is CRC-verified before any parsing).
 func LoadDatabase(r io.Reader) (*Database, error) { return store.LoadDatabase(r) }
+
+// LoadDatabaseMapped decodes a complete in-memory store image. For
+// version-2 images the observation probability column is adopted
+// zero-copy when aligned: the returned database aliases data, which the
+// caller must keep immutable for the database's lifetime. This is the
+// fast path for callers that already hold the file bytes (an mmap, an
+// HTTP upload body).
+func LoadDatabaseMapped(data []byte) (*Database, error) { return store.LoadDatabaseMapped(data) }
 
 // SaveChain writes a single motion model in the binary store format.
 func SaveChain(w io.Writer, c *Chain) error { return store.SaveChain(w, c) }

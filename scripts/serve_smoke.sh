@@ -106,6 +106,18 @@ fi
 grep -q '"object":9999' "$TMP/sub.out"
 kill "$SUB_PID" 2>/dev/null || true
 
+echo "serve-smoke: upload a v2 dataset via PUT /v1/datasets and query it"
+# ustgen emits store format v2 by default; the server adopts the columns
+# zero-copy via LoadDatabaseMapped, so this exercises the mapped load
+# path end-to-end over HTTP.
+"$TMP/ustgen" -o "$TMP/upload.ust" -objects 100 -states 1000 -seed 11 >/dev/null
+head -c 8 "$TMP/upload.ust" | od -An -tx1 | grep -q '55 53 54 44 02 00 00 00' # "USTD" v2 magic
+curl -fsS -X PUT "$BASE/v1/datasets/uploaded" --data-binary @"$TMP/upload.ust" >/dev/null
+curl -fsS "$BASE/v1/datasets" | grep -q '"uploaded"'
+"$TMP/ustquery" -remote "$BASE" -dataset uploaded -states 50-80 -times 3-6 -top 5 >"$TMP/upload-remote.out"
+"$TMP/ustquery" -db "$TMP/upload.ust" -states 50-80 -times 3-6 -top 5 >"$TMP/upload-local.out"
+diff "$TMP/upload-remote.out" "$TMP/upload-local.out"
+
 echo "serve-smoke: metrics"
 curl -fsS "$BASE/metrics" >"$TMP/metrics.out"
 grep -q "ust_requests_total" "$TMP/metrics.out"
