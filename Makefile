@@ -8,12 +8,12 @@ GO ?= go
 # 74.8%; keep a small buffer for flaky branches).
 COVER_FLOOR ?= 73.0
 
-.PHONY: ci fmt-check vet staticcheck build test race examples serve-smoke fuzz-smoke bench alloc-gate cover clean
+.PHONY: ci fmt-check vet staticcheck build test race examples serve-smoke dist-smoke fuzz-smoke bench alloc-gate cover clean
 
 # cover runs the full (shuffled) suite with a coverage profile, so ci
 # does not also run the plain `test` target — that would execute the
 # identical suite twice. `race` is a separate instrumented build.
-ci: fmt-check vet staticcheck build cover race examples alloc-gate serve-smoke
+ci: fmt-check vet staticcheck build cover race examples alloc-gate serve-smoke dist-smoke
 
 # staticcheck runs when the binary is available (CI installs it; local
 # boxes without it skip with a notice instead of failing the build).
@@ -84,6 +84,14 @@ examples:
 # round-trip, scrape /metrics, and shut down gracefully.
 serve-smoke:
 	GO="$(GO)" ./scripts/serve_smoke.sh
+
+# dist-smoke stands up a real multi-process deployment — two worker
+# ustserve processes and a coordinator fronting them — and diffs remote
+# queries (including a count aggregate) byte-for-byte against
+# in-process evaluation, checks /readyz and role metrics, kills a
+# worker, and shuts the fleet down gracefully.
+dist-smoke:
+	GO="$(GO)" ./scripts/dist_smoke.sh
 
 # bench writes BENCH.json (machine-readable, via cmd/benchjson) while
 # echoing the usual human-readable lines, so the perf trajectory is

@@ -34,9 +34,12 @@ import (
 	"ust/client"
 	"ust/internal/agg"
 	"ust/internal/core"
+	"ust/internal/dist"
 	"ust/internal/gen"
 	"ust/internal/markov"
 	"ust/internal/network"
+	"ust/internal/service"
+	"ust/internal/shard"
 )
 
 // benchDB builds a synthetic database of Table I shape.
@@ -885,5 +888,80 @@ func BenchmarkAggregateCount(b *testing.B) {
 			b.Fatal(err)
 		}
 		run(b, r)
+	})
+}
+
+// BenchmarkDistributedEvaluate prices the process boundary: the
+// |D|=1000, |S|=10000 scan answered by the in-process 2-shard router vs
+// a 2-worker distributed deployment (real worker services behind
+// localhost HTTP, coordinator-side dist router, results through the
+// wire codec). The delta over inproc is pure deployment overhead —
+// JSON encode/decode plus localhost round-trips — since both rings run
+// the identical shard evaluation underneath; the query-based pair
+// additionally rides the networked sweep lease tier, so its floor
+// includes one /v1/sweeps round-trip per distinct sweep.
+func BenchmarkDistributedEvaluate(b *testing.B) {
+	db := benchDB(b, 1000, 10000)
+	q := benchQuery(10000)
+	ctx := context.Background()
+	scanOB := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q),
+		ust.WithStrategy(ust.StrategyObjectBased))
+	scanQB := ust.NewRequest(ust.PredicateExists, ust.WithWindow(q),
+		ust.WithStrategy(ust.StrategyQueryBased))
+
+	newDistRouter := func(b *testing.B) *shard.Router {
+		b.Helper()
+		coord := service.New(service.Config{Role: "coordinator"})
+		coordTS := httptest.NewServer(service.NewHandler(coord))
+		b.Cleanup(func() { coord.Close(); coordTS.Close() })
+		clients := make([]*client.Client, 2)
+		for i := range clients {
+			w := service.New(service.Config{
+				Role:    "worker",
+				Options: core.Options{Sweeps: dist.NewSweepClient(coordTS.URL, nil)},
+			})
+			ts := httptest.NewServer(service.NewHandler(w))
+			b.Cleanup(func() { w.Close(); ts.Close() })
+			clients[i] = client.NewWithConfig(ts.URL, client.Config{HTTPClient: ts.Client()})
+		}
+		r, err := dist.NewRouter(db, 2, core.Options{}, "bench", clients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { r.Close() })
+		return r
+	}
+	run := func(b *testing.B, eval ust.Evaluator, req ust.Request) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := eval.Evaluate(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Results) != 1000 {
+				b.Fatalf("scan returned %d results", len(resp.Results))
+			}
+		}
+	}
+	b.Run("ob/inproc=2", func(b *testing.B) {
+		r, err := ust.NewShardedEngine(db, 2, ust.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, r, scanOB)
+	})
+	b.Run("ob/workers=2", func(b *testing.B) {
+		run(b, newDistRouter(b), scanOB)
+	})
+	b.Run("qb/inproc=2", func(b *testing.B) {
+		r, err := ust.NewShardedEngine(db, 2, ust.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, r, scanQB)
+	})
+	b.Run("qb/workers=2", func(b *testing.B) {
+		run(b, newDistRouter(b), scanQB)
 	})
 }

@@ -14,45 +14,98 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"ust"
 	"ust/internal/wire"
 )
 
+// Config tunes a Client beyond the defaults New applies.
+type Config struct {
+	// HTTPClient carries the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries is the number of ADDITIONAL attempts after a failed
+	// first one, applied only to idempotent requests (queries, factor
+	// fetches, GETs) on transport errors and 5xx statuses. Ingest
+	// (Observe, Track, CreateDataset, Import, Evict) is never retried —
+	// a request that died mid-flight may still have been applied. 0
+	// disables retrying.
+	MaxRetries int
+	// RetryBase is the first backoff delay; each further attempt doubles
+	// it, capped at RetryMax, with ±25% jitter. Defaults: 50ms / 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
 // Client talks to one ustserve base URL. Safe for concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
+	cfg  Config
 }
 
 // New builds a client for the server at baseURL (e.g.
-// "http://localhost:8080"). hc may be nil for http.DefaultClient.
+// "http://localhost:8080"). hc may be nil for http.DefaultClient. No
+// retrying; use NewWithConfig for that.
 func New(baseURL string, hc *http.Client) *Client {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	return NewWithConfig(baseURL, Config{HTTPClient: hc})
 }
 
-// apiError converts a non-2xx response into an error carrying the
+// NewWithConfig builds a client with explicit retry/transport settings.
+func NewWithConfig(baseURL string, cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: cfg.HTTPClient, cfg: cfg}
+}
+
+// APIError is a non-2xx server response: the HTTP status code plus the
+// server's error message.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("client: server returned %d", e.Status)
+}
+
+// apiError converts a non-2xx response into an *APIError carrying the
 // server's message.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	e := &APIError{Status: resp.StatusCode}
 	var eb wire.ErrorBody
 	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-		return fmt.Errorf("client: server returned %s: %s", resp.Status, eb.Error)
+		e.Msg = eb.Error
 	}
-	return fmt.Errorf("client: server returned %s", resp.Status)
+	return e
 }
 
-func (c *Client) do(ctx context.Context, method, path string, contentType string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// attempt runs one HTTP exchange. body may be nil.
+func (c *Client) attempt(ctx context.Context, method, path, contentType string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -69,16 +122,60 @@ func (c *Client) do(ctx context.Context, method, path string, contentType string
 	return resp, nil
 }
 
-func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// retryable reports whether an attempt's failure may be retried:
+// transport errors (connection refused, reset — the server may be
+// restarting) and 5xx statuses. 4xx statuses are the caller's mistake
+// and context expiry is the caller's deadline; neither retries.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	return true // transport-level failure
+}
+
+// do runs the exchange, retrying idempotent requests per the client's
+// Config with exponential backoff and jitter.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, idempotent bool) (*http.Response, error) {
+	retries := 0
+	if idempotent {
+		retries = c.cfg.MaxRetries
+	}
+	var lastErr error
+	for att := 0; ; att++ {
+		resp, err := c.attempt(ctx, method, path, contentType, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if att >= retries || !retryable(ctx, err) {
+			return nil, lastErr
+		}
+		d := min(c.cfg.RetryBase<<att, c.cfg.RetryMax)
+		d = time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, lastErr
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var body []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		body = data
 	}
-	resp, err := c.do(ctx, method, path, "application/json", body)
+	resp, err := c.do(ctx, method, path, "application/json", body, idempotent)
 	if err != nil {
 		return err
 	}
@@ -95,12 +192,18 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 
 // Health checks /healthz.
 func (c *Client) Health(ctx context.Context) error {
-	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil, true)
+}
+
+// Ready checks /readyz: nil exactly when the server finished its
+// startup load and is not draining.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.doJSON(ctx, http.MethodGet, "/readyz", nil, nil, true)
 }
 
 // Metrics fetches the raw Prometheus exposition from /metrics.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/metrics", "", nil)
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", "", nil, true)
 	if err != nil {
 		return "", err
 	}
@@ -116,7 +219,7 @@ func toInfo(in wire.DatasetInfo) ust.DatasetInfo {
 // Datasets lists the server's datasets.
 func (c *Client) Datasets(ctx context.Context) ([]ust.DatasetInfo, error) {
 	var infos []wire.DatasetInfo
-	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets", nil, &infos); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets", nil, &infos, true); err != nil {
 		return nil, err
 	}
 	out := make([]ust.DatasetInfo, len(infos))
@@ -129,16 +232,21 @@ func (c *Client) Datasets(ctx context.Context) ([]ust.DatasetInfo, error) {
 // Dataset describes one named dataset.
 func (c *Client) Dataset(ctx context.Context, name string) (ust.DatasetInfo, error) {
 	var in wire.DatasetInfo
-	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets/"+name, nil, &in); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets/"+name, nil, &in, true); err != nil {
 		return ust.DatasetInfo{}, err
 	}
 	return toInfo(in), nil
 }
 
 // CreateDataset uploads a database in the binary store format (what
-// ust.SaveDatabase / ustgen write) under the given name.
+// ust.SaveDatabase / ustgen write) under the given name. Never retried:
+// a create that died mid-flight may still have registered.
 func (c *Client) CreateDataset(ctx context.Context, name string, data io.Reader) (ust.DatasetInfo, error) {
-	resp, err := c.do(ctx, http.MethodPut, "/v1/datasets/"+name, "application/octet-stream", data)
+	image, err := io.ReadAll(data)
+	if err != nil {
+		return ust.DatasetInfo{}, err
+	}
+	resp, err := c.do(ctx, http.MethodPut, "/v1/datasets/"+name, "application/octet-stream", image, false)
 	if err != nil {
 		return ust.DatasetInfo{}, err
 	}
@@ -152,7 +260,7 @@ func (c *Client) CreateDataset(ctx context.Context, name string, data io.Reader)
 
 // DropDataset removes the named dataset.
 func (c *Client) DropDataset(ctx context.Context, name string) error {
-	return c.doJSON(ctx, http.MethodDelete, "/v1/datasets/"+name, nil, nil)
+	return c.doJSON(ctx, http.MethodDelete, "/v1/datasets/"+name, nil, nil, false)
 }
 
 // Observe ingests one observation for an existing object.
@@ -165,7 +273,7 @@ func (c *Client) Observe(ctx context.Context, dataset string, objectID int, obs 
 		Object int `json:"object"`
 		wire.Observation
 	}{Object: objectID, Observation: wo}
-	return c.doJSON(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/observe", payload, nil)
+	return c.doJSON(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/observe", payload, nil, false)
 }
 
 // Track registers a brand-new object (default motion model; objects
@@ -182,7 +290,7 @@ func (c *Client) Track(ctx context.Context, dataset string, o *ust.Object) error
 		}
 		payload.Observations = append(payload.Observations, wo)
 	}
-	return c.doJSON(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/objects", payload, nil)
+	return c.doJSON(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/objects", payload, nil, false)
 }
 
 func toWireObservation(obs ust.Observation) (wire.Observation, error) {
@@ -197,26 +305,18 @@ func toWireObservation(obs ust.Observation) (wire.Observation, error) {
 	return wire.Observation{Time: obs.Time, States: sup, Probs: probs}, nil
 }
 
-func queryEnvelope(dataset string, req ust.Request) (*bytes.Reader, error) {
+func queryEnvelope(dataset string, req ust.Request) ([]byte, error) {
 	wr, err := wire.FromRequest(req)
 	if err != nil {
 		return nil, err
 	}
-	data, err := json.Marshal(wire.QueryEnvelope{Dataset: dataset, Request: &wr})
-	if err != nil {
-		return nil, err
-	}
-	return bytes.NewReader(data), nil
+	return json.Marshal(wire.QueryEnvelope{Dataset: dataset, Request: &wr})
 }
 
 // textEnvelope addresses a text-language query (see package ust/query)
 // to a dataset; the server parses it.
-func textEnvelope(dataset, query string) (*bytes.Reader, error) {
-	data, err := json.Marshal(wire.QueryEnvelope{Dataset: dataset, Query: query})
-	if err != nil {
-		return nil, err
-	}
-	return bytes.NewReader(data), nil
+func textEnvelope(dataset, query string) ([]byte, error) {
+	return json.Marshal(wire.QueryEnvelope{Dataset: dataset, Query: query})
 }
 
 // Query evaluates one batch request remotely. The returned Response
@@ -245,8 +345,8 @@ func (c *Client) QueryText(ctx context.Context, dataset, queryText string) (*ust
 	return c.postQuery(ctx, body)
 }
 
-func (c *Client) postQuery(ctx context.Context, body io.Reader) (*ust.Response, error) {
-	resp, err := c.do(ctx, http.MethodPost, "/v1/query", "application/json", body)
+func (c *Client) postQuery(ctx context.Context, body []byte) (*ust.Response, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/query", "application/json", body, true)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +356,47 @@ func (c *Client) postQuery(ctx context.Context, body io.Reader) (*ust.Response, 
 		return nil, err
 	}
 	return wire.DecodeResponse(data)
+}
+
+// Factors fetches the factor decomposition of an aggregate request —
+// the distributed aggregate protocol: a coordinator pools workers'
+// factors and folds them in canonical order, because pooling per-shard
+// PMFs would break byte-identity with a single engine.
+func (c *Client) Factors(ctx context.Context, dataset string, req ust.Request) (*ust.FactorSet, error) {
+	body, err := queryEnvelope(dataset, req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/factors", "application/json", body, true)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeFactorSet(data)
+}
+
+// ImportObjects applies one migration batch to a worker dataset: store
+// bytes under a strictly increasing generation fence. Never retried — a
+// replay is rejected server-side with 409.
+func (c *Client) ImportObjects(ctx context.Context, dataset string, gen uint64, image []byte) error {
+	path := fmt.Sprintf("/v1/datasets/%s/import?gen=%d", dataset, gen)
+	resp, err := c.do(ctx, http.MethodPost, path, "application/octet-stream", image, false)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// EvictObjects removes object ids from a worker dataset under the same
+// generation fence as ImportObjects. Never retried.
+func (c *Client) EvictObjects(ctx context.Context, dataset string, gen uint64, ids []int) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/evict",
+		wire.Evict{Gen: gen, IDs: ids}, nil, false)
 }
 
 // QueryStream evaluates one request remotely with NDJSON streaming,
@@ -274,7 +415,9 @@ func (c *Client) QueryStream(ctx context.Context, dataset string, req ust.Reques
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/v1/query/stream", "application/json", body)
+	// Retrying the OPEN is safe (no line has been consumed yet); once
+	// streaming begins, a cut surfaces as the missing done marker.
+	resp, err := c.do(ctx, http.MethodPost, "/v1/query/stream", "application/json", body, true)
 	if err != nil {
 		return err
 	}
@@ -348,7 +491,7 @@ func (c *Client) Subscribe(ctx context.Context, dataset string, req ust.Request)
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(ctx)
-	resp, err := c.do(ctx, http.MethodPost, "/v1/subscribe", "application/json", body)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/subscribe", "application/json", body, false)
 	if err != nil {
 		cancel()
 		return nil, err

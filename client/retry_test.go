@@ -1,0 +1,130 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	ust "ust"
+)
+
+// flaky wraps a handler so the first fail requests answer 503; every
+// later request is handled normally. hits counts all arrivals.
+type flaky struct {
+	fail int32
+	hits atomic.Int32
+	next http.Handler
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.hits.Add(1)
+	if n <= f.fail {
+		http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// TestRetryIdempotentConverges pins the retry contract's positive half:
+// an idempotent request against a flapping server (first attempts 503)
+// converges within the retry budget, and the server sees exactly
+// failures+1 attempts.
+func TestRetryIdempotentConverges(t *testing.T) {
+	h := &flaky{fail: 2, next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`[]`))
+	})}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewWithConfig(ts.URL, Config{
+		HTTPClient: ts.Client(),
+		MaxRetries: 3,
+		RetryBase:  time.Millisecond,
+		RetryMax:   5 * time.Millisecond,
+	})
+	infos, err := c.Datasets(context.Background())
+	if err != nil {
+		t.Fatalf("flapping server should converge within retries: %v", err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("datasets: %+v", infos)
+	}
+	if got := h.hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+// TestRetryBudgetExhausted pins the bound: a server that never recovers
+// yields the final attempt's error after exactly MaxRetries+1 tries.
+func TestRetryBudgetExhausted(t *testing.T) {
+	h := &flaky{fail: 1 << 30, next: http.NotFoundHandler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewWithConfig(ts.URL, Config{
+		HTTPClient: ts.Client(),
+		MaxRetries: 2,
+		RetryBase:  time.Millisecond,
+		RetryMax:   5 * time.Millisecond,
+	})
+	_, err := c.Datasets(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 APIError, got %v", err)
+	}
+	if got := h.hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (MaxRetries=2 + initial)", got)
+	}
+}
+
+// TestNoRetryOnIngest pins the contract's negative half: non-idempotent
+// requests (ingest) are attempted exactly once even with a retry budget
+// — a replayed observation would double-apply.
+func TestNoRetryOnIngest(t *testing.T) {
+	h := &flaky{fail: 1 << 30, next: http.NotFoundHandler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewWithConfig(ts.URL, Config{
+		HTTPClient: ts.Client(),
+		MaxRetries: 5,
+		RetryBase:  time.Millisecond,
+	})
+	err := c.Observe(context.Background(), "fleet", 1,
+		ust.Observation{Time: 1, PDF: ust.PointDistribution(3, 2)})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 APIError, got %v", err)
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("ingest saw %d attempts, want exactly 1", got)
+	}
+}
+
+// TestNoRetryOnContextCancel pins that cancellation is terminal: a
+// cancelled context never burns retry attempts.
+func TestNoRetryOnContextCancel(t *testing.T) {
+	h := &flaky{fail: 1 << 30, next: http.NotFoundHandler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewWithConfig(ts.URL, Config{
+		HTTPClient: ts.Client(),
+		MaxRetries: 5,
+		RetryBase:  50 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Datasets(ctx)
+	if err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+	if got := h.hits.Load(); got > 1 {
+		t.Fatalf("cancelled request saw %d attempts, want at most 1", got)
+	}
+}

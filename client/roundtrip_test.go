@@ -1,0 +1,237 @@
+package client
+
+// Round-trip coverage of the client surface against a real service
+// handler: every method travels over localhost HTTP and is checked
+// against the in-process engine's answer. (The cross-layer conformance
+// pins live in cmd/ustserve and internal/dist; this file is the
+// client-side unit coverage of each call path.)
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	ust "ust"
+	"ust/internal/core"
+	"ust/internal/markov"
+	"ust/internal/service"
+	"ust/internal/store"
+)
+
+func testChain(t *testing.T) *markov.Chain {
+	t.Helper()
+	chain, err := markov.FromDense([][]float64{
+		{0, 0, 1},
+		{0.6, 0, 0.4},
+		{0, 0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain
+}
+
+func testDB(t *testing.T) *core.Database {
+	t.Helper()
+	db := core.NewDatabase(testChain(t))
+	for id := 0; id < 6; id++ {
+		db.MustAdd(core.MustObject(id, nil,
+			core.Observation{Time: 0, PDF: markov.PointDistribution(3, id%3)}))
+	}
+	return db
+}
+
+func newServer(t *testing.T) (*service.Service, *Client) {
+	t.Helper()
+	svc := service.New(service.Config{})
+	if err := svc.Create("d", testDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() { svc.Close(); ts.Close() })
+	return svc, New(ts.URL, ts.Client())
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+	ref := core.NewEngine(testDB(t), core.Options{})
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil || !strings.Contains(metrics, "ust_role") {
+		t.Fatalf("metrics: %v", err)
+	}
+
+	infos, err := c.Datasets(ctx)
+	if err != nil || len(infos) != 1 || infos[0].Name != "d" {
+		t.Fatalf("datasets: %+v err=%v", infos, err)
+	}
+	info, err := c.Dataset(ctx, "d")
+	if err != nil || info.Objects != 6 {
+		t.Fatalf("dataset: %+v err=%v", info, err)
+	}
+
+	req := ust.NewRequest(ust.PredicateExists,
+		ust.WithStates([]int{0, 1}), ust.WithTimes([]int{1, 2}))
+	want, err := ref.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(ctx, "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Results, got.Results) {
+		t.Fatalf("remote results diverged:\n%+v\n%+v", want.Results, got.Results)
+	}
+
+	textResp, err := c.QueryText(ctx, "d", "exists(states(0-1) @ [1,2])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Results, textResp.Results) {
+		t.Fatalf("text query diverged: %+v", textResp.Results)
+	}
+
+	var streamed []ust.Result
+	if err := c.QueryStream(ctx, "d", req, func(r ust.Result) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Results, streamed) {
+		t.Fatalf("streamed results diverged: %+v", streamed)
+	}
+}
+
+func TestClientFactors(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+	ref := core.NewEngine(testDB(t), core.Options{})
+
+	req := ust.NewAggRequest(ust.PredicateExists, ust.AggSpec{Kind: ust.AggCount},
+		ust.WithStates([]int{0, 1}), ust.WithTimes([]int{1, 2}))
+	want, err := ref.AggregateFactors(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Factors(ctx, "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Factors, got.Factors) {
+		t.Fatalf("remote factors diverged:\n%+v\n%+v", want.Factors, got.Factors)
+	}
+}
+
+func TestClientIngestAndDatasetLifecycle(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	// Observe an existing object, then track a brand-new one.
+	if err := c.Observe(ctx, "d", 0, ust.Observation{Time: 2, PDF: ust.PointDistribution(3, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := ust.NewObject(100, nil, ust.Observation{Time: 0, PDF: ust.PointDistribution(3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Track(ctx, "d", o); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Dataset(ctx, "d")
+	if err != nil || info.Objects != 7 {
+		t.Fatalf("after track: %+v err=%v", info, err)
+	}
+
+	// Upload a second dataset through CreateDataset, then drop it.
+	var buf bytes.Buffer
+	if err := store.SaveDatabase(&buf, testDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	up, err := c.CreateDataset(ctx, "d2", &buf)
+	if err != nil || up.Objects != 6 {
+		t.Fatalf("create: %+v err=%v", up, err)
+	}
+	if err := c.DropDataset(ctx, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Dataset(ctx, "d2"); err == nil {
+		t.Fatal("dropped dataset still answers")
+	}
+}
+
+func TestClientImportEvict(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	// Import a migration batch under the generation fence, then evict it.
+	batch := core.NewDatabase(testChain(t))
+	batch.MustAdd(core.MustObject(200, nil,
+		core.Observation{Time: 0, PDF: markov.PointDistribution(3, 2)}))
+	var buf bytes.Buffer
+	if err := store.SaveDatabase(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ImportObjects(ctx, "d", 1, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Dataset(ctx, "d")
+	if err != nil || info.Objects != 7 {
+		t.Fatalf("after import: %+v err=%v", info, err)
+	}
+	if err := c.EvictObjects(ctx, "d", 2, []int{200}); err != nil {
+		t.Fatal(err)
+	}
+	info, err = c.Dataset(ctx, "d")
+	if err != nil || info.Objects != 6 {
+		t.Fatalf("after evict: %+v err=%v", info, err)
+	}
+	// Replaying a generation is rejected with 409.
+	err = c.EvictObjects(ctx, "d", 2, []int{0})
+	var ae *APIError
+	if err == nil || !errors.As(err, &ae) || ae.Status != 409 {
+		t.Fatalf("stale generation: %v", err)
+	}
+}
+
+func TestClientSubscribe(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	req := ust.NewRequest(ust.PredicateExists,
+		ust.WithStates([]int{0, 1}), ust.WithTimes([]int{1, 2}))
+	sub, err := c.Subscribe(ctx, "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u, ok := <-sub.Updates():
+		if !ok {
+			t.Fatalf("subscription closed before the snapshot: %v", sub.Err())
+		}
+		if !u.Full || len(u.Results) != 6 {
+			t.Fatalf("snapshot: %+v", u)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no snapshot within 10s")
+	}
+	sub.Close()
+	for range sub.Updates() {
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatalf("closed subscription reports %v", err)
+	}
+}

@@ -10,12 +10,21 @@
 //
 //	ustserve -addr :8080 -dataset fleet=fleet.ust -dataset bergs=bergs.ust
 //	         [-max-concurrent N] [-timeout 30s] [-cache-bytes N] [-shards N]
+//	         [-coordinator -worker URL ...] [-sweep-tier URL]
 //
 // -shards N backs every dataset with the consistent-hash shard router:
 // objects partition across N shard engines sharing one score cache,
 // queries fan out and merge with byte-identical results — single-process
-// scale-out over the same wire contract a multi-process deployment will
-// speak.
+// scale-out over the same wire contract a multi-process deployment
+// speaks.
+//
+// -coordinator turns the process into the front of a multi-process
+// deployment: every dataset is served by a ring of remote ustserve
+// workers (each -worker URL is one), populated through the migration
+// protocol and queried over the wire contract, still byte-identical to
+// a single engine. The coordinator also hosts the sweep lease tier at
+// /v1/sweeps; point each worker's -sweep-tier at the coordinator so the
+// fleet computes each distinct backward sweep exactly once.
 //
 // Endpoints:
 //
@@ -51,7 +60,9 @@ import (
 	"syscall"
 	"time"
 
+	"ust/client"
 	"ust/internal/core"
+	"ust/internal/dist"
 	"ust/internal/service"
 )
 
@@ -62,6 +73,13 @@ func main() {
 	cacheBytes := flag.Int("cache-bytes", 0, "score-cache budget per dataset (0 = default, negative = disabled)")
 	shards := flag.Int("shards", 1, "shard engines per dataset (>1 = consistent-hash scale-out, byte-identical results)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	coordinator := flag.Bool("coordinator", false, "serve datasets through a ring of remote workers (-worker URLs)")
+	sweepTier := flag.String("sweep-tier", "", "coordinator URL whose /v1/sweeps lease tier this worker joins")
+	var workers []string
+	flag.Func("worker", "worker base URL for -coordinator mode (repeatable)", func(v string) error {
+		workers = append(workers, v)
+		return nil
+	})
 	var datasets []string
 	flag.Func("dataset", "name=path dataset to load at startup (repeatable)", func(v string) error {
 		datasets = append(datasets, v)
@@ -72,12 +90,48 @@ func main() {
 	if *shards < 1 {
 		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
 	}
-	svc := service.New(service.Config{
-		Options:        core.Options{CacheBytes: *cacheBytes},
+	opts := core.Options{CacheBytes: *cacheBytes}
+	role := "server"
+	if *sweepTier != "" {
+		opts.Sweeps = dist.NewSweepClient(*sweepTier, nil)
+		role = "worker"
+	}
+	cfg := service.Config{
+		Options:        opts,
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *timeout,
 		Shards:         *shards,
-	})
+	}
+	ringMembers := *shards
+	if *coordinator {
+		if len(workers) == 0 {
+			fatal(fmt.Errorf("-coordinator needs at least one -worker URL"))
+		}
+		role = "coordinator"
+		clients := make([]*client.Client, len(workers))
+		for i, w := range workers {
+			clients[i] = client.NewWithConfig(w, client.Config{MaxRetries: 3})
+		}
+		n := *shards
+		if n < len(workers) {
+			n = len(workers)
+		}
+		ringMembers = n
+		cfg.Engines = func(name string, db *core.Database) (service.Evaluator, service.Ingester, error) {
+			router, err := dist.NewRouter(db, n, core.Options{CacheBytes: *cacheBytes}, name, clients)
+			if err != nil {
+				return nil, nil, err
+			}
+			return router, router, nil
+		}
+	}
+	cfg.Role = role
+	svc := service.New(cfg)
+	// Not ready until every -dataset finished loading (and, for a
+	// coordinator, its worker rings are populated); /healthz answers the
+	// moment the listener is up, /readyz only after this block.
+	svc.SetReady(false)
+	svc.SetRingMembers(ringMembers)
 	for _, spec := range datasets {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
@@ -99,6 +153,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ustserve: dataset %q: %d objects over %d states\n",
 			info.Name, info.Objects, info.States)
 	}
+	svc.SetReady(true)
 
 	// No WriteTimeout: streaming and subscription responses are
 	// long-lived by design; the handlers bound each individual write
@@ -125,7 +180,8 @@ func main() {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "ustserve: shutting down")
-	svc.Close() // terminate subscriptions so streaming handlers drain
+	svc.SetReady(false) // flip /readyz before the drain window
+	svc.Close()         // terminate subscriptions so streaming handlers drain
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

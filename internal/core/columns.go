@@ -165,6 +165,9 @@ func (c *ObsColumns) replace(prev, updated *Object) {
 	c.segs[updated.ID] = colEntry{serial: updated.serial, seg: segFromObservations(updated.Observations)}
 }
 
+// remove drops the segment of a departed object.
+func (c *ObsColumns) remove(id int) { delete(c.segs, id) }
+
 // Columns returns the database's columnar observation plane. The
 // returned plane is live: it reflects subsequent Add/ReplaceObject
 // calls.

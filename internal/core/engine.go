@@ -63,6 +63,12 @@ type Options struct {
 	// router, or independent engines over related databases — compute
 	// each distinct sweep once between them. Overrides CacheBytes.
 	Cache *SharedCache
+	// Sweeps, when set, extends the score cache's per-key single-flight
+	// across process boundaries: wireable sweep kinds consult the tier
+	// after a local miss, adopting a peer's payload or computing under a
+	// fleet-wide lease (sweeptier.go). Requires caching to be enabled;
+	// with the cache disabled the tier is ignored.
+	Sweeps SweepTier
 }
 
 func (o Options) withDefaults() Options {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"sync"
 
 	"ust/internal/markov"
 	"ust/internal/sparse"
@@ -20,15 +21,21 @@ import (
 // a private map in streamKTimesQB, and Monitor's evals map — three
 // uncoordinated caches of the same data).
 //
-// A kern is cheap to construct (no precomputation) and safe to use from
-// one goroutine; concurrent Evaluate calls each build their own kern
-// over the same underlying cache, which is concurrency-safe. (The
-// parallel OB fan-out shares one kern across workers, but only through
-// the pool-backed exact evaluators, never the memoizing accessors.)
+// A kern is cheap to construct (no precomputation). Concurrent Evaluate
+// calls each build their own kern over the same underlying cache, which
+// is concurrency-safe — but the parallel OB fan-out shares ONE kern
+// across its workers, and the multi-observation evaluator reaches the
+// memoizing accessors from that shared position, so the kern's mutable
+// request-local state (the memo map and the lazily built region pins)
+// is guarded by mu.
 type kern struct {
 	chain *markov.Chain
 	w     *window
 	cache *scoreCache // nil: engine-wide caching disabled for this request
+	// tier, when set alongside cache, coordinates sweep computation
+	// fleet-wide (sweeptier.go): wireable kinds consult it after a local
+	// miss, adopting a peer's payload or computing under a lease.
+	tier  SweepTier
 	rep   *CacheReport
 	pool  *sparse.VecPool
 	fpool *sparse.FloatPool
@@ -37,7 +44,8 @@ type kern struct {
 	// directly instead of walking boxed pdfs.
 	cols *ObsColumns
 	// pins lazily materializes the window's region states for the flat
-	// transfer step of the columnar multi-observation pass.
+	// transfer step of the columnar multi-observation pass. Guarded by
+	// mu (shared-kern fan-out).
 	pins []int32
 	// prog/exprTree are set instead of w for compound-expression
 	// requests (plan.go): the compiled augmented program and the
@@ -53,7 +61,12 @@ type kern struct {
 	// objects takes the engine-wide mutex once per distinct sweep, not
 	// once per object. Untracked by CacheReport, which therefore counts
 	// DISTINCT sweep fetches of the evaluation, not object touches.
+	// Guarded by mu.
 	local map[scoreKey]scoreValue
+	// mu guards local and pins: cheap (uncontended in the serial paths,
+	// and the parallel workers only touch it once per fetch, never
+	// inside a sweep).
+	mu sync.Mutex
 }
 
 // fetch returns the payload for key, computing it at most once per
@@ -67,7 +80,10 @@ type kern struct {
 // compute failure (typically the caller's context cancelling mid-sweep)
 // releases the key so the next waiter computes with its own context.
 func (k *kern) fetch(ctx context.Context, key scoreKey, compute func() (scoreValue, error)) (scoreValue, error) {
-	if v, ok := k.local[key]; ok {
+	k.mu.Lock()
+	v, ok := k.local[key]
+	k.mu.Unlock()
+	if ok {
 		return v, nil
 	}
 	if k.cache == nil {
@@ -94,12 +110,47 @@ func (k *kern) fetch(ctx context.Context, key scoreKey, compute func() (scoreVal
 		k.memo(key, v)
 		return v, nil
 	}
-	v, err := compute()
+	if k.tier != nil && key.kind.wireable() {
+		return k.fetchTier(ctx, key, compute)
+	}
+	v, err = compute()
 	if err != nil {
 		return scoreValue{}, err
 	}
 	k.memo(key, v)
 	k.cache.put(key, v)
+	return v, nil
+}
+
+// fetchTier resolves a locally missed, wireable sweep through the
+// networked tier. It runs under the cache's per-key lock, so at most one
+// goroutine per process talks to the tier about a given key. The tier is
+// advisory: a peer payload that fails to decode, an Acquire error or an
+// empty grant all degrade to local compute, and a failed compute under a
+// held lease releases it so a waiting peer takes over at once.
+func (k *kern) fetchTier(ctx context.Context, key scoreKey, compute func() (scoreValue, error)) (scoreValue, error) {
+	sk := SweepKey{Chain: k.chain.Fingerprint(), Kind: uint8(key.kind), Sig: key.sig, T0: int64(key.t0)}
+	payload, lease, aerr := k.tier.Acquire(ctx, sk)
+	if aerr == nil && payload != nil {
+		if v, derr := decodeSweepValue(payload, k.chain.NumStates()); derr == nil {
+			k.memo(key, v)
+			k.cache.adopt(key, v, k.rep)
+			return v, nil
+		}
+	}
+	v, err := compute()
+	if err != nil {
+		if lease != "" {
+			k.tier.Release(ctx, sk, lease)
+		}
+		return scoreValue{}, err
+	}
+	k.memo(key, v)
+	k.cache.put(key, v)
+	if lease != "" {
+		// Best-effort publish: a Fill error only costs peers a recompute.
+		_ = k.tier.Fill(ctx, sk, lease, encodeSweepValue(v))
+	}
 	return v, nil
 }
 
@@ -110,10 +161,12 @@ func (k *kern) memo(key scoreKey, v scoreValue) {
 		// expire them. Every kind cached today is insensitive.
 		return
 	}
+	k.mu.Lock()
 	if k.local == nil {
 		k.local = map[scoreKey]scoreValue{}
 	}
 	k.local[key] = v
+	k.mu.Unlock()
 }
 
 // kernel builds the sweep kernel for one chain group under a prepared
@@ -123,6 +176,7 @@ func (e *Engine) kernel(chain *markov.Chain, w *window, plan *evalPlan) *kern {
 	k := &kern{chain: chain, w: w, pool: e.pool, fpool: e.fpool, cols: e.db.cols}
 	if e.cache != nil && (plan == nil || plan.useCache) {
 		k.cache = e.cache
+		k.tier = e.opts.Sweeps
 		if plan != nil {
 			k.rep = &plan.cacheRep
 		}
@@ -450,6 +504,8 @@ func (k *kern) ktimesOBExact(ctx context.Context, o *Object) (Result, error) {
 // regionPins returns the window's region state list, materialized once
 // per kern for the columnar transfer step.
 func (k *kern) regionPins() []int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if k.pins == nil {
 		k.pins = regionPins(k.w)
 		if k.pins == nil {

@@ -224,6 +224,28 @@ func (db *Database) ReplaceObject(updated *Object) error {
 	return nil
 }
 
+// Remove deletes the object with the given id, preserving the insertion
+// order of the survivors, and advances the generation. It is the
+// migration entry point: a ring rebalance moves an object between
+// workers as an insert on the destination followed by a Remove on the
+// source. Removing an unknown id is an error — migration must never
+// silently "succeed" at dropping an object that was not there.
+func (db *Database) Remove(id int) error {
+	if _, ok := db.byID[id]; !ok {
+		return fmt.Errorf("core: unknown object %d", id)
+	}
+	at := db.pos[id]
+	db.objects = append(db.objects[:at], db.objects[at+1:]...)
+	for _, o := range db.objects[at:] {
+		db.pos[o.ID]--
+	}
+	delete(db.byID, id)
+	delete(db.pos, id)
+	db.cols.remove(id)
+	db.version.Add(1)
+	return nil
+}
+
 // MustAdd is Add that panics on error.
 func (db *Database) MustAdd(o *Object) {
 	if err := db.Add(o); err != nil {

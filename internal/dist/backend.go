@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"ust/client"
+	"ust/internal/core"
+	"ust/internal/markov"
+	"ust/internal/store"
+)
+
+// Backend is one remote shard: the shard.Backend surface dispatched to
+// a ustserve worker's dataset over the wire contract. Results come back
+// with the exact float64 bits the worker computed, so the router's
+// merge stays byte-identical to the in-process case.
+type Backend struct {
+	c       *client.Client
+	dataset string
+	// chain is the default chain import batches are staged against
+	// (store images need one); the shadow's default chain.
+	chain *markov.Chain
+}
+
+// NewBackend wraps a worker dataset as a shard backend. chain is the
+// default chain of the database the shard serves a slice of.
+func NewBackend(c *client.Client, dataset string, chain *markov.Chain) *Backend {
+	return &Backend{c: c, dataset: dataset, chain: chain}
+}
+
+func (b *Backend) Evaluate(ctx context.Context, req core.Request) (*core.Response, error) {
+	return b.c.Query(ctx, b.dataset, req)
+}
+
+// errStopSeq aborts the underlying HTTP stream when the seq consumer
+// breaks early; it never escapes EvaluateSeq.
+var errStopSeq = errors.New("dist: seq consumer stopped")
+
+func (b *Backend) EvaluateSeq(ctx context.Context, req core.Request) iter.Seq2[core.Result, error] {
+	return func(yield func(core.Result, error) bool) {
+		err := b.c.QueryStream(ctx, b.dataset, req, func(r core.Result) error {
+			if !yield(r, nil) {
+				return errStopSeq
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopSeq) {
+			yield(core.Result{}, err)
+		}
+	}
+}
+
+func (b *Backend) AggregateFactors(ctx context.Context, req core.Request) (*core.FactorSet, error) {
+	return b.c.Factors(ctx, b.dataset, req)
+}
+
+// Import ships a migration batch to the worker: the objects are encoded
+// as a store image (insertion order preserved — the order the router
+// hands them in is the order the worker's database adopts, which is
+// what keeps the worker's emission order identical to the coordinator
+// shadow's) and applied under the generation fence.
+func (b *Backend) Import(ctx context.Context, gen uint64, objs []*core.Object) error {
+	if len(objs) == 0 {
+		return nil
+	}
+	if b.chain == nil {
+		return fmt.Errorf("dist: backend for %q has no chain to encode against", b.dataset)
+	}
+	batch := core.NewDatabase(b.chain)
+	for _, o := range objs {
+		if err := batch.Add(o); err != nil {
+			return fmt.Errorf("dist: staging import batch: %w", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := store.SaveDatabase(&buf, batch); err != nil {
+		return fmt.Errorf("dist: encoding import batch: %w", err)
+	}
+	return b.c.ImportObjects(ctx, b.dataset, gen, buf.Bytes())
+}
+
+func (b *Backend) Evict(ctx context.Context, gen uint64, ids []int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	return b.c.EvictObjects(ctx, b.dataset, gen, ids)
+}
+
+// Close is a no-op: the HTTP client is shared across backends and owned
+// by the caller.
+func (b *Backend) Close() error { return nil }

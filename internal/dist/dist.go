@@ -1,0 +1,86 @@
+// Package dist is the multi-process deployment of the sharded engine:
+// shard.Backend implemented over the pinned wire contract, so a
+// shard.Router can drive ustserve worker processes — or a mix of
+// workers and in-process engines — behind the same rendezvous ring that
+// serves the single-process case. The coordinator keeps the router's
+// shadow bookkeeping; workers hold the data slices, receive them
+// through the generation-fenced Import/Evict migration protocol, and
+// share backward sweeps through the networked lease tier
+// (core.SweepTier over /v1/sweeps).
+//
+// Topology:
+//
+//	client ──HTTP──▶ coordinator (ustserve -coordinator)
+//	                   │ shard.Router: ring, planner, merge, fold
+//	        ┌──────────┼──────────┐
+//	      worker0    worker1    worker2   (ustserve -dataset …)
+//	        └──────────┴──────────┘
+//	          /v1/sweeps lease tier (one backward sweep fleet-wide)
+//
+// Everything stays byte-identical to a single engine: workers answer
+// their slices with the same float64 bits (wire shortest round-trip),
+// the coordinator merges in emission order and folds aggregate factors
+// in canonical order, and sweep payloads travel as their exact internal
+// representation (core sweep codec).
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"ust/client"
+	"ust/internal/core"
+	"ust/internal/shard"
+	"ust/internal/store"
+)
+
+// Factory returns a shard.BackendFactory whose shards are remote
+// ustserve workers: shard label i is served by workers[i mod len],
+// under the dataset name "<base>.shard<label>". Each new shard's
+// dataset is created empty on its worker (same default chain as the
+// router's database); an already-existing dataset is adopted as-is —
+// which is how deployments pre-create worker datasets with a spatial
+// resolver so region queries ground remotely.
+func Factory(base string, workers []*client.Client) shard.BackendFactory {
+	return func(label int, shadow *core.Database) (shard.Backend, error) {
+		if len(workers) == 0 {
+			return nil, fmt.Errorf("dist: no workers")
+		}
+		c := workers[label%len(workers)]
+		name := fmt.Sprintf("%s.shard%d", base, label)
+		if err := bootstrap(c, name, shadow); err != nil {
+			return nil, err
+		}
+		return NewBackend(c, name, shadow.DefaultChain()), nil
+	}
+}
+
+// bootstrap creates the worker-side dataset when it does not exist yet:
+// an empty database over the shadow's default chain, populated through
+// the router's Import mirroring afterwards. An existing dataset (HTTP
+// 409) is adopted.
+func bootstrap(c *client.Client, name string, shadow *core.Database) error {
+	empty := core.NewDatabase(shadow.DefaultChain())
+	var buf bytes.Buffer
+	if err := store.SaveDatabase(&buf, empty); err != nil {
+		return fmt.Errorf("dist: encoding bootstrap image: %w", err)
+	}
+	_, err := c.CreateDataset(context.Background(), name, &buf)
+	if err != nil {
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.Status == 409 {
+			return nil // pre-created (e.g. with a resolver); adopt
+		}
+		return fmt.Errorf("dist: bootstrapping %q: %w", name, err)
+	}
+	return nil
+}
+
+// NewRouter builds a shard.Router whose every shard is a remote worker:
+// the coordinator's engine. base names the worker-side datasets
+// ("<base>.shard<label>").
+func NewRouter(db *core.Database, shards int, opts core.Options, base string, workers []*client.Client) (*shard.Router, error) {
+	return shard.NewWithBackends(db, shards, opts, Factory(base, workers))
+}

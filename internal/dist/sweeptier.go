@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ust/internal/core"
+	"ust/internal/wire"
+)
+
+// SweepClient is the worker side of the networked sweep tier: a
+// core.SweepTier over the coordinator's /v1/sweeps endpoints. Wire it
+// into a worker's engine via Options.Sweeps and a repeated-query fleet
+// computes each distinct backward sweep exactly once — the lease
+// holder's miss is the only miss, everyone else adopts the payload.
+//
+// The tier is an optimization layer by contract: every error here
+// (coordinator down, decode failure) surfaces to the kernel, which
+// falls back to local compute. It uses its own plain HTTP path rather
+// than ust/client because Acquire long-polls — retry-with-backoff
+// semantics would fight the lease TTL.
+type SweepClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewSweepClient builds a tier client against the coordinator at
+// baseURL. hc may be nil for http.DefaultClient; it must not carry a
+// short Timeout, since Acquire long-polls while a peer computes.
+func NewSweepClient(baseURL string, hc *http.Client) *SweepClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &SweepClient{base: baseURL, hc: hc}
+}
+
+func (s *SweepClient) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("dist: sweep tier returned %s", resp.Status)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Acquire implements core.SweepTier.
+func (s *SweepClient) Acquire(ctx context.Context, key core.SweepKey) ([]byte, string, error) {
+	var grant wire.SweepGrant
+	if err := s.post(ctx, "/v1/sweeps/acquire", wire.SweepAcquire{Key: key}, &grant); err != nil {
+		return nil, "", err
+	}
+	return grant.Payload, grant.Lease, nil
+}
+
+// detach unhooks a lease-settling call from the request context: Fill
+// and Release must reach the coordinator even when the query that held
+// the lease was just cancelled — otherwise every waiter on the key
+// stalls for the full lease TTL. Bounded so a dead coordinator cannot
+// hang the caller either.
+func detach(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+}
+
+// Fill implements core.SweepTier.
+func (s *SweepClient) Fill(ctx context.Context, key core.SweepKey, lease string, payload []byte) error {
+	ctx, cancel := detach(ctx)
+	defer cancel()
+	return s.post(ctx, "/v1/sweeps/fill", wire.SweepFill{Key: key, Lease: lease, Payload: payload}, nil)
+}
+
+// Release implements core.SweepTier. Best-effort: the lease TTL covers
+// a lost release.
+func (s *SweepClient) Release(ctx context.Context, key core.SweepKey, lease string) {
+	ctx, cancel := detach(ctx)
+	defer cancel()
+	_ = s.post(ctx, "/v1/sweeps/release", wire.SweepRelease{Key: key, Lease: lease}, nil)
+}

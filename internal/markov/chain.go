@@ -28,6 +28,10 @@ type Chain struct {
 	m     *sparse.CSR
 	mt    *sparse.CSR // lazily built transpose, guarded by tOnce
 	tOnce sync.Once
+	// fp is the lazily computed content fingerprint (fingerprint.go),
+	// guarded by fpOnce. Immutability makes the memoization sound.
+	fp     uint64
+	fpOnce sync.Once
 }
 
 // NewChain validates m as a row-stochastic square matrix and wraps it.

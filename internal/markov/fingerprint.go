@@ -1,0 +1,46 @@
+package markov
+
+import "math"
+
+// The chain fingerprint. The in-process score cache keys sweeps on the
+// chain POINTER — sound because chains are immutable, but meaningless
+// across process boundaries. The networked sweep tier needs an identity
+// that two processes holding separately decoded copies of the same
+// motion model agree on, so it keys on a content hash of the transition
+// matrix instead: dimensions, row structure and the exact float64 bit
+// patterns of every probability. Equal fingerprints mean (up to hash
+// collision on 64 bits) equal matrices, and therefore bit-identical
+// backward sweeps.
+
+const (
+	fpOffset uint64 = 0xcbf29ce484222325
+	fpPrime  uint64 = 0x100000001b3
+)
+
+// fpMix folds one 64-bit value into an FNV-1a running hash bytewise.
+func fpMix(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= (v >> i) & 0xff
+		h *= fpPrime
+	}
+	return h
+}
+
+// Fingerprint returns the chain's 64-bit content fingerprint, computing
+// it on first use and caching it (chains are immutable). Safe for
+// concurrent use.
+func (c *Chain) Fingerprint() uint64 {
+	c.fpOnce.Do(func() {
+		h := fpMix(fpOffset, uint64(c.m.Rows()))
+		for i := 0; i < c.m.Rows(); i++ {
+			cols, vals := c.m.RowSlices(i)
+			h = fpMix(h, uint64(len(cols)))
+			for k, j := range cols {
+				h = fpMix(h, uint64(j))
+				h = fpMix(h, math.Float64bits(vals[k]))
+			}
+		}
+		c.fp = h
+	})
+	return c.fp
+}

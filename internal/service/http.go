@@ -7,6 +7,7 @@ import (
 	"io"
 	"iter"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 // unless noted):
 //
 //	GET    /healthz                     liveness
+//	GET    /readyz                      readiness (startup load, drain)
 //	GET    /metrics                     Prometheus text format
 //	GET    /v1/datasets                 list datasets
 //	GET    /v1/datasets/{name}          one dataset's info
@@ -31,6 +33,12 @@ import (
 //	POST   /v1/query                    batch query → wire.Response
 //	POST   /v1/query/stream             query → NDJSON wire.StreamLine
 //	POST   /v1/subscribe                standing query → NDJSON wire.Update
+//	POST   /v1/factors                  aggregate factor decomposition
+//	POST   /v1/datasets/{name}/import   migration batch (binary, ?gen=N)
+//	POST   /v1/datasets/{name}/evict    migration eviction (wire.Evict)
+//	POST   /v1/sweeps/acquire           sweep lease acquire (long-poll)
+//	POST   /v1/sweeps/fill              publish payload under a lease
+//	POST   /v1/sweeps/release           abandon a lease
 //
 // Streaming responses flush per line; closing the connection cancels
 // the evaluation (the request context propagates into the engine).
@@ -90,6 +98,17 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness ≠ readiness: the process answers /healthz from the
+		// moment it listens, but /readyz only once startup loading is done
+		// and until drain begins — the signal a load balancer or the
+		// coordinator's worker probe should route on.
+		if !svc.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		svc.writeMetrics(w)
 	})
@@ -143,6 +162,24 @@ func NewHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {
 		svc.handleSubscribe(w, r)
+	})
+	mux.HandleFunc("POST /v1/factors", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleFactors(w, r)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/import", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleImport(w, r)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/evict", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleEvict(w, r)
+	})
+	mux.HandleFunc("POST /v1/sweeps/acquire", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleSweepAcquire(w, r)
+	})
+	mux.HandleFunc("POST /v1/sweeps/fill", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleSweepFill(w, r)
+	})
+	mux.HandleFunc("POST /v1/sweeps/release", func(w http.ResponseWriter, r *http.Request) {
+		svc.handleSweepRelease(w, r)
 	})
 	return mux
 }
@@ -381,6 +418,125 @@ func (s *Service) handleTrack(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "tracked"})
 }
 
+// handleFactors answers the distributed aggregate protocol: the factor
+// decomposition of an aggregate request, for the coordinator to fold in
+// canonical order across workers.
+func (s *Service) handleFactors(w http.ResponseWriter, r *http.Request) {
+	name, req, err := decodeEnvelope(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fs, err := s.AggregateFactors(r.Context(), name, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := wire.FromFactorSet(fs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleImport applies one migration batch: binary store bytes in the
+// body, the generation fence in the ?gen query parameter.
+func (s *Service) handleImport(w http.ResponseWriter, r *http.Request) {
+	gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: bad gen parameter: %v", wire.ErrDecode, err))
+		return
+	}
+	image, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err))
+		return
+	}
+	if err := s.ImportObjects(r.PathValue("name"), gen, image); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "imported"})
+}
+
+func (s *Service) handleEvict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err))
+		return
+	}
+	var ev wire.Evict
+	if err := wire.StrictUnmarshal(body, &ev); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.EvictObjects(r.PathValue("name"), ev.Gen, ev.IDs); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "evicted"})
+}
+
+// --- sweep lease endpoints -------------------------------------------------
+//
+// The wire face of the SweepBoard. Acquire long-polls while another
+// worker holds the lease — the connection going away cancels the wait
+// through the request context, which is what lets a waiting worker fall
+// back to local compute on its own deadline.
+
+func (s *Service) handleSweepAcquire(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err))
+		return
+	}
+	var req wire.SweepAcquire
+	if err := wire.StrictUnmarshal(body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	payload, lease, err := s.sweeps.Acquire(r.Context(), req.Key)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SweepGrant{Payload: payload, Lease: lease})
+}
+
+func (s *Service) handleSweepFill(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err))
+		return
+	}
+	var req wire.SweepFill
+	if err := wire.StrictUnmarshal(body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.sweeps.Fill(r.Context(), req.Key, req.Lease, req.Payload); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "filled"})
+}
+
+func (s *Service) handleSweepRelease(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", wire.ErrDecode, err))
+		return
+	}
+	var req wire.SweepRelease
+	if err := wire.StrictUnmarshal(body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.sweeps.Release(r.Context(), req.Key, req.Lease)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
 // toObservation grounds a wire observation against a state-space size
 // (the wire form is a sparse pdf without an explicit dimension).
 func toObservation(numStates int, wo wire.Observation) (core.Observation, error) {
@@ -398,7 +554,8 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownDataset):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrDatasetExists):
+	case errors.Is(err, ErrDatasetExists), errors.Is(err, ErrStaleGeneration),
+		errors.Is(err, ErrStaleLease):
 		status = http.StatusConflict
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusServiceUnavailable
@@ -428,6 +585,14 @@ func (s *Service) writeMetrics(w http.ResponseWriter) {
 	mf := func(name, help, typ string, v any, labels string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s%s %v\n", name, help, name, typ, name, labels, v)
 	}
+	role := s.cfg.Role
+	if role == "" {
+		role = "server"
+	}
+	mf("ust_role", "Deployment role of this process (server, coordinator, worker).", "gauge", 1,
+		fmt.Sprintf("{role=\"%s\"}", promLabel(role)))
+	mf("ust_ring_members", "Evaluation ring width (shards in-process, workers for a coordinator).", "gauge",
+		s.ringMembers.Load(), "")
 	mf("ust_requests_total", "Evaluation requests accepted.", "counter", st.Requests, "")
 	mf("ust_singleflight_coalesced_total", "Requests answered by joining an identical in-flight evaluation.", "counter", st.Coalesced, "")
 	mf("ust_evaluations_total", "Evaluations actually executed.", "counter", st.Evaluations, "")

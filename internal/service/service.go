@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ust/internal/core"
+	"ust/internal/markov"
 	"ust/internal/shard"
 	"ust/internal/spatial"
 	"ust/internal/store"
@@ -49,6 +50,10 @@ var (
 	// object, dimension mismatch, duplicate id/time, …) — a caller
 	// mistake, not a server fault.
 	ErrBadIngest = errors.New("service: bad ingest")
+	// ErrStaleGeneration: an Import/Evict carried a migration generation
+	// the dataset has already applied — a replayed or reordered transfer,
+	// rejected so a rebalance can never double-apply.
+	ErrStaleGeneration = errors.New("service: stale migration generation")
 )
 
 // Config tunes a Service.
@@ -69,7 +74,34 @@ type Config struct {
 	// single-process scale-out today, and the contract for the
 	// multi-process deployment later.
 	Shards int
+	// Engines, when set, builds each dataset's engine instead of the
+	// default core.Engine / shard.Router construction — the hook the
+	// coordinator uses to back datasets with a ring of remote workers
+	// (internal/dist). The factory returns the evaluation surface and
+	// the ingest surface (usually the same value). Overrides Shards.
+	Engines EngineFactory
+	// Role labels this process in /metrics (ust_role): "server" (the
+	// default), "coordinator" or "worker".
+	Role string
 }
+
+// Evaluator is the engine surface a dataset serves queries through —
+// satisfied by *core.Engine, *shard.Router and the distributed router.
+type Evaluator interface {
+	Evaluate(ctx context.Context, req core.Request) (*core.Response, error)
+	EvaluateSeq(ctx context.Context, req core.Request) iter.Seq2[core.Result, error]
+	CacheStats() core.CacheStats
+}
+
+// Ingester is the mutation surface behind a dataset — satisfied by
+// *core.Database and *shard.Router.
+type Ingester interface {
+	Add(*core.Object) error
+	ReplaceObject(*core.Object) error
+}
+
+// EngineFactory builds the engine pair for one dataset (Config.Engines).
+type EngineFactory func(name string, db *core.Database) (Evaluator, Ingester, error)
 
 // DefaultMaxConcurrent is the default admission-limiter width.
 const DefaultMaxConcurrent = 64
@@ -115,6 +147,15 @@ type Service struct {
 	cfg    Config
 	sem    chan struct{}
 	flight flightGroup
+	// sweeps is the coordinator side of the networked sweep tier,
+	// served at /v1/sweeps by the HTTP layer. Always present; it costs
+	// nothing until a worker talks to it.
+	sweeps *SweepBoard
+	// ready gates /readyz: true once startup loading finished, false
+	// again while draining. Embedders that never touch it are ready from
+	// construction.
+	ready       atomic.Bool
+	ringMembers atomic.Int64
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
@@ -130,38 +171,27 @@ type Service struct {
 	inFlight    atomic.Int64
 }
 
-// evaluator is the engine surface a dataset serves queries through —
-// satisfied by both *core.Engine and *shard.Router (core.Evaluator,
-// minus the batch entry points the service does not use).
-type evaluator interface {
-	Evaluate(ctx context.Context, req core.Request) (*core.Response, error)
-	EvaluateSeq(ctx context.Context, req core.Request) iter.Seq2[core.Result, error]
-	CacheStats() core.CacheStats
-}
-
-// ingester is the mutation surface behind a dataset: the database
-// itself, or the shard router — which routes the one changed object to
-// its owning shard immediately (O(1)) instead of leaving the next
-// evaluation to rescan the whole database under the router's exclusive
-// lock.
-type ingester interface {
-	Add(*core.Object) error
-	ReplaceObject(*core.Object) error
-}
-
 // dataset is one named Database/engine pair plus its subscribers.
 type dataset struct {
 	name   string
 	mu     sync.RWMutex // shared: evaluate/stream/subscribe; exclusive: ingest
 	db     *core.Database
-	engine evaluator
-	ing    ingester
+	engine Evaluator
+	ing    Ingester
 	// single is the unsharded engine when the dataset is not sharded
 	// (nil otherwise); Service.Engine exposes it to in-process callers.
 	single *core.Engine
 	// resolver grounds geometric regions for this dataset; nil when the
 	// dataset has no geometry (e.g. loaded from a bare store file).
 	resolver spatial.Resolver
+	// lastGen is the highest migration generation applied through
+	// ImportObjects/EvictObjects; earlier generations are rejected with
+	// ErrStaleGeneration. chains canonicalizes imported own-chain objects
+	// by content fingerprint so a migrated chain group stays one group
+	// (store v2 images encode each own chain separately). Both are
+	// touched only under mu exclusive.
+	lastGen uint64
+	chains  map[uint64]*markov.Chain
 
 	subMu      sync.Mutex
 	subs       map[*Subscription]struct{}
@@ -177,11 +207,30 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		sweeps:   NewSweepBoard(0, 0),
 		datasets: map[string]*dataset{},
 	}
 	s.flight = flightGroup{calls: map[string]*flightCall{}, coalesced: &s.coalesced}
+	s.ready.Store(true)
+	s.ringMembers.Store(int64(max(cfg.Shards, 1)))
 	return s
 }
+
+// Sweeps exposes the service's sweep lease board (the /v1/sweeps
+// backing store) for embedders and tests.
+func (s *Service) Sweeps() *SweepBoard { return s.sweeps }
+
+// SetReady flips the /readyz gate: false during startup loading and
+// drain, true while serving.
+func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the /readyz gate.
+func (s *Service) Ready() bool { return s.ready.Load() }
+
+// SetRingMembers records the evaluation ring width surfaced at /metrics
+// (ust_ring_members): shard count in-process, worker count for a
+// coordinator.
+func (s *Service) SetRingMembers(n int) { s.ringMembers.Store(int64(n)) }
 
 // Close shuts the service down: every subscription is terminated and
 // subsequent calls fail with ErrClosed. In-flight evaluations finish.
@@ -199,6 +248,15 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	for _, ds := range dss {
 		ds.closeSubs(ErrClosed)
+		ds.closeEngine()
+	}
+}
+
+// closeEngine releases engine-held resources (remote-backend
+// connections, shard goroutines) when the engine exposes a Close.
+func (ds *dataset) closeEngine() {
+	if c, ok := ds.engine.(interface{ Close() error }); ok {
+		_ = c.Close()
 	}
 }
 
@@ -226,7 +284,14 @@ func (s *Service) Create(name string, db *core.Database, resolver spatial.Resolv
 		resolver: resolver,
 		subs:     map[*Subscription]struct{}{},
 	}
-	if s.cfg.Shards > 1 {
+	if s.cfg.Engines != nil {
+		eng, ing, err := s.cfg.Engines(name, db)
+		if err != nil {
+			return err
+		}
+		ds.engine = eng
+		ds.ing = ing
+	} else if s.cfg.Shards > 1 {
 		router, err := shard.New(db, s.cfg.Shards, s.cfg.Options)
 		if err != nil {
 			return err
@@ -285,6 +350,7 @@ func (s *Service) Drop(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
 	ds.closeSubs(fmt.Errorf("%w: %q", ErrUnknownDataset, name))
+	ds.closeEngine()
 	return nil
 }
 
@@ -442,6 +508,169 @@ func (s *Service) Track(name string, o *core.Object) error {
 	ds.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadIngest, err)
+	}
+	s.ingests.Add(1)
+	ds.notifySubs()
+	return nil
+}
+
+// --- worker surface -------------------------------------------------------
+//
+// The three endpoints a distributed router drives on its workers:
+// AggregateFactors ships raw Bernoulli factors (the coordinator folds
+// them in canonical order — pooling per-shard PMFs would break
+// byte-identity), ImportObjects and EvictObjects apply migration slices
+// under a generation fence. Import/Evict require an unsharded dataset:
+// a worker IS one shard, it does not re-shard its slice.
+
+// AggregateFactors computes the factor decomposition of an aggregate
+// request against the named dataset, under the service deadline and
+// admission control. The dataset's engine must expose the factor
+// surface (core.Engine does; distributed routers answer aggregates
+// through Evaluate instead).
+func (s *Service) AggregateFactors(ctx context.Context, name string, req core.Request) (*core.FactorSet, error) {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	req, err = ds.resolveRegion(req)
+	if err != nil {
+		return nil, err
+	}
+	fac, ok := ds.engine.(interface {
+		AggregateFactors(ctx context.Context, req core.Request) (*core.FactorSet, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("%w: dataset %q cannot factor aggregates", ErrBadIngest, name)
+	}
+	s.requests.Add(1)
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	s.evaluations.Add(1)
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return fac.AggregateFactors(ctx, req)
+}
+
+// ImportObjects upserts a store-encoded batch of objects into the named
+// dataset under migration generation gen. Generations must strictly
+// increase per dataset; a replayed or reordered transfer fails with
+// ErrStaleGeneration and changes nothing. Own-chain objects are
+// canonicalized by chain fingerprint so a chain group split across
+// transfer batches (the store encodes each own chain separately)
+// re-merges into one group — which is what keeps the worker's emission
+// order identical to the coordinator's shadow.
+func (s *Service) ImportObjects(name string, gen uint64, image []byte) error {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return err
+	}
+	batch, err := store.LoadDatabaseMapped(image)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadIngest, err)
+	}
+	ds.mu.Lock()
+	err = func() error {
+		if ds.single == nil {
+			return fmt.Errorf("%w: dataset %q is sharded; workers import into unsharded datasets", ErrBadIngest, name)
+		}
+		if gen <= ds.lastGen {
+			return fmt.Errorf("%w: generation %d already applied (at %d)", ErrStaleGeneration, gen, ds.lastGen)
+		}
+		if batch.DefaultChain().Fingerprint() != ds.db.DefaultChain().Fingerprint() {
+			return fmt.Errorf("%w: import batch default chain differs from dataset %q", ErrBadIngest, name)
+		}
+		for _, o := range batch.Objects() {
+			canon, cerr := ds.canonicalizeLocked(o)
+			if cerr != nil {
+				return fmt.Errorf("%w: %v", ErrBadIngest, cerr)
+			}
+			var aerr error
+			if ds.db.Get(canon.ID) != nil {
+				aerr = ds.db.ReplaceObject(canon)
+			} else {
+				aerr = ds.db.Add(canon)
+			}
+			if aerr != nil {
+				return fmt.Errorf("%w: %v", ErrBadIngest, aerr)
+			}
+		}
+		ds.lastGen = gen
+		return nil
+	}()
+	ds.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.ingests.Add(1)
+	ds.notifySubs()
+	return nil
+}
+
+// canonicalizeLocked maps an imported object's own chain to the
+// dataset's canonical chain of the same fingerprint — registering it as
+// canonical on first sight — so equal chains stay pointer-identical.
+// Requires ds.mu held exclusively.
+func (ds *dataset) canonicalizeLocked(o *core.Object) (*core.Object, error) {
+	if o.Chain == nil {
+		return o, nil
+	}
+	if ds.chains == nil {
+		ds.chains = map[uint64]*markov.Chain{}
+		def := ds.db.DefaultChain()
+		ds.chains[def.Fingerprint()] = def
+		for _, existing := range ds.db.Objects() {
+			ch := ds.db.ChainOf(existing)
+			if _, seen := ds.chains[ch.Fingerprint()]; !seen {
+				ds.chains[ch.Fingerprint()] = ch
+			}
+		}
+	}
+	fp := o.Chain.Fingerprint()
+	canon, ok := ds.chains[fp]
+	if !ok {
+		ds.chains[fp] = o.Chain
+		return o, nil
+	}
+	if canon == o.Chain {
+		return o, nil
+	}
+	return core.NewObjectSorted(o.ID, canon, o.Observations)
+}
+
+// EvictObjects removes the given object ids from the named dataset
+// under migration generation gen (same fence as ImportObjects). Unknown
+// ids fail — an eviction for an object the worker never held means the
+// topology drifted.
+func (s *Service) EvictObjects(name string, gen uint64, ids []int) error {
+	ds, err := s.dataset(name)
+	if err != nil {
+		return err
+	}
+	ds.mu.Lock()
+	err = func() error {
+		if ds.single == nil {
+			return fmt.Errorf("%w: dataset %q is sharded; workers evict from unsharded datasets", ErrBadIngest, name)
+		}
+		if gen <= ds.lastGen {
+			return fmt.Errorf("%w: generation %d already applied (at %d)", ErrStaleGeneration, gen, ds.lastGen)
+		}
+		for _, id := range ids {
+			if rerr := ds.db.Remove(id); rerr != nil {
+				return fmt.Errorf("%w: %v", ErrBadIngest, rerr)
+			}
+		}
+		ds.lastGen = gen
+		return nil
+	}()
+	ds.mu.Unlock()
+	if err != nil {
+		return err
 	}
 	s.ingests.Add(1)
 	ds.notifySubs()

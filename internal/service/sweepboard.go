@@ -1,0 +1,190 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ust/internal/core"
+)
+
+// SweepBoard is the coordinator side of the networked sweep tier: the
+// score cache's per-key single-flight lock generalized to a fleet. Each
+// key is either FILLED (a worker published the payload; everyone adopts
+// it) or LEASED (exactly one worker holds the computation right; the
+// rest long-poll). Leases expire, so a worker that dies mid-sweep stalls
+// waiters for at most the TTL before one of them takes over — the tier
+// degrades, it never wedges.
+//
+// Filled payloads live in an LRU bounded by a byte budget. Evicting a
+// payload forgets the key entirely; the next Acquire re-leases it and
+// the fleet recomputes, which is exactly the score cache's own eviction
+// semantics one level up.
+type SweepBoard struct {
+	mu       sync.Mutex
+	entries  map[core.SweepKey]*boardEntry
+	lru      *list.List // filled entries, most recent at front
+	bytes    int
+	maxBytes int
+	ttl      time.Duration
+	leaseSeq uint64
+
+	// counters, snapshotted by Stats for tests and /metrics.
+	leases    uint64
+	fills     uint64
+	served    uint64
+	takeovers uint64
+}
+
+type boardEntry struct {
+	key     core.SweepKey
+	payload []byte // non-nil once filled
+	lease   string // non-empty while leased
+	expires time.Time
+	// wake is closed when the entry's state changes (fill, release,
+	// expiry takeover) and replaced with a fresh channel on re-lease, so
+	// long-polling waiters block on exactly one state transition.
+	wake chan struct{}
+	el   *list.Element // LRU position once filled
+}
+
+// ErrStaleLease rejects a Fill or Release under a token that is not the
+// key's current lease — the board expired it and granted a takeover, so
+// the late worker's payload is dropped (the takeover's fill wins).
+var ErrStaleLease = errors.New("service: stale sweep lease")
+
+const (
+	defaultSweepTTL   = 10 * time.Second
+	defaultSweepBytes = 64 << 20
+)
+
+// NewSweepBoard builds a board with the given lease TTL and payload byte
+// budget; zero or negative values select the defaults (10s, 64 MiB).
+func NewSweepBoard(ttl time.Duration, maxBytes int) *SweepBoard {
+	if ttl <= 0 {
+		ttl = defaultSweepTTL
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultSweepBytes
+	}
+	return &SweepBoard{
+		entries:  make(map[core.SweepKey]*boardEntry),
+		lru:      list.New(),
+		maxBytes: maxBytes,
+		ttl:      ttl,
+	}
+}
+
+// Acquire implements core.SweepTier. It returns the payload when the
+// sweep is already filled, a lease token when the caller should compute,
+// and blocks (until ctx ends) while another worker holds the lease.
+func (b *SweepBoard) Acquire(ctx context.Context, key core.SweepKey) ([]byte, string, error) {
+	for {
+		b.mu.Lock()
+		e := b.entries[key]
+		if e == nil {
+			e = &boardEntry{key: key, wake: make(chan struct{})}
+			b.entries[key] = e
+		}
+		if e.payload != nil {
+			b.lru.MoveToFront(e.el)
+			b.served++
+			payload := e.payload
+			b.mu.Unlock()
+			return payload, "", nil
+		}
+		now := time.Now()
+		if e.lease == "" || now.After(e.expires) {
+			if e.lease != "" {
+				// Expired holder: wake its waiters onto the new grant.
+				b.takeovers++
+				close(e.wake)
+				e.wake = make(chan struct{})
+			}
+			b.leaseSeq++
+			e.lease = fmt.Sprintf("L%d", b.leaseSeq)
+			e.expires = now.Add(b.ttl)
+			b.leases++
+			lease := e.lease
+			b.mu.Unlock()
+			return nil, lease, nil
+		}
+		wake := e.wake
+		wait := time.Until(e.expires)
+		b.mu.Unlock()
+
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, "", ctx.Err()
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+			// Lease expired with no fill: loop and take over.
+		}
+	}
+}
+
+// Fill implements core.SweepTier: publish the payload computed under a
+// held lease and wake every waiter.
+func (b *SweepBoard) Fill(_ context.Context, key core.SweepKey, lease string, payload []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || e.payload != nil || e.lease != lease {
+		return ErrStaleLease
+	}
+	e.payload = payload
+	e.lease = ""
+	e.el = b.lru.PushFront(e)
+	b.bytes += len(payload)
+	b.fills++
+	close(e.wake)
+	for b.bytes > b.maxBytes && b.lru.Len() > 1 {
+		old := b.lru.Back()
+		ev := old.Value.(*boardEntry)
+		b.lru.Remove(old)
+		b.bytes -= len(ev.payload)
+		delete(b.entries, ev.key)
+	}
+	return nil
+}
+
+// Release implements core.SweepTier: abandon a held lease so a waiter
+// takes over immediately instead of waiting out the TTL.
+func (b *SweepBoard) Release(_ context.Context, key core.SweepKey, lease string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || e.payload != nil || e.lease != lease {
+		return
+	}
+	e.lease = ""
+	e.expires = time.Time{}
+	close(e.wake)
+	e.wake = make(chan struct{})
+}
+
+// SweepBoardStats is a snapshot of the board's counters.
+type SweepBoardStats struct {
+	// Leases counts granted computation rights; Fills the payloads
+	// published; Served the Acquires answered from a filled payload;
+	// Takeovers the leases re-granted after their holder expired.
+	Leases, Fills, Served, Takeovers uint64
+	// Entries and Bytes describe the filled-payload LRU.
+	Entries, Bytes int
+}
+
+// Stats snapshots the board's counters.
+func (b *SweepBoard) Stats() SweepBoardStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return SweepBoardStats{
+		Leases: b.leases, Fills: b.fills, Served: b.served, Takeovers: b.takeovers,
+		Entries: b.lru.Len(), Bytes: b.bytes,
+	}
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ust/internal/core"
+)
+
+func boardKey(n uint64) core.SweepKey {
+	return core.SweepKey{Chain: 0xabc, Kind: 1, Sig: n, T0: 7}
+}
+
+// TestSweepBoardAcquireFillAdopt walks the happy path: the first
+// Acquire gets a lease (compute right), Fill publishes the payload, and
+// every later Acquire adopts it without a lease.
+func TestSweepBoardAcquireFillAdopt(t *testing.T) {
+	b := NewSweepBoard(0, 0)
+	ctx := context.Background()
+	key := boardKey(1)
+
+	payload, lease, err := b.Acquire(ctx, key)
+	if err != nil || payload != nil || lease == "" {
+		t.Fatalf("first acquire: payload=%v lease=%q err=%v", payload, lease, err)
+	}
+	want := []byte{0x75, 1, 2, 3}
+	if err := b.Fill(ctx, key, lease, want); err != nil {
+		t.Fatal(err)
+	}
+	payload, lease, err = b.Acquire(ctx, key)
+	if err != nil || lease != "" {
+		t.Fatalf("second acquire: lease=%q err=%v", lease, err)
+	}
+	if string(payload) != string(want) {
+		t.Fatalf("adopted payload %v, want %v", payload, want)
+	}
+	st := b.Stats()
+	if st.Leases != 1 || st.Fills != 1 || st.Served != 1 || st.Entries != 1 || st.Bytes != len(want) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSweepBoardExpiryTakeover pins the liveness guarantee: a holder
+// that dies mid-sweep stalls waiters for at most the TTL, after which
+// one of them is granted a fresh lease — and the dead holder's late
+// Fill is rejected as stale.
+func TestSweepBoardExpiryTakeover(t *testing.T) {
+	b := NewSweepBoard(50*time.Millisecond, 0)
+	ctx := context.Background()
+	key := boardKey(2)
+
+	_, dead, err := b.Acquire(ctx, key)
+	if err != nil || dead == "" {
+		t.Fatalf("first acquire: lease=%q err=%v", dead, err)
+	}
+	// The holder never fills. The next Acquire must take over within the
+	// TTL rather than hang.
+	start := time.Now()
+	payload, takeover, err := b.Acquire(ctx, key)
+	if err != nil || payload != nil || takeover == "" || takeover == dead {
+		t.Fatalf("takeover acquire: payload=%v lease=%q err=%v", payload, takeover, err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("takeover stalled %v, want ~TTL", waited)
+	}
+	if err := b.Fill(ctx, key, dead, []byte("late")); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("late fill under expired lease: %v, want ErrStaleLease", err)
+	}
+	if err := b.Fill(ctx, key, takeover, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Takeovers == 0 {
+		t.Fatalf("stats %+v: expected a takeover", st)
+	}
+}
+
+// TestSweepBoardReleaseWakesWaiter pins the fast abandon path: Release
+// hands the lease to a blocked waiter immediately instead of letting it
+// wait out the TTL.
+func TestSweepBoardReleaseWakesWaiter(t *testing.T) {
+	b := NewSweepBoard(time.Minute, 0) // TTL long enough that expiry can't rescue the test
+	ctx := context.Background()
+	key := boardKey(3)
+
+	_, lease, err := b.Acquire(ctx, key)
+	if err != nil || lease == "" {
+		t.Fatalf("acquire: lease=%q err=%v", lease, err)
+	}
+	type grant struct {
+		lease string
+		err   error
+	}
+	got := make(chan grant, 1)
+	go func() {
+		_, l, err := b.Acquire(ctx, key)
+		got <- grant{l, err}
+	}()
+	// Give the waiter a moment to block, then abandon.
+	time.Sleep(20 * time.Millisecond)
+	b.Release(ctx, key, lease)
+	select {
+	case g := <-got:
+		if g.err != nil || g.lease == "" || g.lease == lease {
+			t.Fatalf("waiter got lease=%q err=%v", g.lease, g.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken by Release")
+	}
+}
+
+// TestSweepBoardEviction pins the byte budget: filled payloads beyond
+// maxBytes fall off the LRU tail, the key is forgotten entirely, and
+// the next Acquire re-leases it for recomputation.
+func TestSweepBoardEviction(t *testing.T) {
+	b := NewSweepBoard(0, 100)
+	ctx := context.Background()
+	payload := make([]byte, 40)
+
+	for n := uint64(0); n < 4; n++ {
+		_, lease, err := b.Acquire(ctx, boardKey(n))
+		if err != nil || lease == "" {
+			t.Fatalf("acquire %d: lease=%q err=%v", n, lease, err)
+		}
+		if err := b.Fill(ctx, boardKey(n), lease, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("stats %+v: want 2 surviving entries under a 100-byte budget", st)
+	}
+	// The oldest key was evicted; acquiring it again grants a lease.
+	p, lease, err := b.Acquire(ctx, boardKey(0))
+	if err != nil || p != nil || lease == "" {
+		t.Fatalf("post-eviction acquire: payload=%v lease=%q err=%v", p, lease, err)
+	}
+	// The most recent key still serves its payload.
+	p, lease, err = b.Acquire(ctx, boardKey(3))
+	if err != nil || lease != "" || len(p) != len(payload) {
+		t.Fatalf("surviving key: payload=%d bytes lease=%q err=%v", len(p), lease, err)
+	}
+}

@@ -340,6 +340,120 @@ func TestTwoShardErrorsDeterministic(t *testing.T) {
 	}
 }
 
+// TestRebalanceUnderIngest is the live-rebalance property test: while
+// queries and ingest hammer the router, the ring repeatedly grows and
+// shrinks. Invariants: (a) every evaluation observes a complete object
+// set — no id dropped, none duplicated, regardless of which migration
+// generation it lands on; (b) after the dust settles, the router's
+// answer is byte-identical to a fresh single engine over an identically
+// built database.
+func TestRebalanceUnderIngest(t *testing.T) {
+	db, _ := conformance.NewDataset()
+	router, err := New(db, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	req := core.NewRequest(core.PredicateExists,
+		core.WithStates(core.Interval(40, 55)), core.WithTimes(core.Interval(5, 8)))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, qerr := router.Evaluate(ctx, req)
+				if qerr != nil {
+					t.Errorf("query during rebalance: %v", qerr)
+					return
+				}
+				// No duplicated ids within one response; no id appears
+				// twice even while its object is migrating shards.
+				seen := make(map[int]struct{}, len(resp.Results))
+				for _, r := range resp.Results {
+					if _, dup := seen[r.ObjectID]; dup {
+						t.Errorf("object %d duplicated in one evaluation", r.ObjectID)
+						return
+					}
+					seen[r.ObjectID] = struct{}{}
+				}
+			}
+		}()
+	}
+
+	// Ingest runs concurrently with the rebalance loop below.
+	const ingested = 16
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ingested; i++ {
+			id := 7000 + i
+			o, oerr := core.NewObject(id, nil, core.Observation{Time: 0, PDF: markov.PointDistribution(64, i%64)})
+			if oerr != nil {
+				t.Errorf("building object: %v", oerr)
+				return
+			}
+			if err := router.Add(o); err != nil {
+				t.Errorf("add during rebalance: %v", err)
+				return
+			}
+			if err := router.Observe(id, core.Observation{Time: 2, PDF: markov.PointDistribution(64, i%64)}); err != nil {
+				t.Errorf("observe during rebalance: %v", err)
+				return
+			}
+		}
+	}()
+
+	// The rebalance loop: grow by one shard, then shrink it away, four
+	// times over, with queries and ingest in flight the whole time.
+	for round := 0; round < 4; round++ {
+		label, gerr := router.Grow(LocalFactory(core.Options{}))
+		if gerr != nil {
+			t.Fatalf("round %d grow: %v", round, gerr)
+		}
+		if serr := router.Shrink(label); serr != nil {
+			t.Fatalf("round %d shrink(%d): %v", round, label, serr)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// End state: identical to a fresh single engine over the same build
+	// sequence (dataset + the ingested tail).
+	refDB, _ := conformance.NewDataset()
+	for i := 0; i < ingested; i++ {
+		id := 7000 + i
+		refDB.MustAdd(core.MustObject(id, nil,
+			core.Observation{Time: 0, PDF: markov.PointDistribution(64, i%64)},
+			core.Observation{Time: 2, PDF: markov.PointDistribution(64, i%64)}))
+	}
+	single := core.NewEngine(refDB, core.Options{})
+	want, err := single.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := router.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("post-rebalance scan: %d results, want %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		if got.Results[i].ObjectID != want.Results[i].ObjectID || got.Results[i].Prob != want.Results[i].Prob {
+			t.Fatalf("result %d diverged after rebalance: %+v vs %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+}
+
 // TestBatchPerItemErrorRouting pins EvaluateBatchSeq's contract on the
 // router: a failing request yields its own item error while its
 // neighbours still answer, in input order.

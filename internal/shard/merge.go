@@ -231,7 +231,7 @@ func (r *Router) mergeScan(ctx context.Context, p *prep) iter.Seq2[core.Result, 
 		sem := make(chan struct{}, p.workers)
 		for s, m := range r.members {
 			wg.Add(1)
-			go func(s int, eng *core.Engine) {
+			go func(s int, b Backend) {
 				defer wg.Done()
 				select {
 				case sem <- struct{}{}:
@@ -239,7 +239,7 @@ func (r *Router) mergeScan(ctx context.Context, p *prep) iter.Seq2[core.Result, 
 				case <-ctx.Done():
 					return
 				}
-				for res, serr := range eng.EvaluateSeq(ctx, p.req) {
+				for res, serr := range b.EvaluateSeq(ctx, p.req) {
 					if serr != nil {
 						send(shardEvent{shard: s, err: serr})
 						return
@@ -249,7 +249,7 @@ func (r *Router) mergeScan(ctx context.Context, p *prep) iter.Seq2[core.Result, 
 					}
 				}
 				send(shardEvent{shard: s, done: true})
-			}(s, m.engine)
+			}(s, m.backend)
 		}
 
 		next := 0

@@ -61,12 +61,20 @@ type Router struct {
 	ring    *Ring
 	opts    core.Options
 	cache   *core.SharedCache
+	factory BackendFactory // builds backends for shards Grow adds
 
-	// mu serializes ingest/resync (exclusive) against evaluation
-	// (shared), mirroring the service layer's per-dataset lock.
+	// mu serializes ingest/resync/rebalance (exclusive) against
+	// evaluation (shared), mirroring the service layer's per-dataset
+	// lock. Holding it exclusively across a migration is also what makes
+	// queries during migration trivially byte-identical: no query ever
+	// observes a half-moved slice.
 	mu      sync.RWMutex
 	members []*member
+	byLabel map[int]int // ring label → index into members
 	synced  uint64
+	// topoGen fences Import/Evict calls: it increments on every mirror
+	// batch, so a worker can reject a stale or replayed migration op.
+	topoGen uint64
 
 	ordMu  sync.Mutex
 	orders map[bool]*orderIndex // emission orders, keyed by "insertion order"
@@ -74,49 +82,121 @@ type Router struct {
 
 var _ core.Evaluator = (*Router)(nil)
 
-// member is one shard: its slice of the database plus the engine over
-// it. Shard databases share object and chain pointers with the full
-// database — objects are immutable, chains are shared by design (score
-// cache keys are chain-identity).
+// member is one shard: the router-side shadow of its slice of the
+// database plus the backend answering for it. Shadow databases share
+// object and chain pointers with the full database — objects are
+// immutable, chains are shared by design (score cache keys are
+// chain-identity). For a local backend the shadow IS the shard's
+// database; for a remote backend it is the router's bookkeeping copy,
+// kept in step with the worker through Import/Evict mirroring, and the
+// source of the emission-order indexes the merge layer needs.
 type member struct {
-	db     *core.Database
-	engine *core.Engine
+	label   int
+	db      *core.Database
+	backend Backend
 }
 
-// New builds a router over db with the given shard count. Engine
-// options apply to every shard; unless opts disables caching
+// New builds an in-process router over db with the given shard count.
+// Engine options apply to every shard; unless opts disables caching
 // (CacheBytes < 0) or supplies a shared cache, the router creates one
 // SharedCache for the fleet.
 func New(db *core.Database, shards int, opts core.Options) (*Router, error) {
+	opts = normalizeOpts(opts)
+	return NewWithBackends(db, shards, opts, LocalFactory(opts))
+}
+
+// normalizeOpts materializes the fleet-wide shared cache so every
+// engine the router constructs — planner and local shards alike —
+// attaches to the same one.
+func normalizeOpts(opts core.Options) core.Options {
+	if opts.Cache == nil && opts.CacheBytes >= 0 {
+		opts.Cache = core.NewSharedCache(opts.CacheBytes)
+	}
+	return opts
+}
+
+// NewWithBackends builds a router whose shards come from factory —
+// the mixed-topology constructor: the factory may return in-process
+// engines (LocalFactory), remote worker proxies (internal/dist), or a
+// mix, keyed by shard label. The factory is retained for Grow.
+func NewWithBackends(db *core.Database, shards int, opts core.Options, factory BackendFactory) (*Router, error) {
 	if db == nil {
 		return nil, fmt.Errorf("shard: nil database")
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("shard: nil backend factory")
 	}
 	ring, err := NewRing(shards)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Cache == nil && opts.CacheBytes >= 0 {
-		opts.Cache = core.NewSharedCache(opts.CacheBytes)
-	}
+	opts = normalizeOpts(opts)
 	r := &Router{
 		full:    db,
 		planner: core.NewEngine(db, opts),
 		ring:    ring,
 		opts:    opts,
 		cache:   opts.Cache,
+		factory: factory,
+		byLabel: map[int]int{},
 		orders:  map[bool]*orderIndex{},
 	}
-	for s := 0; s < shards; s++ {
-		mdb := core.NewDatabase(db.DefaultChain())
-		r.members = append(r.members, &member{db: mdb, engine: core.NewEngine(mdb, opts)})
+	for _, label := range ring.Shards() {
+		if err := r.addMemberLocked(label); err != nil {
+			r.closeMembers()
+			return nil, err
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r, r.syncLocked()
+	if err := r.syncLocked(); err != nil {
+		r.closeMembers()
+		return nil, err
+	}
+	return r, nil
 }
+
+// addMemberLocked creates the shadow database and backend for a new
+// shard label and appends it to the member list.
+func (r *Router) addMemberLocked(label int) error {
+	shadow := core.NewDatabase(r.full.DefaultChain())
+	backend, err := r.factory(label, shadow)
+	if err != nil {
+		return fmt.Errorf("shard: backend for shard %d: %w", label, err)
+	}
+	r.members = append(r.members, &member{label: label, db: shadow, backend: backend})
+	r.byLabel[label] = len(r.members) - 1
+	return nil
+}
+
+func (r *Router) closeMembers() {
+	for _, m := range r.members {
+		_ = m.backend.Close()
+	}
+}
+
+// memberOf returns the index of the member owning id under the current
+// ring.
+func (r *Router) memberOf(id int) int { return r.byLabel[r.ring.Owner(id)] }
 
 // Shards returns the shard count.
 func (r *Router) Shards() int { return len(r.members) }
+
+// Labels returns the live ring labels in ascending order.
+func (r *Router) Labels() []int { return r.ring.Shards() }
+
+// Close closes every backend. The router is unusable afterwards.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, m := range r.members {
+		if err := m.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Database returns the full (unsharded) database the router serves.
 func (r *Router) Database() *core.Database { return r.full }
@@ -130,17 +210,22 @@ func (r *Router) CacheStats() core.CacheStats {
 }
 
 // syncLocked brings every shard up to the full database's generation:
-// each object is routed to its ring owner and added or swapped when its
-// pointer changed. Requires r.mu held exclusively.
+// each object is routed to its ring owner, added or swapped on the
+// shadow when its pointer changed, and the changes are mirrored to the
+// backends in one Import batch per member. Requires r.mu held
+// exclusively.
 func (r *Router) syncLocked() error {
 	v := r.full.Version()
 	if r.synced == v {
 		return nil
 	}
+	pending := make([][]*core.Object, len(r.members))
 	for _, o := range r.full.Objects() {
-		m := r.members[r.ring.Owner(o.ID)]
+		mi := r.memberOf(o.ID)
+		m := r.members[mi]
 		switch cur := m.db.Get(o.ID); {
 		case cur == o: // unchanged
+			continue
 		case cur == nil:
 			if err := m.db.Add(o); err != nil {
 				return err
@@ -150,12 +235,26 @@ func (r *Router) syncLocked() error {
 				return err
 			}
 		}
+		pending[mi] = append(pending[mi], o)
+	}
+	for mi, objs := range pending {
+		if len(objs) == 0 {
+			continue
+		}
+		r.topoGen++
+		if err := r.members[mi].backend.Import(context.Background(), r.topoGen, objs); err != nil {
+			return err
+		}
 	}
 	r.synced = v
+	r.invalidateOrders()
+	return nil
+}
+
+func (r *Router) invalidateOrders() {
 	r.ordMu.Lock()
 	r.orders = map[bool]*orderIndex{}
 	r.ordMu.Unlock()
-	return nil
 }
 
 // acquire takes the evaluation (shared) lock, first adopting any
@@ -184,7 +283,7 @@ func (r *Router) acquire() (release func(), err error) {
 // Requires r.mu held exclusively and r.synced current BEFORE the full-
 // database mutation.
 func (r *Router) applyLocked(o *core.Object) error {
-	m := r.members[r.ring.Owner(o.ID)]
+	m := r.members[r.memberOf(o.ID)]
 	var err error
 	if m.db.Get(o.ID) == nil {
 		err = m.db.Add(o)
@@ -194,10 +293,12 @@ func (r *Router) applyLocked(o *core.Object) error {
 	if err != nil {
 		return err
 	}
+	r.topoGen++
+	if err := m.backend.Import(context.Background(), r.topoGen, []*core.Object{o}); err != nil {
+		return err
+	}
 	r.synced = r.full.Version()
-	r.ordMu.Lock()
-	r.orders = map[bool]*orderIndex{}
-	r.ordMu.Unlock()
+	r.invalidateOrders()
 	return nil
 }
 
@@ -250,6 +351,143 @@ func (r *Router) Observe(objectID int, obs core.Observation) error {
 		return err
 	}
 	return r.applyLocked(updated)
+}
+
+// --- live rebalance ---------------------------------------------------------
+//
+// Grow and Shrink change the ring while the router serves traffic. Both
+// run under the exclusive lock, so in-flight queries finish against the
+// old topology and the next query sees the new one whole — there is no
+// observable intermediate state, which is what keeps results during a
+// rebalance byte-identical to a single engine. The rendezvous ring
+// guarantees minimal movement: growing moves only the ids the new shard
+// wins, shrinking only the ids the departing shard owned. Mirror calls
+// to remote backends carry the router's migration generation; a failure
+// mid-migration returns an error and leaves the router's shadows and
+// the failing worker potentially divergent — callers should treat a
+// failed rebalance as fatal for the topology and rebuild it.
+
+// Grow adds one shard, labeled max(labels)+1, building its backend via
+// factory (nil selects the factory the router was constructed with) and
+// migrating exactly the objects the new shard now owns. It returns the
+// new shard's label.
+func (r *Router) Grow(factory BackendFactory) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.syncLocked(); err != nil {
+		return 0, err
+	}
+	if factory == nil {
+		factory = r.factory
+	}
+	next := r.ring.Grown()
+	labels := next.Shards()
+	label := labels[len(labels)-1]
+	shadow := core.NewDatabase(r.full.DefaultChain())
+	backend, err := factory(label, shadow)
+	if err != nil {
+		return 0, fmt.Errorf("shard: backend for shard %d: %w", label, err)
+	}
+
+	// Collect the moving slice in full-database order, so the new
+	// shard's shadow (and its worker mirror) list objects in the same
+	// relative order every other shard does.
+	var moved []*core.Object
+	evictFrom := make([][]int, len(r.members))
+	for _, o := range r.full.Objects() {
+		if next.Owner(o.ID) != label {
+			continue
+		}
+		src := r.memberOf(o.ID)
+		if err := shadow.Add(o); err != nil {
+			_ = backend.Close()
+			return 0, err
+		}
+		moved = append(moved, o)
+		evictFrom[src] = append(evictFrom[src], o.ID)
+	}
+
+	// Push to the new worker BEFORE evicting from the old owners: an
+	// import failure aborts with every object still owned somewhere.
+	if len(moved) > 0 {
+		r.topoGen++
+		if err := backend.Import(context.Background(), r.topoGen, moved); err != nil {
+			_ = backend.Close()
+			return 0, fmt.Errorf("shard: migrating %d objects to shard %d: %w", len(moved), label, err)
+		}
+	}
+	for src, ids := range evictFrom {
+		if len(ids) == 0 {
+			continue
+		}
+		m := r.members[src]
+		for _, id := range ids {
+			if err := m.db.Remove(id); err != nil {
+				return 0, err
+			}
+		}
+		r.topoGen++
+		if err := m.backend.Evict(context.Background(), r.topoGen, ids); err != nil {
+			return 0, fmt.Errorf("shard: evicting %d objects from shard %d: %w", len(ids), m.label, err)
+		}
+	}
+	r.members = append(r.members, &member{label: label, db: shadow, backend: backend})
+	r.byLabel[label] = len(r.members) - 1
+	r.ring = next
+	r.invalidateOrders()
+	return label, nil
+}
+
+// Shrink removes the shard with the given label, redistributing its
+// objects to their new ring owners and closing its backend. Removing
+// the last shard is an error.
+func (r *Router) Shrink(label int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.syncLocked(); err != nil {
+		return err
+	}
+	next, err := r.ring.Shrunk(label)
+	if err != nil {
+		return err
+	}
+	di, ok := r.byLabel[label]
+	if !ok {
+		return fmt.Errorf("shard: unknown shard %d", label)
+	}
+	departing := r.members[di]
+
+	// Redistribute in the departing shadow's order (a subsequence of
+	// full-database order, so destination shadows append consistently
+	// with what a fresh sync would build).
+	pending := make([][]*core.Object, len(r.members))
+	for _, o := range departing.db.Objects() {
+		dst := r.byLabel[next.Owner(o.ID)]
+		if err := r.members[dst].db.Add(o); err != nil {
+			return err
+		}
+		pending[dst] = append(pending[dst], o)
+	}
+	for dst, objs := range pending {
+		if len(objs) == 0 {
+			continue
+		}
+		r.topoGen++
+		if err := r.members[dst].backend.Import(context.Background(), r.topoGen, objs); err != nil {
+			return fmt.Errorf("shard: migrating %d objects to shard %d: %w", len(objs), r.members[dst].label, err)
+		}
+	}
+	if err := departing.backend.Close(); err != nil {
+		return err
+	}
+	r.members = append(r.members[:di], r.members[di+1:]...)
+	r.byLabel = make(map[int]int, len(r.members))
+	for i, m := range r.members {
+		r.byLabel[m.label] = i
+	}
+	r.ring = next
+	r.invalidateOrders()
+	return nil
 }
 
 // --- evaluation -----------------------------------------------------------
@@ -425,7 +663,7 @@ func (r *Router) fanoutFactors(ctx context.Context, p *prep) ([]*core.FactorSet,
 	var wg sync.WaitGroup
 	for s, m := range r.members {
 		wg.Add(1)
-		go func(s int, eng *core.Engine) {
+		go func(s int, b Backend) {
 			defer wg.Done()
 			select {
 			case sem <- struct{}{}:
@@ -434,11 +672,11 @@ func (r *Router) fanoutFactors(ctx context.Context, p *prep) ([]*core.FactorSet,
 				errs[s] = ctx.Err()
 				return
 			}
-			sets[s], errs[s] = eng.AggregateFactors(ctx, p.req)
+			sets[s], errs[s] = b.AggregateFactors(ctx, p.req)
 			if errs[s] != nil {
 				cancel()
 			}
-		}(s, m.engine)
+		}(s, m.backend)
 	}
 	wg.Wait()
 	if err := firstRealError(errs); err != nil {
@@ -506,7 +744,7 @@ func (r *Router) fanout(ctx context.Context, p *prep) ([]*core.Response, error) 
 	var wg sync.WaitGroup
 	for s, m := range r.members {
 		wg.Add(1)
-		go func(s int, eng *core.Engine) {
+		go func(s int, b Backend) {
 			defer wg.Done()
 			select {
 			case sem <- struct{}{}:
@@ -515,11 +753,11 @@ func (r *Router) fanout(ctx context.Context, p *prep) ([]*core.Response, error) 
 				errs[s] = ctx.Err()
 				return
 			}
-			resps[s], errs[s] = eng.Evaluate(ctx, p.req)
+			resps[s], errs[s] = b.Evaluate(ctx, p.req)
 			if errs[s] != nil {
 				cancel()
 			}
-		}(s, m.engine)
+		}(s, m.backend)
 	}
 	wg.Wait()
 	if err := firstRealError(errs); err != nil {

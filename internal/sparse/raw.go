@@ -1,0 +1,42 @@
+package sparse
+
+import "fmt"
+
+// Raw representation accessors. The networked sweep tier ships cached
+// sweep payloads between processes, and dot products over a Vec follow
+// its INTERNAL representation (dense flag, support order) — so a codec
+// that wants bit-identical results downstream must round-trip that
+// representation exactly, not just the abstract value. These accessors
+// expose and adopt it without copies.
+
+// Repr exposes the vector's internal representation: the dense backing
+// array, the support list (nil in dense mode) and the dense flag. All
+// returned slices are the live internals and must be treated as
+// read-only. Reconstructing a vector via AdoptDense(data) (dense) or
+// AdoptSparse(data, supp) (sparse) from copies of these yields a vector
+// whose every operation — including support-order-dependent iteration —
+// is bit-identical to the original's.
+func (v *Vec) Repr() (data []float64, supp []int, dense bool) {
+	return v.data, v.supp, v.dense
+}
+
+// Words64 exposes the bitset's backing words without copying. Read-only.
+func (b *Bitset) Words64() []uint64 { return b.words }
+
+// BitsetFromWords adopts a word slice — no copy — as a bitset over
+// {0, …, n−1}. The slice length must match exactly and no bit at or
+// beyond n may be set (Count and Equal trust the tail to be clean).
+func BitsetFromWords(n int, words []uint64) (*Bitset, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sparse: negative bitset dimension %d", n)
+	}
+	if len(words) != (n+63)/64 {
+		return nil, fmt.Errorf("sparse: bitset over %d states needs %d words, got %d", n, (n+63)/64, len(words))
+	}
+	if tail := n & 63; tail != 0 && len(words) > 0 {
+		if words[len(words)-1]>>uint(tail) != 0 {
+			return nil, fmt.Errorf("sparse: bitset word tail has bits beyond dimension %d", n)
+		}
+	}
+	return &Bitset{n: n, words: words}, nil
+}

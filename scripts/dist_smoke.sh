@@ -1,0 +1,130 @@
+#!/bin/sh
+# Distributed smoke: a real multi-process deployment — two worker
+# ustserve processes plus a coordinator fronting them — queried remotely
+# and diffed byte-for-byte against in-process evaluation, including a
+# count aggregate (factors pooled over the wire, folded coordinator-
+# side). Also checks /readyz gating, the ust_role / ust_ring_members
+# metrics, that killing a worker yields a clean error (not a hang), and
+# a graceful fleet shutdown. `make dist-smoke` runs this; CI runs it
+# via `make ci`.
+set -eu
+
+GO=${GO:-go}
+W0_PORT=${W0_PORT:-7271}
+W1_PORT=${W1_PORT:-7272}
+CO_PORT=${CO_PORT:-7273}
+TMP=$(mktemp -d)
+W0_PID=""; W1_PID=""; CO_PID=""
+cleanup() {
+    for pid in "$W0_PID" "$W1_PID" "$CO_PID"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "dist-smoke: building"
+$GO build -o "$TMP/ustgen" ./cmd/ustgen
+$GO build -o "$TMP/ustserve" ./cmd/ustserve
+$GO build -o "$TMP/ustquery" ./cmd/ustquery
+
+echo "dist-smoke: generating dataset"
+"$TMP/ustgen" -o "$TMP/smoke.ust" -objects 200 -states 2000 -seed 7 >/dev/null
+
+CO_BASE="http://127.0.0.1:$CO_PORT"
+W0_BASE="http://127.0.0.1:$W0_PORT"
+W1_BASE="http://127.0.0.1:$W1_PORT"
+
+# wait_ready BASE LOG PID: poll /readyz until 200.
+wait_ready() {
+    i=0
+    until curl -fsS "$1/readyz" >/dev/null 2>&1; do
+        i=$((i+1))
+        if [ "$i" -gt 100 ]; then
+            echo "dist-smoke: $1 never became ready"; cat "$2"; exit 1
+        fi
+        kill -0 "$3" 2>/dev/null || { echo "dist-smoke: process behind $1 died"; cat "$2"; exit 1; }
+        sleep 0.2
+    done
+}
+
+echo "dist-smoke: starting 2 workers (joined to the coordinator's sweep tier)"
+# Workers hold the data slices; -sweep-tier points at the coordinator so
+# the fleet computes each distinct backward sweep once. The tier
+# degrades gracefully while the coordinator is still coming up.
+"$TMP/ustserve" -addr "127.0.0.1:$W0_PORT" -sweep-tier "$CO_BASE" 2>"$TMP/w0.log" &
+W0_PID=$!
+"$TMP/ustserve" -addr "127.0.0.1:$W1_PORT" -sweep-tier "$CO_BASE" 2>"$TMP/w1.log" &
+W1_PID=$!
+wait_ready "$W0_BASE" "$TMP/w0.log" "$W0_PID"
+wait_ready "$W1_BASE" "$TMP/w1.log" "$W1_PID"
+
+echo "dist-smoke: starting the coordinator (loads the dataset, migrates slices to workers)"
+"$TMP/ustserve" -addr "127.0.0.1:$CO_PORT" -coordinator \
+    -worker "$W0_BASE" -worker "$W1_BASE" \
+    -dataset smoke="$TMP/smoke.ust" 2>"$TMP/co.log" &
+CO_PID=$!
+wait_ready "$CO_BASE" "$TMP/co.log" "$CO_PID"
+
+echo "dist-smoke: workers received their slices"
+curl -fsS "$W0_BASE/v1/datasets" | grep -q '"smoke.shard0"'
+curl -fsS "$W1_BASE/v1/datasets" | grep -q '"smoke.shard1"'
+
+echo "dist-smoke: remote ustquery through the coordinator matches in-process"
+"$TMP/ustquery" -remote "$CO_BASE" -dataset smoke -states 100-140 -times 10-14 -top 5 >"$TMP/remote.out"
+grep -q "object" "$TMP/remote.out"
+"$TMP/ustquery" -db "$TMP/smoke.ust" -states 100-140 -times 10-14 -top 5 >"$TMP/local.out"
+diff "$TMP/remote.out" "$TMP/local.out"
+
+echo "dist-smoke: compound text query end-to-end"
+TQ='exists(states(100-140) @ [10,14]) and not forall(states(100-140) @ [10,12]) where top=5'
+"$TMP/ustquery" -db "$TMP/smoke.ust" -q "$TQ" >"$TMP/text-local.out"
+"$TMP/ustquery" -remote "$CO_BASE" -dataset smoke -q "$TQ" >"$TMP/text-remote.out"
+diff "$TMP/text-local.out" "$TMP/text-remote.out"
+
+echo "dist-smoke: count(...) aggregate — factors pooled from workers, folded coordinator-side"
+AQ='count(exists(states(100-140) @ [10,14])) where min=3'
+"$TMP/ustquery" -db "$TMP/smoke.ust" -q "$AQ" >"$TMP/agg-local.out"
+grep -q 'E\[count\]' "$TMP/agg-local.out"
+"$TMP/ustquery" -remote "$CO_BASE" -dataset smoke -q "$AQ" >"$TMP/agg-remote.out"
+diff "$TMP/agg-local.out" "$TMP/agg-remote.out"
+
+echo "dist-smoke: roles and ring size in /metrics"
+curl -fsS "$CO_BASE/metrics" >"$TMP/co-metrics.out"
+grep -q 'ust_role{role="coordinator"} 1' "$TMP/co-metrics.out"
+grep -q 'ust_ring_members 2' "$TMP/co-metrics.out"
+curl -fsS "$W0_BASE/metrics" | grep -q 'ust_role{role="worker"} 1'
+
+echo "dist-smoke: killing worker 1 — queries fail cleanly, the fleet stays up"
+kill -9 "$W1_PID"; W1_PID=""
+RC=0
+"$TMP/ustquery" -remote "$CO_BASE" -dataset smoke -states 100-140 -times 10-14 -top 5 \
+    >"$TMP/degraded.out" 2>&1 || RC=$?
+if [ "$RC" -eq 0 ]; then
+    echo "dist-smoke: query over a dead worker unexpectedly succeeded"; exit 1
+fi
+# The coordinator itself survives and still answers liveness/readiness.
+curl -fsS "$CO_BASE/healthz" >/dev/null
+curl -fsS "$CO_BASE/readyz" >/dev/null
+
+echo "dist-smoke: graceful fleet shutdown"
+for pair in "CO:$CO_PID" "W0:$W0_PID"; do
+    pid=${pair#*:}
+    kill -TERM "$pid"
+done
+for pair in "co:$CO_PID:$TMP/co.log" "w0:$W0_PID:$TMP/w0.log"; do
+    name=$(echo "$pair" | cut -d: -f2)
+    log=$(echo "$pair" | cut -d: -f3-)
+    i=0
+    while kill -0 "$name" 2>/dev/null; do
+        i=$((i+1)); [ "$i" -gt 50 ] && { echo "dist-smoke: process ignored SIGTERM"; exit 1; }
+        sleep 0.2
+    done
+    wait "$name" 2>/dev/null && RC=0 || RC=$?
+    if [ "$RC" -ne 0 ]; then
+        echo "dist-smoke: process exited with $RC"; cat "$log"; exit 1
+    fi
+    grep -q "bye" "$log"
+done
+CO_PID=""; W0_PID=""
+echo "dist-smoke: OK"

@@ -158,6 +158,13 @@ type (
 	AggResult = core.AggResult
 	// AggPoint is one timestep of an occupancy profile.
 	AggPoint = core.AggPoint
+	// FactorSet is an aggregate's factor decomposition — what
+	// distributed deployments ship between workers and coordinator
+	// before the canonical-order fold (see Engine.AggregateFactors).
+	FactorSet = core.FactorSet
+	// SweepTier extends the score cache's per-key single-flight across
+	// process boundaries (Options.Sweeps).
+	SweepTier = core.SweepTier
 )
 
 // DefaultCacheBytes is the default byte budget of the engine's shared
