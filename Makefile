@@ -8,12 +8,12 @@ GO ?= go
 # 74.8%; keep a small buffer for flaky branches).
 COVER_FLOOR ?= 73.0
 
-.PHONY: ci fmt-check vet staticcheck build test race examples serve-smoke dist-smoke fuzz-smoke bench alloc-gate cover clean
+.PHONY: ci fmt-check vet staticcheck build test race examples serve-smoke dist-smoke load-smoke fuzz-smoke bench alloc-gate cover clean
 
 # cover runs the full (shuffled) suite with a coverage profile, so ci
 # does not also run the plain `test` target — that would execute the
 # identical suite twice. `race` is a separate instrumented build.
-ci: fmt-check vet staticcheck build cover race examples alloc-gate serve-smoke dist-smoke
+ci: fmt-check vet staticcheck build cover race examples alloc-gate serve-smoke dist-smoke load-smoke
 
 # staticcheck runs when the binary is available (CI installs it; local
 # boxes without it skip with a notice instead of failing the build).
@@ -92,6 +92,15 @@ serve-smoke:
 # worker, and shuts the fleet down gracefully.
 dist-smoke:
 	GO="$(GO)" ./scripts/dist_smoke.sh
+
+# load-smoke runs the open-loop traffic harness (cmd/ustload) briefly
+# against every deployment shape — in-process, in-process -shards 4,
+# and a real ustserve -shards 4 over HTTP — then checks the
+# BENCH_LOAD.json artifact, the `ustload analyze` round-trip, the
+# `benchjson -load` gate, and the server's per-endpoint latency
+# histograms.
+load-smoke:
+	GO="$(GO)" ./scripts/load_smoke.sh
 
 # bench writes BENCH.json (machine-readable, via cmd/benchjson) while
 # echoing the usual human-readable lines, so the perf trajectory is

@@ -29,8 +29,21 @@ import (
 
 // Config tunes a Client beyond the defaults New applies.
 type Config struct {
-	// HTTPClient carries the transport; nil means http.DefaultClient.
+	// HTTPClient carries the transport; nil means http.DefaultClient,
+	// unless a transport knob below is set, in which case New builds a
+	// dedicated pooled transport.
 	HTTPClient *http.Client
+	// MaxIdleConnsPerHost widens the keep-alive connection pool toward
+	// one host on the transport built when HTTPClient is nil (Go's
+	// default keeps only 2 idle conns per host — an open-loop driver
+	// firing hundreds of concurrent requests at one server would churn
+	// through ephemeral ports without this).
+	MaxIdleConnsPerHost int
+	// ResponseHeaderTimeout bounds the wait for response headers per
+	// attempt on the built transport. Streaming bodies are unaffected,
+	// so subscriptions stay long-lived; per-request deadlines still come
+	// from the caller's context. 0 means no transport-level bound.
+	ResponseHeaderTimeout time.Duration
 	// MaxRetries is the number of ADDITIONAL attempts after a failed
 	// first one, applied only to idempotent requests (queries, factor
 	// fetches, GETs) on transport errors and 5xx statuses. Ingest
@@ -61,7 +74,21 @@ func New(baseURL string, hc *http.Client) *Client {
 // NewWithConfig builds a client with explicit retry/transport settings.
 func NewWithConfig(baseURL string, cfg Config) *Client {
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = http.DefaultClient
+		if cfg.MaxIdleConnsPerHost > 0 || cfg.ResponseHeaderTimeout > 0 {
+			perHost := cfg.MaxIdleConnsPerHost
+			if perHost <= 0 {
+				perHost = 2 // the net/http default
+			}
+			cfg.HTTPClient = &http.Client{Transport: &http.Transport{
+				Proxy:                 http.ProxyFromEnvironment,
+				MaxIdleConns:          max(100, 2*perHost),
+				MaxIdleConnsPerHost:   perHost,
+				IdleConnTimeout:       90 * time.Second,
+				ResponseHeaderTimeout: cfg.ResponseHeaderTimeout,
+			}}
+		} else {
+			cfg.HTTPClient = http.DefaultClient
+		}
 	}
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = 50 * time.Millisecond

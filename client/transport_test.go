@@ -1,0 +1,45 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// The connection-pool knobs must materialize on a dedicated transport —
+// and must never mutate http.DefaultClient.
+func TestNewWithConfigBuildsPooledTransport(t *testing.T) {
+	c := NewWithConfig("http://x", Config{
+		MaxIdleConnsPerHost:   128,
+		ResponseHeaderTimeout: 3 * time.Second,
+	})
+	if c.hc == http.DefaultClient {
+		t.Fatal("pool knobs left the client on http.DefaultClient")
+	}
+	tr, ok := c.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport is %T, want *http.Transport", c.hc.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != 128 {
+		t.Errorf("MaxIdleConnsPerHost = %d, want 128", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < 128 {
+		t.Errorf("MaxIdleConns = %d, want ≥ per-host width", tr.MaxIdleConns)
+	}
+	if tr.ResponseHeaderTimeout != 3*time.Second {
+		t.Errorf("ResponseHeaderTimeout = %v, want 3s", tr.ResponseHeaderTimeout)
+	}
+	if c.hc.Timeout != 0 {
+		t.Errorf("client-level Timeout = %v set; it would kill long-lived subscriptions", c.hc.Timeout)
+	}
+}
+
+func TestNewWithConfigDefaultsToDefaultClient(t *testing.T) {
+	if c := NewWithConfig("http://x", Config{}); c.hc != http.DefaultClient {
+		t.Fatal("no knobs set but a dedicated client was built")
+	}
+	hc := &http.Client{}
+	if c := NewWithConfig("http://x", Config{HTTPClient: hc, MaxIdleConnsPerHost: 9}); c.hc != hc {
+		t.Fatal("explicit HTTPClient overridden by pool knobs")
+	}
+}

@@ -26,6 +26,18 @@
 // safe on fresh checkouts. -o ” suppresses the summary artifact (a
 // gate run is usually a narrow benchmark selection that should not
 // clobber the full BENCH.json).
+//
+// With -load, results come from a BENCH_LOAD.json report (cmd/ustload)
+// instead of stdin — each workload class at each offered rate becomes a
+// pseudo-benchmark named Load/<class>@<rate> carrying p50/p99/p999
+// latency metrics, so the same gate machinery covers latency under
+// load:
+//
+//	benchjson -load BENCH_LOAD.new.json -o '' \
+//	    -baseline BENCH_LOAD.json -gate Load -gate-metric p99_ms
+//
+// The -baseline for a -load gate may be either a prior benchjson
+// summary or a raw BENCH_LOAD.json report (auto-detected).
 package main
 
 import (
@@ -38,6 +50,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ust/internal/load"
 )
 
 // testEvent is the subset of the `go test -json` event schema we need.
@@ -67,8 +81,51 @@ func main() {
 	gate := flag.String("gate", "", "benchmark name (prefix) whose results must not regress vs -baseline")
 	gateMetric := flag.String("gate-metric", "allocs/op", "metric compared by the gate")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression before the gate fails")
+	loadPath := flag.String("load", "", "read results from a BENCH_LOAD.json report (cmd/ustload) instead of stdin")
 	flag.Parse()
 
+	var results []Result
+	if *loadPath != "" {
+		r, err := load.ReadReport(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		results = loadResults(r)
+	} else {
+		results = stdinResults()
+	}
+
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Package != results[b].Package {
+			return results[a].Package < results[b].Package
+		}
+		return results[a].Name < results[b].Name
+	})
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d result(s) to %s\n", len(results), *out)
+	}
+	if *gate != "" {
+		if err := runGate(results, *baseline, *gate, *gateMetric, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// stdinResults parses a `go test -json -bench` event stream from stdin.
+func stdinResults() []Result {
 	var results []Result
 	// `go test -json` emits output in fragments (a benchmark's name and
 	// its measurements arrive as separate events), so reassemble full
@@ -116,34 +173,40 @@ func main() {
 			flush(pkg, "\n")
 		}
 	}
+	return results
+}
 
-	sort.Slice(results, func(a, b int) bool {
-		if results[a].Package != results[b].Package {
-			return results[a].Package < results[b].Package
+// loadResults converts a BENCH_LOAD.json report into pseudo-benchmark
+// results so the existing gate machinery applies to latency under load:
+// one result per (class, offered rate), metrics carrying the quantiles.
+func loadResults(r *load.Report) []Result {
+	var out []Result
+	for _, s := range r.Steps {
+		classes := make([]string, 0, len(s.Classes))
+		for c := range s.Classes {
+			classes = append(classes, c)
 		}
-		return results[a].Name < results[b].Name
-	})
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+		sort.Strings(classes)
+		for _, c := range classes {
+			cs := s.Classes[c]
+			out = append(out, Result{
+				Name:       fmt.Sprintf("Load/%s@%g", c, s.OfferedRate),
+				Package:    "ust/internal/load",
+				Iterations: int64(cs.Count),
+				NsPerOp:    cs.MeanMs * 1e6,
+				Metrics: map[string]float64{
+					"p50_ms":     cs.P50Ms,
+					"p90_ms":     cs.P90Ms,
+					"p99_ms":     cs.P99Ms,
+					"p999_ms":    cs.P999Ms,
+					"max_ms":     cs.MaxMs,
+					"overloaded": float64(cs.Overloaded),
+					"dropped":    float64(cs.Dropped),
+				},
+			})
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "benchjson: wrote %d result(s) to %s\n", len(results), *out)
 	}
-	if *gate != "" {
-		if err := runGate(results, *baseline, *gate, *gateMetric, *tolerance); err != nil {
-			fatal(err)
-		}
-	}
+	return out
 }
 
 // gated reports whether a result name belongs to the gated benchmark:
@@ -175,7 +238,13 @@ func runGate(results []Result, baselinePath, gate, metric string, tolerance floa
 	}
 	var base []Result
 	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		// Not a benchjson summary array — accept a raw BENCH_LOAD.json
+		// report as the baseline for -load gates.
+		var lr load.Report
+		if lerr := json.Unmarshal(raw, &lr); lerr != nil || len(lr.Steps) == 0 {
+			return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+		base = loadResults(&lr)
 	}
 	byKey := map[string]Result{}
 	for _, r := range base {

@@ -1,0 +1,286 @@
+// Command ustload is the open-loop traffic harness: it fires a
+// configurable workload mix at a deployment of the serving stack on a
+// Poisson arrival schedule — never waiting for responses, so queueing
+// delay under overload is measured rather than hidden — and reports
+// client-observed latency quantiles per workload class as
+// BENCH_LOAD.json, the traffic trajectory tracked per PR next to
+// BENCH.json.
+//
+// Usage (run):
+//
+//	ustload -rate 200 -duration 5s -mix point=2,scan=1,topk=1,ingest=1
+//	        [-db file.ust | -objects N -states N -gen-seed S] [-shards N]
+//	        [-remote URL] [-dataset name]
+//	        [-ramp start:end:step] [-seed N] [-timeout D] [-max-inflight N]
+//	        [-max-concurrent N] [-horizon N] [-conns N] [-o BENCH_LOAD.json]
+//	        [-log requests.log]
+//
+// Three deployment shapes, one harness: with no -remote the service
+// runs in-process (optionally sharded via -shards); with -remote it
+// drives a ustserve over HTTP — or a coordinator fronting a worker
+// fleet, which speaks the identical wire contract. -ramp sweeps the
+// offered rate in steps to find the knee where achieved rate falls
+// away from offered and tail latency departs.
+//
+// A fixed -seed makes the generated request *sequence* reproducible
+// (arrival timing is wall-clock); -log writes the dispatched ops in
+// order, so two runs with one seed diff clean.
+//
+// Usage (analyze):
+//
+//	ustload analyze [-tolerance 0.25] old.json new.json
+//
+// diffs two BENCH_LOAD.json files and exits nonzero when a workload
+// class's p99/p999 regressed past tolerance (or a class newly sheds
+// load) at any offered rate present in both.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ust/client"
+	"ust/internal/core"
+	"ust/internal/gen"
+	"ust/internal/load"
+	"ust/internal/service"
+	"ust/internal/store"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		analyzeMain(os.Args[2:])
+		return
+	}
+	runMain(os.Args[1:])
+}
+
+func runMain(args []string) {
+	fs := flag.NewFlagSet("ustload", flag.ExitOnError)
+	rate := fs.Float64("rate", 100, "offered arrival rate (requests/second, Poisson)")
+	duration := fs.Duration("duration", 5*time.Second, "arrival window per step")
+	// expr is absent from the default: compound expressions require
+	// single-observation objects, so expr can't share a mix with ingest
+	// (use a read-only mix like "expr=1,point=1" to drive that path).
+	mixSpec := fs.String("mix", "point=2,scan=1,topk=1,threshold=1,count=1,subscribe=0.2,ingest=1", "workload mix (class=weight,...)")
+	seed := fs.Int64("seed", 1, "request-sequence seed (fixed seed = reproducible op stream)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
+	maxInFlight := fs.Int("max-inflight", 16384, "cap on outstanding requests; arrivals past it count as dropped")
+	ramp := fs.String("ramp", "", "rate sweep start:end:step (overrides -rate)")
+	horizon := fs.Int("horizon", 30, "query time horizon (windows stay within [1,horizon])")
+	out := fs.String("o", "BENCH_LOAD.json", "report path ('' = don't write)")
+	logPath := fs.String("log", "", "request log path (dispatched ops in order; the determinism witness)")
+
+	db := fs.String("db", "", "dataset file for the in-process service (binary store format)")
+	objects := fs.Int("objects", 500, "synthetic |D| when no -db/-remote given")
+	states := fs.Int("states", 5000, "synthetic |S| when no -db/-remote given")
+	genSeed := fs.Int64("gen-seed", 42, "synthetic dataset seed")
+	shards := fs.Int("shards", 1, "in-process shard engines (>1 = consistent-hash scale-out)")
+	maxConcurrent := fs.Int("max-concurrent", service.DefaultMaxConcurrent, "in-process admission limit")
+
+	remote := fs.String("remote", "", "drive a remote ustserve/coordinator at this base URL instead of in-process")
+	dataset := fs.String("dataset", "load", "dataset name (remote: must exist; in-process: created)")
+	conns := fs.Int("conns", 256, "keep-alive connections per host for -remote")
+	fs.Parse(args)
+
+	mix, err := load.ParseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rates := []float64{*rate}
+	if *ramp != "" {
+		var start, end, step float64
+		if _, err := fmt.Sscanf(*ramp, "%g:%g:%g", &start, &end, &step); err != nil {
+			fatal(fmt.Errorf("bad -ramp %q (want start:end:step): %v", *ramp, err))
+		}
+		if rates, err = load.RampRates(start, end, step); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	target, shardsUsed, err := buildTarget(ctx, *remote, *dataset, *db, *objects, *states, *genSeed, *shards, *maxConcurrent, *conns, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	shape, err := load.ShapeOf(ctx, target, *horizon)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ustload: target=%s dataset=%q |D|=%d |S|=%d mix=%s\n",
+		target.Name(), *dataset, shape.NumObjects, shape.NumStates, mix)
+
+	var reqLog *os.File
+	if *logPath != "" {
+		if reqLog, err = os.Create(*logPath); err != nil {
+			fatal(err)
+		}
+		defer reqLog.Close()
+	}
+
+	report := &load.Report{Version: 1, Target: target.Name(), Mix: mix.String(), Seed: *seed, Shards: shardsUsed}
+	for i, r := range rates {
+		// Each step draws a fresh deterministic op stream; the derived
+		// seed keeps steps distinct while the whole ramp stays a pure
+		// function of -seed.
+		g, err := load.NewGenerator(mix, shape, *seed+int64(i)*1000003)
+		if err != nil {
+			fatal(err)
+		}
+		if reqLog != nil {
+			fmt.Fprintf(reqLog, "# step rate=%g\n", r)
+		}
+		res, err := load.Run(ctx, target, g, mix, load.Config{
+			Rate:        r,
+			Duration:    *duration,
+			Seed:        *seed + int64(i)*1000003,
+			Timeout:     *timeout,
+			MaxInFlight: *maxInFlight,
+			RequestLog:  reqLog,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		step := load.Summarize(res)
+		report.Steps = append(report.Steps, step)
+		printStep(step)
+	}
+	if len(rates) > 1 {
+		printKnee(report)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ustload: wrote %s (%d step(s))\n", *out, len(report.Steps))
+	}
+}
+
+// buildTarget assembles the deployment shape under test. Remote targets
+// get a pooled transport (-conns) so the open-loop driver itself never
+// bottlenecks on ephemeral ports; in-process targets build (or load)
+// their dataset and serve it through the same Service the HTTP stack
+// uses, optionally sharded.
+func buildTarget(ctx context.Context, remote, dataset, dbPath string, objects, states int, genSeed int64, shards, maxConcurrent, conns int, timeout time.Duration) (load.Target, int, error) {
+	if remote != "" {
+		c := client.NewWithConfig(remote, client.Config{
+			MaxIdleConnsPerHost:   conns,
+			ResponseHeaderTimeout: timeout,
+		})
+		if err := c.Ready(ctx); err != nil {
+			return nil, 0, fmt.Errorf("remote %s not ready: %w", remote, err)
+		}
+		return &load.RemoteTarget{Client: c, Dataset: dataset}, 0, nil
+	}
+	var cdb *core.Database
+	if dbPath != "" {
+		data, err := os.ReadFile(dbPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		if cdb, err = store.LoadDatabaseMapped(data); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		ds, err := gen.Generate(gen.Params{
+			NumObjects: objects, NumStates: states,
+			ObjectSpread: 5, StateSpread: 5, MaxStep: 40, Seed: genSeed,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		cdb = core.NewDatabase(ds.Chain)
+		for i, o := range ds.Objects {
+			if err := cdb.AddSimple(i, o); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	svc := service.New(service.Config{Shards: shards, MaxConcurrent: maxConcurrent})
+	if err := svc.Create(dataset, cdb, nil); err != nil {
+		return nil, 0, err
+	}
+	return &load.InProcTarget{Svc: svc, Dataset: dataset}, shards, nil
+}
+
+func printStep(s load.Step) {
+	fmt.Fprintf(os.Stderr, "step offered=%g/s achieved=%g/s dispatched=%d dropped=%d\n",
+		s.OfferedRate, s.AchievedRate, s.Dispatched, s.Dropped)
+	all := s.Classes[load.AllClass]
+	printClass(load.AllClass, all)
+	for _, c := range load.Classes {
+		if cs, ok := s.Classes[c]; ok && cs.Count+cs.Overloaded+cs.Timeouts+cs.Errors+cs.Dropped > 0 {
+			printClass(c, cs)
+		}
+	}
+}
+
+func printClass(name string, c load.ClassSummary) {
+	fmt.Fprintf(os.Stderr, "  %-10s n=%-6d p50=%.2fms p90=%.2fms p99=%.2fms p999=%.2fms max=%.2fms over=%d to=%d err=%d drop=%d\n",
+		name, c.Count, c.P50Ms, c.P90Ms, c.P99Ms, c.P999Ms, c.MaxMs,
+		c.Overloaded, c.Timeouts, c.Errors, c.Dropped)
+}
+
+// printKnee names the first ramp step where the system stopped keeping
+// up: achieved rate under 95% of the *realized* dispatch rate (the
+// Poisson draw can undershoot the nominal rate on short windows — that
+// is arrival variance, not system slowness), or any load shed.
+func printKnee(r *load.Report) {
+	for _, s := range r.Steps {
+		all := s.Classes[load.AllClass]
+		shed := all.Overloaded + all.Timeouts + all.Dropped
+		realized := s.OfferedRate
+		if s.DurationS > 0 {
+			realized = float64(s.Dispatched) / s.DurationS
+		}
+		if s.AchievedRate < 0.95*realized || shed > 0 {
+			fmt.Fprintf(os.Stderr, "ustload: knee at offered=%g/s (achieved=%g/s, shed=%d)\n",
+				s.OfferedRate, s.AchievedRate, shed)
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "ustload: no knee within the ramp (system kept up at every step)")
+}
+
+func analyzeMain(args []string) {
+	fs := flag.NewFlagSet("ustload analyze", flag.ExitOnError)
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional p99/p999 regression")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("analyze wants exactly two BENCH_LOAD.json paths, got %d", fs.NArg()))
+	}
+	oldR, err := load.ReadReport(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := load.ReadReport(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	findings := load.Analyze(oldR, newR, *tolerance)
+	if len(findings) == 0 {
+		fmt.Fprintf(os.Stderr, "ustload analyze: no regressions (%d step(s) in %s vs %d in %s)\n",
+			len(oldR.Steps), fs.Arg(0), len(newR.Steps), fs.Arg(1))
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "ustload analyze: REGRESSION %s\n", f)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ustload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Package load is the open-loop traffic harness behind cmd/ustload: a
+// Poisson-arrival load generator that drives any deployment shape of
+// the serving stack (in-process Service, remote ustserve, coordinator
+// fleet) with configurable workload mixes, records per-request latency
+// into lock-free sharded log-linear histograms, and emits the
+// machine-readable BENCH_LOAD.json traffic trajectory tracked per PR.
+//
+// Open-loop means arrivals never wait for responses: the dispatcher
+// fires requests on the Poisson schedule regardless of how many are
+// still in flight, so queueing delay under overload is measured rather
+// than hidden — the failure mode closed-loop microbenchmarks cannot
+// see (coalescing collapse, admission-limiter tail latency, cache
+// thrash under mixed traffic).
+package load
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucketing: values (latencies in nanoseconds) below 2^subBits
+// land in exact unit buckets; above that, each power-of-two octave is
+// split into 2^subBits linear sub-buckets, bounding the relative
+// quantile error at 2^-subBits (6.25%). 40 octaves cover ~18 minutes.
+const (
+	subBits    = 4
+	subCount   = 1 << subBits
+	numOctaves = 40
+	numBuckets = subCount * (numOctaves - subBits + 1)
+)
+
+// bucketIdx maps a nanosecond value onto its log-linear bucket.
+func bucketIdx(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e ≤ v < 2^(e+1), e ≥ subBits
+	if e >= numOctaves {
+		return numBuckets - 1
+	}
+	return subCount*(e-subBits+1) + int((v>>(e-subBits))&(subCount-1))
+}
+
+// bucketUpper is the exclusive upper bound (ns) of bucket idx — the
+// value quantiles report, so a quantile never understates latency.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx) + 1
+	}
+	e := idx/subCount + subBits - 1
+	sub := int64(idx % subCount)
+	return (1 << e) + (sub+1)<<(e-subBits)
+}
+
+// histShards spreads the hot counters across cache lines; the recorder
+// picks a shard from a caller-supplied hint (the request's dispatch
+// index), so concurrent completions don't serialize on one line.
+const histShards = 8
+
+type histShard struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // total ns
+	max    atomic.Int64  // ns
+	_      [64]byte      // keep neighbouring shards off this line
+}
+
+// Hist is a lock-free sharded log-linear latency histogram. The zero
+// value is NOT ready; use NewHist. Record may be called from any number
+// of goroutines concurrently; Snapshot may race with Record and returns
+// a consistent-enough view (counters are monotone).
+type Hist struct {
+	shards [histShards]histShard
+}
+
+// NewHist builds an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// Record adds one observation. hint spreads contention — pass anything
+// cheap and varied (the request's dispatch index).
+func (h *Hist) Record(hint uint64, d time.Duration) {
+	s := &h.shards[hint&(histShards-1)]
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	s.counts[bucketIdx(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(uint64(v))
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Summary is a merged snapshot of a Hist.
+type Summary struct {
+	Count  uint64
+	MeanMs float64
+	P50Ms  float64
+	P90Ms  float64
+	P99Ms  float64
+	P999Ms float64
+	MaxMs  float64
+}
+
+// Snapshot merges the shards and computes the summary quantiles.
+func (h *Hist) Snapshot() Summary {
+	var merged [numBuckets]uint64
+	var count, sum uint64
+	var maxNs int64
+	for i := range h.shards {
+		s := &h.shards[i]
+		count += s.count.Load()
+		sum += s.sum.Load()
+		if m := s.max.Load(); m > maxNs {
+			maxNs = m
+		}
+		for b := range s.counts {
+			merged[b] += s.counts[b].Load()
+		}
+	}
+	if count == 0 {
+		return Summary{}
+	}
+	q := func(p float64) float64 {
+		target := uint64(math.Ceil(p * float64(count)))
+		if target < 1 {
+			target = 1
+		}
+		var cum uint64
+		for b := range merged {
+			cum += merged[b]
+			if cum >= target {
+				return float64(bucketUpper(b)) / 1e6
+			}
+		}
+		return float64(maxNs) / 1e6
+	}
+	return Summary{
+		Count:  count,
+		MeanMs: float64(sum) / float64(count) / 1e6,
+		P50Ms:  q(0.50),
+		P90Ms:  q(0.90),
+		P99Ms:  q(0.99),
+		P999Ms: q(0.999),
+		MaxMs:  float64(maxNs) / 1e6,
+	}
+}

@@ -1,0 +1,101 @@
+package load
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every value must land in a bucket whose exclusive upper bound is above
+// it — otherwise quantiles could understate latency.
+func TestBucketBoundsCoverValues(t *testing.T) {
+	values := []int64{0, 1, 15, 16, 17, 100, 1023, 1024, 1025, 1 << 20, 1<<30 + 12345, 1 << 39}
+	for _, v := range values {
+		idx := bucketIdx(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIdx(%d) = %d out of range", v, idx)
+		}
+		if up := bucketUpper(idx); v >= up {
+			t.Errorf("value %d not below its bucket upper bound %d (bucket %d)", v, up, idx)
+		}
+		if idx > 0 {
+			// Monotone: the previous bucket's upper bound must not exceed
+			// this bucket's.
+			if bucketUpper(idx-1) > bucketUpper(idx) {
+				t.Errorf("bucket uppers not monotone at %d", idx)
+			}
+		}
+	}
+}
+
+func TestBucketIdxMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<22; v += 997 {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx not monotone: v=%d idx=%d prev=%d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// Quantiles of a known uniform population must land within the 6.25%
+// relative error the log-linear layout promises (plus one bucket).
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Record(uint64(i), time.Duration(i)*time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	checks := []struct {
+		got, want float64 // ms
+	}{
+		{s.P50Ms, 5.0},
+		{s.P90Ms, 9.0},
+		{s.P99Ms, 9.9},
+		{s.P999Ms, 9.99},
+	}
+	for _, c := range checks {
+		// Upper-bound reporting means got ≥ want; the bucket width bounds
+		// the overshoot.
+		if c.got < c.want || c.got > c.want*1.10 {
+			t.Errorf("quantile = %.4fms, want within [%.4f, %.4f]", c.got, c.want, c.want*1.10)
+		}
+	}
+	if s.MaxMs != 10.0 {
+		t.Errorf("max = %gms, want 10", s.MaxMs)
+	}
+	if math.Abs(s.MeanMs-5.0005) > 0.01 {
+		t.Errorf("mean = %gms, want ~5.0005", s.MeanMs)
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	h := NewHist()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(w*per+i), time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestHistEmptySnapshot(t *testing.T) {
+	if s := NewHist().Snapshot(); s != (Summary{}) {
+		t.Fatalf("empty snapshot = %+v, want zero", s)
+	}
+}

@@ -1,0 +1,257 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ust/internal/core"
+	"ust/internal/wire"
+)
+
+// The workload classes, each exercising one surface of the serving
+// stack. Weights come from the -mix flag ("point=2,scan=1,ingest=0.5").
+const (
+	ClassPoint     = "point"     // exists at a single timestamp, batch query
+	ClassScan      = "scan"      // exists over a window, streamed (NDJSON remotely)
+	ClassTopK      = "topk"      // top-k ranked exists
+	ClassThreshold = "threshold" // τ-thresholded exists (filter–refine path)
+	ClassExpr      = "expr"      // compound expression (and/not of two atoms)
+	ClassCount     = "count"     // count(...) aggregate with an iceberg tail
+	ClassSubscribe = "subscribe" // standing query: open, first snapshot, close
+	ClassIngest    = "ingest"    // observe: one new observation for an object
+)
+
+// Classes lists every workload class in canonical order.
+var Classes = []string{
+	ClassPoint, ClassScan, ClassTopK, ClassThreshold,
+	ClassExpr, ClassCount, ClassSubscribe, ClassIngest,
+}
+
+// Mix is a weighted set of workload classes.
+type Mix struct {
+	classes []string
+	weights []float64
+	cum     []float64 // cumulative, for sampling
+	spec    string    // canonical form, for the report
+}
+
+// ParseMix parses "class=weight,class=weight" (weights are positive
+// floats; unlisted classes get weight 0). "point" alone means
+// "point=1".
+func ParseMix(spec string) (Mix, error) {
+	known := map[string]bool{}
+	for _, c := range Classes {
+		known[c] = true
+	}
+	weights := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, ws, has := strings.Cut(part, "=")
+		w := 1.0
+		if has {
+			var err error
+			w, err = strconv.ParseFloat(ws, 64)
+			if err != nil || w <= 0 {
+				return Mix{}, fmt.Errorf("load: bad mix weight %q", part)
+			}
+		}
+		if !known[name] {
+			return Mix{}, fmt.Errorf("load: unknown workload class %q (known: %s)",
+				name, strings.Join(Classes, ", "))
+		}
+		weights[name] += w
+	}
+	if len(weights) == 0 {
+		return Mix{}, fmt.Errorf("load: empty mix %q", spec)
+	}
+	m := Mix{}
+	// Canonical class order keeps the generated op sequence a pure
+	// function of (seed, spec) regardless of how the spec was spelled.
+	for _, c := range Classes {
+		if w, ok := weights[c]; ok {
+			m.classes = append(m.classes, c)
+			m.weights = append(m.weights, w)
+		}
+	}
+	var total float64
+	parts := make([]string, 0, len(m.classes))
+	for i, c := range m.classes {
+		total += m.weights[i]
+		m.cum = append(m.cum, total)
+		parts = append(parts, fmt.Sprintf("%s=%g", c, m.weights[i]))
+	}
+	m.spec = strings.Join(parts, ",")
+	return m, nil
+}
+
+// String returns the canonical spec form.
+func (m Mix) String() string { return m.spec }
+
+// ClassNames returns the classes with nonzero weight, canonical order.
+func (m Mix) ClassNames() []string { return append([]string(nil), m.classes...) }
+
+// Shape describes the dataset the generator aims requests at.
+type Shape struct {
+	// NumStates is the state-space size |S|.
+	NumStates int
+	// NumObjects is the object count |D|; ingest assumes dense ids
+	// 0..NumObjects-1 (what ustgen and GenerateSyntheticDatabase emit).
+	NumObjects int
+	// Horizon bounds query timestamps (windows stay within [1, Horizon]).
+	Horizon int
+}
+
+// Op is one generated request: a workload class plus either a query
+// request or an ingest payload.
+type Op struct {
+	Class string
+	// Req is set for every class except ingest.
+	Req core.Request
+	// ObjectID/Obs are set for ingest ops.
+	ObjectID int
+	Obs      core.Observation
+	// Desc is the op's canonical description — the request's canonical
+	// wire encoding (or the ingest triple) — written to the request log.
+	// A fixed seed reproduces the exact Desc sequence (arrival *timing*
+	// is wall-clock and not covered).
+	Desc string
+}
+
+// Generator draws the deterministic op sequence of a run: one seeded
+// RNG, consumed only by Next in dispatch order, so the i-th op is a
+// pure function of (seed, mix, shape). Not safe for concurrent use —
+// the open-loop dispatcher is the only caller.
+type Generator struct {
+	mix   Mix
+	shape Shape
+	rng   *rand.Rand
+	seq   int // ops drawn so far (drives ingest object/time rotation)
+}
+
+// NewGenerator builds the op source for one run.
+func NewGenerator(mix Mix, shape Shape, seed int64) (*Generator, error) {
+	if shape.NumStates < 8 || shape.NumObjects < 1 {
+		return nil, fmt.Errorf("load: implausible dataset shape %+v", shape)
+	}
+	if shape.Horizon <= 1 {
+		shape.Horizon = 30
+	}
+	return &Generator{mix: mix, shape: shape, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// span draws a contiguous state range of width ~frac·|S| (at least 1).
+func (g *Generator) span(frac float64) (lo, hi int) {
+	n := g.shape.NumStates
+	w := int(float64(n) * frac)
+	if w < 1 {
+		w = 1
+	}
+	lo = g.rng.Intn(n - w + 1)
+	return lo, lo + w - 1
+}
+
+func stateRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for s := lo; s <= hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// window draws a time window of the given width within [1, Horizon].
+func (g *Generator) window(width int) (lo, hi int) {
+	h := g.shape.Horizon
+	if width > h {
+		width = h
+	}
+	lo = 1 + g.rng.Intn(h-width+1)
+	return lo, lo + width - 1
+}
+
+// Next draws the next op. The class is sampled from the mix; the op's
+// parameters are drawn with a fixed number of RNG consumptions per
+// class, so the sequence replays identically for a fixed seed.
+func (g *Generator) Next() (Op, error) {
+	u := g.rng.Float64() * g.mix.cum[len(g.mix.cum)-1]
+	class := g.mix.classes[sort.SearchFloat64s(g.mix.cum, u)]
+	seq := g.seq
+	g.seq++
+
+	if class == ClassIngest {
+		// Rotate through objects; each object's observation times strictly
+		// increase (Horizon+1, Horizon+2, …) so concurrent observes never
+		// collide on a timestamp and queries inside [1,Horizon] stay in
+		// the interpolation regime between the t=0 sighting and these.
+		id := seq % g.shape.NumObjects
+		t := g.shape.Horizon + 1 + seq/g.shape.NumObjects
+		state := g.rng.Intn(g.shape.NumStates)
+		obs := core.Observation{Time: t, PDF: noisySightingPDF(g.shape.NumStates, state)}
+		return Op{
+			Class:    class,
+			ObjectID: id,
+			Obs:      obs,
+			Desc:     fmt.Sprintf("ingest object=%d time=%d state=%d", id, t, state),
+		}, nil
+	}
+
+	var req core.Request
+	switch class {
+	case ClassPoint:
+		lo, hi := g.span(0.01)
+		t, _ := g.window(1)
+		req = core.NewRequest(core.PredicateExists,
+			core.WithStates(stateRange(lo, hi)), core.WithTimes([]int{t}))
+	case ClassScan:
+		lo, hi := g.span(0.02)
+		tlo, thi := g.window(5)
+		req = core.NewRequest(core.PredicateExists,
+			core.WithStates(stateRange(lo, hi)), core.WithTimeRange(tlo, thi))
+	case ClassTopK:
+		lo, hi := g.span(0.02)
+		tlo, thi := g.window(5)
+		req = core.NewRequest(core.PredicateExists,
+			core.WithStates(stateRange(lo, hi)), core.WithTimeRange(tlo, thi),
+			core.WithTopK(10))
+	case ClassThreshold:
+		lo, hi := g.span(0.02)
+		tlo, thi := g.window(5)
+		req = core.NewRequest(core.PredicateExists,
+			core.WithStates(stateRange(lo, hi)), core.WithTimeRange(tlo, thi),
+			core.WithThreshold(0.2))
+	case ClassExpr:
+		alo, ahi := g.span(0.02)
+		atlo, athi := g.window(4)
+		blo, bhi := g.span(0.02)
+		btlo, bthi := g.window(3)
+		x := core.And(
+			core.ExistsAtom(core.WithStates(stateRange(alo, ahi)), core.WithTimeRange(atlo, athi)),
+			core.Not(core.ForAllAtom(core.WithStates(stateRange(blo, bhi)), core.WithTimeRange(btlo, bthi))),
+		)
+		req = core.NewExprRequest(x, core.WithThreshold(0.1))
+	case ClassCount:
+		lo, hi := g.span(0.02)
+		tlo, thi := g.window(5)
+		req = core.NewAggRequest(core.PredicateExists,
+			core.AggSpec{Kind: core.AggCount, MinCount: 3},
+			core.WithStates(stateRange(lo, hi)), core.WithTimeRange(tlo, thi))
+	case ClassSubscribe:
+		lo, hi := g.span(0.02)
+		tlo, thi := g.window(5)
+		req = core.NewRequest(core.PredicateExists,
+			core.WithStates(stateRange(lo, hi)), core.WithTimeRange(tlo, thi),
+			core.WithThreshold(0.2))
+	default:
+		return Op{}, fmt.Errorf("load: unhandled class %q", class)
+	}
+	enc, err := wire.EncodeRequest(req)
+	if err != nil {
+		return Op{}, fmt.Errorf("load: encoding %s request: %w", class, err)
+	}
+	return Op{Class: class, Req: req, Desc: class + " " + string(enc)}, nil
+}

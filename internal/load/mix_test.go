@@ -1,0 +1,139 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMixCanonicalOrder(t *testing.T) {
+	// The same weights spelled in any order canonicalize identically —
+	// the determinism contract depends on it.
+	a, err := ParseMix("ingest=1,point=2,scan=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseMix("scan=0.5, point=2 ,ingest=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("canonical forms differ: %q vs %q", a, b)
+	}
+	if got, want := a.String(), "point=2,scan=0.5,ingest=1"; got != want {
+		t.Fatalf("canonical form = %q, want %q", got, want)
+	}
+}
+
+func TestParseMixBareClassMeansWeightOne(t *testing.T) {
+	m, err := ParseMix("point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != "point=1" {
+		t.Fatalf("bare class = %q, want point=1", got)
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	for _, spec := range []string{"", "warp=1", "point=-2", "point=zero", "point=0"} {
+		if _, err := ParseMix(spec); err == nil {
+			t.Errorf("ParseMix(%q) accepted, want error", spec)
+		}
+	}
+}
+
+// The tentpole determinism pin: the same (seed, mix, shape) must replay
+// the identical op sequence, Desc for Desc.
+func TestGeneratorDeterministicSequence(t *testing.T) {
+	mix, err := ParseMix("point=2,scan=1,topk=1,threshold=1,expr=1,count=1,subscribe=0.2,ingest=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := Shape{NumStates: 64, NumObjects: 10, Horizon: 20}
+	draw := func(seed int64, n int) []string {
+		g, err := NewGenerator(mix, shape, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		descs := make([]string, n)
+		for i := range descs {
+			op, err := g.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			descs[i] = op.Desc
+		}
+		return descs
+	}
+	a, b := draw(7, 500), draw(7, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged for same seed:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	c := draw(8, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestGeneratorIngestTimesStrictlyIncreasePerObject(t *testing.T) {
+	mix, err := ParseMix("ingest=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(mix, Shape{NumStates: 16, NumObjects: 3, Horizon: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]int{}
+	for i := 0; i < 30; i++ {
+		op, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Class != ClassIngest {
+			t.Fatalf("op %d class %q, want ingest", i, op.Class)
+		}
+		if op.Obs.Time <= 10 {
+			t.Fatalf("ingest time %d inside the query horizon", op.Obs.Time)
+		}
+		if prev, ok := last[op.ObjectID]; ok && op.Obs.Time <= prev {
+			t.Fatalf("object %d time %d not after %d", op.ObjectID, op.Obs.Time, prev)
+		}
+		last[op.ObjectID] = op.Obs.Time
+	}
+}
+
+func TestGeneratorCoversEveryClass(t *testing.T) {
+	mix, err := ParseMix(strings.Join(Classes, "=1,") + "=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(mix, Shape{NumStates: 64, NumObjects: 5, Horizon: 15}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 2000 && len(seen) < len(Classes); i++ {
+		op, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[op.Class] = true
+		if op.Class != ClassIngest && op.Desc == "" {
+			t.Fatalf("empty Desc for class %s", op.Class)
+		}
+	}
+	for _, c := range Classes {
+		if !seen[c] {
+			t.Errorf("class %s never drawn in 2000 ops", c)
+		}
+	}
+}

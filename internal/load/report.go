@@ -1,0 +1,176 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Report is the BENCH_LOAD.json schema: the machine-readable traffic
+// trajectory emitted next to BENCH.json so latency under load is
+// tracked per PR, not per anecdote.
+type Report struct {
+	Version int    `json:"version"`
+	Target  string `json:"target"` // inproc | http
+	Mix     string `json:"mix"`    // canonical mix spec
+	Seed    int64  `json:"seed"`
+	Shards  int    `json:"shards,omitempty"` // in-process shard count, when known
+	Steps   []Step `json:"steps"`
+}
+
+// Step is one rate point of a run (a fixed-duration run has one).
+type Step struct {
+	OfferedRate  float64                 `json:"offered_rate"`
+	AchievedRate float64                 `json:"achieved_rate"`
+	DurationS    float64                 `json:"duration_s"`
+	Dispatched   uint64                  `json:"dispatched"`
+	Dropped      uint64                  `json:"dropped"`
+	Classes      map[string]ClassSummary `json:"classes"`
+}
+
+// ClassSummary is one workload class's counters and latency quantiles
+// within a step. Latencies cover successful requests only; failures are
+// counted, not timed (an instant 429 would otherwise "improve" p50).
+type ClassSummary struct {
+	Count      uint64  `json:"count"`
+	Overloaded uint64  `json:"overloaded"`
+	Timeouts   uint64  `json:"timeouts"`
+	Errors     uint64  `json:"errors"`
+	Dropped    uint64  `json:"dropped"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	P999Ms     float64 `json:"p999_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// Summarize converts a finished StepResult into its report form.
+func Summarize(res *StepResult) Step {
+	step := Step{
+		OfferedRate:  res.OfferedRate,
+		AchievedRate: round3(res.AchievedRate),
+		DurationS:    round3(res.Elapsed.Seconds()),
+		Dispatched:   res.Dispatched,
+		Dropped:      res.Dropped,
+		Classes:      map[string]ClassSummary{},
+	}
+	for name, cr := range res.Classes {
+		s := cr.hist.Snapshot()
+		step.Classes[name] = ClassSummary{
+			Count:      s.Count,
+			Overloaded: cr.Overloaded.Load(),
+			Timeouts:   cr.Timeouts.Load(),
+			Errors:     cr.Errors.Load(),
+			Dropped:    cr.Dropped.Load(),
+			MeanMs:     round3(s.MeanMs),
+			P50Ms:      round3(s.P50Ms),
+			P90Ms:      round3(s.P90Ms),
+			P99Ms:      round3(s.P99Ms),
+			P999Ms:     round3(s.P999Ms),
+			MaxMs:      round3(s.MaxMs),
+		}
+	}
+	return step
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport loads a BENCH_LOAD.json file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("load: parsing %s: %w", path, err)
+	}
+	if len(r.Steps) == 0 {
+		return nil, fmt.Errorf("load: %s has no steps", path)
+	}
+	return &r, nil
+}
+
+// Finding is one regression (or notable change) from Analyze.
+type Finding struct {
+	// Step/Class locate the regression.
+	OfferedRate float64
+	Class       string
+	// Metric names what regressed (p99_ms, p999_ms, drop/err counts).
+	Metric   string
+	Old, New float64
+}
+
+func (f Finding) String() string {
+	if f.Old == 0 {
+		return fmt.Sprintf("rate %g %s: %s 0 -> %g", f.OfferedRate, f.Class, f.Metric, f.New)
+	}
+	return fmt.Sprintf("rate %g %s: %s %.3f -> %.3f (%+.0f%%)",
+		f.OfferedRate, f.Class, f.Metric, f.Old, f.New, (f.New/f.Old-1)*100)
+}
+
+// Analyze diffs two reports (old baseline, new candidate): for every
+// step present in both (matched by offered rate) and every class
+// present in both, a p99 (and p999) exceeding baseline·(1+tolerance)
+// plus an absolute floor of 0.2ms is a finding, as is a class that
+// newly drops or rejects requests. Analyzing a report against itself
+// returns nothing — the round-trip sanity the CI smoke pins.
+func Analyze(old, new_ *Report, tolerance float64) []Finding {
+	if tolerance <= 0 {
+		tolerance = 0.25
+	}
+	const floorMs = 0.2
+	oldSteps := map[float64]Step{}
+	for _, s := range old.Steps {
+		oldSteps[s.OfferedRate] = s
+	}
+	var findings []Finding
+	for _, ns := range new_.Steps {
+		base, ok := oldSteps[ns.OfferedRate]
+		if !ok {
+			continue
+		}
+		classes := make([]string, 0, len(ns.Classes))
+		for c := range ns.Classes {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			nc := ns.Classes[c]
+			oc, ok := base.Classes[c]
+			if !ok {
+				continue
+			}
+			check := func(metric string, oldV, newV float64) {
+				if newV > oldV*(1+tolerance) && newV-oldV > floorMs {
+					findings = append(findings, Finding{
+						OfferedRate: ns.OfferedRate, Class: c,
+						Metric: metric, Old: oldV, New: newV,
+					})
+				}
+			}
+			check("p99_ms", oc.P99Ms, nc.P99Ms)
+			check("p999_ms", oc.P999Ms, nc.P999Ms)
+			if oc.Overloaded+oc.Dropped == 0 && nc.Overloaded+nc.Dropped > 0 {
+				findings = append(findings, Finding{
+					OfferedRate: ns.OfferedRate, Class: c,
+					Metric: "overloaded+dropped",
+					Old:    0, New: float64(nc.Overloaded + nc.Dropped),
+				})
+			}
+		}
+	}
+	return findings
+}

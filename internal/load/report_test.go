@@ -1,0 +1,146 @@
+package load
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	mix, err := ParseMix("point=1,scan=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &StepResult{
+		OfferedRate:  100,
+		AchievedRate: 98.5,
+		Elapsed:      2 * time.Second,
+		Dispatched:   200,
+		Classes:      map[string]*ClassResult{AllClass: {hist: NewHist()}},
+	}
+	for _, c := range mix.ClassNames() {
+		res.Classes[c] = &ClassResult{hist: NewHist()}
+	}
+	for i := 0; i < 100; i++ {
+		d := time.Duration(i+1) * time.Millisecond
+		res.Classes[ClassPoint].hist.Record(uint64(i), d)
+		res.Classes[ClassPoint].OK.Add(1)
+		res.Classes[AllClass].hist.Record(uint64(i), d)
+		res.Classes[AllClass].OK.Add(1)
+	}
+	return &Report{
+		Version: 1, Target: "inproc", Mix: mix.String(), Seed: 7,
+		Steps: []Step{Summarize(res)},
+	}
+}
+
+func writeReport(t *testing.T, r *Report, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The acceptance-criterion round-trip: a report analyzed against itself
+// reports nothing, and survives a write/read cycle intact.
+func TestReportRoundTripAndSelfAnalyze(t *testing.T) {
+	r := sampleReport(t)
+	path := writeReport(t, r, "BENCH_LOAD.json")
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target != r.Target || got.Mix != r.Mix || got.Seed != r.Seed || len(got.Steps) != 1 {
+		t.Fatalf("round-trip mangled header: %+v", got)
+	}
+	if got.Steps[0].Classes[ClassPoint].P99Ms != r.Steps[0].Classes[ClassPoint].P99Ms {
+		t.Fatal("round-trip mangled quantiles")
+	}
+	if f := Analyze(got, got, 0.25); len(f) != 0 {
+		t.Fatalf("self-analyze found %d regressions: %v", len(f), f)
+	}
+}
+
+func TestAnalyzeFlagsP99Regression(t *testing.T) {
+	old := sampleReport(t)
+	cand := sampleReport(t)
+	cs := cand.Steps[0].Classes[ClassPoint]
+	cs.P99Ms = old.Steps[0].Classes[ClassPoint].P99Ms * 2
+	cand.Steps[0].Classes[ClassPoint] = cs
+
+	findings := Analyze(old, cand, 0.25)
+	if len(findings) == 0 {
+		t.Fatal("2x p99 regression not flagged")
+	}
+	f := findings[0]
+	if f.Class != ClassPoint || f.Metric != "p99_ms" {
+		t.Fatalf("finding = %+v, want point/p99_ms", f)
+	}
+	if f.String() == "" {
+		t.Fatal("empty finding string")
+	}
+}
+
+func TestAnalyzeFlagsNewOverload(t *testing.T) {
+	old := sampleReport(t)
+	cand := sampleReport(t)
+	cs := cand.Steps[0].Classes[ClassScan]
+	cs.Overloaded = 17
+	cand.Steps[0].Classes[ClassScan] = cs
+
+	findings := Analyze(old, cand, 0.25)
+	found := false
+	for _, f := range findings {
+		if f.Class == ClassScan && f.Metric == "overloaded+dropped" {
+			found = true
+			if f.New != 17 {
+				t.Fatalf("overload finding new = %g, want 17", f.New)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("newly-overloaded class not flagged; findings = %v", findings)
+	}
+}
+
+func TestAnalyzeIgnoresWithinTolerance(t *testing.T) {
+	old := sampleReport(t)
+	cand := sampleReport(t)
+	cs := cand.Steps[0].Classes[ClassPoint]
+	cs.P99Ms *= 1.10 // inside the 25% budget
+	cand.Steps[0].Classes[ClassPoint] = cs
+	if f := Analyze(old, cand, 0.25); len(f) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", f)
+	}
+}
+
+func TestAnalyzeSkipsUnmatchedSteps(t *testing.T) {
+	old := sampleReport(t)
+	cand := sampleReport(t)
+	cand.Steps[0].OfferedRate = 999 // no matching step in old
+	cs := cand.Steps[0].Classes[ClassPoint]
+	cs.P99Ms *= 10
+	cand.Steps[0].Classes[ClassPoint] = cs
+	if f := Analyze(old, cand, 0.25); len(f) != 0 {
+		t.Fatalf("unmatched step produced findings: %v", f)
+	}
+}
+
+func TestReadReportRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"steps":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}

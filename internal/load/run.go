@@ -1,0 +1,194 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes one open-loop run (one step of a ramp).
+type Config struct {
+	// Rate is the offered arrival rate in requests/second (Poisson).
+	Rate float64
+	// Duration is how long arrivals are generated; in-flight requests
+	// are drained afterwards (bounded by Timeout).
+	Duration time.Duration
+	// Seed fixes the generated request *sequence* (not arrival timing):
+	// the same seed, mix and shape replay the identical op stream.
+	Seed int64
+	// Timeout bounds each individual request. 0 means 5s.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently outstanding requests; arrivals past
+	// the cap are counted as dropped instead of launched (the open-loop
+	// queue has collapsed — that count IS the finding). 0 means 16384.
+	MaxInFlight int
+	// RequestLog, when set, receives one line per dispatched op (class +
+	// canonical request encoding) in dispatch order — the determinism
+	// witness and the input to offline analysis.
+	RequestLog io.Writer
+}
+
+// StepResult is one completed step: counters and latency summaries per
+// workload class plus the "_all" rollup.
+type StepResult struct {
+	OfferedRate  float64
+	AchievedRate float64
+	Elapsed      time.Duration
+	Dispatched   uint64
+	Dropped      uint64
+	Classes      map[string]*ClassResult
+}
+
+// ClassResult is one workload class's outcome within a step.
+type ClassResult struct {
+	hist *Hist
+
+	OK         atomic.Uint64
+	Overloaded atomic.Uint64
+	Timeouts   atomic.Uint64
+	Errors     atomic.Uint64
+	Dropped    atomic.Uint64
+}
+
+// AllClass is the rollup pseudo-class present in every step.
+const AllClass = "_all"
+
+// Run drives one open-loop step: Poisson arrivals at cfg.Rate against
+// target, ops drawn from gen in dispatch order, latencies recorded per
+// class. The call returns once every dispatched request completed (each
+// is individually bounded by cfg.Timeout, so drain is bounded too).
+// Cancelling ctx stops dispatching early; in-flight requests still
+// drain.
+func Run(ctx context.Context, target Target, gen *Generator, mix Mix, cfg Config) (*StepResult, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("load: rate must be > 0, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: duration must be > 0, got %v", cfg.Duration)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 16384
+	}
+
+	res := &StepResult{OfferedRate: cfg.Rate, Classes: map[string]*ClassResult{AllClass: {hist: NewHist()}}}
+	for _, c := range mix.ClassNames() {
+		res.Classes[c] = &ClassResult{hist: NewHist()}
+	}
+
+	// Arrival timing uses its own RNG so the op sequence (gen's RNG) is
+	// independent of scheduling — the determinism contract.
+	arrivals := rand.New(rand.NewSource(cfg.Seed ^ 0x5851f42d4c957f2d))
+
+	var (
+		wg       sync.WaitGroup
+		inFlight atomic.Int64
+		index    uint64
+	)
+	start := time.Now()
+	next := start
+	deadline := start.Add(cfg.Duration)
+
+	for {
+		// Exponential inter-arrival gap: a Poisson process at cfg.Rate.
+		gap := time.Duration(arrivals.ExpFloat64() / cfg.Rate * float64(time.Second))
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		// If we're behind schedule (or ctx fired), dispatch immediately /
+		// stop: open loop never re-times arrivals to hide queueing.
+		if ctx.Err() != nil {
+			break
+		}
+		op, err := gen.Next()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.RequestLog != nil {
+			fmt.Fprintf(cfg.RequestLog, "%d %s\n", index, op.Desc)
+		}
+		res.Dispatched++
+		cls := res.Classes[op.Class]
+		if inFlight.Load() >= int64(cfg.MaxInFlight) {
+			res.Dropped++
+			cls.Dropped.Add(1)
+			index++
+			continue
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go func(op Op, hint uint64) {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			err := execute(rctx, target, op)
+			d := time.Since(t0)
+			switch Classify(err) {
+			case OutcomeOK:
+				cls.OK.Add(1)
+				cls.hist.Record(hint, d)
+				all := res.Classes[AllClass]
+				all.OK.Add(1)
+				all.hist.Record(hint, d)
+			case OutcomeOverloaded:
+				cls.Overloaded.Add(1)
+				res.Classes[AllClass].Overloaded.Add(1)
+			case OutcomeTimeout:
+				cls.Timeouts.Add(1)
+				res.Classes[AllClass].Timeouts.Add(1)
+			default:
+				cls.Errors.Add(1)
+				res.Classes[AllClass].Errors.Add(1)
+			}
+		}(op, index)
+		index++
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.AchievedRate = float64(res.Classes[AllClass].OK.Load()) / s
+	}
+	return res, nil
+}
+
+// execute routes one op to the target surface its class exercises.
+func execute(ctx context.Context, t Target, op Op) error {
+	switch op.Class {
+	case ClassScan:
+		return t.Stream(ctx, op.Req)
+	case ClassSubscribe:
+		return t.SubscribeOnce(ctx, op.Req)
+	case ClassIngest:
+		return t.Observe(ctx, op.ObjectID, op.Obs)
+	default:
+		return t.Query(ctx, op.Req)
+	}
+}
+
+// RampRates expands a "start:end:step" ramp into its rate ladder.
+func RampRates(start, end, step float64) ([]float64, error) {
+	if start <= 0 || end < start || step <= 0 {
+		return nil, fmt.Errorf("load: bad ramp %g:%g:%g (want 0 < start ≤ end, step > 0)", start, end, step)
+	}
+	var rates []float64
+	for r := start; r <= end+1e-9; r += step {
+		rates = append(rates, math.Round(r*1000)/1000)
+	}
+	return rates, nil
+}

@@ -1,0 +1,216 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ust/client"
+	"ust/internal/core"
+	"ust/internal/gen"
+	"ust/internal/service"
+)
+
+func loadTestService(t *testing.T, shards int) *service.Service {
+	t.Helper()
+	ds, err := gen.Generate(gen.Params{
+		NumObjects: 12, NumStates: 64,
+		ObjectSpread: 3, StateSpread: 3, MaxStep: 10, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase(ds.Chain)
+	for i, o := range ds.Objects {
+		if err := db.AddSimple(i, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := service.New(service.Config{Shards: shards})
+	if err := svc.Create("load", db, nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// fullMix covers every class except expr: compound expressions require
+// single-observation objects, so expr cannot ride in an ingest soak
+// (TestRunExprClass covers it on a read-only mix).
+func fullMix(t *testing.T) Mix {
+	t.Helper()
+	m, err := ParseMix("point=2,scan=1,topk=1,threshold=1,count=1,subscribe=0.2,ingest=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runStep drives a short open-loop step against the target and asserts
+// the basic accounting invariants hold.
+func runStep(t *testing.T, target Target, logW *bytes.Buffer) *StepResult {
+	t.Helper()
+	mix := fullMix(t)
+	shape, err := ShapeOf(context.Background(), target, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(mix, shape, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqLog *bytes.Buffer
+	if logW != nil {
+		reqLog = logW
+	}
+	cfg := Config{Rate: 400, Duration: 300 * time.Millisecond, Seed: 7, Timeout: 5 * time.Second}
+	if reqLog != nil {
+		cfg.RequestLog = reqLog
+	}
+	res, err := Run(context.Background(), target, g, mix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched == 0 {
+		t.Fatal("no requests dispatched in 300ms at 400/s")
+	}
+	all := res.Classes[AllClass]
+	total := all.OK.Load() + all.Overloaded.Load() + all.Timeouts.Load() + all.Errors.Load() + all.Dropped.Load()
+	if total != res.Dispatched {
+		t.Fatalf("outcome counts %d != dispatched %d", total, res.Dispatched)
+	}
+	if all.Errors.Load() > 0 {
+		t.Fatalf("%d hard errors against a healthy target (target=%s)", all.Errors.Load(), target.Name())
+	}
+	if all.OK.Load() == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if res.AchievedRate <= 0 {
+		t.Fatalf("achieved rate %g, want > 0", res.AchievedRate)
+	}
+	return res
+}
+
+func TestRunInProcess(t *testing.T) {
+	svc := loadTestService(t, 1)
+	runStep(t, &InProcTarget{Svc: svc, Dataset: "load"}, nil)
+}
+
+func TestRunInProcessSharded(t *testing.T) {
+	svc := loadTestService(t, 4)
+	runStep(t, &InProcTarget{Svc: svc, Dataset: "load"}, nil)
+}
+
+func TestRunRemote(t *testing.T) {
+	svc := loadTestService(t, 1)
+	ts := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(ts.Close)
+	c := client.NewWithConfig(ts.URL, client.Config{MaxIdleConnsPerHost: 64})
+	runStep(t, &RemoteTarget{Client: c, Dataset: "load"}, nil)
+}
+
+// The satellite determinism pin at the Run level: two runs with one seed
+// dispatch the identical op sequence (the request log diffs clean), even
+// though arrival timing and completion order float.
+func TestRunRequestLogDeterministic(t *testing.T) {
+	var logA, logB bytes.Buffer
+	svcA := loadTestService(t, 1)
+	runStep(t, &InProcTarget{Svc: svcA, Dataset: "load"}, &logA)
+	svcB := loadTestService(t, 1)
+	runStep(t, &InProcTarget{Svc: svcB, Dataset: "load"}, &logB)
+
+	a, b := logA.Bytes(), logB.Bytes()
+	// Timing jitter can cut the two arrival windows at different op
+	// counts; the shared prefix must match exactly.
+	n := min(len(a), len(b))
+	if n == 0 {
+		t.Fatal("empty request logs")
+	}
+	if !bytes.Equal(a[:n], b[:n]) {
+		t.Fatal("request logs diverged within the shared prefix: op sequence is not seed-deterministic")
+	}
+}
+
+// expr queries work on read-only mixes (compound expressions reject
+// multi-observation objects, so no ingest alongside).
+func TestRunExprClass(t *testing.T) {
+	svc := loadTestService(t, 1)
+	target := &InProcTarget{Svc: svc, Dataset: "load"}
+	mix, err := ParseMix("expr=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(mix, Shape{NumStates: 64, NumObjects: 12, Horizon: 12}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), target, g, mix, Config{
+		Rate: 200, Duration: 200 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.Classes[AllClass]
+	if all.Errors.Load() > 0 {
+		t.Fatalf("%d expr errors on a read-only dataset", all.Errors.Load())
+	}
+	if all.OK.Load() == 0 {
+		t.Fatal("no expr query succeeded")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	svc := loadTestService(t, 1)
+	target := &InProcTarget{Svc: svc, Dataset: "load"}
+	mix := fullMix(t)
+	g, err := NewGenerator(mix, Shape{NumStates: 64, NumObjects: 12, Horizon: 12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), target, g, mix, Config{Rate: 0, Duration: time.Second}); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := Run(context.Background(), target, g, mix, Config{Rate: 10, Duration: 0}); err == nil {
+		t.Error("duration 0 accepted")
+	}
+}
+
+func TestRampRates(t *testing.T) {
+	rates, err := RampRates(100, 300, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 3 || rates[0] != 100 || rates[2] != 300 {
+		t.Fatalf("ramp = %v, want [100 200 300]", rates)
+	}
+	if _, err := RampRates(0, 10, 5); err == nil {
+		t.Error("start 0 accepted")
+	}
+	if _, err := RampRates(10, 5, 5); err == nil {
+		t.Error("end < start accepted")
+	}
+	if _, err := RampRates(10, 20, 0); err == nil {
+		t.Error("step 0 accepted")
+	}
+}
+
+func TestClassifyOutcomes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Outcome
+	}{
+		{nil, OutcomeOK},
+		{service.ErrOverloaded, OutcomeOverloaded},
+		{&client.APIError{Status: 429}, OutcomeOverloaded},
+		{&client.APIError{Status: 503}, OutcomeOverloaded},
+		{&client.APIError{Status: 500}, OutcomeError},
+		{context.DeadlineExceeded, OutcomeTimeout},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ust/client"
+	"ust/internal/core"
+	"ust/internal/markov"
+	"ust/internal/service"
+)
+
+// noisySightingPDF is the ingest payload: a strong peak at the sighted
+// state over a uniform full-support background. Full support keeps the
+// observation consistent with any motion model — a point observation at
+// a random state is usually unreachable from the object's trajectory
+// and would poison every later query on that object with a
+// mutually-impossible-observations error.
+func noisySightingPDF(numStates, state int) *markov.Distribution {
+	states := make([]int, numStates)
+	weights := make([]float64, numStates)
+	for i := range states {
+		states[i] = i
+		weights[i] = 1
+	}
+	weights[state] = float64(numStates)
+	d, err := markov.WeightedOver(numStates, states, weights)
+	if err != nil {
+		// Unreachable: the weights above are positive and finite.
+		panic(err)
+	}
+	return d
+}
+
+// Target is one deployment shape under load: the in-process Service,
+// a remote ustserve (or coordinator — same wire contract) via
+// ust/client. Every method is safe for concurrent use; errors are
+// classified by Classify.
+type Target interface {
+	// Query answers one batch request (point, topk, threshold, expr,
+	// count classes).
+	Query(ctx context.Context, req core.Request) error
+	// Stream drains one streaming scan.
+	Stream(ctx context.Context, req core.Request) error
+	// SubscribeOnce opens a standing query, waits for the first
+	// (snapshot) update, and closes it — the time-to-consistent-snapshot
+	// latency of the subscribe surface.
+	SubscribeOnce(ctx context.Context, req core.Request) error
+	// Observe ingests one observation.
+	Observe(ctx context.Context, objectID int, obs core.Observation) error
+	// Name labels the target in BENCH_LOAD.json.
+	Name() string
+}
+
+// --- in-process -------------------------------------------------------------
+
+// InProcTarget drives a Service in the same process — the deployment
+// shape of embedders, and the zero-network baseline the remote shapes
+// are compared against.
+type InProcTarget struct {
+	Svc     *service.Service
+	Dataset string
+}
+
+func (t *InProcTarget) Name() string { return "inproc" }
+
+func (t *InProcTarget) Query(ctx context.Context, req core.Request) error {
+	_, err := t.Svc.Evaluate(ctx, t.Dataset, req)
+	return err
+}
+
+func (t *InProcTarget) Stream(ctx context.Context, req core.Request) error {
+	for _, err := range t.Svc.Stream(ctx, t.Dataset, req) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *InProcTarget) SubscribeOnce(ctx context.Context, req core.Request) error {
+	sub, err := t.Svc.Subscribe(ctx, t.Dataset, req)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	select {
+	case _, ok := <-sub.Updates():
+		if !ok {
+			return sub.Err()
+		}
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (t *InProcTarget) Observe(ctx context.Context, objectID int, obs core.Observation) error {
+	return t.Svc.Observe(t.Dataset, objectID, obs)
+}
+
+// --- remote -----------------------------------------------------------------
+
+// RemoteTarget drives a ustserve (or a coordinator fronting a worker
+// fleet — the wire contract is identical) through ust/client.
+type RemoteTarget struct {
+	Client  *client.Client
+	Dataset string
+}
+
+func (t *RemoteTarget) Name() string { return "http" }
+
+func (t *RemoteTarget) Query(ctx context.Context, req core.Request) error {
+	_, err := t.Client.Query(ctx, t.Dataset, req)
+	return err
+}
+
+func (t *RemoteTarget) Stream(ctx context.Context, req core.Request) error {
+	return t.Client.QueryStream(ctx, t.Dataset, req, func(core.Result) error { return nil })
+}
+
+func (t *RemoteTarget) SubscribeOnce(ctx context.Context, req core.Request) error {
+	sub, err := t.Client.Subscribe(ctx, t.Dataset, req)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	select {
+	case _, ok := <-sub.Updates():
+		if !ok {
+			return sub.Err()
+		}
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (t *RemoteTarget) Observe(ctx context.Context, objectID int, obs core.Observation) error {
+	return t.Client.Observe(ctx, t.Dataset, objectID, obs)
+}
+
+// ShapeOf derives the generator's dataset shape from a target's dataset
+// info (dense ids 0..Objects-1 assumed, which is what ustgen and
+// GenerateSyntheticDatabase emit).
+func ShapeOf(ctx context.Context, t Target, horizon int) (Shape, error) {
+	switch tt := t.(type) {
+	case *InProcTarget:
+		info, err := tt.Svc.Info(tt.Dataset)
+		if err != nil {
+			return Shape{}, err
+		}
+		return Shape{NumStates: info.States, NumObjects: info.Objects, Horizon: horizon}, nil
+	case *RemoteTarget:
+		info, err := tt.Client.Dataset(ctx, tt.Dataset)
+		if err != nil {
+			return Shape{}, err
+		}
+		return Shape{NumStates: info.States, NumObjects: info.Objects, Horizon: horizon}, nil
+	default:
+		return Shape{}, fmt.Errorf("load: unknown target type %T", t)
+	}
+}
+
+// Outcome classifies one request's result for the per-class counters.
+type Outcome int
+
+const (
+	OutcomeOK Outcome = iota
+	OutcomeOverloaded
+	OutcomeTimeout
+	OutcomeError
+)
+
+// Classify maps an error onto its outcome bucket: admission rejection
+// (in-process ErrOverloaded, remote HTTP 429) is overload; a deadline
+// hit is a timeout; everything else is an error.
+func Classify(err error) Outcome {
+	if err == nil {
+		return OutcomeOK
+	}
+	if errors.Is(err, service.ErrOverloaded) {
+		return OutcomeOverloaded
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return OutcomeOverloaded
+		}
+		return OutcomeError
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return OutcomeTimeout
+	}
+	return OutcomeError
+}

@@ -92,13 +92,21 @@ func (lw *lineWriter) writeLine(v any) bool {
 	return true
 }
 
-// NewHandler builds the HTTP front end over svc.
+// NewHandler builds the HTTP front end over svc. Every route is
+// instrumented: handling latency lands in the per-endpoint, per-outcome
+// ust_request_duration_seconds histogram and the per-status
+// ust_http_requests_total counter, so client-observed latency (what an
+// open-loop driver like ustload measures) can be correlated with
+// server-observed handling time.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, svc.instrument(endpoint, h))
+	}
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /readyz", "readyz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness ≠ readiness: the process answers /healthz from the
 		// moment it listens, but /readyz only once startup loading is done
 		// and until drain begins — the signal a load balancer or the
@@ -110,9 +118,11 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Deliberately uninstrumented: scrapes must not perturb the
+		// latency distributions they read.
 		svc.writeMetrics(w)
 	})
-	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/datasets", "datasets", func(w http.ResponseWriter, r *http.Request) {
 		infos := svc.Datasets()
 		out := make([]wire.DatasetInfo, len(infos))
 		for i, in := range infos {
@@ -120,7 +130,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
-	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/datasets/{name}", "datasets", func(w http.ResponseWriter, r *http.Request) {
 		info, err := svc.Info(r.PathValue("name"))
 		if err != nil {
 			writeError(w, err)
@@ -128,7 +138,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, wireInfo(info))
 	})
-	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/datasets/{name}", "datasets", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if err := svc.Load(name, io.LimitReader(r.Body, maxUploadBody)); err != nil {
 			writeError(w, err)
@@ -141,46 +151,24 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusCreated, wireInfo(info))
 	})
-	mux.HandleFunc("DELETE /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/datasets/{name}", "datasets", func(w http.ResponseWriter, r *http.Request) {
 		if err := svc.Drop(r.PathValue("name")); err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
 	})
-	mux.HandleFunc("POST /v1/datasets/{name}/observe", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleObserve(w, r)
-	})
-	mux.HandleFunc("POST /v1/datasets/{name}/objects", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleTrack(w, r)
-	})
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleQuery(w, r)
-	})
-	mux.HandleFunc("POST /v1/query/stream", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleQueryStream(w, r)
-	})
-	mux.HandleFunc("POST /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleSubscribe(w, r)
-	})
-	mux.HandleFunc("POST /v1/factors", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleFactors(w, r)
-	})
-	mux.HandleFunc("POST /v1/datasets/{name}/import", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleImport(w, r)
-	})
-	mux.HandleFunc("POST /v1/datasets/{name}/evict", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleEvict(w, r)
-	})
-	mux.HandleFunc("POST /v1/sweeps/acquire", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleSweepAcquire(w, r)
-	})
-	mux.HandleFunc("POST /v1/sweeps/fill", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleSweepFill(w, r)
-	})
-	mux.HandleFunc("POST /v1/sweeps/release", func(w http.ResponseWriter, r *http.Request) {
-		svc.handleSweepRelease(w, r)
-	})
+	handle("POST /v1/datasets/{name}/observe", "observe", svc.handleObserve)
+	handle("POST /v1/datasets/{name}/objects", "track", svc.handleTrack)
+	handle("POST /v1/query", "query", svc.handleQuery)
+	handle("POST /v1/query/stream", "stream", svc.handleQueryStream)
+	handle("POST /v1/subscribe", "subscribe", svc.handleSubscribe)
+	handle("POST /v1/factors", "factors", svc.handleFactors)
+	handle("POST /v1/datasets/{name}/import", "import", svc.handleImport)
+	handle("POST /v1/datasets/{name}/evict", "evict", svc.handleEvict)
+	handle("POST /v1/sweeps/acquire", "sweeps", svc.handleSweepAcquire)
+	handle("POST /v1/sweeps/fill", "sweeps", svc.handleSweepFill)
+	handle("POST /v1/sweeps/release", "sweeps", svc.handleSweepRelease)
 	return mux
 }
 
@@ -558,7 +546,11 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, ErrStaleLease):
 		status = http.StatusConflict
 	case errors.Is(err, ErrOverloaded):
-		status = http.StatusServiceUnavailable
+		// 429, not 503: the server is up but admission control shed the
+		// request — the signal an open-loop client should back off on,
+		// and distinct from the retryable 5xx family (hammering an
+		// overloaded server with retries makes the overload worse).
+		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, wire.ErrDecode), errors.Is(err, ErrNoResolver),
@@ -609,6 +601,7 @@ func (s *Service) writeMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(w, "ust_dataset_objects{dataset=\"%s\"} %d\n", label, info.Objects)
 		fmt.Fprintf(w, "ust_dataset_version{dataset=\"%s\"} %d\n", label, info.Version)
 	}
+	s.httpMetrics.write(w)
 }
 
 // promLabel escapes a label value per the Prometheus text exposition

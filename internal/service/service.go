@@ -156,6 +156,10 @@ type Service struct {
 	// construction.
 	ready       atomic.Bool
 	ringMembers atomic.Int64
+	// httpMetrics backs the per-endpoint latency histograms and
+	// status-code counters of /metrics (see metrics.go); populated by
+	// the HTTP layer's instrumented handlers.
+	httpMetrics *httpMetrics
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
@@ -205,10 +209,11 @@ func New(cfg Config) *Service {
 		cfg.MaxConcurrent = DefaultMaxConcurrent
 	}
 	s := &Service{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
-		sweeps:   NewSweepBoard(0, 0),
-		datasets: map[string]*dataset{},
+		cfg:         cfg,
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		sweeps:      NewSweepBoard(0, 0),
+		datasets:    map[string]*dataset{},
+		httpMetrics: newHTTPMetrics(),
 	}
 	s.flight = flightGroup{calls: map[string]*flightCall{}, coalesced: &s.coalesced}
 	s.ready.Store(true)

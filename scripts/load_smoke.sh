@@ -1,0 +1,94 @@
+#!/bin/sh
+# Load smoke: a short, seeded ustload run against each deployment shape
+# — in-process, in-process -shards 4, and a real ustserve -shards 4
+# over HTTP — asserting each produces a well-formed BENCH_LOAD.json
+# with per-class quantiles, that `ustload analyze` round-trips its own
+# output clean, that `benchjson -load` gates the report through the
+# same machinery as BENCH.json, and that the server exposes the
+# per-endpoint latency histograms the run just exercised.
+# `make load-smoke` runs this; it is part of `make ci`.
+set -eu
+
+GO=${GO:-go}
+PORT=${PORT:-7187}
+TMP=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-smoke: building"
+$GO build -o "$TMP/ustgen" ./cmd/ustgen
+$GO build -o "$TMP/ustserve" ./cmd/ustserve
+$GO build -o "$TMP/ustload" ./cmd/ustload
+
+# Small but non-trivial: 200 objects over 2000 states keeps every class
+# (including the ingest soak) meaningful at CI cost.
+LOAD_ARGS="-rate 150 -duration 1s -seed 7 -timeout 10s"
+
+echo "load-smoke: in-process run"
+"$TMP/ustload" $LOAD_ARGS -objects 200 -states 2000 -gen-seed 7 \
+    -o "$TMP/inproc.json" -log "$TMP/inproc.log" 2>"$TMP/inproc.err" \
+    || { cat "$TMP/inproc.err"; exit 1; }
+grep -q '"p99_ms"' "$TMP/inproc.json"
+grep -q '"achieved_rate"' "$TMP/inproc.json"
+grep -q '"_all"' "$TMP/inproc.json"
+# The request log must exist and carry the dispatched ops in order.
+[ -s "$TMP/inproc.log" ]
+grep -q '^0 ' "$TMP/inproc.log"
+
+echo "load-smoke: in-process run, -shards 4"
+"$TMP/ustload" $LOAD_ARGS -objects 200 -states 2000 -gen-seed 7 -shards 4 \
+    -o "$TMP/sharded.json" 2>"$TMP/sharded.err" \
+    || { cat "$TMP/sharded.err"; exit 1; }
+grep -q '"shards": 4' "$TMP/sharded.json"
+
+echo "load-smoke: ustserve -shards 4 over HTTP"
+"$TMP/ustgen" -o "$TMP/smoke.ust" -objects 200 -states 2000 -seed 7 >/dev/null
+"$TMP/ustserve" -addr "127.0.0.1:$PORT" -shards 4 -dataset smoke="$TMP/smoke.ust" 2>"$TMP/server.log" &
+SRV_PID=$!
+BASE="http://127.0.0.1:$PORT"
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -gt 50 ]; then
+        echo "load-smoke: server never became healthy"; cat "$TMP/server.log"; exit 1
+    fi
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "load-smoke: server died"; cat "$TMP/server.log"; exit 1; }
+    sleep 0.2
+done
+"$TMP/ustload" $LOAD_ARGS -remote "$BASE" -dataset smoke \
+    -o "$TMP/remote.json" 2>"$TMP/remote.err" \
+    || { cat "$TMP/remote.err"; cat "$TMP/server.log"; exit 1; }
+grep -q '"target": "http"' "$TMP/remote.json"
+
+echo "load-smoke: server-side latency histograms recorded the run"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.out"
+grep -q 'ust_request_duration_seconds_bucket{endpoint="query"' "$TMP/metrics.out"
+grep -q 'ust_http_requests_total{endpoint="query",code="200"}' "$TMP/metrics.out"
+grep -q 'ust_http_requests_total{endpoint="observe",code="200"}' "$TMP/metrics.out"
+kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "load-smoke: analyze round-trips its own output"
+for f in inproc sharded remote; do
+    "$TMP/ustload" analyze "$TMP/$f.json" "$TMP/$f.json" 2>/dev/null \
+        || { echo "load-smoke: self-analyze of $f.json found regressions"; exit 1; }
+done
+
+echo "load-smoke: analyze flags a fabricated p99 regression"
+sed 's/"p99_ms": \([0-9.]*\)/"p99_ms": 99999/' "$TMP/inproc.json" >"$TMP/regressed.json"
+if "$TMP/ustload" analyze "$TMP/inproc.json" "$TMP/regressed.json" 2>"$TMP/analyze.err"; then
+    echo "load-smoke: analyze missed an obvious regression"; exit 1
+fi
+grep -q 'REGRESSION' "$TMP/analyze.err"
+
+echo "load-smoke: benchjson -load gates BENCH_LOAD.json through the bench machinery"
+$GO run ./cmd/benchjson -load "$TMP/remote.json" -o "$TMP/load_summary.json" \
+    -baseline "$TMP/remote.json" -gate Load -gate-metric p99_ms 2>"$TMP/benchjson.err" \
+    || { cat "$TMP/benchjson.err"; exit 1; }
+grep -q '"Load/_all@150"' "$TMP/load_summary.json"
+
+echo "load-smoke: OK"
