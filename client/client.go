@@ -113,6 +113,19 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server returned %d", e.Status)
 }
 
+// ServerStreamError is an error the server reported mid-stream: the
+// evaluation itself failed on the server, as opposed to the connection
+// being cut (which surfaces as a plain error). Evaluation is
+// deterministic, so callers implementing replica failover must not
+// retry a ServerStreamError elsewhere — it reproduces identically.
+type ServerStreamError struct {
+	Msg string
+}
+
+func (e *ServerStreamError) Error() string {
+	return fmt.Sprintf("client: server error mid-stream: %s", e.Msg)
+}
+
 // apiError converts a non-2xx response into an *APIError carrying the
 // server's message.
 func apiError(resp *http.Response) error {
@@ -181,7 +194,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if att >= retries || !retryable(ctx, err) {
 			return nil, lastErr
 		}
-		d := min(c.cfg.RetryBase<<att, c.cfg.RetryMax)
+		d := backoff(c.cfg.RetryBase, c.cfg.RetryMax, att)
 		d = time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
 		t := time.NewTimer(d)
 		select {
@@ -191,6 +204,20 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		case <-t.C:
 		}
 	}
+}
+
+// backoff is the exponential delay before retry attempt att: base·2^att
+// saturated at limit. The shift is clamped — base<<att overflows
+// time.Duration once att is large enough (a caller setting MaxRetries
+// in the hundreds), and an overflowed negative/zero delay would turn
+// backoff into a hot retry loop.
+func backoff(base, limit time.Duration, att int) time.Duration {
+	// base·2^att > limit ⟺ base > limit>>att (exact for positive ints;
+	// Go shifts by ≥ 64 yield 0, so huge att saturates too).
+	if att < 0 || base <= 0 || uint(att) > 62 || base > limit>>uint(att) {
+		return limit
+	}
+	return base << uint(att)
 }
 
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, idempotent bool) error {
@@ -459,7 +486,7 @@ func (c *Client) QueryStream(ctx context.Context, dataset string, req ust.Reques
 			}
 			switch {
 			case sl.Error != "":
-				return fmt.Errorf("client: server error mid-stream: %s", sl.Error)
+				return &ServerStreamError{Msg: sl.Error}
 			case sl.Done:
 				return nil
 			case sl.Result != nil:

@@ -106,6 +106,40 @@ func TestNoRetryOnIngest(t *testing.T) {
 	}
 }
 
+// TestBackoffClamp pins the shift bound: base·2^att saturates at
+// RetryMax instead of overflowing time.Duration into negative or zero
+// sleeps when the attempt count grows (the hot-retry-loop bug).
+func TestBackoffClamp(t *testing.T) {
+	base, limit := 50*time.Millisecond, 2*time.Second
+	prev := time.Duration(0)
+	for att := 0; att <= 200; att++ {
+		d := backoff(base, limit, att)
+		if d <= 0 || d > limit {
+			t.Fatalf("att %d: backoff %v outside (0, %v]", att, d, limit)
+		}
+		if d < prev {
+			t.Fatalf("att %d: backoff %v decreased from %v", att, d, prev)
+		}
+		prev = d
+	}
+	if got := backoff(base, limit, 0); got != base {
+		t.Errorf("att 0: got %v, want base %v", got, base)
+	}
+	if got := backoff(base, limit, 2); got != 4*base {
+		t.Errorf("att 2: got %v, want %v", got, 4*base)
+	}
+	if got := backoff(base, limit, 6); got != limit {
+		t.Errorf("att 6: got %v, want saturation at %v", got, limit)
+	}
+	// The exact overflow shape of the old code: att ≥ 63 shifted every
+	// bit out; att near 62 went negative. Both must saturate now.
+	for _, att := range []int{61, 62, 63, 64, 127, 1 << 20} {
+		if got := backoff(base, limit, att); got != limit {
+			t.Errorf("att %d: got %v, want %v", att, got, limit)
+		}
+	}
+}
+
 // TestNoRetryOnContextCancel pins that cancellation is terminal: a
 // cancelled context never burns retry attempts.
 func TestNoRetryOnContextCancel(t *testing.T) {

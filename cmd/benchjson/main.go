@@ -179,6 +179,10 @@ func stdinResults() []Result {
 // loadResults converts a BENCH_LOAD.json report into pseudo-benchmark
 // results so the existing gate machinery applies to latency under load:
 // one result per (class, offered rate), metrics carrying the quantiles.
+// The schema version is baked into the package key: a v1 baseline and a
+// v2 candidate then share no keys, so the gate reports "no baseline
+// entry" instead of silently comparing quantiles whose semantics
+// changed between versions.
 func loadResults(r *load.Report) []Result {
 	var out []Result
 	for _, s := range r.Steps {
@@ -191,17 +195,19 @@ func loadResults(r *load.Report) []Result {
 			cs := s.Classes[c]
 			out = append(out, Result{
 				Name:       fmt.Sprintf("Load/%s@%g", c, s.OfferedRate),
-				Package:    "ust/internal/load",
+				Package:    fmt.Sprintf("ust/internal/load/v%d", r.Version),
 				Iterations: int64(cs.Count),
 				NsPerOp:    cs.MeanMs * 1e6,
 				Metrics: map[string]float64{
-					"p50_ms":     cs.P50Ms,
-					"p90_ms":     cs.P90Ms,
-					"p99_ms":     cs.P99Ms,
-					"p999_ms":    cs.P999Ms,
-					"max_ms":     cs.MaxMs,
-					"overloaded": float64(cs.Overloaded),
-					"dropped":    float64(cs.Dropped),
+					"p50_ms":           cs.P50Ms,
+					"p90_ms":           cs.P90Ms,
+					"p99_ms":           cs.P99Ms,
+					"p999_ms":          cs.P999Ms,
+					"max_ms":           cs.MaxMs,
+					"intended_p99_ms":  cs.IntendedP99Ms,
+					"intended_p999_ms": cs.IntendedP999Ms,
+					"overloaded":       float64(cs.Overloaded),
+					"dropped":          float64(cs.Dropped),
 				},
 			})
 		}

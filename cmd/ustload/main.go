@@ -121,7 +121,7 @@ func runMain(args []string) {
 		defer reqLog.Close()
 	}
 
-	report := &load.Report{Version: 1, Target: target.Name(), Mix: mix.String(), Seed: *seed, Shards: shardsUsed}
+	report := &load.Report{Version: load.ReportVersion, Target: target.Name(), Mix: mix.String(), Seed: *seed, Shards: shardsUsed}
 	for i, r := range rates {
 		// Each step draws a fresh deterministic op stream; the derived
 		// seed keeps steps distinct while the whole ramp stays a pure
@@ -227,8 +227,8 @@ func printStep(s load.Step) {
 }
 
 func printClass(name string, c load.ClassSummary) {
-	fmt.Fprintf(os.Stderr, "  %-10s n=%-6d p50=%.2fms p90=%.2fms p99=%.2fms p999=%.2fms max=%.2fms over=%d to=%d err=%d drop=%d\n",
-		name, c.Count, c.P50Ms, c.P90Ms, c.P99Ms, c.P999Ms, c.MaxMs,
+	fmt.Fprintf(os.Stderr, "  %-10s n=%-6d p50=%.2fms p90=%.2fms p99=%.2fms p999=%.2fms max=%.2fms int_p99=%.2fms over=%d to=%d err=%d drop=%d\n",
+		name, c.Count, c.P50Ms, c.P90Ms, c.P99Ms, c.P999Ms, c.MaxMs, c.IntendedP99Ms,
 		c.Overloaded, c.Timeouts, c.Errors, c.Dropped)
 }
 
@@ -268,7 +268,10 @@ func analyzeMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	findings := load.Analyze(oldR, newR, *tolerance)
+	findings, err := load.Analyze(oldR, newR, *tolerance)
+	if err != nil {
+		fatal(err)
+	}
 	if len(findings) == 0 {
 		fmt.Fprintf(os.Stderr, "ustload analyze: no regressions (%d step(s) in %s vs %d in %s)\n",
 			len(oldR.Steps), fs.Arg(0), len(newR.Steps), fs.Arg(1))

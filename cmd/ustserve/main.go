@@ -26,6 +26,16 @@
 // /v1/sweeps; point each worker's -sweep-tier at the coordinator so the
 // fleet computes each distinct backward sweep exactly once.
 //
+// -replicas k (coordinator mode) places every shard on its top-k
+// workers by the rendezvous ring: writes mirror to all replicas under
+// the generation fence, and reads go to the primary with automatic
+// failover to the next live replica on connection failure or
+// probe-declared death — byte-identical results either way, so a
+// killed worker costs availability of nothing. The coordinator probes
+// every worker's /readyz on -probe-interval (consecutive-failure
+// thresholds, no flapping) and exposes ust_worker_healthy{worker} at
+// /metrics.
+//
 // Endpoints:
 //
 //	GET  /healthz                    liveness
@@ -74,6 +84,8 @@ func main() {
 	shards := flag.Int("shards", 1, "shard engines per dataset (>1 = consistent-hash scale-out, byte-identical results)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	coordinator := flag.Bool("coordinator", false, "serve datasets through a ring of remote workers (-worker URLs)")
+	replicas := flag.Int("replicas", 1, "replicas per shard in -coordinator mode (>1 = health-probed read failover)")
+	probeEvery := flag.Duration("probe-interval", time.Second, "worker health-probe period in -coordinator mode")
 	sweepTier := flag.String("sweep-tier", "", "coordinator URL whose /v1/sweeps lease tier this worker joins")
 	var workers []string
 	flag.Func("worker", "worker base URL for -coordinator mode (repeatable)", func(v string) error {
@@ -102,7 +114,14 @@ func main() {
 		DefaultTimeout: *timeout,
 		Shards:         *shards,
 	}
+	if *replicas < 1 {
+		fatal(fmt.Errorf("-replicas must be ≥ 1, got %d", *replicas))
+	}
+	if *replicas > 1 && !*coordinator {
+		fatal(fmt.Errorf("-replicas only applies to -coordinator mode"))
+	}
 	ringMembers := *shards
+	var prober *dist.Prober
 	if *coordinator {
 		if len(workers) == 0 {
 			fatal(fmt.Errorf("-coordinator needs at least one -worker URL"))
@@ -117,12 +136,34 @@ func main() {
 			n = len(workers)
 		}
 		ringMembers = n
-		cfg.Engines = func(name string, db *core.Database) (service.Evaluator, service.Ingester, error) {
-			router, err := dist.NewRouter(db, n, core.Options{CacheBytes: *cacheBytes}, name, clients)
-			if err != nil {
-				return nil, nil, err
+		if *replicas > 1 {
+			// Replicated placement: each shard lives on its top-k workers
+			// by the worker rendezvous ring; reads fail over in owner
+			// order, gated by the active health prober.
+			prober = dist.NewProber(clients, workers, dist.ProberConfig{Interval: *probeEvery})
+			cfg.WorkerHealth = func() []service.WorkerHealth {
+				snap := prober.Snapshot()
+				out := make([]service.WorkerHealth, len(snap))
+				for i, wh := range snap {
+					out[i] = service.WorkerHealth{Worker: wh.Worker, Healthy: wh.Healthy}
+				}
+				return out
 			}
-			return router, router, nil
+			cfg.Engines = func(name string, db *core.Database) (service.Evaluator, service.Ingester, error) {
+				router, err := dist.NewReplicatedRouter(db, n, core.Options{CacheBytes: *cacheBytes}, name, clients, *replicas, prober)
+				if err != nil {
+					return nil, nil, err
+				}
+				return router, router, nil
+			}
+		} else {
+			cfg.Engines = func(name string, db *core.Database) (service.Evaluator, service.Ingester, error) {
+				router, err := dist.NewRouter(db, n, core.Options{CacheBytes: *cacheBytes}, name, clients)
+				if err != nil {
+					return nil, nil, err
+				}
+				return router, router, nil
+			}
 		}
 	}
 	cfg.Role = role
@@ -154,6 +195,10 @@ func main() {
 			info.Name, info.Objects, info.States)
 	}
 	svc.SetReady(true)
+	if prober != nil {
+		prober.Start()
+		defer prober.Stop()
+	}
 
 	// No WriteTimeout: streaming and subscription responses are
 	// long-lived by design; the handlers bound each individual write

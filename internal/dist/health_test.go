@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ust/client"
+)
+
+// TestProberStateMachine pins the threshold state machine in
+// isolation: workers start live, need FailThreshold CONSECUTIVE
+// failures to die, LiveThreshold consecutive successes to revive, and
+// a single blip in either direction never flips the state.
+func TestProberStateMachine(t *testing.T) {
+	p := NewProber(make([]*client.Client, 1), []string{"w0"},
+		ProberConfig{FailThreshold: 2, LiveThreshold: 2})
+	if !p.Healthy(0) {
+		t.Fatal("workers must start live")
+	}
+	p.record(0, false)
+	if !p.Healthy(0) {
+		t.Fatal("one failed probe flipped the state (threshold is 2)")
+	}
+	p.record(0, true) // blip recovers: consecutive counter resets
+	p.record(0, false)
+	if !p.Healthy(0) {
+		t.Fatal("non-consecutive failures flipped the state")
+	}
+	p.record(0, false)
+	if p.Healthy(0) {
+		t.Fatal("two consecutive failures must mark the worker dead")
+	}
+	p.record(0, true)
+	if p.Healthy(0) {
+		t.Fatal("one successful probe revived a dead worker (threshold is 2)")
+	}
+	p.record(0, false) // blip: consecutive successes reset
+	p.record(0, true)
+	if p.Healthy(0) {
+		t.Fatal("non-consecutive successes revived the worker")
+	}
+	p.record(0, true)
+	if !p.Healthy(0) {
+		t.Fatal("two consecutive successes must revive the worker")
+	}
+	snap := p.Snapshot()
+	if len(snap) != 1 || snap[0].Worker != "w0" || !snap[0].Healthy {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+// TestProberProbesReadyz drives the probe loop against a live /readyz
+// that flips 200 → 503 → 200, pinning that the healthy bit follows
+// within a few probe intervals in both directions.
+func TestProberProbesReadyz(t *testing.T) {
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	p := NewProber([]*client.Client{c}, []string{ts.URL},
+		ProberConfig{Interval: 10 * time.Millisecond})
+	p.Start()
+	defer p.Stop()
+
+	wait := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for p.Healthy(0) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("prober never observed %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // several successful probes
+	if !p.Healthy(0) {
+		t.Fatal("live worker marked dead")
+	}
+	down.Store(true)
+	wait(false, "the worker going down")
+	down.Store(false)
+	wait(true, "the worker recovering")
+}

@@ -8,6 +8,17 @@ import (
 	"sort"
 )
 
+// ReportVersion is the current BENCH_LOAD.json schema version.
+// History:
+//
+//	1 — latencies measured from dispatch (subject to coordinated
+//	    omission when the generator fell behind schedule).
+//	2 — service latency measured from dispatch AND intended latency
+//	    measured from the scheduled arrival. The service quantiles are
+//	    not comparable to v1's (v1 silently excluded queueing delay),
+//	    which is why Analyze refuses to diff across versions.
+const ReportVersion = 2
+
 // Report is the BENCH_LOAD.json schema: the machine-readable traffic
 // trajectory emitted next to BENCH.json so latency under load is
 // tracked per PR, not per anecdote.
@@ -33,6 +44,10 @@ type Step struct {
 // ClassSummary is one workload class's counters and latency quantiles
 // within a step. Latencies cover successful requests only; failures are
 // counted, not timed (an instant 429 would otherwise "improve" p50).
+// The plain quantiles are service latency (dispatch → completion); the
+// Intended* quantiles are measured from each request's scheduled
+// arrival instead, so queueing delay when the generator fell behind
+// schedule is included rather than coordinated-omission'd away.
 type ClassSummary struct {
 	Count      uint64  `json:"count"`
 	Overloaded uint64  `json:"overloaded"`
@@ -45,6 +60,13 @@ type ClassSummary struct {
 	P99Ms      float64 `json:"p99_ms"`
 	P999Ms     float64 `json:"p999_ms"`
 	MaxMs      float64 `json:"max_ms"`
+
+	IntendedMeanMs float64 `json:"intended_mean_ms"`
+	IntendedP50Ms  float64 `json:"intended_p50_ms"`
+	IntendedP90Ms  float64 `json:"intended_p90_ms"`
+	IntendedP99Ms  float64 `json:"intended_p99_ms"`
+	IntendedP999Ms float64 `json:"intended_p999_ms"`
+	IntendedMaxMs  float64 `json:"intended_max_ms"`
 }
 
 // Summarize converts a finished StepResult into its report form.
@@ -59,6 +81,7 @@ func Summarize(res *StepResult) Step {
 	}
 	for name, cr := range res.Classes {
 		s := cr.hist.Snapshot()
+		si := cr.intended.Snapshot()
 		step.Classes[name] = ClassSummary{
 			Count:      s.Count,
 			Overloaded: cr.Overloaded.Load(),
@@ -71,6 +94,13 @@ func Summarize(res *StepResult) Step {
 			P99Ms:      round3(s.P99Ms),
 			P999Ms:     round3(s.P999Ms),
 			MaxMs:      round3(s.MaxMs),
+
+			IntendedMeanMs: round3(si.MeanMs),
+			IntendedP50Ms:  round3(si.P50Ms),
+			IntendedP90Ms:  round3(si.P90Ms),
+			IntendedP99Ms:  round3(si.P99Ms),
+			IntendedP999Ms: round3(si.P999Ms),
+			IntendedMaxMs:  round3(si.MaxMs),
 		}
 	}
 	return step
@@ -96,6 +126,9 @@ func ReadReport(path string) (*Report, error) {
 	var r Report
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("load: parsing %s: %w", path, err)
+	}
+	if r.Version > ReportVersion {
+		return nil, fmt.Errorf("load: %s is schema v%d, this build reads ≤ v%d", path, r.Version, ReportVersion)
 	}
 	if len(r.Steps) == 0 {
 		return nil, fmt.Errorf("load: %s has no steps", path)
@@ -124,10 +157,17 @@ func (f Finding) String() string {
 // Analyze diffs two reports (old baseline, new candidate): for every
 // step present in both (matched by offered rate) and every class
 // present in both, a p99 (and p999) exceeding baseline·(1+tolerance)
-// plus an absolute floor of 0.2ms is a finding, as is a class that
-// newly drops or rejects requests. Analyzing a report against itself
-// returns nothing — the round-trip sanity the CI smoke pins.
-func Analyze(old, new_ *Report, tolerance float64) []Finding {
+// plus an absolute floor of 0.2ms is a finding — on both the service
+// and the intended quantiles — as is a class that newly drops or
+// rejects requests. Analyzing a report against itself returns nothing
+// — the round-trip sanity the CI smoke pins. Reports of different
+// schema versions are an error, never silently diffed: the v1→v2
+// change altered what the histograms measure, so cross-version
+// quantile comparisons are meaningless.
+func Analyze(old, new_ *Report, tolerance float64) ([]Finding, error) {
+	if old.Version != new_.Version {
+		return nil, fmt.Errorf("load: cannot compare schema v%d against v%d (the latency semantics differ); regenerate the baseline", old.Version, new_.Version)
+	}
 	if tolerance <= 0 {
 		tolerance = 0.25
 	}
@@ -163,6 +203,8 @@ func Analyze(old, new_ *Report, tolerance float64) []Finding {
 			}
 			check("p99_ms", oc.P99Ms, nc.P99Ms)
 			check("p999_ms", oc.P999Ms, nc.P999Ms)
+			check("intended_p99_ms", oc.IntendedP99Ms, nc.IntendedP99Ms)
+			check("intended_p999_ms", oc.IntendedP999Ms, nc.IntendedP999Ms)
 			if oc.Overloaded+oc.Dropped == 0 && nc.Overloaded+nc.Dropped > 0 {
 				findings = append(findings, Finding{
 					OfferedRate: ns.OfferedRate, Class: c,
@@ -172,5 +214,5 @@ func Analyze(old, new_ *Report, tolerance float64) []Finding {
 			}
 		}
 	}
-	return findings
+	return findings, nil
 }

@@ -19,20 +19,22 @@ func sampleReport(t *testing.T) *Report {
 		AchievedRate: 98.5,
 		Elapsed:      2 * time.Second,
 		Dispatched:   200,
-		Classes:      map[string]*ClassResult{AllClass: {hist: NewHist()}},
+		Classes:      map[string]*ClassResult{AllClass: newClassResult()},
 	}
 	for _, c := range mix.ClassNames() {
-		res.Classes[c] = &ClassResult{hist: NewHist()}
+		res.Classes[c] = newClassResult()
 	}
 	for i := 0; i < 100; i++ {
 		d := time.Duration(i+1) * time.Millisecond
 		res.Classes[ClassPoint].hist.Record(uint64(i), d)
+		res.Classes[ClassPoint].intended.Record(uint64(i), d+2*time.Millisecond)
 		res.Classes[ClassPoint].OK.Add(1)
 		res.Classes[AllClass].hist.Record(uint64(i), d)
+		res.Classes[AllClass].intended.Record(uint64(i), d+2*time.Millisecond)
 		res.Classes[AllClass].OK.Add(1)
 	}
 	return &Report{
-		Version: 1, Target: "inproc", Mix: mix.String(), Seed: 7,
+		Version: ReportVersion, Target: "inproc", Mix: mix.String(), Seed: 7,
 		Steps: []Step{Summarize(res)},
 	}
 }
@@ -65,7 +67,11 @@ func TestReportRoundTripAndSelfAnalyze(t *testing.T) {
 	if got.Steps[0].Classes[ClassPoint].P99Ms != r.Steps[0].Classes[ClassPoint].P99Ms {
 		t.Fatal("round-trip mangled quantiles")
 	}
-	if f := Analyze(got, got, 0.25); len(f) != 0 {
+	f, err := Analyze(got, got, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 0 {
 		t.Fatalf("self-analyze found %d regressions: %v", len(f), f)
 	}
 }
@@ -77,7 +83,10 @@ func TestAnalyzeFlagsP99Regression(t *testing.T) {
 	cs.P99Ms = old.Steps[0].Classes[ClassPoint].P99Ms * 2
 	cand.Steps[0].Classes[ClassPoint] = cs
 
-	findings := Analyze(old, cand, 0.25)
+	findings, err := Analyze(old, cand, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(findings) == 0 {
 		t.Fatal("2x p99 regression not flagged")
 	}
@@ -97,7 +106,10 @@ func TestAnalyzeFlagsNewOverload(t *testing.T) {
 	cs.Overloaded = 17
 	cand.Steps[0].Classes[ClassScan] = cs
 
-	findings := Analyze(old, cand, 0.25)
+	findings, err := Analyze(old, cand, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, f := range findings {
 		if f.Class == ClassScan && f.Metric == "overloaded+dropped" {
@@ -118,8 +130,8 @@ func TestAnalyzeIgnoresWithinTolerance(t *testing.T) {
 	cs := cand.Steps[0].Classes[ClassPoint]
 	cs.P99Ms *= 1.10 // inside the 25% budget
 	cand.Steps[0].Classes[ClassPoint] = cs
-	if f := Analyze(old, cand, 0.25); len(f) != 0 {
-		t.Fatalf("within-tolerance drift flagged: %v", f)
+	if f, err := Analyze(old, cand, 0.25); err != nil || len(f) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v (err %v)", f, err)
 	}
 }
 
@@ -130,8 +142,78 @@ func TestAnalyzeSkipsUnmatchedSteps(t *testing.T) {
 	cs := cand.Steps[0].Classes[ClassPoint]
 	cs.P99Ms *= 10
 	cand.Steps[0].Classes[ClassPoint] = cs
-	if f := Analyze(old, cand, 0.25); len(f) != 0 {
-		t.Fatalf("unmatched step produced findings: %v", f)
+	if f, err := Analyze(old, cand, 0.25); err != nil || len(f) != 0 {
+		t.Fatalf("unmatched step produced findings: %v (err %v)", f, err)
+	}
+}
+
+// TestAnalyzeRejectsVersionMismatch pins the schema fence: the v1→v2
+// change altered what the latency histograms measure, so diffing a v1
+// baseline against a v2 candidate must be a loud error, never a silent
+// (and meaningless) quantile comparison.
+func TestAnalyzeRejectsVersionMismatch(t *testing.T) {
+	old := sampleReport(t)
+	old.Version = 1
+	cand := sampleReport(t)
+	if _, err := Analyze(old, cand, 0.25); err == nil {
+		t.Fatal("v1 baseline silently diffed against v2 candidate")
+	}
+	if _, err := Analyze(cand, old, 0.25); err == nil {
+		t.Fatal("v2 baseline silently diffed against v1 candidate")
+	}
+}
+
+// TestReadReportRejectsFutureVersion: a report written by a newer build
+// may carry semantics this build does not know; refuse it.
+func TestReadReportRejectsFutureVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.json")
+	body := []byte(`{"version":99,"steps":[{"offered_rate":1,"classes":{}}]}`)
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("future-version report accepted")
+	}
+}
+
+// TestSummarizeReportsIntendedLatency pins the coordinated-omission
+// fix end to end through Summarize: intended quantiles are present,
+// and ≥ the service quantiles (scheduled arrival precedes dispatch).
+func TestSummarizeReportsIntendedLatency(t *testing.T) {
+	r := sampleReport(t)
+	cs := r.Steps[0].Classes[ClassPoint]
+	if cs.IntendedP99Ms == 0 {
+		t.Fatal("intended p99 missing from summary")
+	}
+	if cs.IntendedP50Ms < cs.P50Ms || cs.IntendedP99Ms < cs.P99Ms {
+		t.Fatalf("intended quantiles below service quantiles: %+v", cs)
+	}
+	if cs.IntendedMaxMs < cs.MaxMs {
+		t.Fatalf("intended max %.3f < service max %.3f", cs.IntendedMaxMs, cs.MaxMs)
+	}
+}
+
+// TestAnalyzeFlagsIntendedRegression: a regression visible only in the
+// schedule-corrected quantiles (queueing delay, the thing v1 hid) is
+// still a finding.
+func TestAnalyzeFlagsIntendedRegression(t *testing.T) {
+	old := sampleReport(t)
+	cand := sampleReport(t)
+	cs := cand.Steps[0].Classes[ClassPoint]
+	cs.IntendedP99Ms = old.Steps[0].Classes[ClassPoint].IntendedP99Ms * 3
+	cand.Steps[0].Classes[ClassPoint] = cs
+	findings, err := Analyze(old, cand, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Class == ClassPoint && f.Metric == "intended_p99_ms" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("intended-p99 regression not flagged; findings = %v", findings)
 	}
 }
 

@@ -44,15 +44,28 @@ type StepResult struct {
 	Classes      map[string]*ClassResult
 }
 
-// ClassResult is one workload class's outcome within a step.
+// ClassResult is one workload class's outcome within a step. Each
+// success is timed twice: service latency (dispatch → completion, what
+// the server did) and intended latency (scheduled arrival →
+// completion, what a client arriving on schedule would have seen).
+// When the generator falls behind schedule the difference is the
+// queueing delay coordinated omission would hide — dispatch-only
+// timing silently excludes exactly the moments the system was too slow
+// to keep up.
 type ClassResult struct {
-	hist *Hist
+	hist     *Hist // service latency
+	intended *Hist // intended latency (schedule-corrected)
 
 	OK         atomic.Uint64
 	Overloaded atomic.Uint64
 	Timeouts   atomic.Uint64
 	Errors     atomic.Uint64
 	Dropped    atomic.Uint64
+}
+
+// newClassResult builds a ClassResult with both histograms live.
+func newClassResult() *ClassResult {
+	return &ClassResult{hist: NewHist(), intended: NewHist()}
 }
 
 // AllClass is the rollup pseudo-class present in every step.
@@ -78,9 +91,9 @@ func Run(ctx context.Context, target Target, gen *Generator, mix Mix, cfg Config
 		cfg.MaxInFlight = 16384
 	}
 
-	res := &StepResult{OfferedRate: cfg.Rate, Classes: map[string]*ClassResult{AllClass: {hist: NewHist()}}}
+	res := &StepResult{OfferedRate: cfg.Rate, Classes: map[string]*ClassResult{AllClass: newClassResult()}}
 	for _, c := range mix.ClassNames() {
-		res.Classes[c] = &ClassResult{hist: NewHist()}
+		res.Classes[c] = newClassResult()
 	}
 
 	// Arrival timing uses its own RNG so the op sequence (gen's RNG) is
@@ -131,21 +144,29 @@ func Run(ctx context.Context, target Target, gen *Generator, mix Mix, cfg Config
 		}
 		inFlight.Add(1)
 		wg.Add(1)
-		go func(op Op, hint uint64) {
+		// sched is this op's SCHEDULED arrival (next), not its dispatch
+		// time: when the generator falls behind, dispatch-relative timing
+		// would silently exclude the queueing delay (coordinated
+		// omission), so intended latency is measured from sched while
+		// service latency is measured from dispatch.
+		go func(op Op, hint uint64, sched time.Time) {
 			defer wg.Done()
 			defer inFlight.Add(-1)
 			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 			defer cancel()
 			t0 := time.Now()
 			err := execute(rctx, target, op)
-			d := time.Since(t0)
+			done := time.Now()
+			d, di := done.Sub(t0), done.Sub(sched)
 			switch Classify(err) {
 			case OutcomeOK:
 				cls.OK.Add(1)
 				cls.hist.Record(hint, d)
+				cls.intended.Record(hint, di)
 				all := res.Classes[AllClass]
 				all.OK.Add(1)
 				all.hist.Record(hint, d)
+				all.intended.Record(hint, di)
 			case OutcomeOverloaded:
 				cls.Overloaded.Add(1)
 				res.Classes[AllClass].Overloaded.Add(1)
@@ -156,7 +177,7 @@ func Run(ctx context.Context, target Target, gen *Generator, mix Mix, cfg Config
 				cls.Errors.Add(1)
 				res.Classes[AllClass].Errors.Add(1)
 			}
-		}(op, index)
+		}(op, index, next)
 		index++
 	}
 	wg.Wait()

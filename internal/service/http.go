@@ -585,6 +585,18 @@ func (s *Service) writeMetrics(w http.ResponseWriter) {
 		fmt.Sprintf("{role=\"%s\"}", promLabel(role)))
 	mf("ust_ring_members", "Evaluation ring width (shards in-process, workers for a coordinator).", "gauge",
 		s.ringMembers.Load(), "")
+	if s.cfg.WorkerHealth != nil {
+		if snap := s.cfg.WorkerHealth(); len(snap) > 0 {
+			fmt.Fprintf(w, "# HELP ust_worker_healthy Probed worker liveness as seen by this coordinator (1 = serving reads).\n# TYPE ust_worker_healthy gauge\n")
+			for _, wh := range snap {
+				v := 0
+				if wh.Healthy {
+					v = 1
+				}
+				fmt.Fprintf(w, "ust_worker_healthy{worker=\"%s\"} %d\n", promLabel(wh.Worker), v)
+			}
+		}
+	}
 	mf("ust_requests_total", "Evaluation requests accepted.", "counter", st.Requests, "")
 	mf("ust_singleflight_coalesced_total", "Requests answered by joining an identical in-flight evaluation.", "counter", st.Coalesced, "")
 	mf("ust_evaluations_total", "Evaluations actually executed.", "counter", st.Evaluations, "")

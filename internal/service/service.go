@@ -83,6 +83,17 @@ type Config struct {
 	// Role labels this process in /metrics (ust_role): "server" (the
 	// default), "coordinator" or "worker".
 	Role string
+	// WorkerHealth, when set, snapshots the coordinator's health-probe
+	// state for /metrics (ust_worker_healthy{worker}). The service
+	// stays decoupled from the prober's package — the process wiring
+	// adapts its snapshot into this shape.
+	WorkerHealth func() []WorkerHealth
+}
+
+// WorkerHealth is one probed worker's liveness as exposed in /metrics.
+type WorkerHealth struct {
+	Worker  string
+	Healthy bool
 }
 
 // Evaluator is the engine surface a dataset serves queries through —

@@ -5,18 +5,25 @@
 # count aggregate (factors pooled over the wire, folded coordinator-
 # side). Also checks /readyz gating, the ust_role / ust_ring_members
 # metrics, that killing a worker yields a clean error (not a hang), and
-# a graceful fleet shutdown. `make dist-smoke` runs this; CI runs it
-# via `make ci`.
+# a graceful fleet shutdown. A second phase starts a replicated fleet
+# (3 workers, -replicas 2), kills a worker mid-run, and requires queries
+# to KEEP succeeding byte-identically while ust_worker_healthy flips.
+# `make dist-smoke` runs this; CI runs it via `make ci`.
 set -eu
 
 GO=${GO:-go}
 W0_PORT=${W0_PORT:-7271}
 W1_PORT=${W1_PORT:-7272}
 CO_PORT=${CO_PORT:-7273}
+R0_PORT=${R0_PORT:-7274}
+R1_PORT=${R1_PORT:-7275}
+R2_PORT=${R2_PORT:-7276}
+RC_PORT=${RC_PORT:-7277}
 TMP=$(mktemp -d)
 W0_PID=""; W1_PID=""; CO_PID=""
+R0_PID=""; R1_PID=""; R2_PID=""; RC_PID=""
 cleanup() {
-    for pid in "$W0_PID" "$W1_PID" "$CO_PID"; do
+    for pid in "$W0_PID" "$W1_PID" "$CO_PID" "$R0_PID" "$R1_PID" "$R2_PID" "$RC_PID"; do
         [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
     done
     rm -rf "$TMP"
@@ -127,4 +134,71 @@ for pair in "co:$CO_PID:$TMP/co.log" "w0:$W0_PID:$TMP/w0.log"; do
     grep -q "bye" "$log"
 done
 CO_PID=""; W0_PID=""
+
+# ---------------------------------------------------------------------
+# Phase 2: replicated fleet. 3 workers, -replicas 2 — every shard lives
+# on two workers, so killing ONE worker mid-run must cost nothing:
+# queries keep succeeding, results stay byte-identical to in-process
+# evaluation, and the coordinator's health probe flips
+# ust_worker_healthy for the victim.
+# ---------------------------------------------------------------------
+R0_BASE="http://127.0.0.1:$R0_PORT"
+R1_BASE="http://127.0.0.1:$R1_PORT"
+R2_BASE="http://127.0.0.1:$R2_PORT"
+RC_BASE="http://127.0.0.1:$RC_PORT"
+
+echo "dist-smoke: starting replicated fleet (3 workers, replicas=2)"
+"$TMP/ustserve" -addr "127.0.0.1:$R0_PORT" 2>"$TMP/r0.log" &
+R0_PID=$!
+"$TMP/ustserve" -addr "127.0.0.1:$R1_PORT" 2>"$TMP/r1.log" &
+R1_PID=$!
+"$TMP/ustserve" -addr "127.0.0.1:$R2_PORT" 2>"$TMP/r2.log" &
+R2_PID=$!
+wait_ready "$R0_BASE" "$TMP/r0.log" "$R0_PID"
+wait_ready "$R1_BASE" "$TMP/r1.log" "$R1_PID"
+wait_ready "$R2_BASE" "$TMP/r2.log" "$R2_PID"
+
+"$TMP/ustserve" -addr "127.0.0.1:$RC_PORT" -coordinator -replicas 2 \
+    -probe-interval 100ms \
+    -worker "$R0_BASE" -worker "$R1_BASE" -worker "$R2_BASE" \
+    -dataset smoke="$TMP/smoke.ust" 2>"$TMP/rc.log" &
+RC_PID=$!
+wait_ready "$RC_BASE" "$TMP/rc.log" "$RC_PID"
+
+echo "dist-smoke: all workers report healthy"
+i=0
+until curl -fsS "$RC_BASE/metrics" | grep -c 'ust_worker_healthy{worker="[^"]*"} 1' | grep -qx 3; do
+    i=$((i+1)); [ "$i" -gt 50 ] && { echo "dist-smoke: workers never all healthy"; cat "$TMP/rc.log"; exit 1; }
+    sleep 0.2
+done
+
+echo "dist-smoke: replicated fleet matches in-process before the kill"
+"$TMP/ustquery" -remote "$RC_BASE" -dataset smoke -states 100-140 -times 10-14 -top 5 >"$TMP/rep-before.out"
+diff "$TMP/rep-before.out" "$TMP/local.out"
+
+echo "dist-smoke: killing a replica-holding worker — queries must KEEP succeeding"
+kill -9 "$R2_PID"; R2_PID=""
+"$TMP/ustquery" -remote "$RC_BASE" -dataset smoke -states 100-140 -times 10-14 -top 5 >"$TMP/rep-after.out"
+diff "$TMP/rep-after.out" "$TMP/local.out"
+"$TMP/ustquery" -remote "$RC_BASE" -dataset smoke -q "$TQ" >"$TMP/rep-text.out"
+diff "$TMP/rep-text.out" "$TMP/text-local.out"
+"$TMP/ustquery" -remote "$RC_BASE" -dataset smoke -q "$AQ" >"$TMP/rep-agg.out"
+diff "$TMP/rep-agg.out" "$TMP/agg-local.out"
+
+echo "dist-smoke: health probe flips ust_worker_healthy for the victim"
+i=0
+until curl -fsS "$RC_BASE/metrics" | grep -q "ust_worker_healthy{worker=\"$R2_BASE\"} 0"; do
+    i=$((i+1)); [ "$i" -gt 50 ] && { echo "dist-smoke: probe never declared the victim dead"; curl -fsS "$RC_BASE/metrics" | grep ust_worker_healthy; exit 1; }
+    sleep 0.2
+done
+curl -fsS "$RC_BASE/metrics" | grep -q "ust_worker_healthy{worker=\"$R0_BASE\"} 1"
+
+echo "dist-smoke: queries still succeed after the probe declared the death"
+"$TMP/ustquery" -remote "$RC_BASE" -dataset smoke -states 100-140 -times 10-14 -top 5 >"$TMP/rep-dead.out"
+diff "$TMP/rep-dead.out" "$TMP/local.out"
+
+for pid in "$RC_PID" "$R0_PID" "$R1_PID"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+RC_PID=""; R0_PID=""; R1_PID=""
 echo "dist-smoke: OK"
